@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks: single-operation latency for all four
+//! tables (get hit/miss, insert, remove) without the Optane cost model —
+//! raw algorithmic cost, useful for regression tracking.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use dash_bench::{build, preload, TableKind};
+use dash_common::{negative_keys, uniform_keys};
+use pmem::CostModel;
+
+const PRELOAD: usize = 50_000;
+
+fn bench_gets(c: &mut Criterion) {
+    let keys = uniform_keys(PRELOAD, 1);
+    let miss = negative_keys(PRELOAD, 1);
+    let mut group = c.benchmark_group("get");
+    for kind in TableKind::ALL {
+        let inst = build(kind, PRELOAD * 2, CostModel::none());
+        preload(inst.table.as_ref(), &keys);
+        let mut i = 0usize;
+        group.bench_function(format!("{}/hit", kind.name()), |b| {
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                inst.table.get(&keys[i]).expect("hit")
+            })
+        });
+        let mut j = 0usize;
+        group.bench_function(format!("{}/miss", kind.name()), |b| {
+            b.iter(|| {
+                j = (j + 1) % miss.len();
+                assert!(inst.table.get(&miss[j]).is_none());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert");
+    group.sample_size(20);
+    for kind in TableKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter_batched(
+                || {
+                    let inst = build(kind, PRELOAD * 4, CostModel::none());
+                    (inst, uniform_keys(10_000, 7))
+                },
+                |(inst, keys)| {
+                    for (i, k) in keys.iter().enumerate() {
+                        inst.table.insert(k, i as u64).expect("insert");
+                    }
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_removes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("remove");
+    group.sample_size(20);
+    for kind in TableKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter_batched(
+                || {
+                    let inst = build(kind, PRELOAD * 2, CostModel::none());
+                    let keys = uniform_keys(10_000, 9);
+                    preload(inst.table.as_ref(), &keys);
+                    (inst, keys)
+                },
+                |(inst, keys)| {
+                    for k in &keys {
+                        assert!(inst.table.remove(k));
+                    }
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_gets, bench_inserts, bench_removes
+}
+criterion_main!(benches);

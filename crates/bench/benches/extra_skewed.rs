@@ -1,0 +1,60 @@
+//! Appendix (not a numbered figure): skewed-workload behaviour. The
+//! paper ran Zipfian-skewed workloads (§6.2) and reported, without a
+//! figure, that all operations *improved* under skew thanks to higher
+//! cache-hit ratios on hot keys, with rare contention because hash values
+//! remain near-uniform. This harness regenerates that observation.
+
+use std::sync::Arc;
+
+use dash_bench::{build, preload, print_table, timed_threads, Scale, TableKind};
+use dash_common::{uniform_keys, ZipfGenerator};
+
+fn run(kind: TableKind, theta: Option<f64>, scale: &Scale, threads: usize) -> f64 {
+    let inst = build(kind, scale.preload, scale.cost);
+    let keys = Arc::new(uniform_keys(scale.preload, 0xA11CE));
+    preload(inst.table.as_ref(), &keys);
+    let total = scale.ops;
+    // Pre-generate per-thread access sequences (uniform or Zipfian).
+    let sequences: Vec<Vec<usize>> = (0..threads)
+        .map(|tid| match theta {
+            Some(theta) => {
+                let mut z = ZipfGenerator::new(keys.len(), theta, 0x5EED ^ tid as u64);
+                (0..total / threads).map(|_| z.next_index()).collect()
+            }
+            None => {
+                let u = uniform_keys(total / threads, 0x5EED ^ tid as u64);
+                u.into_iter().map(|k| (k as usize) % keys.len()).collect()
+            }
+        })
+        .collect();
+    let table = inst.table.clone();
+    let dur = timed_threads(threads, |tid| {
+        for &i in &sequences[tid] {
+            assert!(table.get(&keys[i]).is_some());
+        }
+    });
+    (threads * (total / threads)) as f64 / dur.as_secs_f64() / 1e6
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let threads = *scale.threads.iter().max().unwrap();
+    println!("# Appendix — skewed (Zipfian) positive search, {threads} threads (Mops/s)");
+    let distributions: [(&str, Option<f64>); 3] =
+        [("uniform", None), ("zipf θ=0.9", Some(0.9)), ("zipf θ=0.99", Some(0.99))];
+    let columns: Vec<String> = distributions.iter().map(|(n, _)| n.to_string()).collect();
+    let mut rows = Vec::new();
+    for kind in TableKind::ALL {
+        let cells: Vec<String> = distributions
+            .iter()
+            .map(|&(_, theta)| format!("{:.3}", run(kind, theta, &scale, threads)))
+            .collect();
+        rows.push((kind.name().to_string(), cells));
+    }
+    print_table("positive search under skew", &columns, &rows);
+    println!(
+        "\nExpected: skew helps or is neutral for every table (hot keys stay\n\
+         cache-resident; hash values remain near-uniform so lock contention\n\
+         is rare) — the paper's §6.2 observation."
+    );
+}

@@ -1,0 +1,32 @@
+//! Figure 1: throughput of state-of-the-art PM hashing (CCEH and Level
+//! Hashing) for insert (left) and search (right) as thread count grows —
+//! the motivation plot showing neither scales on (emulated) Optane.
+//!
+//! Expected shape: insert throughput flattens early for both (Level worst,
+//! throttled by full-table rehashes); even read-only search stops scaling
+//! because lock acquisition writes PM under limited write bandwidth.
+
+use dash_bench::{print_table, run_cell, Scale, TableKind, Workload};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Fig. 1 — motivation: CCEH / Level Hashing do not scale on PM");
+    println!(
+        "preload={}, ops={}, cost model: {:?}",
+        scale.preload, scale.ops, scale.cost
+    );
+
+    for workload in [Workload::Insert, Workload::PositiveSearch] {
+        let columns: Vec<String> = scale.threads.iter().map(|t| format!("{t} thr")).collect();
+        let mut rows = Vec::new();
+        for kind in [TableKind::Cceh, TableKind::Level] {
+            let mut cells = Vec::new();
+            for &threads in &scale.threads {
+                let c = run_cell(kind, workload, scale.preload, scale.ops, threads, scale.cost);
+                cells.push(format!("{:.3}", c.mops));
+            }
+            rows.push((kind.name().to_string(), cells));
+        }
+        print_table(&format!("{} throughput (Mops/s)", workload.name()), &columns, &rows);
+    }
+}

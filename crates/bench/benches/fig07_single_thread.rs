@@ -1,0 +1,110 @@
+//! Figure 7: single-thread performance of all four tables under the four
+//! operations, for fixed-length keys (left) and variable-length keys
+//! (right).
+//!
+//! Expected shape (paper, §6.3): Dash-EH/LH lead on every operation; the
+//! gap is largest on negative search (fingerprints + overflow metadata
+//! eliminate almost all record probing) and widens further with
+//! variable-length keys (fingerprints avoid pointer dereferences).
+
+use std::sync::Arc;
+
+use dash_bench::{print_table, run_cell, var_keys, Scale, TableKind, VarKey, Workload};
+use dash_common::PmHashTable;
+use pmem::{PmemPool, PoolConfig};
+
+fn build_var(kind: TableKind, records: usize, cost: pmem::CostModel) -> (Arc<PmemPool>, Arc<dyn PmHashTable<VarKey>>) {
+    let cfg = PoolConfig { size: Scale::pool_bytes(records) * 2, cost, ..Default::default() };
+    let pool = PmemPool::create(cfg).expect("pool");
+    let table: Arc<dyn PmHashTable<VarKey>> = match kind {
+        TableKind::DashEh => Arc::new(
+            dash_core::DashEh::<VarKey>::create(pool.clone(), dash_core::DashConfig::default())
+                .unwrap(),
+        ),
+        TableKind::DashLh => Arc::new(
+            dash_core::DashLh::<VarKey>::create(pool.clone(), dash_core::DashConfig::default())
+                .unwrap(),
+        ),
+        TableKind::Cceh => {
+            Arc::new(cceh::Cceh::<VarKey>::create(pool.clone(), cceh::CcehConfig::default()).unwrap())
+        }
+        TableKind::Level => Arc::new(
+            levelhash::LevelHash::<VarKey>::create(pool.clone(), levelhash::LevelConfig::default())
+                .unwrap(),
+        ),
+    };
+    (pool, table)
+}
+
+/// Single-thread var-key cell: the paper's 16-byte pointer-mode keys.
+fn run_var_cell(kind: TableKind, workload: Workload, preload_n: usize, ops: usize, cost: pmem::CostModel) -> f64 {
+    let (_pool, table) = build_var(kind, preload_n + 2 * ops, cost);
+    let pre = var_keys(preload_n, 0xA11CE, 16);
+    for (i, k) in pre.iter().enumerate() {
+        table.insert(k, i as u64).unwrap();
+    }
+    let fresh = var_keys(ops, 0xF00D, 16);
+    let neg: Vec<VarKey> = var_keys(ops, 0xBAD, 16);
+    let del = var_keys(ops, 0xDE1, 16);
+    if workload == Workload::Delete {
+        for (i, k) in del.iter().enumerate() {
+            table.insert(k, i as u64).unwrap();
+        }
+    }
+    let t0 = std::time::Instant::now();
+    match workload {
+        Workload::Insert => {
+            for (i, k) in fresh.iter().enumerate() {
+                table.insert(k, i as u64).unwrap();
+            }
+        }
+        Workload::PositiveSearch => {
+            for i in 0..ops {
+                assert!(table.get(&pre[i % pre.len()]).is_some());
+            }
+        }
+        Workload::NegativeSearch => {
+            for k in &neg {
+                assert!(table.get(k).is_none());
+            }
+        }
+        Workload::Delete => {
+            for k in &del {
+                assert!(table.remove(k));
+            }
+        }
+        Workload::Mixed => unreachable!("not part of fig. 7"),
+    }
+    ops as f64 / t0.elapsed().as_secs_f64() / 1e6
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let ops = scale.ops / 2; // single-threaded; keep the run snappy
+    let workloads =
+        [Workload::Insert, Workload::PositiveSearch, Workload::NegativeSearch, Workload::Delete];
+    println!("# Fig. 7 — single-thread performance (Mops/s)");
+    println!("preload={}, ops={ops}, cost model: {:?}", scale.preload, scale.cost);
+
+    let columns: Vec<String> = workloads.iter().map(|w| w.name().to_string()).collect();
+
+    let mut rows = Vec::new();
+    for kind in TableKind::ALL {
+        let cells: Vec<String> = workloads
+            .iter()
+            .map(|&w| format!("{:.3}", run_cell(kind, w, scale.preload, ops, 1, scale.cost).mops))
+            .collect();
+        rows.push((kind.name().to_string(), cells));
+    }
+    print_table("fixed-length keys (8 B)", &columns, &rows);
+
+    let mut rows = Vec::new();
+    for kind in TableKind::ALL {
+        let cells: Vec<String> = workloads
+            .iter()
+            .map(|&w| format!("{:.3}", run_var_cell(kind, w, scale.preload / 2, ops / 2, scale.cost)))
+            .collect();
+        rows.push((kind.name().to_string(), cells));
+    }
+    print_table("variable-length keys (16 B, pointer mode)", &columns, &rows);
+}

@@ -1,0 +1,35 @@
+//! Figure 8: scalability of all four tables under (a) 100 % insert,
+//! (b) 100 % positive search, (c) 100 % negative search, (d) 100 % delete
+//! and (e) the 20/80 mixed workload, across thread counts.
+//!
+//! Expected shape (paper, §6.4): Dash-EH/LH scale near-linearly on
+//! searches and lead everywhere; CCEH's searches flatten (read-lock PM
+//! writes), Level collapses on inserts (blocking full-table rehash);
+//! Dash leads inserts by limited-but-clear margins (inserts inherently
+//! write PM and meet the bandwidth wall).
+
+use dash_bench::{print_table, run_cell, Scale, TableKind, Workload};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Fig. 8 — throughput scalability (Mops/s)");
+    println!(
+        "preload={}, ops={}, threads={:?}, cost model: {:?}",
+        scale.preload, scale.ops, scale.threads, scale.cost
+    );
+
+    let columns: Vec<String> = scale.threads.iter().map(|t| format!("{t} thr")).collect();
+    for (panel, workload) in Workload::ALL.iter().enumerate() {
+        let mut rows = Vec::new();
+        for kind in TableKind::ALL {
+            let mut cells = Vec::new();
+            for &threads in &scale.threads {
+                let c = run_cell(kind, *workload, scale.preload, scale.ops, threads, scale.cost);
+                cells.push(format!("{:.3}", c.mops));
+            }
+            rows.push((kind.name().to_string(), cells));
+        }
+        let panel_letter = (b'a' + panel as u8) as char;
+        print_table(&format!("({panel_letter}) 100% {}", workload.name()), &columns, &rows);
+    }
+}

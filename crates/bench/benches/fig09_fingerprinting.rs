@@ -1,0 +1,150 @@
+//! Figure 9: the fingerprinting ablation — Dash-EH with and without
+//! fingerprints, all four operations, fixed- and variable-length keys, at
+//! the maximum thread count.
+//!
+//! Expected shape (paper, §6.5): fingerprints help most on negative
+//! search (1.72× fixed keys), and far more with variable-length keys
+//! (up to 7× on negative search) because they avoid dereferencing key
+//! pointers entirely.
+
+use std::sync::Arc;
+
+use dash_bench::{print_table, timed_threads, var_keys, Scale, VarKey, Workload};
+use dash_common::{negative_keys, uniform_keys};
+use dash_core::{DashConfig, DashEh};
+use pmem::{PmemPool, PoolConfig};
+
+fn run_fixed(fps: bool, workload: Workload, scale: &Scale, threads: usize) -> f64 {
+    let cfg = DashConfig { fingerprints: fps, ..Default::default() };
+    let pcfg = PoolConfig {
+        size: Scale::pool_bytes(scale.preload + 2 * scale.ops),
+        cost: scale.cost,
+        ..Default::default()
+    };
+    let pool = PmemPool::create(pcfg).unwrap();
+    let table = Arc::new(DashEh::<u64>::create(pool, cfg).unwrap());
+    let pre = Arc::new(uniform_keys(scale.preload, 0xA11CE));
+    for (i, k) in pre.iter().enumerate() {
+        table.insert(k, i as u64).unwrap();
+    }
+    let fresh = Arc::new(uniform_keys(scale.ops, 0xF00D));
+    let neg = Arc::new(negative_keys(scale.ops, 0xA11CE));
+    let del = Arc::new(negative_keys(scale.ops, 0xDE1E7E));
+    if workload == Workload::Delete {
+        for (i, k) in del.iter().enumerate() {
+            table.insert(k, i as u64).unwrap();
+        }
+    }
+    let total = scale.ops;
+    let per = total / threads;
+    let dur = timed_threads(threads, |tid| {
+        let lo = tid * per;
+        let hi = if tid == threads - 1 { total } else { lo + per };
+        match workload {
+            Workload::Insert => {
+                for i in lo..hi {
+                    table.insert(&fresh[i], i as u64).unwrap();
+                }
+            }
+            Workload::PositiveSearch => {
+                for i in lo..hi {
+                    assert!(table.get(&pre[i % pre.len()]).is_some());
+                }
+            }
+            Workload::NegativeSearch => {
+                for i in lo..hi {
+                    assert!(table.get(&neg[i]).is_none());
+                }
+            }
+            Workload::Delete => {
+                for i in lo..hi {
+                    assert!(table.remove(&del[i]));
+                }
+            }
+            Workload::Mixed => unreachable!(),
+        }
+    });
+    total as f64 / dur.as_secs_f64() / 1e6
+}
+
+fn run_var(fps: bool, workload: Workload, scale: &Scale, threads: usize) -> f64 {
+    let cfg = DashConfig { fingerprints: fps, ..Default::default() };
+    let preload = scale.preload / 2;
+    let ops = scale.ops / 2;
+    let pcfg = PoolConfig {
+        size: Scale::pool_bytes(preload + 2 * ops) * 2,
+        cost: scale.cost,
+        ..Default::default()
+    };
+    let pool = PmemPool::create(pcfg).unwrap();
+    let table = Arc::new(DashEh::<VarKey>::create(pool, cfg).unwrap());
+    let pre = Arc::new(var_keys(preload, 0xA11CE, 16));
+    for (i, k) in pre.iter().enumerate() {
+        table.insert(k, i as u64).unwrap();
+    }
+    let fresh = Arc::new(var_keys(ops, 0xF00D, 16));
+    let neg = Arc::new(var_keys(ops, 0xBAD, 16));
+    let del = Arc::new(var_keys(ops, 0xDE1, 16));
+    if workload == Workload::Delete {
+        for (i, k) in del.iter().enumerate() {
+            table.insert(k, i as u64).unwrap();
+        }
+    }
+    let per = ops / threads;
+    let dur = timed_threads(threads, |tid| {
+        let lo = tid * per;
+        let hi = if tid == threads - 1 { ops } else { lo + per };
+        match workload {
+            Workload::Insert => {
+                for i in lo..hi {
+                    table.insert(&fresh[i], i as u64).unwrap();
+                }
+            }
+            Workload::PositiveSearch => {
+                for i in lo..hi {
+                    assert!(table.get(&pre[i % pre.len()]).is_some());
+                }
+            }
+            Workload::NegativeSearch => {
+                for i in lo..hi {
+                    assert!(table.get(&neg[i]).is_none());
+                }
+            }
+            Workload::Delete => {
+                for i in lo..hi {
+                    assert!(table.remove(&del[i]));
+                }
+            }
+            Workload::Mixed => unreachable!(),
+        }
+    });
+    ops as f64 / dur.as_secs_f64() / 1e6
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let threads = *scale.threads.iter().max().unwrap();
+    let workloads =
+        [Workload::Insert, Workload::PositiveSearch, Workload::NegativeSearch, Workload::Delete];
+    println!("# Fig. 9 — effect of fingerprinting on Dash-EH ({threads} threads, Mops/s)");
+    let columns: Vec<String> = workloads.iter().map(|w| w.name().to_string()).collect();
+
+    for (label, var) in [("fixed-length keys", false), ("variable-length keys", true)] {
+        let mut rows = Vec::new();
+        for (name, fps) in [("without fingerprints", false), ("with fingerprints", true)] {
+            let cells: Vec<String> = workloads
+                .iter()
+                .map(|&w| {
+                    let mops = if var {
+                        run_var(fps, w, &scale, threads)
+                    } else {
+                        run_fixed(fps, w, &scale, threads)
+                    };
+                    format!("{mops:.3}")
+                })
+                .collect();
+            rows.push((name.to_string(), cells));
+        }
+        print_table(label, &columns, &rows);
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 10: the overflow-metadata ablation — Dash-EH with and without
+//! the overflow fingerprints/counters, with two and four stash buckets
+//! per segment, at the maximum thread count.
+//!
+//! Expected shape (paper, §6.5): without the metadata every probe must
+//! scan the stash buckets, hurting negative search most and getting worse
+//! as stash buckets are added; with metadata performance stays flat.
+
+use std::sync::Arc;
+
+use dash_bench::{print_table, timed_threads, Scale, Workload};
+use dash_common::{negative_keys, uniform_keys};
+use dash_core::{DashConfig, DashEh};
+use pmem::{PmemPool, PoolConfig};
+
+fn run(metadata: bool, stash: u32, workload: Workload, scale: &Scale, threads: usize) -> f64 {
+    let cfg =
+        DashConfig { overflow_metadata: metadata, stash_buckets: stash, ..Default::default() };
+    let pcfg = PoolConfig {
+        size: Scale::pool_bytes(scale.preload + 2 * scale.ops),
+        cost: scale.cost,
+        ..Default::default()
+    };
+    let pool = PmemPool::create(pcfg).unwrap();
+    let table = Arc::new(DashEh::<u64>::create(pool, cfg).unwrap());
+    let pre = Arc::new(uniform_keys(scale.preload, 0xA11CE));
+    for (i, k) in pre.iter().enumerate() {
+        table.insert(k, i as u64).unwrap();
+    }
+    let fresh = Arc::new(uniform_keys(scale.ops, 0xF00D));
+    let neg = Arc::new(negative_keys(scale.ops, 0xA11CE));
+    let del = Arc::new(negative_keys(scale.ops, 0xDE1E7E));
+    if workload == Workload::Delete {
+        for (i, k) in del.iter().enumerate() {
+            table.insert(k, i as u64).unwrap();
+        }
+    }
+    let total = scale.ops;
+    let per = total / threads;
+    let dur = timed_threads(threads, |tid| {
+        let lo = tid * per;
+        let hi = if tid == threads - 1 { total } else { lo + per };
+        match workload {
+            Workload::Insert => {
+                for i in lo..hi {
+                    table.insert(&fresh[i], i as u64).unwrap();
+                }
+            }
+            Workload::PositiveSearch => {
+                for i in lo..hi {
+                    assert!(table.get(&pre[i % pre.len()]).is_some());
+                }
+            }
+            Workload::NegativeSearch => {
+                for i in lo..hi {
+                    assert!(table.get(&neg[i]).is_none());
+                }
+            }
+            Workload::Delete => {
+                for i in lo..hi {
+                    assert!(table.remove(&del[i]));
+                }
+            }
+            Workload::Mixed => unreachable!(),
+        }
+    });
+    total as f64 / dur.as_secs_f64() / 1e6
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let threads = *scale.threads.iter().max().unwrap();
+    let workloads =
+        [Workload::Insert, Workload::PositiveSearch, Workload::NegativeSearch, Workload::Delete];
+    println!("# Fig. 10 — effect of overflow metadata on Dash-EH ({threads} threads, Mops/s)");
+    let columns: Vec<String> = workloads.iter().map(|w| w.name().to_string()).collect();
+
+    for stash in [2u32, 4] {
+        let mut rows = Vec::new();
+        for (name, metadata) in [("without metadata", false), ("with metadata", true)] {
+            let cells: Vec<String> = workloads
+                .iter()
+                .map(|&w| format!("{:.3}", run(metadata, stash, w, &scale, threads)))
+                .collect();
+            rows.push((name.to_string(), cells));
+        }
+        print_table(&format!("{stash} stash buckets per segment"), &columns, &rows);
+    }
+}

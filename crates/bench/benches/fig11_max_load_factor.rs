@@ -1,0 +1,52 @@
+//! Figure 11: maximum load factor of a single segment as techniques are
+//! stacked (bucketized → +probing → +balanced insert → +displacement →
+//! +2/+4 stash buckets) across segment sizes from 1 KB to 128 KB.
+//!
+//! Expected shape (paper, §6.6): bucketized decays from ~80 % (1 KB) to
+//! ~40 % (128 KB); each technique lifts the curve; with stashing the
+//! small/medium segments approach 100 %.
+
+use dash_bench::print_table;
+use dash_core::experiments::max_segment_fill;
+use dash_core::{DashConfig, InsertPolicy};
+
+fn main() {
+    println!("# Fig. 11 — max single-segment load factor vs segment size");
+    // bucket_bits 2..=9 → 4..512 buckets → 1 KB..128 KB of buckets.
+    let sizes: Vec<u32> = (2..=9).collect();
+    let columns: Vec<String> = sizes
+        .iter()
+        .map(|b| {
+            let kb = (1usize << b) * 256 / 1024;
+            format!("{kb} KB")
+        })
+        .collect();
+
+    let ladder: [(&str, InsertPolicy, u32); 6] = [
+        ("bucketized", InsertPolicy::Bucketized, 0),
+        ("+ probing", InsertPolicy::Probing, 0),
+        ("+ balanced insert", InsertPolicy::Balanced, 0),
+        ("+ displacement", InsertPolicy::Displacement, 0),
+        ("+ 2 stash buckets", InsertPolicy::Stash, 2),
+        ("+ 4 stash buckets", InsertPolicy::Stash, 4),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, policy, stash) in ladder {
+        let cells: Vec<String> = sizes
+            .iter()
+            .map(|&bits| {
+                let cfg = DashConfig {
+                    bucket_bits: bits,
+                    insert_policy: policy,
+                    stash_buckets: stash,
+                    ..Default::default()
+                };
+                let fill = max_segment_fill(&cfg).expect("fill");
+                format!("{:.3}", fill.load_factor())
+            })
+            .collect();
+        rows.push((name.to_string(), cells));
+    }
+    print_table("maximum load factor", &columns, &rows);
+}

@@ -1,0 +1,74 @@
+//! Figure 12: table-wide load factor as records are inserted, for
+//! Dash-EH with 2 and 4 stash buckets, Dash-LH (2 stash), CCEH and Level
+//! Hashing.
+//!
+//! Expected shape (paper, §6.6): CCEH oscillates between ~35 % and ~43 %
+//! (premature splits); Dash-EH(2)/Dash-LH(2) reach ~80 % peaks,
+//! Dash-EH(4) ~90 %, matching Level Hashing; the sawtooth dips are
+//! segment splits / full-table rehashes.
+
+use std::sync::Arc;
+
+use dash_bench::{print_table, Scale};
+use dash_common::{uniform_keys, PmHashTable};
+use pmem::{CostModel, PmemPool, PoolConfig};
+
+fn series(table: Arc<dyn PmHashTable<u64>>, keys: &[u64], samples: usize) -> Vec<String> {
+    let stride = keys.len() / samples;
+    let mut out = Vec::new();
+    for (i, k) in keys.iter().enumerate() {
+        table.insert(k, i as u64).expect("insert");
+        if (i + 1) % stride == 0 {
+            out.push(format!("{:.3}", table.load_factor()));
+        }
+    }
+    out
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    // Load-factor scans are O(table), so sample sparsely; no cost model
+    // needed (this is a space experiment, not a timing one).
+    let n = scale.preload.max(60_000);
+    let keys = uniform_keys(n, 0x10AD);
+    let samples = 12;
+    println!("# Fig. 12 — load factor vs records inserted (n={n})");
+
+    let columns: Vec<String> =
+        (1..=samples).map(|s| format!("{}k", s * n / samples / 1000)).collect();
+    let mk_pool = || {
+        PmemPool::create(PoolConfig {
+            size: Scale::pool_bytes(n),
+            cost: CostModel::none(),
+            ..Default::default()
+        })
+        .unwrap()
+    };
+
+    let mut rows: Vec<(String, Vec<String>)> = Vec::new();
+    for stash in [2u32, 4] {
+        let cfg = dash_core::DashConfig { stash_buckets: stash, ..Default::default() };
+        let t: Arc<dyn PmHashTable<u64>> =
+            Arc::new(dash_core::DashEh::<u64>::create(mk_pool(), cfg).unwrap());
+        rows.push((format!("Dash-EH ({stash})"), series(t, &keys, samples)));
+    }
+    {
+        let cfg = dash_core::DashConfig::default();
+        let t: Arc<dyn PmHashTable<u64>> =
+            Arc::new(dash_core::DashLh::<u64>::create(mk_pool(), cfg).unwrap());
+        rows.push(("Dash-LH (2)".to_string(), series(t, &keys, samples)));
+    }
+    {
+        let t: Arc<dyn PmHashTable<u64>> =
+            Arc::new(cceh::Cceh::<u64>::create(mk_pool(), cceh::CcehConfig::default()).unwrap());
+        rows.push(("CCEH".to_string(), series(t, &keys, samples)));
+    }
+    {
+        let t: Arc<dyn PmHashTable<u64>> = Arc::new(
+            levelhash::LevelHash::<u64>::create(mk_pool(), levelhash::LevelConfig::default())
+                .unwrap(),
+        );
+        rows.push(("Level Hashing".to_string(), series(t, &keys, samples)));
+    }
+    print_table("load factor after n records", &columns, &rows);
+}

@@ -1,0 +1,69 @@
+//! Figure 13: concurrency-control strategies — Dash-EH with optimistic
+//! locking vs pessimistic reader-writer spinlocks, positive and negative
+//! search, across thread counts.
+//!
+//! Expected shape (paper, §6.7): optimistic search scales near-linearly;
+//! the spinlock version flattens because every read lock acquisition and
+//! release writes PM and burns the limited write bandwidth.
+
+use std::sync::Arc;
+
+use dash_bench::{print_table, timed_threads, Scale};
+use dash_common::{negative_keys, uniform_keys};
+use dash_core::{DashConfig, DashEh, LockMode};
+use pmem::{PmemPool, PoolConfig};
+
+fn run(mode: LockMode, positive: bool, scale: &Scale, threads: usize) -> f64 {
+    let cfg = DashConfig { lock_mode: mode, ..Default::default() };
+    let pcfg = PoolConfig {
+        size: Scale::pool_bytes(scale.preload),
+        cost: scale.cost,
+        ..Default::default()
+    };
+    let pool = PmemPool::create(pcfg).unwrap();
+    let table = Arc::new(DashEh::<u64>::create(pool, cfg).unwrap());
+    let pre = Arc::new(uniform_keys(scale.preload, 0xA11CE));
+    for (i, k) in pre.iter().enumerate() {
+        table.insert(k, i as u64).unwrap();
+    }
+    let neg = Arc::new(negative_keys(scale.ops, 0xA11CE));
+    let total = scale.ops;
+    let per = total / threads;
+    let dur = timed_threads(threads, |tid| {
+        let lo = tid * per;
+        let hi = if tid == threads - 1 { total } else { lo + per };
+        if positive {
+            for i in lo..hi {
+                assert!(table.get(&pre[i % pre.len()]).is_some());
+            }
+        } else {
+            for i in lo..hi {
+                assert!(table.get(&neg[i]).is_none());
+            }
+        }
+    });
+    total as f64 / dur.as_secs_f64() / 1e6
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Fig. 13 — optimistic locking vs reader-writer spinlocks (Mops/s)");
+    println!("preload={}, ops={}, cost model: {:?}", scale.preload, scale.ops, scale.cost);
+    let columns: Vec<String> = scale.threads.iter().map(|t| format!("{t} thr")).collect();
+
+    let mut rows = Vec::new();
+    for (name, mode, positive) in [
+        ("optimistic (pos)", LockMode::Optimistic, true),
+        ("optimistic (neg)", LockMode::Optimistic, false),
+        ("spinlock (pos)", LockMode::Pessimistic, true),
+        ("spinlock (neg)", LockMode::Pessimistic, false),
+    ] {
+        let cells: Vec<String> = scale
+            .threads
+            .iter()
+            .map(|&t| format!("{:.3}", run(mode, positive, &scale, t)))
+            .collect();
+        rows.push((name.to_string(), cells));
+    }
+    print_table("search throughput", &columns, &rows);
+}

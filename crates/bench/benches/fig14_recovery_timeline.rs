@@ -1,0 +1,105 @@
+//! Figure 14: throughput over time immediately after instant recovery,
+//! with one thread and with the maximum thread count.
+//!
+//! Expected shape (paper, §6.8): the table is online immediately but
+//! early windows run slow while lazy recovery touches segments on first
+//! access; throughput returns to normal sooner with more threads because
+//! they recover different segments in parallel.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use dash_bench::{timed_threads, Scale};
+use dash_common::{uniform_keys, PmHashTable};
+use pmem::{PmemPool, PoolConfig};
+
+fn timeline(which: &str, threads: usize, scale: &Scale) {
+    let n = scale.preload;
+    let pcfg = PoolConfig { size: Scale::pool_bytes(2 * n), cost: scale.cost, ..Default::default() };
+    let pool = PmemPool::create(pcfg).unwrap();
+    let keys = Arc::new(uniform_keys(n, 0xCAFE));
+
+    let img = match which {
+        "Dash-EH" => {
+            let t = dash_core::DashEh::<u64>::create(pool.clone(), dash_core::DashConfig::default())
+                .unwrap();
+            for (i, k) in keys.iter().enumerate() {
+                t.insert(k, i as u64).unwrap();
+            }
+            // Kill the process mid-insert (further inserts in flight).
+            for k in uniform_keys(n / 10, 0xDEAD) {
+                let _ = t.insert(&k, 1);
+            }
+            pool.crash_image()
+        }
+        _ => {
+            let t = dash_core::DashLh::<u64>::create(pool.clone(), dash_core::DashConfig::default())
+                .unwrap();
+            for (i, k) in keys.iter().enumerate() {
+                t.insert(k, i as u64).unwrap();
+            }
+            for k in uniform_keys(n / 10, 0xDEAD) {
+                let _ = t.insert(&k, 1);
+            }
+            pool.crash_image()
+        }
+    };
+
+    let t0 = Instant::now();
+    let pool2 = PmemPool::open(img, pcfg).unwrap();
+    let table: Arc<dyn PmHashTable<u64>> = match which {
+        "Dash-EH" => Arc::new(dash_core::DashEh::<u64>::open(pool2).unwrap()),
+        _ => Arc::new(dash_core::DashLh::<u64>::open(pool2).unwrap()),
+    };
+    let online = t0.elapsed();
+    println!("\n{which}, {threads} thread(s): online after {:.1} ms", online.as_secs_f64() * 1e3);
+
+    // Post-restart positive searches; report 20 ms windows.
+    let windows = Arc::new(std::sync::Mutex::new(Vec::<(f64, f64)>::new()));
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let total_ops = n; // one pass over the data
+    let run_start = Instant::now();
+    timed_threads(threads, |_| {
+        let mut window_ops = 0u64;
+        let mut window_t0 = Instant::now();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= total_ops {
+                break;
+            }
+            assert!(table.get(&keys[i]).is_some());
+            window_ops += 1;
+            if window_t0.elapsed().as_millis() >= 20 {
+                let t = run_start.elapsed().as_secs_f64();
+                let mops = window_ops as f64 / window_t0.elapsed().as_secs_f64() / 1e6;
+                windows.lock().unwrap().push((t, mops));
+                window_t0 = Instant::now();
+                window_ops = 0;
+            }
+        }
+    });
+    let mut w = windows.lock().unwrap().clone();
+    w.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    for (t, mops) in w.iter().take(12) {
+        println!("  t={:>7.1} ms  {:>8.3} Mops/s", t * 1e3, mops);
+    }
+    if let (Some(first), Some(last)) = (w.first(), w.last()) {
+        println!(
+            "  first window {:.3} Mops/s -> steady {:.3} Mops/s (lazy recovery warming up)",
+            first.1, last.1
+        );
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let max_threads = *scale.threads.iter().max().unwrap();
+    println!("# Fig. 14 — throughput after instant recovery");
+    for which in ["Dash-EH", "Dash-LH"] {
+        timeline(which, 1, &scale);
+        if max_threads > 1 {
+            timeline(which, max_threads, &scale);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Figure 15: impact of the PM allocator and OS support on Dash-EH and
+//! Dash-LH insert scalability — PMDK-style allocation cost vs a
+//! pre-faulting custom allocator, on a healthy kernel vs the 5.2.11
+//! huge-page-fallback bug (simulated as a 25× allocation-latency hit on
+//! every pool allocation).
+//!
+//! Expected shape (paper, §6.9): Dash-EH is barely sensitive (fixed 16 KB
+//! allocations, one per split); Dash-LH on the buggy kernel with the
+//! PMDK-style allocator collapses to a fraction of its healthy
+//! throughput because threads contend on slow segment-array allocation
+//! during expansion; the pre-faulting allocator is immune on both.
+
+use std::sync::Arc;
+
+use dash_bench::{build_dash_eh_with, build_dash_lh_with, print_table, timed_threads, Scale};
+use dash_common::{uniform_keys, PmHashTable};
+use pmem::{AllocMode, CostModel, PoolConfig};
+
+fn run(lh: bool, alloc_mode: AllocMode, cost: CostModel, scale: &Scale, threads: usize) -> f64 {
+    let pool_cfg = PoolConfig {
+        size: Scale::pool_bytes(scale.preload + 2 * scale.ops),
+        cost,
+        alloc_mode,
+        ..Default::default()
+    };
+    let dash_cfg = dash_core::DashConfig::default();
+    let (table, _pool): (Arc<dyn PmHashTable<u64>>, _) = if lh {
+        let (pool, t) = build_dash_lh_with(dash_cfg, pool_cfg);
+        (t, pool)
+    } else {
+        let (pool, t) = build_dash_eh_with(dash_cfg, pool_cfg);
+        (t, pool)
+    };
+    let pre = Arc::new(uniform_keys(scale.preload, 0xA11CE));
+    for (i, k) in pre.iter().enumerate() {
+        table.insert(k, i as u64).unwrap();
+    }
+    let fresh = Arc::new(uniform_keys(scale.ops, 0xF00D));
+    let total = scale.ops;
+    let per = total / threads;
+    let dur = timed_threads(threads, |tid| {
+        let lo = tid * per;
+        let hi = if tid == threads - 1 { total } else { lo + per };
+        for i in lo..hi {
+            table.insert(&fresh[i], i as u64).unwrap();
+        }
+    });
+    total as f64 / dur.as_secs_f64() / 1e6
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Fig. 15 — PM allocator / kernel impact on insert throughput (Mops/s)");
+    let columns: Vec<String> = scale.threads.iter().map(|t| format!("{t} thr")).collect();
+
+    let configs: [(&str, AllocMode, CostModel); 4] = [
+        ("PMDK alloc (5.5.3)", AllocMode::Pmdk, CostModel::optane()),
+        ("prefault (5.5.3)", AllocMode::Prefault, CostModel::optane()),
+        ("PMDK alloc (5.2.11)", AllocMode::Pmdk, CostModel::optane_buggy_kernel()),
+        ("prefault (5.2.11)", AllocMode::Prefault, CostModel::optane_buggy_kernel()),
+    ];
+
+    for (label, lh) in [("Dash-EH", false), ("Dash-LH", true)] {
+        let mut rows = Vec::new();
+        for (name, mode, cost) in configs {
+            let cells: Vec<String> = scale
+                .threads
+                .iter()
+                .map(|&t| format!("{:.3}", run(lh, mode, cost, &scale, t)))
+                .collect();
+            rows.push((name.to_string(), cells));
+        }
+        print_table(label, &columns, &rows);
+    }
+}

@@ -1,0 +1,118 @@
+//! Table 1: recovery time (ms) vs number of indexed records.
+//!
+//! Expected shape (paper, §6.8): Dash-EH / Dash-LH / Level Hashing stay
+//! constant regardless of data size (constant work on restart); CCEH's
+//! recovery scans the whole directory, so its time grows linearly with
+//! the number of segments.
+//!
+//! The pool is **file-backed** for this experiment: reopening is an mmap
+//! (lazy, O(1)), exactly like the paper's PM pool reopen — so the timed
+//! window contains only genuine recovery work (pool header recovery,
+//! table open incl. any directory scan, and the first serviced request),
+//! not an emulation-artifact image copy.
+
+use std::time::Instant;
+
+use dash_bench::{print_table, Scale};
+use dash_common::uniform_keys;
+use pmem::{PmemPool, PoolConfig};
+
+fn pool_file(which: &str, n: usize) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dash-table1-{which}-{n}-{}.pool", std::process::id()));
+    p
+}
+
+/// Load `n` records into a fresh file-backed table, tear down without a
+/// clean shutdown (crash), and time until the reopened table answers its
+/// first search.
+fn recovery_ms(which: &str, n: usize, cost: pmem::CostModel) -> f64 {
+    let path = pool_file(which, n);
+    let pcfg = PoolConfig {
+        size: Scale::pool_bytes(n),
+        shadow: false, // timing run; shadow copying would skew it
+        cost,
+        ..Default::default()
+    };
+    let keys = uniform_keys(n, 0xFACE);
+    let probe = keys[0];
+
+    {
+        let pool = PmemPool::create_file(&path, pcfg).unwrap();
+        match which {
+            "Dash-EH" => {
+                let t =
+                    dash_core::DashEh::<u64>::create(pool.clone(), dash_core::DashConfig::default())
+                        .unwrap();
+                for (i, k) in keys.iter().enumerate() {
+                    t.insert(k, i as u64).unwrap();
+                }
+            }
+            "Dash-LH" => {
+                let t =
+                    dash_core::DashLh::<u64>::create(pool.clone(), dash_core::DashConfig::default())
+                        .unwrap();
+                for (i, k) in keys.iter().enumerate() {
+                    t.insert(k, i as u64).unwrap();
+                }
+            }
+            "CCEH" => {
+                let t =
+                    cceh::Cceh::<u64>::create(pool.clone(), cceh::CcehConfig::default()).unwrap();
+                for (i, k) in keys.iter().enumerate() {
+                    t.insert(k, i as u64).unwrap();
+                }
+            }
+            "Level" => {
+                let t = levelhash::LevelHash::<u64>::create(
+                    pool.clone(),
+                    levelhash::LevelConfig::default(),
+                )
+                .unwrap();
+                for (i, k) in keys.iter().enumerate() {
+                    t.insert(k, i as u64).unwrap();
+                }
+            }
+            _ => unreachable!(),
+        }
+        // Drop without close(): an unclean teardown, like the paper's
+        // process kill. The mapping writes back on unmap.
+    }
+
+    // Time: reopen pool (mmap + constant-work recovery) + open table
+    // (CCEH: directory scan) + first operation serviced.
+    let t0 = Instant::now();
+    let pool2 = PmemPool::open_file(&path, pcfg).unwrap();
+    let first = match which {
+        "Dash-EH" => dash_core::DashEh::<u64>::open(pool2).unwrap().get(&probe),
+        "Dash-LH" => dash_core::DashLh::<u64>::open(pool2).unwrap().get(&probe),
+        "CCEH" => cceh::Cceh::<u64>::open(pool2).unwrap().get(&probe),
+        "Level" => levelhash::LevelHash::<u64>::open(pool2).unwrap().get(&probe),
+        _ => unreachable!(),
+    };
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(first, Some(0), "{which}: first record must be readable after recovery");
+    let _ = std::fs::remove_file(&path);
+    ms
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    // Paper sweeps 40M..1280M records; we sweep a scaled-down range with
+    // the same 2× progression (override base with DASH_BENCH_PRELOAD).
+    let base = scale.preload.max(20_000);
+    let sizes: Vec<usize> = (0..5).map(|i| base << i).collect();
+    println!("# Table 1 — recovery time (ms) vs indexed records");
+    println!("cost model: {:?} (file-backed pools, mmap reopen)", scale.cost);
+
+    let columns: Vec<String> = sizes.iter().map(|n| format!("{}k", n / 1000)).collect();
+    let mut rows = Vec::new();
+    for which in ["Dash-EH", "Dash-LH", "CCEH", "Level"] {
+        let cells: Vec<String> = sizes
+            .iter()
+            .map(|&n| format!("{:.2}", recovery_ms(which, n, scale.cost)))
+            .collect();
+        rows.push((which.to_string(), cells));
+    }
+    print_table("time until first request serviced (ms)", &columns, &rows);
+}

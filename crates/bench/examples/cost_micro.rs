@@ -1,0 +1,38 @@
+//! Microbenchmark of the PM cost model's token-bucket mechanics.
+use pmem::{CostModel, PmemPool, PoolConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn run(name: &str, cost: CostModel) {
+    for threads in [1usize, 24] {
+        let pool = Arc::new(
+            PmemPool::create(PoolConfig { size: 1 << 20, cost, ..Default::default() }).unwrap(),
+        );
+        let n_per = 200_000usize;
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    for _ in 0..n_per {
+                        pool.note_pm_read(64);
+                    }
+                });
+            }
+        });
+        let dt = t0.elapsed();
+        let total = (threads * n_per) as f64;
+        println!(
+            "{name:<14} {threads:>2} thr: {:>7.2} M events/s ({:>6.0} ns/event/thread)",
+            total / dt.as_secs_f64() / 1e6,
+            dt.as_nanos() as f64 * threads as f64 / total
+        );
+    }
+}
+
+fn main() {
+    run("latency-only", CostModel { read_latency_ns: 280, ..CostModel::none() });
+    run("bw-only", CostModel { read_bw_bytes_per_us: 6000, ..CostModel::none() });
+    run("optane", CostModel::optane());
+    run("none", CostModel::none());
+}

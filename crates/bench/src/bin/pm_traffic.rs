@@ -1,0 +1,81 @@
+//! Per-operation PM traffic accounting — the access-count arguments of
+//! the paper (§4.2, §6.5) made directly checkable.
+//!
+//! For each table design and workload this prints PM read events, read
+//! bytes, write (flush) events and write bytes *per operation*, measured
+//! with the cost model disabled so that counts are exact and fast.
+//!
+//! Usage: `cargo run --release -p dash-bench --bin pm_traffic [preload] [ops]`
+
+use dash_bench::{build, preload, TableKind, Workload};
+use dash_common::{negative_keys, uniform_keys};
+use pmem::CostModel;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let pre_n: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(50_000);
+    let ops_n: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(50_000);
+
+    println!("# PM traffic per operation (preload {pre_n}, ops {ops_n}, single thread)");
+    println!(
+        "\n{:<10} {:<12} {:>10} {:>12} {:>10} {:>12} {:>10}",
+        "table", "workload", "reads/op", "rd-bytes/op", "writes/op", "wr-bytes/op", "flush/op"
+    );
+
+    for kind in TableKind::ALL {
+        for wl in [
+            Workload::Insert,
+            Workload::PositiveSearch,
+            Workload::NegativeSearch,
+            Workload::Delete,
+        ] {
+            let inst = build(kind, pre_n + 2 * ops_n, CostModel::none());
+            let pre = uniform_keys(pre_n, 0xA11CE);
+            preload(inst.table.as_ref(), &pre);
+            let fresh = uniform_keys(ops_n, 0xF00D);
+            let neg = negative_keys(ops_n, 0xA11CE);
+            let del = negative_keys(ops_n, 0xDE1E7E);
+            if wl == Workload::Delete {
+                for (i, k) in del.iter().enumerate() {
+                    inst.table.insert(k, i as u64).unwrap();
+                }
+            }
+            let before = inst.pool.stats();
+            match wl {
+                Workload::Insert => {
+                    for (i, k) in fresh.iter().enumerate() {
+                        inst.table.insert(k, i as u64).unwrap();
+                    }
+                }
+                Workload::PositiveSearch => {
+                    for i in 0..ops_n {
+                        assert!(inst.table.get(&pre[i % pre.len()]).is_some());
+                    }
+                }
+                Workload::NegativeSearch => {
+                    for k in &neg {
+                        assert!(inst.table.get(k).is_none());
+                    }
+                }
+                Workload::Delete => {
+                    for k in &del {
+                        assert!(inst.table.remove(k));
+                    }
+                }
+                Workload::Mixed => unreachable!(),
+            }
+            let d = inst.pool.stats().since(&before);
+            let ops = ops_n as f64;
+            println!(
+                "{:<10} {:<12} {:>10.2} {:>12.1} {:>10.2} {:>12.1} {:>10.2}",
+                kind.name(),
+                wl.name(),
+                d.pm_reads as f64 / ops,
+                d.pm_read_bytes as f64 / ops,
+                d.pm_writes as f64 / ops,
+                d.pm_write_bytes as f64 / ops,
+                d.flushes as f64 / ops,
+            );
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! Shared harness for the benchmark suite that regenerates every table
+//! and figure of the Dash paper's evaluation (§6).
+//!
+//! Scale knobs (environment variables):
+//!
+//! * `DASH_BENCH_PRELOAD` — records preloaded before measuring
+//!   (default 100 000; the paper uses 10 M),
+//! * `DASH_BENCH_OPS` — measured operations (default 200 000; the paper
+//!   uses 190 M),
+//! * `DASH_BENCH_THREADS` — comma-separated thread counts (default
+//!   `1,2,4,8,16,24` clipped to the machine),
+//! * `DASH_BENCH_COST` — `optane` (default; latency + shared-bandwidth
+//!   model from `pmem::CostModel::optane()`) or `none` (raw DRAM speed).
+//!
+//! Every harness prints the series the corresponding figure plots, plus
+//! PM traffic per operation so the paper's access-count arguments are
+//! directly checkable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use dash_common::{negative_keys, uniform_keys, PmHashTable};
+use pmem::{CostModel, PmemPool, PoolConfig};
+
+pub use dash_common::{mixed_ops, var_keys, MixedOp, VarKey};
+
+/// Benchmark scale, read from the environment.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    pub preload: usize,
+    pub ops: usize,
+    pub threads: Vec<usize>,
+    pub cost: CostModel,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+impl Scale {
+    pub fn from_env() -> Self {
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+        let threads: Vec<usize> = match std::env::var("DASH_BENCH_THREADS") {
+            Ok(list) => list.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
+            Err(_) => [1, 2, 4, 8, 16, 24].iter().copied().filter(|&t| t <= hw).collect(),
+        };
+        let cost = match std::env::var("DASH_BENCH_COST").as_deref() {
+            Ok("none") => CostModel::none(),
+            Ok("buggy") => CostModel::optane_buggy_kernel(),
+            _ => CostModel::optane(),
+        };
+        Scale {
+            preload: env_usize("DASH_BENCH_PRELOAD", 100_000),
+            ops: env_usize("DASH_BENCH_OPS", 200_000),
+            threads: if threads.is_empty() { vec![1] } else { threads },
+            cost,
+        }
+    }
+
+    /// Pool size comfortably holding `records` across all four designs
+    /// (CCEH's ~40 % load factor is the sizing constraint).
+    pub fn pool_bytes(records: usize) -> usize {
+        (records * 192).next_power_of_two().max(64 << 20)
+    }
+}
+
+/// The four systems under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableKind {
+    DashEh,
+    DashLh,
+    Cceh,
+    Level,
+}
+
+impl TableKind {
+    pub const ALL: [TableKind; 4] =
+        [TableKind::DashEh, TableKind::DashLh, TableKind::Cceh, TableKind::Level];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            TableKind::DashEh => "Dash-EH",
+            TableKind::DashLh => "Dash-LH",
+            TableKind::Cceh => "CCEH",
+            TableKind::Level => "Level",
+        }
+    }
+}
+
+/// A constructed table together with its pool (for stats).
+pub struct Instance {
+    pub pool: Arc<PmemPool>,
+    pub table: Arc<dyn PmHashTable<u64>>,
+    pub kind: TableKind,
+}
+
+/// Build a fresh pool + table of `kind`, sized for `records`.
+pub fn build(kind: TableKind, records: usize, cost: CostModel) -> Instance {
+    let cfg = PoolConfig { size: Scale::pool_bytes(records), cost, ..Default::default() };
+    let pool = PmemPool::create(cfg).expect("pool");
+    let table: Arc<dyn PmHashTable<u64>> = match kind {
+        TableKind::DashEh => Arc::new(
+            dash_core::DashEh::<u64>::create(pool.clone(), dash_core::DashConfig::default())
+                .expect("dash-eh"),
+        ),
+        TableKind::DashLh => Arc::new(
+            dash_core::DashLh::<u64>::create(pool.clone(), dash_core::DashConfig::default())
+                .expect("dash-lh"),
+        ),
+        TableKind::Cceh => Arc::new(
+            cceh::Cceh::<u64>::create(pool.clone(), cceh::CcehConfig::default()).expect("cceh"),
+        ),
+        TableKind::Level => Arc::new(
+            levelhash::LevelHash::<u64>::create(pool.clone(), levelhash::LevelConfig::default())
+                .expect("level"),
+        ),
+    };
+    Instance { pool, table, kind }
+}
+
+/// Build a Dash-EH with an explicit config (ablation benches).
+pub fn build_dash_eh(
+    cfg: dash_core::DashConfig,
+    records: usize,
+    cost: CostModel,
+) -> (Arc<PmemPool>, Arc<dash_core::DashEh<u64>>) {
+    let pcfg = PoolConfig { size: Scale::pool_bytes(records), cost, ..Default::default() };
+    let pool = PmemPool::create(pcfg).expect("pool");
+    let t = Arc::new(dash_core::DashEh::<u64>::create(pool.clone(), cfg).expect("dash-eh"));
+    (pool, t)
+}
+
+/// Build a Dash-LH with an explicit pool configuration (fig. 15's
+/// allocator study needs control over `alloc_mode` and the cost model).
+pub fn build_dash_lh_with(
+    cfg: dash_core::DashConfig,
+    pool_cfg: PoolConfig,
+) -> (Arc<PmemPool>, Arc<dash_core::DashLh<u64>>) {
+    let pool = PmemPool::create(pool_cfg).expect("pool");
+    let t = Arc::new(dash_core::DashLh::<u64>::create(pool.clone(), cfg).expect("dash-lh"));
+    (pool, t)
+}
+
+/// Build a Dash-EH with an explicit pool configuration.
+pub fn build_dash_eh_with(
+    cfg: dash_core::DashConfig,
+    pool_cfg: PoolConfig,
+) -> (Arc<PmemPool>, Arc<dash_core::DashEh<u64>>) {
+    let pool = PmemPool::create(pool_cfg).expect("pool");
+    let t = Arc::new(dash_core::DashEh::<u64>::create(pool.clone(), cfg).expect("dash-eh"));
+    (pool, t)
+}
+
+/// Preload `keys[i] -> i` sequentially.
+pub fn preload(table: &dyn PmHashTable<u64>, keys: &[u64]) {
+    for (i, k) in keys.iter().enumerate() {
+        table.insert(k, i as u64).expect("preload insert");
+    }
+}
+
+/// The operation mixes of §6.3/§6.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    Insert,
+    PositiveSearch,
+    NegativeSearch,
+    Delete,
+    /// 20 % inserts / 80 % searches (fig. 8e).
+    Mixed,
+}
+
+impl Workload {
+    pub const ALL: [Workload; 5] = [
+        Workload::Insert,
+        Workload::PositiveSearch,
+        Workload::NegativeSearch,
+        Workload::Delete,
+        Workload::Mixed,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Insert => "insert",
+            Workload::PositiveSearch => "pos-search",
+            Workload::NegativeSearch => "neg-search",
+            Workload::Delete => "delete",
+            Workload::Mixed => "mixed-20/80",
+        }
+    }
+}
+
+/// Result of one measured cell.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    pub mops: f64,
+    pub pm_reads_per_op: f64,
+    pub pm_writes_per_op: f64,
+    pub flushes_per_op: f64,
+}
+
+/// Run `total_ops` of `workload` over `threads` threads against a fresh
+/// table of `kind` (preloaded with `preload_n` records) and report
+/// throughput + PM traffic.
+pub fn run_cell(
+    kind: TableKind,
+    workload: Workload,
+    preload_n: usize,
+    total_ops: usize,
+    threads: usize,
+    cost: CostModel,
+) -> Cell {
+    // The mixed workload preloads more so searches hit real data (§6.4).
+    // The paper preloads 60 M then runs 190 M ops (38 M inserts → ~63 %
+    // table growth); keep a comparable ops:preload proportion so split
+    // activity amortizes over the run instead of dominating it.
+    let preload_n = if workload == Workload::Mixed { preload_n * 3 / 2 } else { preload_n };
+    let inst = build(kind, preload_n + 2 * total_ops, cost);
+    let pre_keys = Arc::new(uniform_keys(preload_n, 0xA11CE));
+    preload(inst.table.as_ref(), &pre_keys);
+
+    let fresh = Arc::new(uniform_keys(total_ops, 0xF00D));
+    let neg = Arc::new(negative_keys(total_ops, 0xA11CE));
+    // Delete workloads remove keys that were preloaded for the purpose.
+    let delete_keys = if workload == Workload::Delete {
+        let extra = Arc::new(negative_keys(total_ops, 0xDE1E7E));
+        preload(inst.table.as_ref(), &extra);
+        Some(extra)
+    } else {
+        None
+    };
+
+    let table = inst.table.clone();
+    let next = Arc::new(AtomicUsize::new(0));
+    let per = total_ops / threads.max(1);
+    let before = inst.pool.stats();
+
+    let duration = timed_threads(threads, |tid| {
+        let lo = tid * per;
+        let hi = if tid == threads - 1 { total_ops } else { lo + per };
+        match workload {
+            Workload::Insert => {
+                for i in lo..hi {
+                    table.insert(&fresh[i], i as u64).expect("insert");
+                }
+            }
+            Workload::PositiveSearch => {
+                for i in lo..hi {
+                    let k = &pre_keys[i % pre_keys.len()];
+                    assert!(table.get(k).is_some());
+                }
+            }
+            Workload::NegativeSearch => {
+                for i in lo..hi {
+                    assert!(table.get(&neg[i]).is_none());
+                }
+            }
+            Workload::Delete => {
+                let keys = delete_keys.as_ref().expect("delete keys");
+                for i in lo..hi {
+                    assert!(table.remove(&keys[i]), "delete miss at {i}");
+                }
+            }
+            Workload::Mixed => {
+                let ops = mixed_ops(hi - lo, 20, pre_keys.len(), tid as u64 ^ 0x1234);
+                for op in ops {
+                    match op {
+                        MixedOp::Insert(_) => {
+                            let i = next.fetch_add(1, Ordering::Relaxed) % fresh.len();
+                            let _ = table.insert(&fresh[i], 1);
+                        }
+                        MixedOp::Search(i) => {
+                            let _ = table.get(&pre_keys[i]);
+                        }
+                    }
+                }
+            }
+        }
+    });
+    let d = inst.pool.stats().since(&before);
+    cell_from(total_ops, duration, d)
+}
+
+fn cell_from(ops: usize, dur: Duration, d: pmem::StatsSnapshot) -> Cell {
+    let ops_f = ops as f64;
+    Cell {
+        mops: ops_f / dur.as_secs_f64() / 1e6,
+        pm_reads_per_op: d.pm_reads as f64 / ops_f,
+        pm_writes_per_op: d.pm_writes as f64 / ops_f,
+        flushes_per_op: d.flushes as f64 / ops_f,
+    }
+}
+
+/// Time a closure across `threads` threads with a start barrier; returns
+/// wall time from release to last join.
+pub fn timed_threads(threads: usize, f: impl Fn(usize) + Sync) -> Duration {
+    let barrier = Barrier::new(threads + 1);
+    let start = std::thread::scope(|s| {
+        for tid in 0..threads {
+            let barrier = &barrier;
+            let f = &f;
+            s.spawn(move || {
+                barrier.wait();
+                f(tid);
+            });
+        }
+        barrier.wait();
+        Instant::now()
+    });
+    start.elapsed()
+}
+
+/// Pretty-print one figure's data as an aligned series table.
+pub fn print_table(title: &str, columns: &[String], rows: &[(String, Vec<String>)]) {
+    println!("\n### {title}");
+    let mut header = format!("{:<26}", "");
+    for c in columns {
+        header.push_str(&format!("{c:>12}"));
+    }
+    println!("{header}");
+    for (name, cells) in rows {
+        let mut line = format!("{name:<26}");
+        for c in cells {
+            line.push_str(&format!("{c:>12}"));
+        }
+        println!("{line}");
+    }
+}
+
+pub fn fmt_mops(c: Cell) -> String {
+    format!("{:.3}", c.mops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults() {
+        let s = Scale::from_env();
+        assert!(s.preload > 0 && s.ops > 0 && !s.threads.is_empty());
+    }
+
+    #[test]
+    fn pool_sizing_monotone() {
+        assert!(Scale::pool_bytes(1_000_000) >= Scale::pool_bytes(100_000));
+        assert!(Scale::pool_bytes(10) >= 64 << 20);
+    }
+
+    #[test]
+    fn build_all_kinds() {
+        for kind in TableKind::ALL {
+            let inst = build(kind, 1_000, CostModel::none());
+            inst.table.insert(&1, 2).unwrap();
+            assert_eq!(inst.table.get(&1), Some(2));
+            assert!(!inst.kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn run_cell_smoke_each_workload() {
+        for w in Workload::ALL {
+            let c = run_cell(TableKind::DashEh, w, 1_000, 2_000, 2, CostModel::none());
+            assert!(c.mops > 0.0, "{} must make progress", w.name());
+        }
+    }
+
+    #[test]
+    fn timed_threads_runs_all() {
+        let counter = AtomicUsize::new(0);
+        let d = timed_threads(4, |_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+        assert!(d.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! CCEH baseline: Cacheline-Conscious Extendible Hashing (Nam et al.,
+//! FAST 2019), the primary comparator of the Dash paper.
+//!
+//! Faithful to the design the paper evaluates (§2.3, §6.1–6.2):
+//!
+//! * 16 KB segments of 64-byte single-cacheline buckets (4 records each);
+//! * linear probing bounded to **four cachelines** — the short probe
+//!   length that causes premature splits and the 35–43 % load factor of
+//!   fig. 12;
+//! * an MSB-indexed directory of segments with local/global depths;
+//! * no allocation bitmap: an empty slot is the reserved key value 0
+//!   (the restriction the paper calls out in §6.3);
+//! * **pessimistic reader-writer locking** (the paper ports CCEH to PMDK
+//!   rwlocks): every search acquires a read lock — a PM write — which is
+//!   why CCEH's search throughput stops scaling in fig. 8;
+//! * the PM-leak-on-split bug the paper found is fixed the same way the
+//!   authors did: crash-safe allocate–activate via the pool (§6.1);
+//! * recovery scans the whole directory (fixing depths and clearing
+//!   locks), so recovery time grows linearly with data size (Table 1).
+
+mod segment;
+mod table;
+
+pub use table::{Cceh, CcehConfig};

@@ -1,0 +1,318 @@
+//! CCEH segments: a 64-byte header plus `2^bucket_bits` single-cacheline
+//! buckets of four 16-byte records. No fingerprints, no bitmaps — an
+//! empty slot is the reserved key value 0 (§6.3).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use dash_common::Key;
+use pmem::{PmOffset, PmemPool};
+
+pub(crate) const SLOTS_PER_BUCKET: usize = 4;
+pub(crate) const BUCKET_BYTES: usize = 64;
+pub(crate) const HEADER_BYTES: usize = 64;
+/// Reserved "empty slot" key value.
+pub(crate) const EMPTY_KEY: u64 = 0;
+
+pub(crate) const STATE_NORMAL: u32 = 0;
+pub(crate) const STATE_SPLITTING: u32 = 1;
+
+const WRITER_BIT: u32 = 1 << 31;
+
+/// Per-segment header: a reader-writer spinlock (the pessimistic locking
+/// the paper's port uses), depth/pattern for the extendible directory,
+/// and a side link + state for crash-consistent splits (the fix the paper
+/// applied to CCEH's leaky split, §6.1).
+#[repr(C, align(64))]
+pub(crate) struct CcehSegHeader {
+    pub rwlock: AtomicU32,
+    pub state: AtomicU32,
+    pub local_depth: AtomicU32,
+    _pad0: u32,
+    pub pattern: AtomicU64,
+    pub side_link: AtomicU64,
+    _pad1: [u8; 32],
+}
+
+const _HDR: () = assert!(std::mem::size_of::<CcehSegHeader>() == HEADER_BYTES);
+
+#[repr(C)]
+pub(crate) struct CcehSlot {
+    pub key: AtomicU64,
+    pub value: AtomicU64,
+}
+
+#[repr(C, align(64))]
+pub(crate) struct CcehBucket {
+    pub slots: [CcehSlot; SLOTS_PER_BUCKET],
+}
+
+const _BUCKET: () = assert!(std::mem::size_of::<CcehBucket>() == BUCKET_BYTES);
+
+impl CcehSegHeader {
+    /// Acquire a read lock; the CAS dirties a PM cacheline every time —
+    /// the write traffic that keeps CCEH searches from scaling (§6.7).
+    pub fn read_lock(&self, pool: &PmemPool) {
+        loop {
+            let v = self.rwlock.load(Ordering::Acquire);
+            if v & WRITER_BIT == 0
+                && self
+                    .rwlock
+                    .compare_exchange_weak(v, v + 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                pool.note_pm_write(64);
+                return;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    pub fn read_unlock(&self, pool: &PmemPool) {
+        self.rwlock.fetch_sub(1, Ordering::Release);
+        pool.note_pm_write(64);
+    }
+
+    pub fn write_lock(&self, pool: &PmemPool) {
+        loop {
+            if self
+                .rwlock
+                .compare_exchange_weak(0, WRITER_BIT, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                pool.note_pm_write(64);
+                return;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    pub fn write_unlock(&self, pool: &PmemPool) {
+        self.rwlock.store(0, Ordering::Release);
+        pool.note_pm_write(64);
+    }
+
+    pub fn force_clear_lock(&self) {
+        self.rwlock.store(0, Ordering::Release);
+    }
+}
+
+/// Runtime view of one CCEH segment.
+#[derive(Clone, Copy)]
+pub(crate) struct CcehSegView<'a> {
+    pub pool: &'a PmemPool,
+    pub off: PmOffset,
+    pub bucket_bits: u32,
+}
+
+impl<'a> CcehSegView<'a> {
+    pub fn new(pool: &'a PmemPool, off: PmOffset, bucket_bits: u32) -> Self {
+        CcehSegView { pool, off, bucket_bits }
+    }
+
+    #[inline]
+    pub fn buckets(&self) -> usize {
+        1usize << self.bucket_bits
+    }
+
+    pub fn bytes(bucket_bits: u32) -> usize {
+        HEADER_BYTES + (1usize << bucket_bits) * BUCKET_BYTES
+    }
+
+    #[inline]
+    pub fn header(&self) -> &'a CcehSegHeader {
+        // SAFETY: `off` designates a live CCEH segment.
+        unsafe { self.pool.at_ref::<CcehSegHeader>(self.off) }
+    }
+
+    #[inline]
+    pub fn bucket(&self, i: usize) -> &'a CcehBucket {
+        debug_assert!(i < self.buckets());
+        // SAFETY: bucket i lies within the segment.
+        unsafe {
+            self.pool
+                .at_ref::<CcehBucket>(self.off.add((HEADER_BYTES + i * BUCKET_BYTES) as u64))
+        }
+    }
+
+    fn slot_off(&self, bucket: usize, slot: usize) -> PmOffset {
+        self.off.add((HEADER_BYTES + bucket * BUCKET_BYTES + slot * 16) as u64)
+    }
+
+    pub fn init(&self, local_depth: u32, pattern: u64, side_link: PmOffset) {
+        self.pool.zero(self.off, Self::bytes(self.bucket_bits));
+        let h = self.header();
+        h.local_depth.store(local_depth, Ordering::Relaxed);
+        h.pattern.store(pattern, Ordering::Relaxed);
+        h.side_link.store(side_link.get(), Ordering::Relaxed);
+        h.state.store(STATE_NORMAL, Ordering::Relaxed);
+        self.pool.flush(self.off, Self::bytes(self.bucket_bits));
+        self.pool.fence();
+    }
+
+    #[inline]
+    pub fn bucket_index(&self, h: u64) -> usize {
+        (h as usize) & (self.buckets() - 1)
+    }
+
+    /// Probe up to `probe` consecutive cachelines for `key` (bounded
+    /// linear probing, §2.3). One metered PM read per cacheline touched.
+    pub fn search<K: Key>(&self, h: u64, key: &K, probe: u32) -> Option<(usize, usize, u64)> {
+        let y = self.bucket_index(h);
+        let mask = self.buckets() - 1;
+        for d in 0..probe as usize {
+            let b = (y + d) & mask;
+            let bucket = self.bucket(b);
+            self.pool.note_pm_read(BUCKET_BYTES);
+            for (s, slot) in bucket.slots.iter().enumerate() {
+                let stored = slot.key.load(Ordering::Acquire);
+                if stored != EMPTY_KEY && key.matches(self.pool, stored) {
+                    return Some((b, s, slot.value.load(Ordering::Acquire)));
+                }
+            }
+        }
+        None
+    }
+
+    /// Insert into the first free slot within the probe window. Returns
+    /// false when the window is full (the caller splits — CCEH's
+    /// premature-split behaviour). Persistence: value first, then the key
+    /// as the commit point.
+    pub fn insert(&self, h: u64, key_repr: u64, value: u64, probe: u32) -> bool {
+        debug_assert_ne!(key_repr, EMPTY_KEY, "key repr 0 is the empty marker");
+        let y = self.bucket_index(h);
+        let mask = self.buckets() - 1;
+        for d in 0..probe as usize {
+            let b = (y + d) & mask;
+            let bucket = self.bucket(b);
+            self.pool.note_pm_read(BUCKET_BYTES);
+            for (s, slot) in bucket.slots.iter().enumerate() {
+                if slot.key.load(Ordering::Acquire) == EMPTY_KEY {
+                    slot.value.store(value, Ordering::Relaxed);
+                    self.pool.flush(self.slot_off(b, s).add(8), 8);
+                    self.pool.fence();
+                    slot.key.store(key_repr, Ordering::Release);
+                    self.pool.flush(self.slot_off(b, s), 8);
+                    self.pool.fence();
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Delete: reset the key word to the empty marker (8-byte atomic).
+    pub fn delete(&self, bucket: usize, slot: usize) {
+        let b = self.bucket(bucket);
+        b.slots[slot].key.store(EMPTY_KEY, Ordering::Release);
+        self.pool.persist(self.slot_off(bucket, slot), 8);
+    }
+
+    pub fn update(&self, bucket: usize, slot: usize, value: u64) {
+        let b = self.bucket(bucket);
+        b.slots[slot].value.store(value, Ordering::Release);
+        self.pool.persist(self.slot_off(bucket, slot).add(8), 8);
+    }
+
+    pub fn for_each_record(&self, mut f: impl FnMut(usize, usize, u64, u64)) {
+        for b in 0..self.buckets() {
+            let bucket = self.bucket(b);
+            for (s, slot) in bucket.slots.iter().enumerate() {
+                let k = slot.key.load(Ordering::Acquire);
+                if k != EMPTY_KEY {
+                    f(b, s, k, slot.value.load(Ordering::Acquire));
+                }
+            }
+        }
+    }
+
+    pub fn count_records(&self) -> u64 {
+        let mut n = 0;
+        self.for_each_record(|_, _, _, _| n += 1);
+        n
+    }
+
+    pub fn capacity_slots(&self) -> u64 {
+        (self.buckets() * SLOTS_PER_BUCKET) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PoolConfig;
+    use std::sync::Arc;
+
+    fn setup(bits: u32) -> (Arc<PmemPool>, CcehSegView<'static>) {
+        let pool = PmemPool::create(PoolConfig::with_size(4 << 20)).unwrap();
+        let off = pool.alloc_zeroed(CcehSegView::bytes(bits)).unwrap();
+        let pool_ref: &'static PmemPool = Box::leak(Box::new(pool.clone()));
+        let view = CcehSegView::new(pool_ref, off, bits);
+        view.init(0, 0, PmOffset::NULL);
+        (pool, view)
+    }
+
+    #[test]
+    fn geometry() {
+        assert_eq!(CcehSegView::bytes(8), 64 + 256 * 64); // 16 KB + header
+    }
+
+    #[test]
+    fn insert_search_delete() {
+        let (_pool, view) = setup(4);
+        let key = 42u64;
+        let h = dash_common::hash_u64(key);
+        assert!(view.insert(h, key, 420, 4));
+        let (b, s, v) = view.search(h, &key, 4).unwrap();
+        assert_eq!(v, 420);
+        view.update(b, s, 421);
+        assert_eq!(view.search(h, &key, 4).unwrap().2, 421);
+        view.delete(b, s);
+        assert!(view.search(h, &key, 4).is_none());
+    }
+
+    #[test]
+    fn probe_window_bounds_inserts() {
+        let (_pool, view) = setup(4);
+        // Saturate one probe window: 4 buckets × 4 slots = 16 records all
+        // hashing to the same bucket index.
+        let mut placed = 0;
+        for i in 1..=100u64 {
+            let h = 0u64; // all map to bucket 0
+            if view.insert(h, i, i, 4) {
+                placed += 1;
+            } else {
+                break;
+            }
+        }
+        assert_eq!(placed, 16, "window of 4 cachelines × 4 slots");
+    }
+
+    #[test]
+    fn rwlock_counts_pm_writes() {
+        let (pool, view) = setup(4);
+        let before = pool.stats();
+        view.header().read_lock(&pool);
+        view.header().read_unlock(&pool);
+        view.header().write_lock(&pool);
+        view.header().write_unlock(&pool);
+        assert_eq!(pool.stats().since(&before).pm_writes, 4);
+    }
+
+    #[test]
+    fn crash_before_key_commit_leaves_slot_empty() {
+        let cfg = PoolConfig { size: 4 << 20, shadow: true, ..Default::default() };
+        let pool = PmemPool::create(cfg).unwrap();
+        let off = pool.alloc_zeroed(CcehSegView::bytes(4)).unwrap();
+        let view = CcehSegView::new(&pool, off, 4);
+        view.init(0, 0, PmOffset::NULL);
+        let base = pool.flushes_issued();
+        pool.set_flush_limit(Some(base + 1)); // value flush lands, key flush dropped
+        assert!(view.insert(7, 99, 990, 4));
+        pool.set_flush_limit(None);
+        let img = pool.crash_image();
+        let pool2 = PmemPool::open(img, cfg).unwrap();
+        let view2 = CcehSegView::new(&pool2, off, 4);
+        assert!(view2.search(7, &99u64, 4).is_none(), "uncommitted insert invisible");
+        assert_eq!(view2.count_records(), 0);
+    }
+}

@@ -1,0 +1,637 @@
+//! The CCEH table: MSB-indexed directory over segments, bounded-probe
+//! inserts, split-heavy growth, pessimistic locking, and the full
+//! directory scan on recovery that makes CCEH's restart time linear in
+//! data size (Table 1 of the Dash paper).
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dash_common::{Key, PmHashTable, TableError, TableResult};
+use parking_lot::Mutex;
+use pmem::{PmOffset, PmemPool};
+
+use crate::segment::{CcehSegView, EMPTY_KEY, STATE_NORMAL, STATE_SPLITTING};
+
+const CCEH_MAGIC: u64 = 0xCCE4_0001_0000_0001;
+const MAX_DEPTH: u32 = 24;
+
+/// CCEH parameters; the defaults are the paper's (§6.2): 16 KB segments
+/// of 64-byte buckets, probing bounded to four cachelines.
+#[derive(Debug, Clone, Copy)]
+pub struct CcehConfig {
+    /// log2(buckets per segment); 8 → 256 × 64 B = 16 KB.
+    pub bucket_bits: u32,
+    /// Linear-probe bound in cachelines (buckets).
+    pub probe_cachelines: u32,
+    /// Initial global depth.
+    pub initial_depth: u32,
+}
+
+impl Default for CcehConfig {
+    fn default() -> Self {
+        CcehConfig { bucket_bits: 8, probe_cachelines: 4, initial_depth: 2 }
+    }
+}
+
+impl CcehConfig {
+    fn to_flags(self) -> u64 {
+        u64::from(self.bucket_bits)
+            | (u64::from(self.probe_cachelines) << 8)
+            | (u64::from(self.initial_depth) << 16)
+    }
+
+    fn from_flags(f: u64) -> Self {
+        CcehConfig {
+            bucket_bits: (f & 0xFF) as u32,
+            probe_cachelines: ((f >> 8) & 0xFF) as u32,
+            initial_depth: ((f >> 16) & 0xFF) as u32,
+        }
+    }
+}
+
+#[repr(C)]
+struct CcehRoot {
+    magic: AtomicU64,
+    flags: AtomicU64,
+    directory: AtomicU64,
+}
+
+/// Cacheline-conscious extendible hashing over the emulated PM pool.
+pub struct Cceh<K: Key = u64> {
+    pool: Arc<PmemPool>,
+    root: PmOffset,
+    cfg: CcehConfig,
+    dir_lock: Mutex<()>,
+    _k: PhantomData<fn(K) -> K>,
+}
+
+impl<K: Key> Cceh<K> {
+    pub fn create(pool: Arc<PmemPool>, cfg: CcehConfig) -> TableResult<Self> {
+        if cfg.bucket_bits > 12 || cfg.probe_cachelines == 0 || cfg.initial_depth > 16 {
+            return Err(TableError::Pm(pmem::PmError::InvalidConfig("cceh config")));
+        }
+        let root = pool.alloc_zeroed(std::mem::size_of::<CcehRoot>())?;
+        let depth = cfg.initial_depth;
+        let len = 1usize << depth;
+        let dir = pool.alloc_zeroed(8 + 8 * len)?;
+        // SAFETY: fresh directory block.
+        unsafe { (*pool.at::<AtomicU64>(dir)).store(depth as u64, Ordering::Relaxed) };
+        for i in 0..len {
+            let seg = pool.alloc(CcehSegView::bytes(cfg.bucket_bits))?;
+            CcehSegView::new(&pool, seg, cfg.bucket_bits).init(depth, i as u64, PmOffset::NULL);
+            // SAFETY: entry i of the fresh directory.
+            unsafe {
+                (*pool.at::<AtomicU64>(dir.add(8 + 8 * i as u64))).store(seg.get(), Ordering::Relaxed)
+            };
+        }
+        pool.persist(dir, 8 + 8 * len);
+        // SAFETY: fresh root block.
+        let rootref = unsafe { pool.at_ref::<CcehRoot>(root) };
+        rootref.magic.store(CCEH_MAGIC, Ordering::Relaxed);
+        rootref.flags.store(cfg.to_flags(), Ordering::Relaxed);
+        rootref.directory.store(dir.get(), Ordering::Relaxed);
+        pool.persist(root, std::mem::size_of::<CcehRoot>());
+        pool.set_root(root);
+        Ok(Cceh { pool, root, cfg, dir_lock: Mutex::new(()), _k: PhantomData })
+    }
+
+    /// Reopen after a restart. **Not** instant: CCEH recovery walks the
+    /// entire directory — clearing locks, validating depths and finishing
+    /// interrupted splits — so the work grows with the number of
+    /// segments (Table 1).
+    pub fn open(pool: Arc<PmemPool>) -> TableResult<Self> {
+        let root = pool.root();
+        if root.is_null() {
+            return Err(TableError::Pm(pmem::PmError::PoolCorrupt("no root object")));
+        }
+        // SAFETY: root published by create().
+        let rootref = unsafe { pool.at_ref::<CcehRoot>(root) };
+        if rootref.magic.load(Ordering::Relaxed) != CCEH_MAGIC {
+            return Err(TableError::Pm(pmem::PmError::PoolCorrupt("not a CCEH root")));
+        }
+        let cfg = CcehConfig::from_flags(rootref.flags.load(Ordering::Relaxed));
+        let table = Cceh { pool, root, cfg, dir_lock: Mutex::new(()), _k: PhantomData };
+        table.recover_directory_scan();
+        Ok(table)
+    }
+
+    /// The linear-time recovery pass (Table 1): touch every directory
+    /// entry and every distinct segment header.
+    fn recover_directory_scan(&self) {
+        let dir = self.dir_off();
+        let len = 1usize << self.dir_depth(dir);
+        let mut last = PmOffset::NULL;
+        for i in 0..len {
+            // Each entry is a PM read; each new segment header another.
+            self.pool.note_pm_read(8);
+            let seg = PmOffset::new(self.dir_entry(dir, i).load(Ordering::Relaxed));
+            if seg == last {
+                continue;
+            }
+            last = seg;
+            let view = self.view(seg);
+            self.pool.note_pm_read(64);
+            view.header().force_clear_lock();
+            if view.header().state.load(Ordering::Relaxed) == STATE_SPLITTING {
+                self.finish_split_recovery(view);
+            }
+        }
+    }
+
+    fn view(&self, seg: PmOffset) -> CcehSegView<'_> {
+        CcehSegView::new(&self.pool, seg, self.cfg.bucket_bits)
+    }
+
+    fn rootref(&self) -> &CcehRoot {
+        // SAFETY: validated at create/open.
+        unsafe { self.pool.at_ref::<CcehRoot>(self.root) }
+    }
+
+    #[inline]
+    fn dir_off(&self) -> PmOffset {
+        PmOffset::new(self.rootref().directory.load(Ordering::Acquire))
+    }
+
+    #[inline]
+    fn dir_depth(&self, dir: PmOffset) -> u32 {
+        // SAFETY: directory starts with its depth word.
+        unsafe { (*self.pool.at::<AtomicU64>(dir)).load(Ordering::Acquire) as u32 }
+    }
+
+    #[inline]
+    fn dir_entry(&self, dir: PmOffset, idx: usize) -> &AtomicU64 {
+        // SAFETY: idx < 2^depth.
+        unsafe { self.pool.at_ref::<AtomicU64>(dir.add(8 + 8 * idx as u64)) }
+    }
+
+    #[inline]
+    fn seg_index(h: u64, depth: u32) -> usize {
+        if depth == 0 {
+            0
+        } else {
+            (h >> (64 - depth)) as usize
+        }
+    }
+
+    fn locate(&self, h: u64) -> PmOffset {
+        let dir = self.dir_off();
+        let depth = self.dir_depth(dir);
+        PmOffset::new(self.dir_entry(dir, Self::seg_index(h, depth)).load(Ordering::Acquire))
+    }
+
+    fn for_each_segment(&self, mut f: impl FnMut(PmOffset)) {
+        let dir = self.dir_off();
+        let len = 1usize << self.dir_depth(dir);
+        let mut last = PmOffset::NULL;
+        for i in 0..len {
+            let s = PmOffset::new(self.dir_entry(dir, i).load(Ordering::Acquire));
+            if s != last {
+                f(s);
+                last = s;
+            }
+        }
+    }
+
+    // ---- operations -------------------------------------------------------
+
+    pub fn get(&self, key: &K) -> Option<u64> {
+        let h = key.hash64();
+        let _g = self.pool.epoch().pin();
+        loop {
+            let seg = self.locate(h);
+            let view = self.view(seg);
+            let hdr = view.header();
+            hdr.read_lock(&self.pool);
+            if self.locate(h) != seg {
+                hdr.read_unlock(&self.pool);
+                continue;
+            }
+            let r = view.search(h, key, self.cfg.probe_cachelines).map(|(_, _, v)| v);
+            hdr.read_unlock(&self.pool);
+            return r;
+        }
+    }
+
+    pub fn insert(&self, key: &K, value: u64) -> TableResult<()> {
+        let h = key.hash64();
+        let _g = self.pool.epoch().pin();
+        let key_repr = key.encode(&self.pool)?;
+        if key_repr == EMPTY_KEY {
+            // CCEH's reserved-value restriction (§6.3).
+            return Err(TableError::Pm(pmem::PmError::InvalidConfig(
+                "CCEH cannot store a key whose representation is 0",
+            )));
+        }
+        loop {
+            let seg = self.locate(h);
+            let view = self.view(seg);
+            let hdr = view.header();
+            hdr.write_lock(&self.pool);
+            if self.locate(h) != seg {
+                hdr.write_unlock(&self.pool);
+                continue;
+            }
+            if view.search(h, key, self.cfg.probe_cachelines).is_some() {
+                hdr.write_unlock(&self.pool);
+                if !K::INLINE {
+                    K::release(&self.pool, key_repr);
+                }
+                return Err(TableError::Duplicate);
+            }
+            if view.insert(h, key_repr, value, self.cfg.probe_cachelines) {
+                hdr.write_unlock(&self.pool);
+                return Ok(());
+            }
+            // Probe window full: premature split (§2.3).
+            let r = self.split(view);
+            hdr.write_unlock(&self.pool);
+            r?;
+        }
+    }
+
+    pub fn update(&self, key: &K, value: u64) -> bool {
+        let h = key.hash64();
+        let _g = self.pool.epoch().pin();
+        loop {
+            let seg = self.locate(h);
+            let view = self.view(seg);
+            let hdr = view.header();
+            hdr.write_lock(&self.pool);
+            if self.locate(h) != seg {
+                hdr.write_unlock(&self.pool);
+                continue;
+            }
+            let r = view.search(h, key, self.cfg.probe_cachelines);
+            if let Some((b, s, _)) = r {
+                view.update(b, s, value);
+            }
+            hdr.write_unlock(&self.pool);
+            return r.is_some();
+        }
+    }
+
+    pub fn remove(&self, key: &K) -> bool {
+        let h = key.hash64();
+        let _g = self.pool.epoch().pin();
+        loop {
+            let seg = self.locate(h);
+            let view = self.view(seg);
+            let hdr = view.header();
+            hdr.write_lock(&self.pool);
+            if self.locate(h) != seg {
+                hdr.write_unlock(&self.pool);
+                continue;
+            }
+            let r = view.search(h, key, self.cfg.probe_cachelines);
+            if let Some((b, s, _)) = r {
+                let repr = view.bucket(b).slots[s].key.load(Ordering::Acquire);
+                view.delete(b, s);
+                if !K::INLINE {
+                    K::release(&self.pool, repr);
+                }
+            }
+            hdr.write_unlock(&self.pool);
+            return r.is_some();
+        }
+    }
+
+    // ---- split (caller holds the segment write lock) ----------------------
+
+    fn split(&self, s: CcehSegView<'_>) -> TableResult<()> {
+        let sh = s.header();
+        let l = sh.local_depth.load(Ordering::Acquire);
+        let dir = self.dir_off();
+        if l == self.dir_depth(dir) {
+            self.double_directory(l)?;
+        }
+
+        sh.state.store(STATE_SPLITTING, Ordering::Release);
+        self.pool.persist(self.pool.offset_of(&sh.state), 4);
+
+        let side_slot = self.pool.offset_of(&sh.side_link);
+        let ticket = match self.pool.prepare_alloc(CcehSegView::bytes(self.cfg.bucket_bits), side_slot)
+        {
+            Ok(t) => t,
+            Err(e) => {
+                sh.state.store(STATE_NORMAL, Ordering::Release);
+                self.pool.persist(self.pool.offset_of(&sh.state), 4);
+                return Err(e.into());
+            }
+        };
+        let n_off = ticket.block;
+        let n = self.view(n_off);
+        let pattern = sh.pattern.load(Ordering::Acquire);
+        n.init(l + 1, (pattern << 1) | 1, PmOffset::NULL);
+        self.pool.commit_alloc(ticket);
+
+        self.rehash_into(s, n)?;
+        self.finish_split(s, n);
+        Ok(())
+    }
+
+    fn rehash_into(&self, s: CcehSegView<'_>, n: CcehSegView<'_>) -> TableResult<()> {
+        let new_depth = n.header().local_depth.load(Ordering::Acquire);
+        let mut to_move = Vec::new();
+        s.for_each_record(|b, slot, k, v| {
+            let kh = K::hash_stored(&self.pool, k);
+            if (kh >> (64 - new_depth)) & 1 == 1 {
+                to_move.push((b, slot, k, v, kh));
+            }
+        });
+        let redo = n.count_records() > 0;
+        for (b, slot, k, v, kh) in to_move {
+            if redo {
+                let mut exists = false;
+                n.for_each_record(|_, _, kr, _| {
+                    if kr == k {
+                        exists = true;
+                    }
+                });
+                if exists {
+                    s.delete(b, slot);
+                    continue;
+                }
+            }
+            if !n.insert(kh, k, v, self.cfg.probe_cachelines) {
+                // Astronomically unlikely (half-empty target); bail out
+                // rather than lose the record.
+                return Err(TableError::CapacityExhausted);
+            }
+            s.delete(b, slot);
+        }
+        Ok(())
+    }
+
+    fn finish_split(&self, s: CcehSegView<'_>, n: CcehSegView<'_>) {
+        let _dl = self.dir_lock.lock();
+        let dir = self.dir_off();
+        let g = self.dir_depth(dir);
+        let sh = s.header();
+        let nh = n.header();
+        let new_l = nh.local_depth.load(Ordering::Acquire);
+        let pattern_n = nh.pattern.load(Ordering::Acquire);
+        let span = 1usize << (g - new_l);
+        let start = (pattern_n as usize) << (g - new_l);
+        for i in start..start + span {
+            self.dir_entry(dir, i).store(n.off.get(), Ordering::Release);
+        }
+        self.pool.persist(dir.add(8 + 8 * start as u64), 8 * span);
+        sh.local_depth.store(new_l, Ordering::Release);
+        sh.pattern.store(pattern_n & !1, Ordering::Release);
+        self.pool.persist(s.off, 64);
+        sh.state.store(STATE_NORMAL, Ordering::Release);
+        self.pool.persist(s.off, 64);
+    }
+
+    /// Recovery-time completion of an interrupted split, found by the
+    /// directory scan.
+    fn finish_split_recovery(&self, s: CcehSegView<'_>) {
+        let sh = s.header();
+        let n_off = PmOffset::new(sh.side_link.load(Ordering::Acquire));
+        if n_off.is_null() {
+            sh.state.store(STATE_NORMAL, Ordering::Release);
+            self.pool.persist(self.pool.offset_of(&sh.state), 4);
+            return;
+        }
+        let n = self.view(n_off);
+        let valid = n.header().local_depth.load(Ordering::Acquire)
+            == sh.local_depth.load(Ordering::Acquire) + 1;
+        if valid && self.rehash_into(s, n).is_ok() {
+            self.finish_split(s, n);
+        } else {
+            sh.state.store(STATE_NORMAL, Ordering::Release);
+            self.pool.persist(self.pool.offset_of(&sh.state), 4);
+        }
+    }
+
+    fn double_directory(&self, seen_depth: u32) -> TableResult<()> {
+        let _dl = self.dir_lock.lock();
+        let dir = self.dir_off();
+        let depth = self.dir_depth(dir);
+        if depth > seen_depth {
+            return Ok(());
+        }
+        if depth >= MAX_DEPTH {
+            return Err(TableError::CapacityExhausted);
+        }
+        let old_len = 1usize << depth;
+        let new_len = old_len * 2;
+        let dir_slot = self.pool.offset_of(&self.rootref().directory);
+        let ticket = self.pool.prepare_alloc(8 + 8 * new_len, dir_slot)?;
+        let new_dir = ticket.block;
+        // SAFETY: fresh directory block.
+        unsafe { (*self.pool.at::<AtomicU64>(new_dir)).store(depth as u64 + 1, Ordering::Relaxed) };
+        for i in 0..old_len {
+            let e = self.dir_entry(dir, i).load(Ordering::Acquire);
+            for j in [2 * i, 2 * i + 1] {
+                // SAFETY: entry j of the fresh directory.
+                unsafe {
+                    (*self.pool.at::<AtomicU64>(new_dir.add(8 + 8 * j as u64)))
+                        .store(e, Ordering::Relaxed)
+                };
+            }
+        }
+        self.pool.persist(new_dir, 8 + 8 * new_len);
+        self.pool.commit_alloc(ticket);
+        self.pool.defer_free(dir, 8 + 8 * old_len);
+        Ok(())
+    }
+
+    // ---- introspection ------------------------------------------------------
+
+    pub fn global_depth(&self) -> u32 {
+        self.dir_depth(self.dir_off())
+    }
+
+    pub fn segment_count(&self) -> usize {
+        let mut n = 0;
+        self.for_each_segment(|_| n += 1);
+        n
+    }
+
+    fn scan_totals(&self) -> (u64, u64) {
+        let mut records = 0;
+        let mut slots = 0;
+        self.for_each_segment(|seg| {
+            let view = self.view(seg);
+            records += view.count_records();
+            slots += view.capacity_slots();
+        });
+        (records, slots)
+    }
+
+    pub fn pool(&self) -> &Arc<PmemPool> {
+        &self.pool
+    }
+}
+
+impl<K: Key> PmHashTable<K> for Cceh<K> {
+    fn get(&self, key: &K) -> Option<u64> {
+        Cceh::get(self, key)
+    }
+
+    fn insert(&self, key: &K, value: u64) -> TableResult<()> {
+        Cceh::insert(self, key, value)
+    }
+
+    fn update(&self, key: &K, value: u64) -> bool {
+        Cceh::update(self, key, value)
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        Cceh::remove(self, key)
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        self.scan_totals().1
+    }
+
+    fn len_scan(&self) -> u64 {
+        self.scan_totals().0
+    }
+
+    fn name(&self) -> &'static str {
+        "CCEH"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dash_common::{negative_keys, uniform_keys, VarKey};
+    use pmem::PoolConfig;
+
+    fn new_table(pool_mb: usize, cfg: CcehConfig) -> Cceh<u64> {
+        let pool = PmemPool::create(PoolConfig::with_size(pool_mb << 20)).unwrap();
+        Cceh::create(pool, cfg).unwrap()
+    }
+
+    fn small() -> CcehConfig {
+        CcehConfig { bucket_bits: 4, initial_depth: 1, ..Default::default() }
+    }
+
+    #[test]
+    fn basic_crud() {
+        let t = new_table(16, CcehConfig::default());
+        t.insert(&5, 50).unwrap();
+        assert_eq!(t.get(&5), Some(50));
+        assert!(matches!(t.insert(&5, 51), Err(TableError::Duplicate)));
+        assert!(t.update(&5, 52));
+        assert_eq!(t.get(&5), Some(52));
+        assert!(t.remove(&5));
+        assert_eq!(t.get(&5), None);
+    }
+
+    #[test]
+    fn grows_with_splits() {
+        let t = new_table(64, small());
+        let keys = uniform_keys(20_000, 1);
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(k, i as u64).unwrap();
+        }
+        assert!(t.segment_count() > 2);
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(t.get(k), Some(i as u64), "key {i}");
+        }
+        for k in negative_keys(5_000, 1) {
+            assert_eq!(t.get(&k), None);
+        }
+    }
+
+    #[test]
+    fn load_factor_is_low_as_in_paper() {
+        // Fig. 12: CCEH oscillates between ~35 % and ~43 %.
+        let t = new_table(128, CcehConfig::default());
+        let keys = uniform_keys(60_000, 3);
+        for k in &keys {
+            t.insert(k, 1).unwrap();
+        }
+        let lf = t.load_factor();
+        assert!(
+            (0.25..0.60).contains(&lf),
+            "CCEH load factor should sit in the paper's band, got {lf}"
+        );
+    }
+
+    #[test]
+    fn var_keys_supported() {
+        let pool = PmemPool::create(PoolConfig::with_size(64 << 20)).unwrap();
+        let t: Cceh<VarKey> = Cceh::create(pool, small()).unwrap();
+        let keys = dash_common::var_keys(3_000, 5, 16);
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(k, i as u64).unwrap();
+        }
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(t.get(k), Some(i as u64));
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_ops() {
+        let t = std::sync::Arc::new(new_table(128, CcehConfig::default()));
+        let keys = std::sync::Arc::new(uniform_keys(16_000, 9));
+        let threads = 8;
+        let per = keys.len() / threads;
+        crossbeam::scope(|s| {
+            for tid in 0..threads {
+                let t = t.clone();
+                let keys = keys.clone();
+                s.spawn(move |_| {
+                    for i in tid * per..(tid + 1) * per {
+                        t.insert(&keys[i], i as u64).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(t.get(k), Some(i as u64));
+        }
+    }
+
+    #[test]
+    fn crash_reopen_scans_directory() {
+        let cfg = PoolConfig { size: 64 << 20, shadow: true, ..Default::default() };
+        let pool = PmemPool::create(cfg).unwrap();
+        let t: Cceh<u64> = Cceh::create(pool.clone(), small()).unwrap();
+        let keys = uniform_keys(8_000, 13);
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(k, i as u64).unwrap();
+        }
+        let img = pool.crash_image();
+        drop(t);
+        let pool2 = PmemPool::open(img, cfg).unwrap();
+        let before = pool2.stats();
+        let t2: Cceh<u64> = Cceh::open(pool2.clone()).unwrap();
+        let scan_reads = pool2.stats().since(&before).pm_reads;
+        assert!(
+            scan_reads as usize >= t2.segment_count(),
+            "recovery must touch every segment"
+        );
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(t2.get(k), Some(i as u64), "key {i} lost");
+        }
+    }
+
+    #[test]
+    fn recovery_reads_scale_with_data_size() {
+        // Table 1's shape: more data → more segments → more recovery work.
+        let mut reads = Vec::new();
+        for n in [2_000usize, 8_000] {
+            let cfg = PoolConfig { size: 128 << 20, shadow: true, ..Default::default() };
+            let pool = PmemPool::create(cfg).unwrap();
+            let t: Cceh<u64> = Cceh::create(pool.clone(), small()).unwrap();
+            for (i, k) in uniform_keys(n, 7).iter().enumerate() {
+                t.insert(k, i as u64).unwrap();
+            }
+            let img = pool.crash_image();
+            drop(t);
+            let pool2 = PmemPool::open(img, cfg).unwrap();
+            let before = pool2.stats();
+            let _t2: Cceh<u64> = Cceh::open(pool2.clone()).unwrap();
+            reads.push(pool2.stats().since(&before).pm_reads);
+        }
+        assert!(reads[1] > reads[0] * 2, "recovery work must grow with data: {reads:?}");
+    }
+}

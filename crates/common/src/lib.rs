@@ -1,0 +1,17 @@
+//! Shared infrastructure for the Dash reproduction: the hash function, key
+//! encodings (inline 8-byte and pooled variable-length keys, §4.5), the
+//! [`PmHashTable`] trait implemented by all four hash tables (Dash-EH,
+//! Dash-LH, CCEH, Level Hashing) and workload generators for the paper's
+//! micro-benchmarks (§6.2).
+
+mod hash;
+mod key;
+mod table;
+mod workload;
+
+pub use hash::{hash64, hash64_seed, hash_u64};
+pub use key::{Key, VarKey, MAX_KEY_LEN};
+pub use table::{PmHashTable, TableError, TableResult};
+pub use workload::{
+    mixed_ops, negative_keys, uniform_keys, var_keys, MixedOp, ZipfGenerator,
+};

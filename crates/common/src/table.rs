@@ -1,0 +1,71 @@
+use std::fmt;
+
+use crate::key::Key;
+
+/// Errors common to all hash tables in the reproduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// The key is already present (inserts perform a uniqueness check).
+    Duplicate,
+    /// The substrate ran out of pool space.
+    Pm(pmem::PmError),
+    /// The table cannot grow further (directory limit reached).
+    CapacityExhausted,
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::Duplicate => write!(f, "key already exists"),
+            TableError::Pm(e) => write!(f, "persistent memory error: {e}"),
+            TableError::CapacityExhausted => write!(f, "table capacity exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl From<pmem::PmError> for TableError {
+    fn from(e: pmem::PmError) -> Self {
+        TableError::Pm(e)
+    }
+}
+
+pub type TableResult<T> = Result<T, TableError>;
+
+/// The operation surface shared by Dash-EH, Dash-LH, CCEH and Level
+/// Hashing; the benchmark harnesses and integration tests drive every
+/// table through this trait so comparisons exercise identical code paths.
+pub trait PmHashTable<K: Key>: Send + Sync {
+    /// Lookup; `None` when absent (negative search).
+    fn get(&self, key: &K) -> Option<u64>;
+
+    /// Insert a new record; fails with [`TableError::Duplicate`] when the
+    /// key exists.
+    fn insert(&self, key: &K, value: u64) -> TableResult<()>;
+
+    /// Overwrite the value of an existing key; false when absent.
+    fn update(&self, key: &K, value: u64) -> bool;
+
+    /// Remove; false when absent.
+    fn remove(&self, key: &K) -> bool;
+
+    /// Total record slots currently allocated (for load-factor studies).
+    fn capacity_slots(&self) -> u64;
+
+    /// Records currently stored (scan-based; not for hot paths).
+    fn len_scan(&self) -> u64;
+
+    /// Load factor = records / slots (fig. 11/12).
+    fn load_factor(&self) -> f64 {
+        let slots = self.capacity_slots();
+        if slots == 0 {
+            0.0
+        } else {
+            self.len_scan() as f64 / slots as f64
+        }
+    }
+
+    /// Short display name used by the bench harnesses.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,220 @@
+//! Workload generation for the paper's micro-benchmarks (§6.2): uniformly
+//! distributed unique random keys, disjoint negative-search keys,
+//! variable-length keys, the 20 % insert / 80 % search mixed workload of
+//! fig. 8(e), and a Zipfian generator for skewed runs.
+
+use crate::key::VarKey;
+
+/// SplitMix64 finalizer: a *bijective* mix, so distinct inputs give
+/// distinct keys — uniqueness without a dedup pass.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mix-input for key generation: the seed is itself mixed and shifted to
+/// an even base so (a) keys from one seed are unique (bijective mix of
+/// distinct inputs), (b) positive (even) and negative (odd) inputs are
+/// disjoint for *any* pair of seeds, and (c) different seeds produce
+/// effectively independent key sets (collision odds ~ n²/2⁶⁴) rather
+/// than XOR-shifted copies of each other.
+#[inline]
+fn key_input(seed: u64, i: u64, odd: bool) -> u64 {
+    (mix64(seed) << 1) ^ (2 * i + u64::from(odd))
+}
+
+/// `n` unique, uniformly distributed keys. Even mix-inputs are reserved
+/// for present keys, odd for negative keys, so the two sets are disjoint.
+pub fn uniform_keys(n: usize, seed: u64) -> Vec<u64> {
+    (0..n as u64).map(|i| mix64(key_input(seed, i, false))).collect()
+}
+
+/// `n` unique keys guaranteed disjoint from [`uniform_keys`] regardless of
+/// seed — for negative-search workloads.
+pub fn negative_keys(n: usize, seed: u64) -> Vec<u64> {
+    (0..n as u64).map(|i| mix64(key_input(seed, i, true))).collect()
+}
+
+/// Variable-length keys of `len` bytes (the paper uses 16-byte keys),
+/// derived from the same unique key space.
+pub fn var_keys(n: usize, seed: u64, len: usize) -> Vec<VarKey> {
+    assert!(len >= 8, "var keys embed a unique 8-byte stem");
+    uniform_keys(n, seed)
+        .into_iter()
+        .map(|k| {
+            let mut bytes = vec![0u8; len];
+            bytes[..8].copy_from_slice(&k.to_le_bytes());
+            for (i, b) in bytes[8..].iter_mut().enumerate() {
+                *b = (k >> (8 * (i % 8))) as u8 ^ 0x5A;
+            }
+            VarKey::new(bytes)
+        })
+        .collect()
+}
+
+/// One operation of the fig. 8(e) mixed workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixedOp {
+    /// Insert a fresh key (identified by index into a fresh-key vector).
+    Insert(usize),
+    /// Search one of the preloaded keys (index into the preload vector).
+    Search(usize),
+}
+
+/// Deterministic op stream with `insert_pct`% inserts, the rest searches
+/// over `preloaded` keys.
+pub fn mixed_ops(n: usize, insert_pct: u32, preloaded: usize, seed: u64) -> Vec<MixedOp> {
+    assert!(insert_pct <= 100);
+    assert!(preloaded > 0);
+    let mut inserts = 0usize;
+    (0..n)
+        .map(|i| {
+            let r = mix64(seed ^ (i as u64) ^ 0xABCD_EF01);
+            if (r % 100) < insert_pct as u64 {
+                inserts += 1;
+                MixedOp::Insert(inserts - 1)
+            } else {
+                MixedOp::Search((r >> 8) as usize % preloaded)
+            }
+        })
+        .collect()
+}
+
+/// Zipfian index generator (Gray et al. method), for the skewed workloads
+/// the paper mentions running (§6.2). Returns indices in `[0, n)`.
+pub struct ZipfGenerator {
+    n: usize,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    state: u64,
+}
+
+impl ZipfGenerator {
+    pub fn new(n: usize, theta: f64, seed: u64) -> Self {
+        assert!(n > 0 && theta > 0.0 && theta < 1.0);
+        let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zeta2: f64 = (1..=2.min(n)).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        ZipfGenerator { n, theta, alpha, zetan, eta, state: seed | 1 }
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        self.state = mix64(self.state);
+        (self.state >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    pub fn next_index(&mut self) -> usize {
+        let u = self.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let idx = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as usize;
+        idx.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_keys_unique() {
+        let mut keys = uniform_keys(50_000, 1);
+        let n = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), n);
+    }
+
+    #[test]
+    fn negative_keys_disjoint_from_positive() {
+        let pos = uniform_keys(20_000, 7);
+        let neg = negative_keys(20_000, 7);
+        let set: std::collections::HashSet<u64> = pos.into_iter().collect();
+        assert!(neg.iter().all(|k| !set.contains(k)));
+    }
+
+    #[test]
+    fn negative_keys_disjoint_across_seeds() {
+        // Parity separates positives and negatives for *any* seed pair.
+        let pos = uniform_keys(20_000, 1);
+        let neg = negative_keys(20_000, 99);
+        let set: std::collections::HashSet<u64> = pos.into_iter().collect();
+        assert!(neg.iter().all(|k| !set.contains(k)));
+    }
+
+    #[test]
+    fn different_seeds_are_effectively_independent() {
+        let a = uniform_keys(20_000, 1);
+        let b = uniform_keys(20_000, 2);
+        let set: std::collections::HashSet<u64> = a.into_iter().collect();
+        let overlap = b.iter().filter(|k| set.contains(k)).count();
+        assert_eq!(overlap, 0, "different seeds must not share keys");
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(uniform_keys(100, 3), uniform_keys(100, 3));
+        assert_ne!(uniform_keys(100, 3), uniform_keys(100, 4));
+    }
+
+    #[test]
+    fn var_keys_unique_and_sized() {
+        let keys = var_keys(5_000, 1, 16);
+        assert!(keys.iter().all(|k| k.as_bytes().len() == 16));
+        let set: std::collections::HashSet<_> = keys.iter().collect();
+        assert_eq!(set.len(), 5_000);
+    }
+
+    #[test]
+    fn mixed_ratio_approximate() {
+        let ops = mixed_ops(100_000, 20, 1000, 9);
+        let inserts = ops.iter().filter(|o| matches!(o, MixedOp::Insert(_))).count();
+        let pct = inserts as f64 / ops.len() as f64;
+        assert!((0.18..0.22).contains(&pct), "insert ratio {pct}");
+    }
+
+    #[test]
+    fn mixed_insert_indices_sequential() {
+        let ops = mixed_ops(1_000, 50, 10, 1);
+        let mut expected = 0usize;
+        for op in ops {
+            if let MixedOp::Insert(i) = op {
+                assert_eq!(i, expected);
+                expected += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_skews_to_head() {
+        let mut z = ZipfGenerator::new(10_000, 0.99, 42);
+        let mut head = 0usize;
+        let total = 100_000;
+        for _ in 0..total {
+            if z.next_index() < 100 {
+                head += 1;
+            }
+        }
+        // With theta=0.99, the top-100 of 10k items draw the majority.
+        assert!(head > total / 3, "head draws {head}/{total}");
+    }
+
+    #[test]
+    fn zipf_in_range() {
+        let mut z = ZipfGenerator::new(97, 0.5, 3);
+        for _ in 0..10_000 {
+            assert!(z.next_index() < 97);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+/// The bucket-load-balancing ladder of §4.3 / fig. 11. Each level includes
+/// everything below it: `Stash` is full Dash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum InsertPolicy {
+    /// A key maps to exactly one bucket ("Bucketized" in fig. 11).
+    Bucketized,
+    /// Spill to the probing bucket `b+1` when `b` is full ("+Probing").
+    Probing,
+    /// Insert into the less-full of `{b, b+1}` ("+Balanced insert").
+    Balanced,
+    /// Displace a movable record to make room ("+Displacement").
+    Displacement,
+    /// Stash overflow records in per-segment stash buckets ("+Stash").
+    Stash,
+}
+
+/// Concurrency control flavour (§4.4 / fig. 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Dash's default: writers take bucket locks; readers validate a
+    /// version snapshot and never write PM.
+    Optimistic,
+    /// Pessimistic reader-writer spinlocks: read acquisition/release are
+    /// PM writes, the behaviour the paper shows failing to scale.
+    Pessimistic,
+}
+
+/// Configuration for Dash-EH / Dash-LH. The defaults reproduce the paper's
+/// evaluated configuration (§6.2): 256-byte buckets, 64-bucket (16 KB)
+/// segments, two stash buckets, fingerprints and overflow metadata on,
+/// optimistic locking; Dash-LH uses hybrid expansion with a first segment
+/// array of 64 segments and a stride of 8.
+#[derive(Debug, Clone, Copy)]
+pub struct DashConfig {
+    /// log2(buckets per segment); 6 → 64 × 256 B = 16 KB segments.
+    /// Sweepable 2..=9 for the fig. 11 segment-size study.
+    pub bucket_bits: u32,
+    /// Stash buckets per segment (0..=4; fig. 10–12 sweep 2 vs 4).
+    pub stash_buckets: u32,
+    /// Record one-byte key fingerprints and consult them before touching
+    /// record slots (§4.2; ablated in fig. 9).
+    pub fingerprints: bool,
+    /// Maintain overflow fingerprints/counters in normal buckets so
+    /// searches can skip the stash (§4.3; ablated in fig. 10).
+    pub overflow_metadata: bool,
+    /// How hard inserts try before splitting (fig. 11 ladder).
+    pub insert_policy: InsertPolicy,
+    /// Optimistic vs pessimistic bucket locking (fig. 13).
+    pub lock_mode: LockMode,
+    /// Dash-EH: merge a segment with its buddy when its load factor drops
+    /// below this (0.0 disables merging).
+    pub merge_threshold: f64,
+    /// Dash-EH: initial global depth (2^depth initial segments).
+    pub initial_depth: u32,
+    /// Dash-LH: segments in the first segment array (the paper uses 64).
+    pub lh_first_array: u32,
+    /// Dash-LH: hybrid-expansion stride (the paper uses 8).
+    pub lh_stride: u32,
+}
+
+impl Default for DashConfig {
+    fn default() -> Self {
+        DashConfig {
+            bucket_bits: 6,
+            stash_buckets: 2,
+            fingerprints: true,
+            overflow_metadata: true,
+            insert_policy: InsertPolicy::Stash,
+            lock_mode: LockMode::Optimistic,
+            merge_threshold: 0.0,
+            initial_depth: 2,
+            lh_first_array: 64,
+            lh_stride: 8,
+        }
+    }
+}
+
+impl DashConfig {
+    /// Validate ranges (bucket_bits 0..=9, stash 0..=4, sane LH geometry).
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.bucket_bits > 9 {
+            return Err("bucket_bits must be <= 9 (128 KB segments)");
+        }
+        if self.stash_buckets > 4 {
+            return Err("at most 4 stash buckets (2-bit stash index)");
+        }
+        if self.insert_policy >= InsertPolicy::Probing && self.bucket_bits == 0 {
+            return Err("probing requires at least 2 buckets per segment");
+        }
+        if self.initial_depth > 16 {
+            return Err("initial_depth too large");
+        }
+        if self.lh_first_array == 0 || !self.lh_first_array.is_power_of_two() {
+            return Err("lh_first_array must be a power of two");
+        }
+        if self.lh_stride == 0 || self.lh_stride > 16 {
+            return Err("lh_stride must be in 1..=16");
+        }
+        if !(0.0..1.0).contains(&self.merge_threshold) {
+            return Err("merge_threshold must be in [0, 1)");
+        }
+        Ok(())
+    }
+
+    /// Pack the persisted subset into a word for the table root so
+    /// `open()` restores an identical geometry.
+    pub(crate) fn to_flags(&self) -> u64 {
+        let mut f = 0u64;
+        f |= self.bucket_bits as u64;
+        f |= (self.stash_buckets as u64) << 8;
+        f |= (self.fingerprints as u64) << 16;
+        f |= (self.overflow_metadata as u64) << 17;
+        f |= (self.insert_policy as u64) << 20;
+        f |= ((self.lock_mode == LockMode::Pessimistic) as u64) << 24;
+        f |= (self.initial_depth as u64) << 32;
+        f |= ((self.merge_threshold * 1000.0) as u64 & 0x3FF) << 40;
+        f
+    }
+
+    pub(crate) fn from_flags(f: u64, lh_first_array: u32, lh_stride: u32) -> Self {
+        DashConfig {
+            bucket_bits: (f & 0xFF) as u32,
+            stash_buckets: ((f >> 8) & 0xFF) as u32,
+            fingerprints: (f >> 16) & 1 == 1,
+            overflow_metadata: (f >> 17) & 1 == 1,
+            insert_policy: match (f >> 20) & 0xF {
+                0 => InsertPolicy::Bucketized,
+                1 => InsertPolicy::Probing,
+                2 => InsertPolicy::Balanced,
+                3 => InsertPolicy::Displacement,
+                _ => InsertPolicy::Stash,
+            },
+            lock_mode: if (f >> 24) & 1 == 1 { LockMode::Pessimistic } else { LockMode::Optimistic },
+            merge_threshold: ((f >> 40) & 0x3FF) as f64 / 1000.0,
+            initial_depth: ((f >> 32) & 0xFF) as u32,
+            lh_first_array,
+            lh_stride,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_config() {
+        let c = DashConfig::default();
+        assert_eq!(c.bucket_bits, 6);
+        assert_eq!(c.stash_buckets, 2);
+        assert!(c.fingerprints && c.overflow_metadata);
+        assert_eq!(c.insert_policy, InsertPolicy::Stash);
+        assert_eq!(c.lh_first_array, 64);
+        assert_eq!(c.lh_stride, 8);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn policy_ladder_is_ordered() {
+        assert!(InsertPolicy::Bucketized < InsertPolicy::Probing);
+        assert!(InsertPolicy::Probing < InsertPolicy::Balanced);
+        assert!(InsertPolicy::Balanced < InsertPolicy::Displacement);
+        assert!(InsertPolicy::Displacement < InsertPolicy::Stash);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = DashConfig { bucket_bits: 10, ..Default::default() };
+        assert!(c.validate().is_err());
+        c = DashConfig { stash_buckets: 5, ..Default::default() };
+        assert!(c.validate().is_err());
+        c = DashConfig { lh_first_array: 3, ..Default::default() };
+        assert!(c.validate().is_err());
+        c = DashConfig { merge_threshold: 1.5, ..Default::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn flags_roundtrip() {
+        let configs = [
+            DashConfig::default(),
+            DashConfig {
+                bucket_bits: 4,
+                stash_buckets: 4,
+                fingerprints: false,
+                overflow_metadata: false,
+                insert_policy: InsertPolicy::Probing,
+                lock_mode: LockMode::Pessimistic,
+                merge_threshold: 0.125,
+                initial_depth: 3,
+                ..Default::default()
+            },
+        ];
+        for c in configs {
+            let r = DashConfig::from_flags(c.to_flags(), c.lh_first_array, c.lh_stride);
+            assert_eq!(r.bucket_bits, c.bucket_bits);
+            assert_eq!(r.stash_buckets, c.stash_buckets);
+            assert_eq!(r.fingerprints, c.fingerprints);
+            assert_eq!(r.overflow_metadata, c.overflow_metadata);
+            assert_eq!(r.insert_policy, c.insert_policy);
+            assert_eq!(r.lock_mode, c.lock_mode);
+            assert_eq!(r.initial_depth, c.initial_depth);
+            assert!((r.merge_threshold - c.merge_threshold).abs() < 0.001);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Evaluation support used by the benchmark harnesses.
+//!
+//! The fig. 11 experiment ("maximum load factor of one segment after
+//! adding different techniques") needs to drive a *single* segment to
+//! failure without the table splitting it — so it lives here, next to the
+//! private segment internals.
+
+use dash_common::{hash_u64, TableResult};
+use pmem::{PmOffset, PmemPool, PoolConfig};
+
+use crate::bucket::SLOTS;
+use crate::config::DashConfig;
+use crate::segment::{SegGeom, SegInsert, SegView, STATE_NORMAL};
+
+/// Outcome of filling one segment to its limit.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentFill {
+    /// Records accepted before the first would-be split.
+    pub inserted: u64,
+    /// Record slots in the segment (normal + stash buckets).
+    pub slots: u64,
+    /// Segment size in bytes (header + buckets).
+    pub segment_bytes: u64,
+}
+
+impl SegmentFill {
+    pub fn load_factor(&self) -> f64 {
+        self.inserted as f64 / self.slots as f64
+    }
+}
+
+/// Fill a single segment with uniformly hashed keys until it reports
+/// `NeedSplit`, under the insert policy and geometry in `cfg` (fig. 11:
+/// sweep `cfg.bucket_bits` for segment size and `cfg.insert_policy` /
+/// `cfg.stash_buckets` for the technique ladder).
+pub fn max_segment_fill(cfg: &DashConfig) -> TableResult<SegmentFill> {
+    cfg.validate().map_err(|_| {
+        dash_common::TableError::Pm(pmem::PmError::InvalidConfig("dash config"))
+    })?;
+    let geom = SegGeom::from_cfg(cfg);
+    let pool_size = (geom.bytes() * 4).next_power_of_two().max(1 << 20);
+    let pool = PmemPool::create(PoolConfig::with_size(pool_size))?;
+    let seg = pool.alloc_zeroed(geom.bytes())?;
+    let view = SegView::new(&pool, seg, geom);
+    view.init(STATE_NORMAL, 0, 0, PmOffset::NULL, PmOffset::NULL, pool.global_version(), 0);
+
+    let mut inserted = 0u64;
+    // Far more attempts than slots: the fill stops at the first NeedSplit.
+    let limit = (geom.total() * SLOTS * 64) as u64;
+    for i in 0..limit {
+        let key = i;
+        let h = hash_u64(key);
+        match view.insert(cfg, h, &key, key, key, false, || true)? {
+            SegInsert::Inserted { .. } => inserted += 1,
+            SegInsert::NeedSplit => break,
+            SegInsert::Duplicate | SegInsert::Retry => unreachable!("single-threaded fill"),
+        }
+    }
+    Ok(SegmentFill {
+        inserted,
+        slots: (geom.total() * SLOTS) as u64,
+        segment_bytes: geom.bytes() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InsertPolicy;
+
+    #[test]
+    fn ladder_is_monotone_at_16kb() {
+        // Fig. 11's core claim: each technique raises the max load factor.
+        let mut last = 0.0f64;
+        for (policy, stash) in [
+            (InsertPolicy::Bucketized, 0),
+            (InsertPolicy::Probing, 0),
+            (InsertPolicy::Balanced, 0),
+            (InsertPolicy::Displacement, 0),
+            (InsertPolicy::Stash, 2),
+            (InsertPolicy::Stash, 4),
+        ] {
+            let cfg = DashConfig { insert_policy: policy, stash_buckets: stash, ..Default::default() };
+            let fill = max_segment_fill(&cfg).unwrap();
+            let lf = fill.load_factor();
+            assert!(lf + 0.02 >= last, "{policy:?}/{stash} regressed: {lf} < {last}");
+            last = last.max(lf);
+        }
+        assert!(last > 0.85, "full Dash should approach the paper's ~100 % on 16 KB: {last}");
+    }
+
+    #[test]
+    fn bigger_segments_lower_bucketized_load_factor() {
+        // The paper's fig. 11: vanilla bucketized segmentation decays from
+        // ~80 % at 1 KB to ~40 % at 128 KB.
+        let small = max_segment_fill(&DashConfig {
+            bucket_bits: 2,
+            insert_policy: InsertPolicy::Bucketized,
+            stash_buckets: 0,
+            ..Default::default()
+        })
+        .unwrap();
+        let large = max_segment_fill(&DashConfig {
+            bucket_bits: 9,
+            insert_policy: InsertPolicy::Bucketized,
+            stash_buckets: 0,
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(small.load_factor() > large.load_factor(),
+            "{} vs {}", small.load_factor(), large.load_factor());
+        assert_eq!(small.segment_bytes, 64 + 4 * 256);
+        assert_eq!(large.segment_bytes, 64 + 512 * 256);
+    }
+}

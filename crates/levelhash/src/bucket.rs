@@ -1,0 +1,155 @@
+//! Level Hashing buckets: 128 bytes = 16-byte header (token bitmap) plus
+//! seven 16-byte record slots.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use dash_common::Key;
+use pmem::{PmOffset, PmemPool};
+
+pub(crate) const SLOTS: usize = 7;
+pub(crate) const BUCKET_BYTES: usize = 128;
+
+#[repr(C)]
+pub(crate) struct LevelSlot {
+    pub key: AtomicU64,
+    pub value: AtomicU64,
+}
+
+/// One 128-byte bucket. The token bitmap plays the role of Dash's
+/// allocation bitmap: a slot is live iff its bit is set, and setting the
+/// bit (after persisting the record) is the atomic commit point.
+#[repr(C, align(64))]
+pub(crate) struct LevelBucket {
+    pub tokens: AtomicU32,
+    _pad: [u8; 12],
+    pub slots: [LevelSlot; SLOTS],
+}
+
+const _SIZE: () = assert!(std::mem::size_of::<LevelBucket>() == BUCKET_BYTES);
+
+impl LevelBucket {
+    #[inline]
+    pub fn count(&self) -> u32 {
+        self.tokens.load(Ordering::Acquire).count_ones()
+    }
+
+    #[inline]
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_full(&self) -> bool {
+        self.count() as usize >= SLOTS
+    }
+
+    #[inline]
+    pub fn live_mask(&self) -> u32 {
+        self.tokens.load(Ordering::Acquire) & ((1 << SLOTS) - 1)
+    }
+
+    /// Search this bucket for `key`; meters one two-cacheline PM read.
+    pub fn search<K: Key>(&self, pool: &PmemPool, key: &K) -> Option<(usize, u64)> {
+        pool.note_pm_read(BUCKET_BYTES);
+        let mut live = self.live_mask();
+        while live != 0 {
+            let s = live.trailing_zeros() as usize;
+            live &= live - 1;
+            let stored = self.slots[s].key.load(Ordering::Acquire);
+            if key.matches(pool, stored) {
+                return Some((s, self.slots[s].value.load(Ordering::Acquire)));
+            }
+        }
+        None
+    }
+
+    /// Insert into a free slot: record first (flushed), then the token
+    /// bit (flushed) as the commit point.
+    pub fn insert(&self, pool: &PmemPool, self_off: PmOffset, key_repr: u64, value: u64) -> bool {
+        let free = !self.live_mask() & ((1 << SLOTS) - 1);
+        if free == 0 {
+            return false;
+        }
+        let s = free.trailing_zeros() as usize;
+        self.slots[s].key.store(key_repr, Ordering::Relaxed);
+        self.slots[s].value.store(value, Ordering::Relaxed);
+        pool.flush(self_off.add((16 + s * 16) as u64), 16);
+        pool.fence();
+        let t = self.tokens.load(Ordering::Relaxed);
+        self.tokens.store(t | (1 << s), Ordering::Release);
+        pool.flush(self_off, 4);
+        pool.fence();
+        true
+    }
+
+    pub fn delete(&self, pool: &PmemPool, self_off: PmOffset, slot: usize) {
+        let t = self.tokens.load(Ordering::Relaxed);
+        self.tokens.store(t & !(1 << slot), Ordering::Release);
+        pool.persist(self_off, 4);
+    }
+
+    pub fn update(&self, pool: &PmemPool, self_off: PmOffset, slot: usize, value: u64) {
+        self.slots[slot].value.store(value, Ordering::Release);
+        pool.persist(self_off.add((16 + slot * 16 + 8) as u64), 8);
+    }
+
+    pub fn record(&self, slot: usize) -> (u64, u64) {
+        (
+            self.slots[slot].key.load(Ordering::Acquire),
+            self.slots[slot].value.load(Ordering::Acquire),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PoolConfig;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<PmemPool>, PmOffset) {
+        let pool = PmemPool::create(PoolConfig::with_size(1 << 20)).unwrap();
+        let off = pool.alloc_zeroed(BUCKET_BYTES).unwrap();
+        (pool, off)
+    }
+
+    #[test]
+    fn holds_seven_records() {
+        let (pool, off) = setup();
+        // SAFETY: fresh zeroed bucket block.
+        let b = unsafe { pool.at_ref::<LevelBucket>(off) };
+        for i in 1..=SLOTS as u64 {
+            assert!(b.insert(&pool, off, i, i * 10));
+        }
+        assert!(b.is_full());
+        assert!(!b.insert(&pool, off, 99, 990));
+        for i in 1..=SLOTS as u64 {
+            assert_eq!(b.search(&pool, &i).unwrap().1, i * 10);
+        }
+    }
+
+    #[test]
+    fn delete_frees_slot() {
+        let (pool, off) = setup();
+        let b = unsafe { pool.at_ref::<LevelBucket>(off) };
+        b.insert(&pool, off, 1, 10);
+        let (s, _) = b.search(&pool, &1u64).unwrap();
+        b.delete(&pool, off, s);
+        assert!(b.search(&pool, &1u64).is_none());
+        assert_eq!(b.count(), 0);
+        assert!(b.insert(&pool, off, 2, 20));
+    }
+
+    #[test]
+    fn crash_before_token_commit_hides_record() {
+        let cfg = PoolConfig { size: 1 << 20, shadow: true, ..Default::default() };
+        let pool = PmemPool::create(cfg).unwrap();
+        let off = pool.alloc_zeroed(BUCKET_BYTES).unwrap();
+        pool.persist(off, BUCKET_BYTES);
+        let b = unsafe { pool.at_ref::<LevelBucket>(off) };
+        let base = pool.flushes_issued();
+        pool.set_flush_limit(Some(base + 1)); // record flush ok, token flush dropped
+        b.insert(&pool, off, 42, 420);
+        pool.set_flush_limit(None);
+        let img = pool.crash_image();
+        let pool2 = PmemPool::open(img, cfg).unwrap();
+        let b2 = unsafe { pool2.at_ref::<LevelBucket>(off) };
+        assert_eq!(b2.count(), 0, "token is the commit point");
+    }
+}

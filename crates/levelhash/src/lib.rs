@@ -1,0 +1,31 @@
+//! Level Hashing baseline (Zuo, Hua & Wu, OSDI 2018), the second
+//! comparator of the Dash paper.
+//!
+//! A two-level, write-optimized PM hash table as the paper evaluates it
+//! (§2.3, §6):
+//!
+//! * a **top level** of N 128-byte (two-cacheline) buckets and a **bottom
+//!   level** of N/2 buckets; every key has two top candidates (two
+//!   independent hash functions) and the corresponding two bottom
+//!   candidates, bounding any search to four buckets;
+//! * one-step **movement**: an insert may relocate an existing record to
+//!   its alternative top location to make room;
+//! * records commit via a token bitmap in the bucket header (slot written
+//!   and flushed first, bitmap bit flipped and flushed second) — crash
+//!   consistent without logging;
+//! * **lock striping** (§6.4): a fixed array of spinlocks covers both
+//!   levels; lock words are in PM, so even read operations generate PM
+//!   writes, but the array is small enough to stay cache-resident —
+//!   which is why Level Hashing keeps up with CCEH under concurrency
+//!   despite lower single-thread speed;
+//! * growth is a **stop-the-world full-table rehash**: the bottom level is
+//!   rehashed into a new top level of 2N buckets (4× the old bottom) while
+//!   every other operation blocks — the behaviour that collapses insert
+//!   scalability in fig. 8(a);
+//! * recovery is constant-time (clear the fixed lock array, reopen the
+//!   pool), matching Table 1's flat 53 ms row.
+
+mod bucket;
+mod table;
+
+pub use table::{LevelConfig, LevelHash};

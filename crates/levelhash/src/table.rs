@@ -1,0 +1,649 @@
+//! The Level Hashing table: two levels, two hash functions, one-step
+//! movement, striped locks and a stop-the-world resize.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dash_common::{hash64_seed, Key, PmHashTable, TableError, TableResult};
+use parking_lot::RwLock;
+use pmem::{PmOffset, PmemPool};
+
+use crate::bucket::{LevelBucket, BUCKET_BYTES, SLOTS};
+
+const LEVEL_MAGIC: u64 = 0x1EE1_0001_0000_0001;
+/// Striped lock count (fits in cache; lock words live in PM — §6.4).
+const STRIPES: usize = 4096;
+const SEED1: u64 = 0xB0F5_7EE3;
+const SEED2: u64 = 0x1234_5678_9ABC_DEF1;
+/// Top level cannot exceed 2^28 buckets.
+const MAX_LOG_N: u32 = 28;
+
+/// Level Hashing parameters; defaults follow the paper's setup (§6.2):
+/// 128-byte buckets; the initial top level is sized by `initial_log_n`.
+#[derive(Debug, Clone, Copy)]
+pub struct LevelConfig {
+    /// log2(initial top-level buckets); must be ≥ 1.
+    pub initial_log_n: u32,
+}
+
+impl Default for LevelConfig {
+    fn default() -> Self {
+        LevelConfig { initial_log_n: 6 }
+    }
+}
+
+#[repr(C)]
+struct LevelRoot {
+    magic: AtomicU64,
+    /// log2(top-level buckets).
+    log_n: AtomicU64,
+    top: AtomicU64,
+    bottom: AtomicU64,
+    /// Pending (not yet published) resize allocation, reclaimed on open.
+    pending: AtomicU64,
+    pending_len: AtomicU64,
+    /// Offset of the striped lock array.
+    locks: AtomicU64,
+}
+
+/// Write-optimized two-level PM hash table.
+pub struct LevelHash<K: Key = u64> {
+    pool: Arc<PmemPool>,
+    root: PmOffset,
+    /// Resize gate: operations take it shared; the full-table rehash
+    /// takes it exclusively, blocking everything (§6.4 / fig. 8a).
+    resize_gate: RwLock<()>,
+    _k: PhantomData<fn(K) -> K>,
+}
+
+impl<K: Key> LevelHash<K> {
+    pub fn create(pool: Arc<PmemPool>, cfg: LevelConfig) -> TableResult<Self> {
+        if cfg.initial_log_n == 0 || cfg.initial_log_n > MAX_LOG_N {
+            return Err(TableError::Pm(pmem::PmError::InvalidConfig("level config")));
+        }
+        let root = pool.alloc_zeroed(std::mem::size_of::<LevelRoot>())?;
+        let n = 1usize << cfg.initial_log_n;
+        let top = pool.alloc_zeroed(n * BUCKET_BYTES)?;
+        let bottom = pool.alloc_zeroed((n / 2).max(1) * BUCKET_BYTES)?;
+        let locks = pool.alloc_zeroed(STRIPES * 4)?;
+        pool.persist(top, n * BUCKET_BYTES);
+        pool.persist(bottom, (n / 2).max(1) * BUCKET_BYTES);
+        pool.persist(locks, STRIPES * 4);
+        // SAFETY: fresh root block.
+        let r = unsafe { pool.at_ref::<LevelRoot>(root) };
+        r.magic.store(LEVEL_MAGIC, Ordering::Relaxed);
+        r.log_n.store(u64::from(cfg.initial_log_n), Ordering::Relaxed);
+        r.top.store(top.get(), Ordering::Relaxed);
+        r.bottom.store(bottom.get(), Ordering::Relaxed);
+        r.locks.store(locks.get(), Ordering::Relaxed);
+        pool.persist(root, std::mem::size_of::<LevelRoot>());
+        pool.set_root(root);
+        Ok(LevelHash { pool, root, resize_gate: RwLock::new(()), _k: PhantomData })
+    }
+
+    /// Reopen after a restart: constant work — clear the fixed lock array
+    /// and reclaim an unpublished resize allocation (Table 1's flat row).
+    pub fn open(pool: Arc<PmemPool>) -> TableResult<Self> {
+        let root = pool.root();
+        if root.is_null() {
+            return Err(TableError::Pm(pmem::PmError::PoolCorrupt("no root object")));
+        }
+        // SAFETY: root published by create().
+        let r = unsafe { pool.at_ref::<LevelRoot>(root) };
+        if r.magic.load(Ordering::Relaxed) != LEVEL_MAGIC {
+            return Err(TableError::Pm(pmem::PmError::PoolCorrupt("not a Level Hashing root")));
+        }
+        let table = LevelHash { pool, root, resize_gate: RwLock::new(()), _k: PhantomData };
+        // Clear striped locks (fixed-size work).
+        for i in 0..STRIPES {
+            table.stripe(i).store(0, Ordering::Relaxed);
+        }
+        // Reclaim a resize that never published.
+        let r = table.rootref();
+        let pending = r.pending.load(Ordering::Relaxed);
+        if pending != 0 && pending != r.top.load(Ordering::Relaxed) {
+            let len = r.pending_len.load(Ordering::Relaxed) as usize;
+            table.pool.free_now(PmOffset::new(pending), len);
+        }
+        r.pending.store(0, Ordering::Relaxed);
+        table.pool.persist(table.pool.offset_of(&r.pending), 8);
+        Ok(table)
+    }
+
+    fn rootref(&self) -> &LevelRoot {
+        // SAFETY: validated at create/open.
+        unsafe { self.pool.at_ref::<LevelRoot>(self.root) }
+    }
+
+    fn stripe(&self, i: usize) -> &AtomicU32 {
+        let locks = PmOffset::new(self.rootref().locks.load(Ordering::Acquire));
+        // SAFETY: the lock array has STRIPES u32 words.
+        unsafe { self.pool.at_ref::<AtomicU32>(locks.add(4 * i as u64)) }
+    }
+
+    fn top_n(&self) -> usize {
+        1usize << self.rootref().log_n.load(Ordering::Acquire)
+    }
+
+    fn bucket_at(&self, base: u64, idx: usize) -> (&LevelBucket, PmOffset) {
+        let off = PmOffset::new(base).add((idx * BUCKET_BYTES) as u64);
+        // SAFETY: idx < level length, maintained by candidates().
+        (unsafe { self.pool.at_ref::<LevelBucket>(off) }, off)
+    }
+
+    /// The four candidate buckets of a key under the current geometry:
+    /// two top (independent hashes) and the two corresponding bottom.
+    /// Returned as (is_bottom, index) pairs in probe order.
+    fn candidates(&self, key: &K) -> [(bool, usize); 4] {
+        let n = self.top_n();
+        let h1 = hash64_seed(&Self::key_bytes(key), SEED1);
+        let h2 = hash64_seed(&Self::key_bytes(key), SEED2);
+        let t1 = (h1 as usize) & (n - 1);
+        let t2 = (h2 as usize) & (n - 1);
+        let bmask = (n / 2).max(1) - 1;
+        [(false, t1), (false, t2), (true, (h1 as usize) & bmask), (true, (h2 as usize) & bmask)]
+    }
+
+    fn key_bytes(key: &K) -> [u8; 8] {
+        key.hash64().to_le_bytes()
+    }
+
+    /// Candidate top locations of an already-stored record.
+    fn stored_top_candidates(&self, key_repr: u64) -> (usize, usize) {
+        let n = self.top_n();
+        let kh = K::hash_stored(&self.pool, key_repr);
+        let h1 = hash64_seed(&kh.to_le_bytes(), SEED1);
+        let h2 = hash64_seed(&kh.to_le_bytes(), SEED2);
+        ((h1 as usize) & (n - 1), (h2 as usize) & (n - 1))
+    }
+
+    /// Lock the stripes covering `cands` in ascending order (deadlock
+    /// free); each acquisition dirties a PM line.
+    fn lock_stripes(&self, cands: &[(bool, usize)]) -> Vec<usize> {
+        let mut ids: Vec<usize> = cands
+            .iter()
+            .map(|(bottom, idx)| ((idx << 1) | usize::from(*bottom)) & (STRIPES - 1))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        for &id in &ids {
+            let l = self.stripe(id);
+            loop {
+                if l.compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed).is_ok() {
+                    self.pool.note_pm_write(64);
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+        }
+        ids
+    }
+
+    fn unlock_stripes(&self, ids: &[usize]) {
+        for &id in ids.iter().rev() {
+            self.stripe(id).store(0, Ordering::Release);
+            self.pool.note_pm_write(64);
+        }
+    }
+
+    fn level_base(&self, bottom: bool) -> u64 {
+        let r = self.rootref();
+        if bottom {
+            r.bottom.load(Ordering::Acquire)
+        } else {
+            r.top.load(Ordering::Acquire)
+        }
+    }
+
+    // ---- operations ---------------------------------------------------------
+
+    pub fn get(&self, key: &K) -> Option<u64> {
+        let _gate = self.resize_gate.read();
+        let _g = self.pool.epoch().pin();
+        let cands = self.candidates(key);
+        let ids = self.lock_stripes(&cands);
+        let mut found = None;
+        for (bottom, idx) in cands {
+            let (b, _) = self.bucket_at(self.level_base(bottom), idx);
+            if let Some((_, v)) = b.search(&self.pool, key) {
+                found = Some(v);
+                break;
+            }
+        }
+        self.unlock_stripes(&ids);
+        found
+    }
+
+    pub fn insert(&self, key: &K, value: u64) -> TableResult<()> {
+        let key_repr = key.encode(&self.pool)?;
+        loop {
+            let gate = self.resize_gate.read();
+            let _g = self.pool.epoch().pin();
+            let cands = self.candidates(key);
+            let ids = self.lock_stripes(&cands);
+
+            // Uniqueness check across all four candidates.
+            for (bottom, idx) in cands {
+                let (b, _) = self.bucket_at(self.level_base(bottom), idx);
+                if b.search(&self.pool, key).is_some() {
+                    self.unlock_stripes(&ids);
+                    if !K::INLINE {
+                        K::release(&self.pool, key_repr);
+                    }
+                    return Err(TableError::Duplicate);
+                }
+            }
+
+            // Try the four candidates, least-loaded top first.
+            let mut order = cands;
+            if {
+                let (b1, _) = self.bucket_at(self.level_base(false), cands[0].1);
+                let (b2, _) = self.bucket_at(self.level_base(false), cands[1].1);
+                b2.count() < b1.count()
+            } {
+                order.swap(0, 1);
+            }
+            for (bottom, idx) in order {
+                let (b, off) = self.bucket_at(self.level_base(bottom), idx);
+                if b.insert(&self.pool, off, key_repr, value) {
+                    self.unlock_stripes(&ids);
+                    return Ok(());
+                }
+            }
+
+            // One-step movement in the top level.
+            if self.try_movement(&cands, key_repr, value, &ids)? {
+                return Ok(());
+            }
+
+            // Full: stop-the-world resize, then retry.
+            self.unlock_stripes(&ids);
+            drop(gate);
+            self.resize()?;
+        }
+    }
+
+    /// Try to relocate one record from either top candidate to its
+    /// alternative top location, then claim the freed slot. Unlocks the
+    /// stripes on success.
+    fn try_movement(
+        &self,
+        cands: &[(bool, usize); 4],
+        key_repr: u64,
+        value: u64,
+        ids: &[usize],
+    ) -> TableResult<bool> {
+        for &(_, t) in &cands[..2] {
+            let (b, off) = self.bucket_at(self.level_base(false), t);
+            let mut live = b.live_mask();
+            while live != 0 {
+                let s = live.trailing_zeros() as usize;
+                live &= live - 1;
+                let (rk, rv) = b.record(s);
+                let (c1, c2) = self.stored_top_candidates(rk);
+                let alt = if c1 == t { c2 } else { c1 };
+                if alt == t {
+                    continue;
+                }
+                // The alternative bucket may be outside our stripe set;
+                // lock it opportunistically (try-lock to keep ordering).
+                let alt_id = (alt << 1) & (STRIPES - 1);
+                let extra = if ids.contains(&alt_id) {
+                    None
+                } else {
+                    let l = self.stripe(alt_id);
+                    if l.compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed).is_err() {
+                        continue;
+                    }
+                    self.pool.note_pm_write(64);
+                    Some(alt_id)
+                };
+                let (ab, aoff) = self.bucket_at(self.level_base(false), alt);
+                if ab.insert(&self.pool, aoff, rk, rv) {
+                    b.delete(&self.pool, off, s);
+                    let ok = b.insert(&self.pool, off, key_repr, value);
+                    debug_assert!(ok, "slot was just freed");
+                    if let Some(id) = extra {
+                        self.stripe(id).store(0, Ordering::Release);
+                        self.pool.note_pm_write(64);
+                    }
+                    self.unlock_stripes(ids);
+                    return Ok(true);
+                }
+                if let Some(id) = extra {
+                    self.stripe(id).store(0, Ordering::Release);
+                    self.pool.note_pm_write(64);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    pub fn update(&self, key: &K, value: u64) -> bool {
+        let _gate = self.resize_gate.read();
+        let _g = self.pool.epoch().pin();
+        let cands = self.candidates(key);
+        let ids = self.lock_stripes(&cands);
+        let mut done = false;
+        for (bottom, idx) in cands {
+            let (b, off) = self.bucket_at(self.level_base(bottom), idx);
+            if let Some((s, _)) = b.search(&self.pool, key) {
+                b.update(&self.pool, off, s, value);
+                done = true;
+                break;
+            }
+        }
+        self.unlock_stripes(&ids);
+        done
+    }
+
+    pub fn remove(&self, key: &K) -> bool {
+        let _gate = self.resize_gate.read();
+        let _g = self.pool.epoch().pin();
+        let cands = self.candidates(key);
+        let ids = self.lock_stripes(&cands);
+        let mut removed = None;
+        for (bottom, idx) in cands {
+            let (b, off) = self.bucket_at(self.level_base(bottom), idx);
+            if let Some((s, _)) = b.search(&self.pool, key) {
+                let (repr, _) = b.record(s);
+                b.delete(&self.pool, off, s);
+                removed = Some(repr);
+                break;
+            }
+        }
+        self.unlock_stripes(&ids);
+        match removed {
+            Some(repr) => {
+                if !K::INLINE {
+                    K::release(&self.pool, repr);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    // ---- resize (stop-the-world full-table rehash) --------------------------
+
+    /// Grow: new top = 2N buckets (4× the old bottom), old top becomes
+    /// the bottom, old bottom is rehashed into the new top. Holds the
+    /// write gate for the duration — every concurrent operation blocks,
+    /// the behaviour behind fig. 8(a).
+    fn resize(&self) -> TableResult<()> {
+        let _gate = self.resize_gate.write();
+        let r = self.rootref();
+        let log_n = r.log_n.load(Ordering::Acquire) as u32;
+        if log_n >= MAX_LOG_N {
+            return Err(TableError::CapacityExhausted);
+        }
+        let n = 1usize << log_n;
+        let new_n = n * 2;
+        let new_bytes = new_n * BUCKET_BYTES;
+
+        // Register the allocation so a crash before publication reclaims it.
+        let new_top = self.pool.alloc_zeroed(new_bytes)?;
+        r.pending.store(new_top.get(), Ordering::Release);
+        r.pending_len.store(new_bytes as u64, Ordering::Release);
+        self.pool.persist(self.pool.offset_of(&r.pending), 16);
+        self.pool.persist(new_top, new_bytes);
+
+        // Rehash the old bottom into the new top (records of the old top
+        // stay put: the old top *is* the new bottom and its indices are
+        // exactly `h mod N` in both roles).
+        let old_bottom = r.bottom.load(Ordering::Acquire);
+        let old_top = r.top.load(Ordering::Acquire);
+        let nb = (n / 2).max(1);
+        let mut failed = false;
+        'outer: for i in 0..nb {
+            let (b, _) = self.bucket_at(old_bottom, i);
+            let mut live = b.live_mask();
+            while live != 0 {
+                let s = live.trailing_zeros() as usize;
+                live &= live - 1;
+                let (rk, rv) = b.record(s);
+                let kh = K::hash_stored(&self.pool, rk);
+                let h1 = hash64_seed(&kh.to_le_bytes(), SEED1) as usize & (new_n - 1);
+                let h2 = hash64_seed(&kh.to_le_bytes(), SEED2) as usize & (new_n - 1);
+                let placed = [h1, h2].iter().any(|&t| {
+                    let off = new_top.add((t * BUCKET_BYTES) as u64);
+                    // SAFETY: t < new_n.
+                    let nb = unsafe { self.pool.at_ref::<LevelBucket>(off) };
+                    nb.insert(&self.pool, off, rk, rv)
+                });
+                if !placed {
+                    failed = true;
+                    break 'outer;
+                }
+            }
+        }
+        if failed {
+            // Both candidate buckets in the doubled top are full — retry
+            // with a 4× top by recursing after publishing nothing.
+            r.pending.store(0, Ordering::Release);
+            self.pool.persist(self.pool.offset_of(&r.pending), 8);
+            self.pool.free_now(new_top, new_bytes);
+            return Err(TableError::CapacityExhausted);
+        }
+
+        // Publish atomically: top/bottom/log_n in one redo transaction.
+        self.pool.run_tx(&[
+            (self.pool.offset_of(&r.top), new_top.get()),
+            (self.pool.offset_of(&r.bottom), old_top),
+            (self.pool.offset_of(&r.log_n), u64::from(log_n) + 1),
+            (self.pool.offset_of(&r.pending), 0),
+        ])?;
+        self.pool.defer_free(PmOffset::new(old_bottom), nb * BUCKET_BYTES);
+        Ok(())
+    }
+
+    // ---- introspection --------------------------------------------------------
+
+    /// Total buckets (top + bottom).
+    pub fn bucket_count(&self) -> usize {
+        let n = self.top_n();
+        n + (n / 2).max(1)
+    }
+
+    pub fn pool(&self) -> &Arc<PmemPool> {
+        &self.pool
+    }
+
+    fn scan_totals(&self) -> (u64, u64) {
+        let _gate = self.resize_gate.read();
+        let n = self.top_n();
+        let mut records = 0;
+        for (bottom, len) in [(false, n), (true, (n / 2).max(1))] {
+            let base = self.level_base(bottom);
+            for i in 0..len {
+                let (b, _) = self.bucket_at(base, i);
+                records += u64::from(b.count());
+            }
+        }
+        (records, (self.bucket_count() * SLOTS) as u64)
+    }
+}
+
+impl<K: Key> PmHashTable<K> for LevelHash<K> {
+    fn get(&self, key: &K) -> Option<u64> {
+        LevelHash::get(self, key)
+    }
+
+    fn insert(&self, key: &K, value: u64) -> TableResult<()> {
+        LevelHash::insert(self, key, value)
+    }
+
+    fn update(&self, key: &K, value: u64) -> bool {
+        LevelHash::update(self, key, value)
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        LevelHash::remove(self, key)
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        self.scan_totals().1
+    }
+
+    fn len_scan(&self) -> u64 {
+        self.scan_totals().0
+    }
+
+    fn name(&self) -> &'static str {
+        "Level Hashing"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dash_common::{negative_keys, uniform_keys, VarKey};
+    use pmem::PoolConfig;
+
+    fn new_table(pool_mb: usize, log_n: u32) -> LevelHash<u64> {
+        let pool = PmemPool::create(PoolConfig::with_size(pool_mb << 20)).unwrap();
+        LevelHash::create(pool, LevelConfig { initial_log_n: log_n }).unwrap()
+    }
+
+    #[test]
+    fn basic_crud() {
+        let t = new_table(16, 4);
+        t.insert(&1, 10).unwrap();
+        assert_eq!(t.get(&1), Some(10));
+        assert!(matches!(t.insert(&1, 11), Err(TableError::Duplicate)));
+        assert!(t.update(&1, 12));
+        assert_eq!(t.get(&1), Some(12));
+        assert!(t.remove(&1));
+        assert_eq!(t.get(&1), None);
+        assert!(!t.remove(&1));
+    }
+
+    #[test]
+    fn grows_through_resizes() {
+        let t = new_table(64, 3);
+        let keys = uniform_keys(10_000, 2);
+        let before = t.bucket_count();
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(k, i as u64).unwrap();
+        }
+        assert!(t.bucket_count() > before, "resize must have happened");
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(t.get(k), Some(i as u64), "key {i} lost across rehash");
+        }
+        for k in negative_keys(2_000, 2) {
+            assert_eq!(t.get(&k), None);
+        }
+    }
+
+    #[test]
+    fn high_load_factor_like_paper() {
+        // Fig. 12: level hashing reaches ~90 % load factor right before
+        // each full-table rehash (and halves right after).
+        let t = new_table(64, 8);
+        let keys = uniform_keys(40_000, 5);
+        let mut max_lf = 0.0f64;
+        let mut prev_slots = (t.bucket_count() * SLOTS) as f64;
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(k, 1).unwrap();
+            let slots = (t.bucket_count() * SLOTS) as f64;
+            if slots != prev_slots {
+                // A resize just happened: i records filled prev_slots.
+                max_lf = max_lf.max(i as f64 / prev_slots);
+                prev_slots = slots;
+            }
+        }
+        let (records, _) = t.scan_totals();
+        assert_eq!(records, keys.len() as u64);
+        assert!(max_lf > 0.7, "pre-resize load factor should be high, got {max_lf}");
+    }
+
+    #[test]
+    fn var_keys_supported() {
+        let pool = PmemPool::create(PoolConfig::with_size(64 << 20)).unwrap();
+        let t: LevelHash<VarKey> = LevelHash::create(pool, LevelConfig { initial_log_n: 4 }).unwrap();
+        let keys = dash_common::var_keys(2_000, 6, 16);
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(k, i as u64).unwrap();
+        }
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(t.get(k), Some(i as u64));
+        }
+    }
+
+    #[test]
+    fn concurrent_ops() {
+        let t = std::sync::Arc::new(new_table(128, 8));
+        let keys = std::sync::Arc::new(uniform_keys(12_000, 7));
+        let threads = 8;
+        let per = keys.len() / threads;
+        crossbeam::scope(|s| {
+            for tid in 0..threads {
+                let t = t.clone();
+                let keys = keys.clone();
+                s.spawn(move |_| {
+                    for i in tid * per..(tid + 1) * per {
+                        t.insert(&keys[i], i as u64).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(t.get(k), Some(i as u64));
+        }
+    }
+
+    #[test]
+    fn reads_generate_pm_writes_via_striped_locks() {
+        let t = new_table(16, 4);
+        t.insert(&9, 90).unwrap();
+        let before = t.pool().stats();
+        for _ in 0..100 {
+            assert_eq!(t.get(&9), Some(90));
+        }
+        let d = t.pool().stats().since(&before);
+        assert!(d.pm_writes >= 200, "striped read locks must write PM, got {}", d.pm_writes);
+    }
+
+    #[test]
+    fn crash_reopen_preserves_data() {
+        let cfg = PoolConfig { size: 64 << 20, shadow: true, ..Default::default() };
+        let pool = PmemPool::create(cfg).unwrap();
+        let t: LevelHash<u64> = LevelHash::create(pool.clone(), LevelConfig { initial_log_n: 4 }).unwrap();
+        let keys = uniform_keys(5_000, 8);
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(k, i as u64).unwrap();
+        }
+        let img = pool.crash_image();
+        drop(t);
+        let pool2 = PmemPool::open(img, cfg).unwrap();
+        let t2: LevelHash<u64> = LevelHash::open(pool2).unwrap();
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(t2.get(k), Some(i as u64), "key {i} lost");
+        }
+        for k in negative_keys(500, 8) {
+            t2.insert(&k, 1).unwrap();
+        }
+    }
+
+    #[test]
+    fn delete_then_reinsert_after_resizes() {
+        let t = new_table(64, 3);
+        let keys = uniform_keys(5_000, 10);
+        for k in &keys {
+            t.insert(k, 1).unwrap();
+        }
+        for k in keys.iter().step_by(2) {
+            assert!(t.remove(k));
+        }
+        for k in keys.iter().step_by(2) {
+            assert_eq!(t.get(k), None);
+            t.insert(k, 2).unwrap();
+        }
+        for (i, k) in keys.iter().enumerate() {
+            let expect = if i % 2 == 0 { 2 } else { 1 };
+            assert_eq!(t.get(k), Some(expect));
+        }
+    }
+}

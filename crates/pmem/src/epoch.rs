@@ -1,0 +1,256 @@
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::layout::PmOffset;
+
+/// A slot's `active` value is `epoch + 1` while its thread is pinned,
+/// `IDLE` (0) otherwise.
+const IDLE: u64 = 0;
+
+/// Garbage accumulated past this count triggers a collection attempt.
+const COLLECT_THRESHOLD: usize = 128;
+
+#[repr(align(64))]
+struct ThreadSlot {
+    active: AtomicU64,
+}
+
+enum Deferred {
+    /// Return a pool block to the allocator.
+    Free { off: PmOffset, size: usize },
+    /// Arbitrary deferred action (used by tests and var-key reclamation).
+    Run(Box<dyn FnOnce() + Send>),
+}
+
+/// Epoch-based memory reclamation, as the paper uses for segment and
+/// directory deallocation (§4.4): optimistic readers pin the current epoch;
+/// memory unlinked at epoch `e` is only reclaimed once no reader is pinned
+/// at an epoch `<= e`.
+///
+/// The implementation is deliberately simple (global epoch counter,
+/// per-thread cacheline-padded slots, a mutex-protected garbage list) —
+/// reclamation is off the hot path; only `pin` is.
+pub struct EpochManager {
+    global: AtomicU64,
+    registry: Mutex<Vec<Arc<ThreadSlot>>>,
+    garbage: Mutex<Vec<(u64, Deferred)>>,
+}
+
+thread_local! {
+    /// Per-thread slot cache keyed by manager address: a thread touching
+    /// multiple pools gets one slot per pool.
+    static SLOTS: RefCell<Vec<(usize, Arc<ThreadSlot>)>> = const { RefCell::new(Vec::new()) };
+}
+
+impl EpochManager {
+    pub fn new() -> Self {
+        EpochManager {
+            global: AtomicU64::new(1),
+            registry: Mutex::new(Vec::new()),
+            garbage: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn slot_for_current_thread(&self) -> Arc<ThreadSlot> {
+        let key = self as *const _ as usize;
+        SLOTS.with(|slots| {
+            let mut slots = slots.borrow_mut();
+            if let Some((_, slot)) = slots.iter().find(|(k, _)| *k == key) {
+                return slot.clone();
+            }
+            let slot = Arc::new(ThreadSlot { active: AtomicU64::new(IDLE) });
+            self.registry.lock().push(slot.clone());
+            slots.push((key, slot.clone()));
+            slot
+        })
+    }
+
+    /// Pin the current thread. While the guard lives, nothing unlinked at
+    /// or after the pinned epoch will be reclaimed.
+    pub fn pin(&self) -> EpochGuard<'_> {
+        let slot = self.slot_for_current_thread();
+        loop {
+            let e = self.global.load(Ordering::Acquire);
+            slot.active.store(e + 1, Ordering::SeqCst);
+            // Re-check to close the window where a collector read our slot
+            // as idle after we read `global`.
+            if self.global.load(Ordering::SeqCst) == e {
+                break;
+            }
+        }
+        EpochGuard { mgr: self, slot }
+    }
+
+    /// Defer returning `off` (of `size` bytes) to the pool allocator until
+    /// all current readers have unpinned.
+    pub(crate) fn defer_free(&self, off: PmOffset, size: usize) -> bool {
+        let e = self.global.load(Ordering::SeqCst);
+        let mut g = self.garbage.lock();
+        g.push((e, Deferred::Free { off, size }));
+        g.len() >= COLLECT_THRESHOLD
+    }
+
+    /// Defer an arbitrary action until all current readers have unpinned.
+    pub fn defer<F: FnOnce() + Send + 'static>(&self, f: F) {
+        let e = self.global.load(Ordering::SeqCst);
+        self.garbage.lock().push((e, Deferred::Run(Box::new(f))));
+    }
+
+    fn min_pinned(&self) -> Option<u64> {
+        self.registry
+            .lock()
+            .iter()
+            .filter_map(|s| {
+                let v = s.active.load(Ordering::SeqCst);
+                if v == IDLE {
+                    None
+                } else {
+                    Some(v - 1)
+                }
+            })
+            .min()
+    }
+
+    /// Reclaim everything whose unlink epoch precedes all pinned readers.
+    /// `free` performs the actual deallocation for `Deferred::Free` items.
+    pub(crate) fn collect(&self, mut free: impl FnMut(PmOffset, usize)) -> usize {
+        self.global.fetch_add(1, Ordering::SeqCst);
+        let min_pinned = self.min_pinned();
+        let ready: Vec<Deferred> = {
+            let mut g = self.garbage.lock();
+            let mut ready = Vec::new();
+            g.retain_mut(|(e, d)| {
+                let safe = match min_pinned {
+                    Some(m) => *e < m,
+                    None => true,
+                };
+                if safe {
+                    // Replace with a no-op so we can move the deferred
+                    // action out while retain iterates.
+                    let taken = std::mem::replace(d, Deferred::Run(Box::new(|| {})));
+                    ready.push(taken);
+                }
+                !safe
+            });
+            ready
+        };
+        let n = ready.len();
+        for d in ready {
+            match d {
+                Deferred::Free { off, size } => free(off, size),
+                Deferred::Run(f) => f(),
+            }
+        }
+        n
+    }
+
+    /// Number of deferred items not yet reclaimed (for tests/diagnostics).
+    pub fn pending(&self) -> usize {
+        self.garbage.lock().len()
+    }
+}
+
+impl Default for EpochManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// RAII pin on the epoch; readers hold one across optimistic accesses.
+pub struct EpochGuard<'a> {
+    mgr: &'a EpochManager,
+    slot: Arc<ThreadSlot>,
+}
+
+impl Drop for EpochGuard<'_> {
+    fn drop(&mut self) {
+        let _ = self.mgr;
+        self.slot.active.store(IDLE, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn unpinned_garbage_is_collected() {
+        let mgr = EpochManager::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        mgr.defer(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(mgr.pending(), 1);
+        mgr.collect(|_, _| {});
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(mgr.pending(), 0);
+    }
+
+    #[test]
+    fn pinned_reader_blocks_collection() {
+        let mgr = EpochManager::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let guard = mgr.pin();
+        let h = hits.clone();
+        mgr.defer(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        mgr.collect(|_, _| {});
+        assert_eq!(hits.load(Ordering::SeqCst), 0, "reader still pinned");
+        drop(guard);
+        mgr.collect(|_, _| {});
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn defer_free_routes_to_allocator_callback() {
+        let mgr = EpochManager::new();
+        mgr.defer_free(PmOffset::new(4096), 256);
+        let mut freed = Vec::new();
+        mgr.collect(|off, size| freed.push((off, size)));
+        assert_eq!(freed, vec![(PmOffset::new(4096), 256)]);
+    }
+
+    #[test]
+    fn repin_after_drop_is_fine() {
+        let mgr = EpochManager::new();
+        for _ in 0..10 {
+            let g = mgr.pin();
+            drop(g);
+        }
+        assert!(mgr.min_pinned().is_none());
+    }
+
+    #[test]
+    fn concurrent_pin_collect_stress() {
+        let mgr = Arc::new(EpochManager::new());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let mgr = mgr.clone();
+            let stop = stop.clone();
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let _g = mgr.pin();
+                    std::hint::spin_loop();
+                }
+            }));
+        }
+        for _ in 0..100 {
+            mgr.defer(|| {});
+            mgr.collect(|_, _| {});
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Everything must eventually drain once readers are gone.
+        while mgr.pending() > 0 {
+            mgr.collect(|_, _| {});
+        }
+    }
+}

@@ -1,0 +1,86 @@
+use std::fmt;
+
+/// Cacheline size assumed throughout; flush granularity of the emulated PM.
+pub const CACHELINE: usize = 64;
+
+/// A persistent pointer: an offset from the pool base.
+///
+/// Offset 0 (inside the pool header) is never handed out by the allocator,
+/// so it doubles as the null value, like `OID_NULL` in PMDK.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PmOffset(u64);
+
+impl PmOffset {
+    pub const NULL: PmOffset = PmOffset(0);
+
+    #[inline]
+    pub const fn new(off: u64) -> Self {
+        PmOffset(off)
+    }
+
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Offset `bytes` past `self`. Panics on overflow in debug builds.
+    #[inline]
+    pub const fn add(self, bytes: u64) -> Self {
+        PmOffset(self.0 + bytes)
+    }
+}
+
+impl fmt::Debug for PmOffset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "PmOffset(NULL)")
+        } else {
+            write!(f, "PmOffset({:#x})", self.0)
+        }
+    }
+}
+
+/// Round `x` up to the next multiple of `align` (a power of two).
+#[inline]
+pub const fn align_up(x: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    (x + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_offset() {
+        assert!(PmOffset::NULL.is_null());
+        assert!(!PmOffset::new(64).is_null());
+        assert_eq!(PmOffset::new(64).get(), 64);
+    }
+
+    #[test]
+    fn add_advances() {
+        let off = PmOffset::new(128);
+        assert_eq!(off.add(64).get(), 192);
+    }
+
+    #[test]
+    fn align_up_basics() {
+        assert_eq!(align_up(0, 64), 0);
+        assert_eq!(align_up(1, 64), 64);
+        assert_eq!(align_up(64, 64), 64);
+        assert_eq!(align_up(65, 64), 128);
+        assert_eq!(align_up(4097, 4096), 8192);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", PmOffset::NULL), "PmOffset(NULL)");
+        assert_eq!(format!("{:?}", PmOffset::new(0x40)), "PmOffset(0x40)");
+    }
+}

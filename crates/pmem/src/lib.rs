@@ -1,0 +1,43 @@
+//! Emulated persistent memory (PM) substrate for the Dash reproduction.
+//!
+//! The paper runs on Intel Optane DCPMM in AppDirect mode with PMDK. This
+//! crate provides the equivalent substrate in ordinary memory while keeping
+//! every *software-visible* property the hash tables rely on:
+//!
+//! * a pool addressed by stable 8-byte offsets ([`PmOffset`]) so persistent
+//!   pointers survive a restart (the paper maps PM at a fixed virtual
+//!   address for the same reason, §6.1);
+//! * explicit cacheline flush ([`PmemPool::flush`]) and store fence
+//!   ([`PmemPool::fence`]) with *checkable* semantics: in shadow mode only
+//!   flushed lines survive a simulated crash, so a missing flush becomes an
+//!   observable lost write in tests;
+//! * a crash-safe allocator with PMDK-style allocate–activate publication
+//!   (a block is owned by the application or the allocator, never leaked);
+//! * a bounded redo-log transaction for multi-word atomic updates (the
+//!   paper uses PMDK transactions for segment-split directory updates);
+//! * epoch-based reclamation so optimistic readers never dereference freed
+//!   segments or variable-length keys;
+//! * PM access accounting and an optional Optane-like cost model (latency +
+//!   shared bandwidth token buckets) used by the benchmark harnesses to
+//!   reproduce the bandwidth-saturation behaviour central to the paper.
+
+mod alloc;
+mod cost;
+mod epoch;
+mod error;
+mod layout;
+#[cfg(unix)]
+mod mmap;
+mod pool;
+mod proptests;
+mod stats;
+mod tx;
+
+pub use alloc::{AllocMode, AllocTicket};
+pub use cost::CostModel;
+pub use epoch::{EpochGuard, EpochManager};
+pub use error::{PmError, Result};
+pub use layout::{align_up, PmOffset, CACHELINE};
+pub use pool::{PmemPool, PoolConfig, PoolImage, RecoveryOutcome};
+pub use stats::StatsSnapshot;
+pub use tx::MAX_TX_WRITES;

@@ -1,0 +1,145 @@
+//! Minimal mmap bindings for the file-backed pool mode (Linux/Unix).
+//!
+//! The paper's implementation maps a DAX file and (via `MAP_FIXED` plus a
+//! lowered `mmap_min_addr`) pins it to a stable virtual address so raw
+//! 8-byte pointers stay valid across restarts (§6.1). This reproduction
+//! sidesteps the fixed-address trick entirely: all persistent references
+//! are [`crate::PmOffset`] offsets from the pool base, so the mapping may
+//! land anywhere. What remains from the paper's setup is the substance —
+//! one contiguous, byte-addressable, persistently backed region.
+//!
+//! Bindings are declared directly (the offline dependency set has no
+//! `libc`); the constants are the x86-64 Linux ABI values, which also hold
+//! on aarch64 Linux.
+
+use std::ffi::c_void;
+use std::fs::File;
+use std::os::unix::io::AsRawFd;
+
+use crate::error::{PmError, Result};
+
+const PROT_READ: i32 = 0x1;
+const PROT_WRITE: i32 = 0x2;
+const MAP_SHARED: i32 = 0x01;
+const MS_SYNC: i32 = 0x4;
+
+extern "C" {
+    fn mmap(addr: *mut c_void, len: usize, prot: i32, flags: i32, fd: i32, off: i64)
+        -> *mut c_void;
+    fn munmap(addr: *mut c_void, len: usize) -> i32;
+    fn msync(addr: *mut c_void, len: usize, flags: i32) -> i32;
+}
+
+/// A `MAP_SHARED` file mapping; unmapped on drop (the kernel writes dirty
+/// pages back on unmap/close, `sync` makes it synchronous and durable).
+#[derive(Debug)]
+pub(crate) struct FileMapping {
+    ptr: *mut u8,
+    len: usize,
+    /// Keeps the descriptor alive for the lifetime of the mapping.
+    _file: File,
+}
+
+// SAFETY: the mapping is a plain memory region; all concurrent access to
+// its bytes goes through atomics or caller-synchronized raw pointers,
+// exactly as for the heap-backed region.
+unsafe impl Send for FileMapping {}
+unsafe impl Sync for FileMapping {}
+
+impl FileMapping {
+    /// Map `len` bytes of `file` (which must be at least that long).
+    pub fn map(file: File, len: usize) -> Result<FileMapping> {
+        // SAFETY: fd is valid (owned by `file`), len > 0 is validated by
+        // the pool config, and we request a fresh shared mapping.
+        let ptr = unsafe {
+            mmap(std::ptr::null_mut(), len, PROT_READ | PROT_WRITE, MAP_SHARED, file.as_raw_fd(), 0)
+        };
+        if ptr as isize == -1 || ptr.is_null() {
+            return Err(PmError::Io("mmap failed"));
+        }
+        Ok(FileMapping { ptr: ptr as *mut u8, len, _file: file })
+    }
+
+    #[inline]
+    pub fn ptr(&self) -> *mut u8 {
+        self.ptr
+    }
+
+    /// Synchronously write every dirty page back to the file (the durable
+    /// point of a clean shutdown; the analogue of draining the ADR domain).
+    pub fn sync(&self) -> Result<()> {
+        // SAFETY: syncing the exact region we mapped.
+        let rc = unsafe { msync(self.ptr as *mut c_void, self.len, MS_SYNC) };
+        if rc != 0 {
+            return Err(PmError::Io("msync failed"));
+        }
+        Ok(())
+    }
+}
+
+impl Drop for FileMapping {
+    fn drop(&mut self) {
+        // SAFETY: unmapping the exact region we mapped.
+        unsafe { munmap(self.ptr as *mut c_void, self.len) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dash-mmap-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn map_write_sync_reopen() {
+        let path = tmp("roundtrip");
+        let len = 64 * 1024;
+        {
+            let f = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&path)
+                .unwrap();
+            f.set_len(len as u64).unwrap();
+            let m = FileMapping::map(f, len).unwrap();
+            // SAFETY: within the mapping.
+            unsafe {
+                m.ptr().add(4096).write(0xAB);
+                m.ptr().add(len - 1).write(0xCD);
+            }
+            m.sync().unwrap();
+        }
+        {
+            let f = std::fs::OpenOptions::new().read(true).write(true).open(&path).unwrap();
+            let m = FileMapping::map(f, len).unwrap();
+            // SAFETY: within the mapping.
+            unsafe {
+                assert_eq!(m.ptr().add(4096).read(), 0xAB);
+                assert_eq!(m.ptr().add(len - 1).read(), 0xCD);
+                assert_eq!(m.ptr().read(), 0, "untouched bytes are zero");
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn zero_length_mapping_fails_gracefully() {
+        let path = tmp("short");
+        let f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap();
+        // Zero-length mapping: mmap must report an error, not crash.
+        assert_eq!(FileMapping::map(f, 0).unwrap_err(), PmError::Io("mmap failed"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

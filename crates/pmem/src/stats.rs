@@ -1,0 +1,189 @@
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+const SHARDS: usize = 32;
+
+/// One cacheline-padded shard of counters so 24 threads don't serialize on
+/// a single line of atomics.
+#[repr(align(64))]
+#[derive(Default)]
+struct Shard {
+    pm_reads: AtomicU64,
+    pm_read_bytes: AtomicU64,
+    pm_writes: AtomicU64,
+    pm_write_bytes: AtomicU64,
+    flushes: AtomicU64,
+    flush_bytes: AtomicU64,
+    fences: AtomicU64,
+    allocs: AtomicU64,
+    frees: AtomicU64,
+}
+
+/// Sharded PM access counters. Tables record a PM read at bucket-probe
+/// granularity (one probe = one 256 B Optane block) and writes at flush
+/// granularity; the benchmark harnesses report these next to throughput so
+/// the "who touches more PM" analysis from the paper is directly visible.
+pub(crate) struct PmStats {
+    shards: Box<[Shard]>,
+}
+
+thread_local! {
+    static SHARD_ID: usize = {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS
+    };
+}
+
+impl PmStats {
+    pub fn new() -> Self {
+        let mut shards = Vec::with_capacity(SHARDS);
+        shards.resize_with(SHARDS, Shard::default);
+        PmStats { shards: shards.into_boxed_slice() }
+    }
+
+    #[inline]
+    fn shard(&self) -> &Shard {
+        let id = SHARD_ID.with(|s| *s);
+        &self.shards[id]
+    }
+
+    #[inline]
+    pub fn note_read(&self, bytes: usize) {
+        let s = self.shard();
+        s.pm_reads.fetch_add(1, Ordering::Relaxed);
+        s.pm_read_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn note_write(&self, bytes: usize) {
+        let s = self.shard();
+        s.pm_writes.fetch_add(1, Ordering::Relaxed);
+        s.pm_write_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn note_flush(&self, bytes: usize) {
+        let s = self.shard();
+        s.flushes.fetch_add(1, Ordering::Relaxed);
+        s.flush_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn note_fence(&self) {
+        self.shard().fences.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn note_alloc(&self) {
+        self.shard().allocs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn note_free(&self) {
+        self.shard().frees.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut out = StatsSnapshot::default();
+        for s in self.shards.iter() {
+            out.pm_reads += s.pm_reads.load(Ordering::Relaxed);
+            out.pm_read_bytes += s.pm_read_bytes.load(Ordering::Relaxed);
+            out.pm_writes += s.pm_writes.load(Ordering::Relaxed);
+            out.pm_write_bytes += s.pm_write_bytes.load(Ordering::Relaxed);
+            out.flushes += s.flushes.load(Ordering::Relaxed);
+            out.flush_bytes += s.flush_bytes.load(Ordering::Relaxed);
+            out.fences += s.fences.load(Ordering::Relaxed);
+            out.allocs += s.allocs.load(Ordering::Relaxed);
+            out.frees += s.frees.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+/// A point-in-time aggregate of the pool's PM access counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Metered PM reads (bucket probes, key dereferences, recovery scans).
+    pub pm_reads: u64,
+    pub pm_read_bytes: u64,
+    /// Metered PM writes that are not flushes (e.g. pessimistic read-lock
+    /// traffic that dirties PM cachelines).
+    pub pm_writes: u64,
+    pub pm_write_bytes: u64,
+    /// CLWB-equivalent flushes issued.
+    pub flushes: u64,
+    pub flush_bytes: u64,
+    /// SFENCE-equivalent fences issued.
+    pub fences: u64,
+    pub allocs: u64,
+    pub frees: u64,
+}
+
+impl StatsSnapshot {
+    /// Counter deltas between two snapshots (`self` taken after `earlier`).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            pm_reads: self.pm_reads - earlier.pm_reads,
+            pm_read_bytes: self.pm_read_bytes - earlier.pm_read_bytes,
+            pm_writes: self.pm_writes - earlier.pm_writes,
+            pm_write_bytes: self.pm_write_bytes - earlier.pm_write_bytes,
+            flushes: self.flushes - earlier.flushes,
+            flush_bytes: self.flush_bytes - earlier.flush_bytes,
+            fences: self.fences - earlier.fences,
+            allocs: self.allocs - earlier.allocs,
+            frees: self.frees - earlier.frees,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_snapshot() {
+        let st = PmStats::new();
+        st.note_read(256);
+        st.note_read(256);
+        st.note_flush(64);
+        st.note_fence();
+        st.note_alloc();
+        let snap = st.snapshot();
+        assert_eq!(snap.pm_reads, 2);
+        assert_eq!(snap.pm_read_bytes, 512);
+        assert_eq!(snap.flushes, 1);
+        assert_eq!(snap.flush_bytes, 64);
+        assert_eq!(snap.fences, 1);
+        assert_eq!(snap.allocs, 1);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let st = PmStats::new();
+        st.note_read(1);
+        let a = st.snapshot();
+        st.note_read(1);
+        st.note_flush(64);
+        let b = st.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.pm_reads, 1);
+        assert_eq!(d.flushes, 1);
+    }
+
+    #[test]
+    fn threads_do_not_lose_counts() {
+        let st = std::sync::Arc::new(PmStats::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let st = st.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    st.note_read(256);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(st.snapshot().pm_reads, 8000);
+    }
+}

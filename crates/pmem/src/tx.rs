@@ -1,0 +1,174 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::{PmError, Result};
+use crate::layout::PmOffset;
+use crate::pool::PmemPool;
+
+/// Maximum word writes per redo-log transaction.
+pub const MAX_TX_WRITES: usize = 32;
+
+#[repr(C)]
+pub(crate) struct RedoEntry {
+    pub off: AtomicU64,
+    pub val: AtomicU64,
+}
+
+/// A bounded redo log standing in for PMDK transactions (§4.7: Dash uses
+/// PMDK transactions for the directory updates of a segment split; our
+/// Level Hashing port uses it to publish resizes). Protocol: fill entries,
+/// persist, set the commit flag, persist, apply, clear flag. `open`
+/// replays a committed log, making the write-set atomic across crashes.
+#[repr(C)]
+pub(crate) struct RedoArea {
+    /// 0 = idle, 1 = committed (apply in progress or incomplete).
+    pub state: AtomicU64,
+    pub count: AtomicU64,
+    pub entries: [RedoEntry; MAX_TX_WRITES],
+}
+
+impl PmemPool {
+    /// Atomically (w.r.t. crashes) apply a set of 8-byte writes. Writes
+    /// are applied with `Release` stores, so concurrent readers see each
+    /// word atomically — though not the set as a whole; callers that need
+    /// reader-side isolation must provide it (Dash re-verifies directory
+    /// entries instead, §4.4).
+    pub fn run_tx(&self, writes: &[(PmOffset, u64)]) -> Result<()> {
+        if writes.len() > MAX_TX_WRITES {
+            return Err(PmError::TxTooLarge);
+        }
+        if writes.is_empty() {
+            return Ok(());
+        }
+        let _g = self.tx_lock.lock();
+        let redo = &self.header().redo;
+        redo.count.store(writes.len() as u64, Ordering::Relaxed);
+        for (i, (off, val)) in writes.iter().enumerate() {
+            debug_assert!(off.get() as usize + 8 <= self.size());
+            redo.entries[i].off.store(off.get(), Ordering::Relaxed);
+            redo.entries[i].val.store(*val, Ordering::Relaxed);
+        }
+        let redo_off = self.offset_of(redo);
+        self.persist(redo_off, std::mem::size_of::<RedoArea>());
+        redo.state.store(1, Ordering::SeqCst);
+        self.persist(redo_off, 8);
+        for (off, val) in writes {
+            // SAFETY: bounds checked above; 8-byte aligned pool word.
+            unsafe { (*self.at::<AtomicU64>(*off)).store(*val, Ordering::Release) };
+            self.flush(*off, 8);
+        }
+        self.fence();
+        redo.state.store(0, Ordering::SeqCst);
+        self.persist(redo_off, 8);
+        Ok(())
+    }
+
+    /// Recovery: replay a committed-but-unapplied transaction. Returns
+    /// whether anything was replayed.
+    pub(crate) fn replay_redo(&self) -> bool {
+        let redo = &self.header().redo;
+        if redo.state.load(Ordering::Relaxed) != 1 {
+            return false;
+        }
+        let count = (redo.count.load(Ordering::Relaxed) as usize).min(MAX_TX_WRITES);
+        for i in 0..count {
+            let off = PmOffset::new(redo.entries[i].off.load(Ordering::Relaxed));
+            let val = redo.entries[i].val.load(Ordering::Relaxed);
+            if off.get() as usize + 8 <= self.size() && off.get() % 8 == 0 {
+                // SAFETY: bounds and alignment checked.
+                unsafe { (*self.at::<AtomicU64>(off)).store(val, Ordering::Relaxed) };
+                self.flush(off, 8);
+            }
+        }
+        self.fence();
+        redo.state.store(0, Ordering::SeqCst);
+        self.persist(self.offset_of(redo), 8);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolConfig;
+
+    fn shadow_pool() -> std::sync::Arc<PmemPool> {
+        PmemPool::create(PoolConfig { size: 1 << 20, shadow: true, ..Default::default() })
+            .unwrap()
+    }
+
+    #[test]
+    fn tx_applies_all_writes() {
+        let p = shadow_pool();
+        let a = p.alloc(8).unwrap();
+        let b = p.alloc(8).unwrap();
+        p.run_tx(&[(a, 11), (b, 22)]).unwrap();
+        unsafe {
+            assert_eq!((*p.at::<AtomicU64>(a)).load(Ordering::Relaxed), 11);
+            assert_eq!((*p.at::<AtomicU64>(b)).load(Ordering::Relaxed), 22);
+        }
+    }
+
+    #[test]
+    fn tx_too_large_rejected() {
+        let p = shadow_pool();
+        let a = p.alloc(8).unwrap();
+        let writes = vec![(a, 0u64); MAX_TX_WRITES + 1];
+        assert!(matches!(p.run_tx(&writes), Err(PmError::TxTooLarge)));
+    }
+
+    #[test]
+    fn committed_tx_replayed_after_crash() {
+        let p = shadow_pool();
+        let a = p.alloc(8).unwrap();
+        let b = p.alloc(8).unwrap();
+        p.zero(a, 8);
+        p.zero(b, 8);
+        p.persist(a, 8);
+        p.persist(b, 8);
+
+        // Run the tx but cut power right after the commit flag persists:
+        // the flushes of the data words themselves are dropped.
+        let flushes_for_commit = {
+            // Dry-run on a scratch pool to count flushes up to commit:
+            // prepare (1 persist of redo area = 1 flush+fence) + commit
+            // flag (1 flush+fence). We can count directly: persist(redo)
+            // is 1 flush, persist(state) is 1 flush.
+            2u64
+        };
+        let base = p.flushes_issued();
+        p.set_flush_limit(Some(base + flushes_for_commit));
+        p.run_tx(&[(a, 7), (b, 9)]).unwrap();
+        p.set_flush_limit(None);
+
+        let img = p.crash_image();
+        let p2 = PmemPool::open(img, PoolConfig { size: 1 << 20, shadow: true, ..Default::default() }).unwrap();
+        assert!(p2.recovery_outcome().redo_replayed);
+        unsafe {
+            assert_eq!((*p2.at::<AtomicU64>(a)).load(Ordering::Relaxed), 7);
+            assert_eq!((*p2.at::<AtomicU64>(b)).load(Ordering::Relaxed), 9);
+        }
+    }
+
+    #[test]
+    fn uncommitted_tx_discarded_after_crash() {
+        let p = shadow_pool();
+        let a = p.alloc(8).unwrap();
+        p.zero(a, 8);
+        p.persist(a, 8);
+        // Cut power before the commit flag: only the redo fill persists.
+        let base = p.flushes_issued();
+        p.set_flush_limit(Some(base + 1));
+        p.run_tx(&[(a, 42)]).unwrap();
+        p.set_flush_limit(None);
+        let img = p.crash_image();
+        let p2 = PmemPool::open(img, PoolConfig { size: 1 << 20, shadow: true, ..Default::default() }).unwrap();
+        assert!(!p2.recovery_outcome().redo_replayed);
+        unsafe { assert_eq!((*p2.at::<AtomicU64>(a)).load(Ordering::Relaxed), 0) };
+    }
+
+    #[test]
+    fn empty_tx_is_noop() {
+        let p = shadow_pool();
+        p.run_tx(&[]).unwrap();
+    }
+}

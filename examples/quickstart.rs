@@ -1,0 +1,55 @@
+//! Quickstart: create an emulated PM pool, build a Dash-EH table, and run
+//! the basic operations — then shut down cleanly and reopen to show the
+//! data survives a "restart".
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dash_repro::{DashConfig, DashEh, PmHashTable, PmemPool, PoolConfig};
+
+fn main() {
+    // 64 MB emulated persistent memory pool.
+    let cfg = PoolConfig::with_size(64 << 20);
+    let pool = PmemPool::create(cfg).expect("create pool");
+
+    // A Dash-EH table with the paper's default geometry: 16 KB segments,
+    // 256-byte buckets with fingerprints, two stash buckets per segment.
+    let table: DashEh<u64> = DashEh::create(pool.clone(), DashConfig::default()).expect("create");
+
+    println!("== insert / search / update / delete ==");
+    for k in 0..10_000u64 {
+        table.insert(&k, k * 10).expect("insert");
+    }
+    assert_eq!(table.get(&42), Some(420));
+    assert_eq!(table.get(&99_999), None, "negative search");
+    table.update(&42, 4242);
+    assert_eq!(table.get(&42), Some(4242));
+    assert!(table.remove(&7));
+    assert_eq!(table.get(&7), None);
+    println!("10k records; load factor = {:.1}%", table.load_factor() * 100.0);
+
+    // PM access accounting from the substrate.
+    let stats = pool.stats();
+    println!(
+        "PM accounting: {} reads ({} KB), {} flushes, {} fences",
+        stats.pm_reads,
+        stats.pm_read_bytes / 1024,
+        stats.flushes,
+        stats.fences
+    );
+
+    println!("\n== clean shutdown & reopen ==");
+    let image = pool.close_image();
+    drop(table);
+    let pool2 = PmemPool::open(image, cfg).expect("reopen");
+    println!(
+        "reopen: clean = {}, version = {}",
+        pool2.recovery_outcome().clean,
+        pool2.recovery_outcome().version
+    );
+    let table2: DashEh<u64> = DashEh::open(pool2).expect("open table");
+    assert_eq!(table2.get(&42), Some(4242));
+    assert_eq!(table2.get(&7), None);
+    println!("all records intact after restart");
+}

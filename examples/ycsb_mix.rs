@@ -1,0 +1,107 @@
+//! YCSB-style workload mixes over all four hash tables.
+//!
+//! The paper's micro-benchmarks isolate single operations; real key-value
+//! deployments (the motivation of §1) run mixes. This example drives
+//! Dash-EH, Dash-LH, CCEH and Level Hashing through the three classic
+//! YCSB core mixes under a Zipfian key distribution (the skewed workloads
+//! §6.2 mentions):
+//!
+//! * **A** — 50 % update / 50 % read,
+//! * **B** — 5 % update / 95 % read,
+//! * **C** — 100 % read.
+//!
+//! Skew concentrates traffic on hot keys, which (as the paper observes)
+//! *helps* every table — hot buckets become cache-resident and PM reads
+//! drop — while Dash's optimistic locking avoids turning hot-key reads
+//! into PM lock writes.
+//!
+//! ```sh
+//! cargo run --release --example ycsb_mix
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dash_repro::dash_common::{uniform_keys, ZipfGenerator};
+use dash_repro::{
+    Cceh, CcehConfig, DashConfig, DashEh, DashLh, LevelConfig, LevelHash, PmHashTable, PmemPool,
+    PoolConfig,
+};
+
+const RECORDS: usize = 100_000;
+const OPS_PER_THREAD: usize = 50_000;
+const ZIPF_THETA: f64 = 0.99;
+
+fn build_tables(pool_bytes: usize) -> Vec<(Arc<PmemPool>, Arc<dyn PmHashTable<u64>>)> {
+    let mut out: Vec<(Arc<PmemPool>, Arc<dyn PmHashTable<u64>>)> = Vec::new();
+    let cfg = || PoolConfig::with_size(pool_bytes);
+    let p = PmemPool::create(cfg()).expect("pool");
+    out.push((p.clone(), Arc::new(DashEh::create(p, DashConfig::default()).unwrap())));
+    let p = PmemPool::create(cfg()).expect("pool");
+    out.push((p.clone(), Arc::new(DashLh::create(p, DashConfig::default()).unwrap())));
+    let p = PmemPool::create(cfg()).expect("pool");
+    out.push((p.clone(), Arc::new(Cceh::create(p, CcehConfig::default()).unwrap())));
+    let p = PmemPool::create(cfg()).expect("pool");
+    out.push((p.clone(), Arc::new(LevelHash::create(p, LevelConfig::default()).unwrap())));
+    out
+}
+
+fn run_mix(
+    name: &str,
+    update_pct: u64,
+    table: &Arc<dyn PmHashTable<u64>>,
+    pool: &Arc<PmemPool>,
+    keys: &Arc<Vec<u64>>,
+    threads: usize,
+) {
+    let before = pool.stats();
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let table = table.clone();
+            let keys = keys.clone();
+            s.spawn(move || {
+                let mut zipf = ZipfGenerator::new(keys.len(), ZIPF_THETA, 0xC0FFEE ^ tid as u64);
+                let mut rng = 0x9E37u64.wrapping_mul(tid as u64 + 1);
+                for _ in 0..OPS_PER_THREAD {
+                    let k = keys[zipf.next_index()];
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    if (rng >> 33) % 100 < update_pct {
+                        assert!(table.update(&k, rng), "update of preloaded key");
+                    } else {
+                        assert!(table.get(&k).is_some(), "read of preloaded key");
+                    }
+                }
+            });
+        }
+    });
+    let dt = t0.elapsed();
+    let d = pool.stats().since(&before);
+    let total_ops = (threads * OPS_PER_THREAD) as f64;
+    println!(
+        "  {name:<2} {:<14} {:>8.3} Mops/s   PM reads/op {:>5.2}   PM writes/op {:>5.2}",
+        table.name(),
+        total_ops / dt.as_secs_f64() / 1e6,
+        d.pm_reads as f64 / total_ops,
+        (d.pm_writes + d.flushes) as f64 / total_ops,
+    );
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+    println!(
+        "YCSB-style mixes, {RECORDS} records, {threads} threads × {OPS_PER_THREAD} ops, \
+         Zipfian theta={ZIPF_THETA}\n"
+    );
+    let keys = Arc::new(uniform_keys(RECORDS, 0xFACE));
+    for (mix, update_pct) in [("A", 50u64), ("B", 5), ("C", 0)] {
+        println!("workload {mix} ({update_pct}% update / {}% read):", 100 - update_pct);
+        for (pool, table) in build_tables(1 << 30) {
+            for (i, k) in keys.iter().enumerate() {
+                table.insert(k, i as u64).expect("preload");
+            }
+            run_mix(mix, update_pct, &table, &pool, &keys, threads);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,31 @@
+//! # dash-repro — Dash: Scalable Hashing on Persistent Memory (VLDB 2020)
+//!
+//! Umbrella crate for the full reproduction. It re-exports:
+//!
+//! * [`pmem`] — the emulated persistent-memory substrate (pool, flush and
+//!   fence semantics, shadow crash simulation, an optional file-backed
+//!   `MAP_SHARED` mode that survives real process restarts, crash-safe
+//!   allocator, redo-log transactions, epoch reclamation, PM accounting
+//!   and an Optane-like cost model);
+//! * [`dash_core`] — Dash itself: [`DashEh`] (extendible hashing) and
+//!   [`DashLh`] (linear hashing) built on fingerprinting, optimistic
+//!   bucket locking, bucket load balancing and instant recovery;
+//! * [`cceh`] and [`levelhash`] — the two state-of-the-art baselines the
+//!   paper compares against;
+//! * [`dash_common`] — the shared [`PmHashTable`] trait, key encodings
+//!   and workload generators.
+//!
+//! ```
+//! use dash_repro::{DashConfig, DashEh, PmHashTable, PmemPool, PoolConfig};
+//!
+//! let pool = PmemPool::create(PoolConfig::with_size(16 << 20)).unwrap();
+//! let table: DashEh<u64> = DashEh::create(pool, DashConfig::default()).unwrap();
+//! table.insert(&1, 100).unwrap();
+//! assert_eq!(table.get(&1), Some(100));
+//! ```
+
+pub use cceh::{self, Cceh, CcehConfig};
+pub use dash_common::{self, hash64, hash_u64, Key, PmHashTable, TableError, TableResult, VarKey};
+pub use dash_core::{self, DashConfig, DashEh, DashLh, InsertPolicy, LockMode, BUCKET_SLOTS};
+pub use levelhash::{self, LevelConfig, LevelHash};
+pub use pmem::{self, CostModel, PmOffset, PmemPool, PoolConfig, PoolImage};

@@ -1,0 +1,210 @@
+//! Concurrency stress: mixed reader/writer workloads under contention,
+//! including keys deliberately funneled into few segments so optimistic
+//! retries, displacement races and SMO/reader interleavings actually
+//! fire.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dash_repro::dash_common::uniform_keys;
+use dash_repro::{DashConfig, DashEh, DashLh, PmHashTable, PmemPool, PoolConfig};
+
+fn eh_table(mb: usize, cfg: DashConfig) -> Arc<DashEh<u64>> {
+    let pool = PmemPool::create(PoolConfig::with_size(mb << 20)).unwrap();
+    Arc::new(DashEh::create(pool, cfg).unwrap())
+}
+
+fn lh_table(mb: usize, cfg: DashConfig) -> Arc<DashLh<u64>> {
+    let pool = PmemPool::create(PoolConfig::with_size(mb << 20)).unwrap();
+    Arc::new(DashLh::create(pool, cfg).unwrap())
+}
+
+/// Readers run concurrently with writers; every value a reader observes
+/// must be one the writer actually wrote (odd generation counters make
+/// torn values detectable).
+fn readers_vs_writers<T: PmHashTable<u64> + 'static>(table: Arc<T>) {
+    let keys = Arc::new(uniform_keys(2_000, 5));
+    for k in keys.iter() {
+        table.insert(k, 1).unwrap();
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let anomalies = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        // Two writers continuously update with even values.
+        for w in 0..2u64 {
+            let table = table.clone();
+            let keys = keys.clone();
+            let stop = stop.clone();
+            s.spawn(move || {
+                let mut gen = 2u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for k in keys.iter().skip(w as usize).step_by(2) {
+                        table.update(k, gen);
+                    }
+                    gen += 2;
+                }
+            });
+        }
+        // Four readers: any observed value must be the initial 1 or an
+        // even generation — an odd value > 1 would be a torn read.
+        for _ in 0..4 {
+            let table = table.clone();
+            let keys = keys.clone();
+            let stop = stop.clone();
+            let anomalies = anomalies.clone();
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    for k in keys.iter() {
+                        match table.get(k) {
+                            Some(v) if v == 1 || v % 2 == 0 => {}
+                            Some(_) => {
+                                anomalies.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => {
+                                anomalies.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert_eq!(anomalies.load(Ordering::Relaxed), 0, "torn or lost reads observed");
+}
+
+#[test]
+fn eh_readers_never_see_torn_state() {
+    readers_vs_writers(eh_table(64, DashConfig::default()));
+}
+
+#[test]
+fn lh_readers_never_see_torn_state() {
+    readers_vs_writers(lh_table(
+        64,
+        DashConfig { lh_first_array: 2, lh_stride: 2, ..Default::default() },
+    ));
+}
+
+/// Concurrent inserts racing with splits on purpose: tiny segments force
+/// constant SMO traffic.
+#[test]
+fn eh_insert_storm_through_splits() {
+    let table = eh_table(
+        256,
+        DashConfig { bucket_bits: 2, initial_depth: 1, ..Default::default() },
+    );
+    let keys = Arc::new(uniform_keys(40_000, 3));
+    let threads = 8;
+    let per = keys.len() / threads;
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let table = table.clone();
+            let keys = keys.clone();
+            s.spawn(move || {
+                for i in tid * per..(tid + 1) * per {
+                    table.insert(&keys[i], i as u64).unwrap();
+                }
+            });
+        }
+    });
+    for (i, k) in keys.iter().enumerate() {
+        assert_eq!(table.get(k), Some(i as u64), "key {i} lost in split storm");
+    }
+    assert_eq!(table.len_scan(), keys.len() as u64);
+}
+
+#[test]
+fn lh_insert_storm_through_expansion() {
+    let table = lh_table(
+        256,
+        DashConfig { bucket_bits: 2, lh_first_array: 2, lh_stride: 2, ..Default::default() },
+    );
+    let keys = Arc::new(uniform_keys(40_000, 4));
+    let threads = 8;
+    let per = keys.len() / threads;
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let table = table.clone();
+            let keys = keys.clone();
+            s.spawn(move || {
+                for i in tid * per..(tid + 1) * per {
+                    table.insert(&keys[i], i as u64).unwrap();
+                }
+            });
+        }
+    });
+    for (i, k) in keys.iter().enumerate() {
+        assert_eq!(table.get(k), Some(i as u64), "key {i} lost during expansion");
+    }
+    let (level, next) = table.level_and_next();
+    assert!(level > 0 || next > 0, "expansion must have triggered");
+}
+
+/// Writers inserting + removing while other writers insert different
+/// keys: final state must contain exactly the surviving set.
+#[test]
+fn eh_mixed_insert_remove_partitioned() {
+    let table = eh_table(128, DashConfig { bucket_bits: 3, ..Default::default() });
+    let keep = Arc::new(uniform_keys(8_000, 6));
+    let churn = Arc::new(uniform_keys(8_000, 7));
+    std::thread::scope(|s| {
+        for tid in 0..4 {
+            let table = table.clone();
+            let keep = keep.clone();
+            s.spawn(move || {
+                for i in (tid..keep.len()).step_by(4) {
+                    table.insert(&keep[i], i as u64).unwrap();
+                }
+            });
+        }
+        for tid in 0..4 {
+            let table = table.clone();
+            let churn = churn.clone();
+            s.spawn(move || {
+                for i in (tid..churn.len()).step_by(4) {
+                    table.insert(&churn[i], 0).unwrap();
+                    assert!(table.remove(&churn[i]));
+                }
+            });
+        }
+    });
+    for (i, k) in keep.iter().enumerate() {
+        assert_eq!(table.get(k), Some(i as u64));
+    }
+    for k in churn.iter() {
+        assert_eq!(table.get(k), None);
+    }
+    assert_eq!(table.len_scan(), keep.len() as u64);
+}
+
+/// Pessimistic-lock mode under the same storm (fig. 13's "correct but
+/// slower" configuration must still be correct).
+#[test]
+fn eh_pessimistic_storm() {
+    let table = eh_table(
+        128,
+        DashConfig {
+            bucket_bits: 2,
+            lock_mode: dash_repro::LockMode::Pessimistic,
+            ..Default::default()
+        },
+    );
+    let keys = Arc::new(uniform_keys(16_000, 8));
+    std::thread::scope(|s| {
+        for tid in 0..8 {
+            let table = table.clone();
+            let keys = keys.clone();
+            s.spawn(move || {
+                for i in (tid..keys.len()).step_by(8) {
+                    table.insert(&keys[i], i as u64).unwrap();
+                }
+            });
+        }
+    });
+    for (i, k) in keys.iter().enumerate() {
+        assert_eq!(table.get(k), Some(i as u64));
+    }
+}

@@ -1,0 +1,141 @@
+//! Cross-table integration tests: all four hash tables (Dash-EH, Dash-LH,
+//! CCEH, Level Hashing) driven through the shared `PmHashTable` trait
+//! must agree on the same workload.
+
+use std::sync::Arc;
+
+use dash_repro::dash_common::{negative_keys, uniform_keys};
+use dash_repro::{
+    Cceh, CcehConfig, DashConfig, DashEh, DashLh, LevelConfig, LevelHash, PmHashTable, PmemPool,
+    PoolConfig, TableError,
+};
+
+fn all_tables(pool_mb: usize) -> Vec<Box<dyn PmHashTable<u64>>> {
+    let mk_pool = || PmemPool::create(PoolConfig::with_size(pool_mb << 20)).unwrap();
+    vec![
+        Box::new(DashEh::<u64>::create(mk_pool(), DashConfig::default()).unwrap()),
+        Box::new(DashLh::<u64>::create(mk_pool(), DashConfig::default()).unwrap()),
+        Box::new(Cceh::<u64>::create(mk_pool(), CcehConfig::default()).unwrap()),
+        Box::new(LevelHash::<u64>::create(mk_pool(), LevelConfig::default()).unwrap()),
+    ]
+}
+
+#[test]
+fn identical_results_across_tables() {
+    let keys = uniform_keys(30_000, 101);
+    let absent = negative_keys(10_000, 101);
+    for table in all_tables(256) {
+        for (i, k) in keys.iter().enumerate() {
+            table.insert(k, i as u64).unwrap_or_else(|e| panic!("{}: insert {i}: {e}", table.name()));
+        }
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(table.get(k), Some(i as u64), "{}: positive search {i}", table.name());
+        }
+        for k in &absent {
+            assert_eq!(table.get(k), None, "{}: negative search", table.name());
+        }
+        assert_eq!(table.len_scan(), keys.len() as u64, "{}", table.name());
+    }
+}
+
+#[test]
+fn duplicates_rejected_everywhere() {
+    for table in all_tables(64) {
+        table.insert(&1, 10).unwrap();
+        assert!(
+            matches!(table.insert(&1, 20), Err(TableError::Duplicate)),
+            "{}: duplicate must be rejected",
+            table.name()
+        );
+        assert_eq!(table.get(&1), Some(10), "{}: original value intact", table.name());
+    }
+}
+
+#[test]
+fn update_remove_reinsert_everywhere() {
+    let keys = uniform_keys(5_000, 33);
+    for table in all_tables(128) {
+        for k in &keys {
+            table.insert(k, 1).unwrap();
+        }
+        for k in &keys {
+            assert!(table.update(k, 2), "{}", table.name());
+        }
+        for k in keys.iter().step_by(3) {
+            assert!(table.remove(k), "{}", table.name());
+        }
+        for (i, k) in keys.iter().enumerate() {
+            let expect = if i % 3 == 0 { None } else { Some(2) };
+            assert_eq!(table.get(k), expect, "{}: key {i}", table.name());
+        }
+        for k in keys.iter().step_by(3) {
+            table.insert(k, 3).unwrap();
+            assert_eq!(table.get(k), Some(3), "{}", table.name());
+        }
+    }
+}
+
+#[test]
+fn interleaved_insert_delete_churn() {
+    // Sustained churn: inserts and deletes interleaved so structural
+    // operations (splits, stash traffic, resizes) happen under load.
+    let keys = uniform_keys(20_000, 55);
+    for table in all_tables(256) {
+        let name = table.name();
+        for window in keys.chunks(2_000) {
+            for k in window {
+                table.insert(k, 9).unwrap();
+            }
+            // Delete the first half of the window again.
+            for k in &window[..window.len() / 2] {
+                assert!(table.remove(k), "{name}");
+            }
+        }
+        let expected: u64 = keys.chunks(2_000).map(|w| (w.len() - w.len() / 2) as u64).sum();
+        assert_eq!(table.len_scan(), expected, "{name}");
+    }
+}
+
+#[test]
+fn concurrent_disjoint_writers_all_tables() {
+    let keys = Arc::new(uniform_keys(16_000, 77));
+    let threads = 8;
+    let per = keys.len() / threads;
+    for table in all_tables(256) {
+        let table: Arc<dyn PmHashTable<u64>> = Arc::from(table);
+        std::thread::scope(|s| {
+            for tid in 0..threads {
+                let table = table.clone();
+                let keys = keys.clone();
+                s.spawn(move || {
+                    for i in tid * per..(tid + 1) * per {
+                        table.insert(&keys[i], i as u64).unwrap();
+                    }
+                });
+            }
+        });
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(table.get(k), Some(i as u64), "{}: key {i}", table.name());
+        }
+    }
+}
+
+#[test]
+fn racing_duplicate_inserts_one_winner_everywhere() {
+    for table in all_tables(64) {
+        let table: Arc<dyn PmHashTable<u64>> = Arc::from(table);
+        let wins = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let table = table.clone();
+                let wins = &wins;
+                s.spawn(move || {
+                    if table.insert(&0xDEAD_BEEF, 1).is_ok() {
+                        wins.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(std::sync::atomic::Ordering::SeqCst), 1, "{}", table.name());
+    }
+}

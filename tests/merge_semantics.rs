@@ -1,0 +1,213 @@
+//! Segment merging and directory halving (§4.7's shrink direction):
+//! delete-heavy workloads must reclaim segments, shrink the directory,
+//! keep every surviving record readable, and stay crash-consistent
+//! through the forward-only merge protocol.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use dash_repro::dash_common::uniform_keys;
+use dash_repro::{DashConfig, DashEh, PmHashTable, PmemPool, PoolConfig};
+
+fn merge_cfg() -> DashConfig {
+    DashConfig {
+        bucket_bits: 2, // tiny segments so merges trigger at test scale
+        initial_depth: 1,
+        merge_threshold: 0.25,
+        ..Default::default()
+    }
+}
+
+fn table(pool_mb: usize, cfg: DashConfig) -> (std::sync::Arc<PmemPool>, DashEh<u64>) {
+    let pool = PmemPool::create(PoolConfig::with_size(pool_mb << 20)).unwrap();
+    let t = DashEh::create(pool.clone(), cfg).unwrap();
+    (pool, t)
+}
+
+#[test]
+fn delete_heavy_workload_reclaims_segments() {
+    let (_pool, t) = table(64, merge_cfg());
+    let keys = uniform_keys(20_000, 1);
+    for (i, k) in keys.iter().enumerate() {
+        t.insert(k, i as u64).unwrap();
+    }
+    let grown_segments = t.segment_count();
+    let grown_depth = t.global_depth();
+
+    // Delete 95 % of the records.
+    for k in keys.iter().skip(keys.len() / 20) {
+        assert!(t.remove(k));
+    }
+    let shrunk_segments = t.segment_count();
+    assert!(
+        shrunk_segments < grown_segments / 2,
+        "merges must reclaim segments: {grown_segments} -> {shrunk_segments}"
+    );
+    assert!(
+        t.global_depth() < grown_depth,
+        "directory must halve: depth {grown_depth} -> {}",
+        t.global_depth()
+    );
+
+    // Every survivor is intact; every deleted key is gone.
+    for (i, k) in keys.iter().enumerate() {
+        if i < keys.len() / 20 {
+            assert_eq!(t.get(k), Some(i as u64), "survivor {k} lost");
+        } else {
+            assert_eq!(t.get(k), None, "deleted key {k} reappeared");
+        }
+    }
+}
+
+#[test]
+fn merged_table_accepts_reinserts() {
+    let (_pool, t) = table(64, merge_cfg());
+    let keys = uniform_keys(8_000, 3);
+    for cycle in 0..3u64 {
+        for k in &keys {
+            t.insert(k, k ^ cycle).unwrap();
+        }
+        for k in &keys {
+            assert_eq!(t.get(k), Some(k ^ cycle));
+        }
+        for k in &keys {
+            assert!(t.remove(k));
+        }
+        assert_eq!(t.len_scan(), 0, "cycle {cycle} left residue");
+    }
+    // Shrunk all the way back down.
+    assert!(t.segment_count() <= 4, "segments not reclaimed: {}", t.segment_count());
+}
+
+#[test]
+fn merge_disabled_by_default() {
+    let (_pool, t) = table(
+        64,
+        DashConfig { bucket_bits: 2, initial_depth: 1, ..Default::default() },
+    );
+    let keys = uniform_keys(10_000, 5);
+    for k in &keys {
+        t.insert(k, 1).unwrap();
+    }
+    let grown = t.segment_count();
+    for k in &keys {
+        assert!(t.remove(k));
+    }
+    assert_eq!(t.segment_count(), grown, "merge_threshold 0.0 must never merge");
+}
+
+/// Readers racing delete-triggered merges: every key is either visible
+/// with its correct value or already deleted — never torn, and the reader
+/// never crashes on a recycled segment (epoch reclamation at work).
+#[test]
+fn concurrent_readers_during_merges() {
+    let (_pool, t) = table(128, merge_cfg());
+    let t = std::sync::Arc::new(t);
+    let keys = std::sync::Arc::new(uniform_keys(30_000, 7));
+    for k in keys.iter() {
+        t.insert(k, k.wrapping_mul(3)).unwrap();
+    }
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let t = t.clone();
+            let keys = keys.clone();
+            let stop = &stop;
+            s.spawn(move || {
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let k = &keys[i % keys.len()];
+                    if let Some(v) = t.get(k) {
+                        assert_eq!(v, k.wrapping_mul(3), "torn read of {k}");
+                    }
+                    i += 1;
+                }
+            });
+        }
+        // Deleter: remove 97 % of keys, forcing a cascade of merges.
+        for (i, k) in keys.iter().enumerate() {
+            if i % 32 != 0 {
+                assert!(t.remove(k));
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    for (i, k) in keys.iter().enumerate() {
+        if i % 32 == 0 {
+            assert_eq!(t.get(k), Some(k.wrapping_mul(3)));
+        } else {
+            assert_eq!(t.get(k), None);
+        }
+    }
+}
+
+/// Power cuts at every flush boundary inside a merge-heavy delete batch:
+/// the forward-only protocol means a crashed merge either rolled forward
+/// on recovery or never started; survivors are never lost.
+#[test]
+fn merge_crash_sweep() {
+    let cfg = PoolConfig { size: 64 << 20, shadow: true, ..Default::default() };
+    let keys = uniform_keys(6_000, 11);
+    let survivors: Vec<u64> = keys.iter().copied().step_by(16).collect();
+    let victims: Vec<u64> = keys.iter().copied().filter(|k| !survivors.contains(k)).collect();
+
+    // Pass 1: find the flush window of the merge-triggering delete batch.
+    let (flush_lo, flush_hi) = {
+        let pool = PmemPool::create(cfg).unwrap();
+        let t: DashEh<u64> = DashEh::create(pool.clone(), merge_cfg()).unwrap();
+        for k in &keys {
+            t.insert(k, k.wrapping_mul(5)).unwrap();
+        }
+        let grown = t.segment_count();
+        let lo = pool.flushes_issued();
+        for k in &victims {
+            assert!(t.remove(k));
+        }
+        assert!(
+            t.segment_count() < grown / 2,
+            "sweep setup must actually merge: {grown} -> {}",
+            t.segment_count()
+        );
+        (lo, pool.flushes_issued())
+    };
+
+    let step = ((flush_hi - flush_lo) / 16).max(1);
+    let mut cut = flush_lo;
+    while cut <= flush_hi {
+        let pool = PmemPool::create(cfg).unwrap();
+        let t: DashEh<u64> = DashEh::create(pool.clone(), merge_cfg()).unwrap();
+        let mut committed = BTreeMap::new();
+        for k in &keys {
+            t.insert(k, k.wrapping_mul(5)).unwrap();
+            committed.insert(*k, k.wrapping_mul(5));
+        }
+        pool.set_flush_limit(Some(cut));
+        for k in &victims {
+            let _ = t.remove(k);
+        }
+        let img = pool.crash_image();
+        drop(t);
+
+        let pool2 = PmemPool::open(img, cfg).unwrap();
+        let t2: DashEh<u64> = DashEh::open(pool2).unwrap();
+        // Survivors (never deleted) must be intact through any crashed
+        // merge; victims may or may not have been deleted yet.
+        for k in &survivors {
+            assert_eq!(t2.get(k), Some(k.wrapping_mul(5)), "survivor {k} lost at cut {cut}");
+        }
+        for k in &victims {
+            if let Some(v) = t2.get(k) {
+                assert_eq!(v, k.wrapping_mul(5), "victim {k} torn at cut {cut}");
+            }
+        }
+        // Table stays operable: finish the deletes, reinsert, read back.
+        for k in &victims {
+            let _ = t2.remove(k);
+        }
+        for k in victims.iter().take(100) {
+            t2.insert(k, 42).unwrap();
+            assert_eq!(t2.get(k), Some(42));
+        }
+        cut += step;
+    }
+}

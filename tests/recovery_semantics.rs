@@ -1,0 +1,231 @@
+//! Instant-recovery semantics (§4.8): constant pool-level work, lazy
+//! per-segment recovery amortized over accesses, version stamping, and
+//! the contrast with CCEH's full directory scan.
+
+use dash_repro::dash_common::uniform_keys;
+use dash_repro::{
+    Cceh, CcehConfig, DashConfig, DashEh, DashLh, PmemPool, PoolConfig,
+};
+
+fn shadow(mb: usize) -> PoolConfig {
+    PoolConfig { size: mb << 20, shadow: true, ..Default::default() }
+}
+
+/// Dash's open() must not touch segments: PM reads at open time stay
+/// constant as data grows (the paper's "instant" claim), while CCEH's
+/// grow linearly.
+#[test]
+fn dash_open_work_is_constant_cceh_is_linear() {
+    let mut dash_reads = Vec::new();
+    let mut cceh_reads = Vec::new();
+    for n in [4_000usize, 16_000] {
+        // Dash-EH.
+        let cfg = shadow(128);
+        let pool = PmemPool::create(cfg).unwrap();
+        let t: DashEh<u64> = DashEh::create(
+            pool.clone(),
+            DashConfig { bucket_bits: 2, initial_depth: 1, ..Default::default() },
+        )
+        .unwrap();
+        for (i, k) in uniform_keys(n, 3).iter().enumerate() {
+            t.insert(k, i as u64).unwrap();
+        }
+        let img = pool.crash_image();
+        drop(t);
+        let pool2 = PmemPool::open(img, cfg).unwrap();
+        let before = pool2.stats();
+        let _t2: DashEh<u64> = DashEh::open(pool2.clone()).unwrap();
+        dash_reads.push(pool2.stats().since(&before).pm_reads);
+
+        // CCEH.
+        let pool = PmemPool::create(cfg).unwrap();
+        let t: Cceh<u64> = Cceh::create(
+            pool.clone(),
+            CcehConfig { bucket_bits: 4, initial_depth: 1, ..Default::default() },
+        )
+        .unwrap();
+        for (i, k) in uniform_keys(n, 3).iter().enumerate() {
+            t.insert(k, i as u64).unwrap();
+        }
+        let img = pool.crash_image();
+        drop(t);
+        let pool2 = PmemPool::open(img, cfg).unwrap();
+        let before = pool2.stats();
+        let _t2: Cceh<u64> = Cceh::open(pool2.clone()).unwrap();
+        cceh_reads.push(pool2.stats().since(&before).pm_reads);
+    }
+    assert_eq!(dash_reads[0], dash_reads[1], "Dash open() must do constant work: {dash_reads:?}");
+    assert!(
+        cceh_reads[1] >= cceh_reads[0] * 2,
+        "CCEH open() must scale with data: {cceh_reads:?}"
+    );
+}
+
+/// Lazy recovery is amortized: the first access to a segment pays for its
+/// recovery; later accesses to the same segment don't.
+#[test]
+fn lazy_recovery_amortizes_over_accesses() {
+    let cfg = shadow(64);
+    let pool = PmemPool::create(cfg).unwrap();
+    let t: DashEh<u64> = DashEh::create(
+        pool.clone(),
+        DashConfig { bucket_bits: 2, initial_depth: 1, ..Default::default() },
+    )
+    .unwrap();
+    let keys = uniform_keys(4_000, 5);
+    for (i, k) in keys.iter().enumerate() {
+        t.insert(k, i as u64).unwrap();
+    }
+    let img = pool.crash_image();
+    drop(t);
+    let pool2 = PmemPool::open(img, cfg).unwrap();
+    let t2: DashEh<u64> = DashEh::open(pool2.clone()).unwrap();
+
+    // First pass recovers segments (heavy); second pass is steady state.
+    let before = pool2.stats();
+    for k in &keys {
+        assert!(t2.get(k).is_some());
+    }
+    let first = pool2.stats().since(&before);
+    let before = pool2.stats();
+    for k in &keys {
+        assert!(t2.get(k).is_some());
+    }
+    let second = pool2.stats().since(&before);
+    assert!(
+        first.pm_reads > second.pm_reads,
+        "first pass must include recovery reads: {} vs {}",
+        first.pm_reads,
+        second.pm_reads
+    );
+    // Steady state after recovery: pure probing, ~2 reads per positive
+    // search at most (target + maybe probing bucket).
+    assert!(
+        second.pm_reads <= 3 * keys.len() as u64,
+        "steady-state reads too high: {}",
+        second.pm_reads
+    );
+}
+
+/// A clean shutdown skips recovery entirely: no recovery work even on
+/// first access.
+#[test]
+fn clean_shutdown_skips_lazy_recovery() {
+    let cfg = shadow(64);
+    let pool = PmemPool::create(cfg).unwrap();
+    let t: DashLh<u64> = DashLh::create(
+        pool.clone(),
+        DashConfig { bucket_bits: 2, lh_first_array: 2, lh_stride: 2, ..Default::default() },
+    )
+    .unwrap();
+    let keys = uniform_keys(3_000, 7);
+    for (i, k) in keys.iter().enumerate() {
+        t.insert(k, i as u64).unwrap();
+    }
+    let img = pool.close_image();
+    drop(t);
+    let pool2 = PmemPool::open(img, cfg).unwrap();
+    assert!(pool2.recovery_outcome().clean);
+    let t2: DashLh<u64> = DashLh::open(pool2.clone()).unwrap();
+    // Two identical passes: no recovery delta between them.
+    let before = pool2.stats();
+    for k in keys.iter().take(500) {
+        assert!(t2.get(k).is_some());
+    }
+    let first = pool2.stats().since(&before);
+    let before = pool2.stats();
+    for k in keys.iter().take(500) {
+        assert!(t2.get(k).is_some());
+    }
+    let second = pool2.stats().since(&before);
+    let slack = 50; // epoch bookkeeping etc.
+    assert!(
+        first.pm_reads <= second.pm_reads + slack,
+        "clean reopen must not pay recovery on first access: {} vs {}",
+        first.pm_reads,
+        second.pm_reads
+    );
+}
+
+/// Mutations after a crash-recovery cycle persist across a second cycle
+/// (recovered state is fully writable and re-recoverable).
+#[test]
+fn recovery_then_mutate_then_recover_again() {
+    let cfg = shadow(64);
+    let pool = PmemPool::create(cfg).unwrap();
+    let t: DashEh<u64> = DashEh::create(
+        pool.clone(),
+        DashConfig { bucket_bits: 2, initial_depth: 1, ..Default::default() },
+    )
+    .unwrap();
+    let keys = uniform_keys(3_000, 9);
+    for k in &keys {
+        t.insert(k, 1).unwrap();
+    }
+    let img = pool.crash_image();
+    drop(t);
+
+    let pool2 = PmemPool::open(img, cfg).unwrap();
+    let t2: DashEh<u64> = DashEh::open(pool2.clone()).unwrap();
+    for k in keys.iter().step_by(2) {
+        assert!(t2.update(k, 2));
+    }
+    for k in keys.iter().step_by(3) {
+        t2.remove(k);
+    }
+    let img2 = pool2.crash_image();
+    drop(t2);
+
+    let pool3 = PmemPool::open(img2, cfg).unwrap();
+    let t3: DashEh<u64> = DashEh::open(pool3).unwrap();
+    for (i, k) in keys.iter().enumerate() {
+        let expect = if i % 3 == 0 {
+            None
+        } else if i % 2 == 0 {
+            Some(2)
+        } else {
+            Some(1)
+        };
+        assert_eq!(t3.get(k), expect, "key {i} after double recovery");
+    }
+}
+
+/// Crash DURING post-crash lazy recovery: the half-recovered image must
+/// still recover correctly (recovery is idempotent).
+#[test]
+fn crash_during_lazy_recovery_is_recoverable() {
+    let cfg = shadow(64);
+    let pool = PmemPool::create(cfg).unwrap();
+    let t: DashEh<u64> = DashEh::create(
+        pool.clone(),
+        DashConfig { bucket_bits: 2, initial_depth: 1, ..Default::default() },
+    )
+    .unwrap();
+    let keys = uniform_keys(4_000, 11);
+    for (i, k) in keys.iter().enumerate() {
+        t.insert(k, i as u64).unwrap();
+    }
+    let img = pool.crash_image();
+    drop(t);
+
+    // First recovery, interrupted: only touch a fraction of the keys,
+    // then cut power again — and drop all flushes midway through that
+    // partial pass for good measure.
+    let pool2 = PmemPool::open(img, cfg).unwrap();
+    let t2: DashEh<u64> = DashEh::open(pool2.clone()).unwrap();
+    for k in keys.iter().take(500) {
+        assert!(t2.get(k).is_some());
+    }
+    pool2.set_flush_limit(Some(pool2.flushes_issued() + 20));
+    for k in keys.iter().skip(500).take(500) {
+        let _ = t2.get(k);
+    }
+    let img2 = pool2.crash_image();
+    drop(t2);
+
+    let pool3 = PmemPool::open(img2, cfg).unwrap();
+    let t3: DashEh<u64> = DashEh::open(pool3).unwrap();
+    for (i, k) in keys.iter().enumerate() {
+        assert_eq!(t3.get(k), Some(i as u64), "key {i} lost across nested recovery");
+    }
+}

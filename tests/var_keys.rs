@@ -1,0 +1,135 @@
+//! Variable-length key integration tests (§4.5): pooled, pointer-mode
+//! keys across all four tables, concurrent use, and crash recovery
+//! including the key-storage allocator.
+
+use std::sync::Arc;
+
+use dash_repro::dash_common::var_keys;
+use dash_repro::{
+    Cceh, CcehConfig, DashConfig, DashEh, DashLh, LevelConfig, LevelHash, PmHashTable, PmemPool,
+    PoolConfig, TableError, VarKey,
+};
+
+fn all_tables(pool_mb: usize) -> Vec<Box<dyn PmHashTable<VarKey>>> {
+    let mk = || PmemPool::create(PoolConfig::with_size(pool_mb << 20)).unwrap();
+    vec![
+        Box::new(DashEh::<VarKey>::create(mk(), DashConfig::default()).unwrap()),
+        Box::new(DashLh::<VarKey>::create(mk(), DashConfig::default()).unwrap()),
+        Box::new(Cceh::<VarKey>::create(mk(), CcehConfig::default()).unwrap()),
+        Box::new(LevelHash::<VarKey>::create(mk(), LevelConfig::default()).unwrap()),
+    ]
+}
+
+#[test]
+fn sixteen_byte_keys_everywhere() {
+    // The paper's variable-length workload: 16-byte keys, 8-byte values.
+    let keys = var_keys(10_000, 1, 16);
+    for table in all_tables(256) {
+        for (i, k) in keys.iter().enumerate() {
+            table.insert(k, i as u64).unwrap();
+        }
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(table.get(k), Some(i as u64), "{}: key {i}", table.name());
+        }
+        // Negative searches with same-length keys.
+        for k in var_keys(2_000, 99, 16) {
+            assert_eq!(table.get(&k), None, "{}", table.name());
+        }
+        assert!(
+            matches!(table.insert(&keys[0], 0), Err(TableError::Duplicate)),
+            "{}",
+            table.name()
+        );
+    }
+}
+
+#[test]
+fn mixed_key_lengths() {
+    let table: DashEh<VarKey> = DashEh::create(
+        PmemPool::create(PoolConfig::with_size(128 << 20)).unwrap(),
+        DashConfig::default(),
+    )
+    .unwrap();
+    let mut all = Vec::new();
+    for (len, seed) in [(8, 1u64), (16, 2), (64, 3), (200, 4)] {
+        all.extend(var_keys(1_000, seed, len));
+    }
+    for (i, k) in all.iter().enumerate() {
+        table.insert(k, i as u64).unwrap();
+    }
+    for (i, k) in all.iter().enumerate() {
+        assert_eq!(table.get(k), Some(i as u64), "len {}", k.as_bytes().len());
+    }
+}
+
+#[test]
+fn remove_releases_key_storage_for_reuse() {
+    let pool = PmemPool::create(PoolConfig::with_size(64 << 20)).unwrap();
+    let table: DashEh<VarKey> = DashEh::create(pool.clone(), DashConfig::default()).unwrap();
+    let keys = var_keys(4_000, 5, 48);
+    for k in &keys {
+        table.insert(k, 1).unwrap();
+    }
+    for k in &keys {
+        assert!(table.remove(k));
+    }
+    pool.epoch_collect();
+    let frees_after = pool.stats().frees;
+    assert!(
+        frees_after >= keys.len() as u64,
+        "key blocks must return to the allocator: {frees_after}"
+    );
+    // Reinsertion reuses the freed storage without growing the heap much.
+    for k in &keys {
+        table.insert(k, 2).unwrap();
+    }
+    for k in &keys {
+        assert_eq!(table.get(k), Some(2));
+    }
+}
+
+#[test]
+fn var_keys_survive_crash_and_splits() {
+    let cfg = PoolConfig { size: 128 << 20, shadow: true, ..Default::default() };
+    let pool = PmemPool::create(cfg).unwrap();
+    let table: DashEh<VarKey> = DashEh::create(
+        pool.clone(),
+        DashConfig { bucket_bits: 2, initial_depth: 1, ..Default::default() },
+    )
+    .unwrap();
+    let keys = var_keys(6_000, 9, 24);
+    for (i, k) in keys.iter().enumerate() {
+        table.insert(k, i as u64).unwrap();
+    }
+    let img = pool.crash_image();
+    drop(table);
+    let pool2 = PmemPool::open(img, cfg).unwrap();
+    let t2: DashEh<VarKey> = DashEh::open(pool2).unwrap();
+    for (i, k) in keys.iter().enumerate() {
+        assert_eq!(t2.get(k), Some(i as u64), "var key {i} lost in crash");
+    }
+}
+
+#[test]
+fn concurrent_var_key_inserts() {
+    let pool = PmemPool::create(PoolConfig::with_size(256 << 20)).unwrap();
+    let table: Arc<DashLh<VarKey>> =
+        Arc::new(DashLh::create(pool, DashConfig::default()).unwrap());
+    let keys = Arc::new(var_keys(12_000, 11, 16));
+    let threads = 8;
+    let per = keys.len() / threads;
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let table = table.clone();
+            let keys = keys.clone();
+            s.spawn(move || {
+                for i in tid * per..(tid + 1) * per {
+                    table.insert(&keys[i], i as u64).unwrap();
+                }
+            });
+        }
+    });
+    for (i, k) in keys.iter().enumerate() {
+        assert_eq!(table.get(k), Some(i as u64));
+    }
+}

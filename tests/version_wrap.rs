@@ -1,0 +1,156 @@
+//! The §4.8 recovery-version corner cases: the global version V is one
+//! byte; after 255 crashes it wraps. The paper's protocol resets V and
+//! re-stamps every segment so lazy recovery stays sound. These tests
+//! drive the table through enough crash/reopen cycles to cross the wrap
+//! boundary and check consistency throughout.
+
+use dash_repro::dash_common::uniform_keys;
+use dash_repro::{DashConfig, DashEh, DashLh, PmHashTable, PmemPool, PoolConfig};
+
+fn cfg() -> PoolConfig {
+    PoolConfig { size: 32 << 20, shadow: true, ..Default::default() }
+}
+
+/// 300 crash/reopen cycles on Dash-EH: the version byte wraps at 255 and
+/// data must remain intact and the table operable on every reopen.
+#[test]
+fn eh_survives_version_wraparound() {
+    let pool_cfg = cfg();
+    let pool = PmemPool::create(pool_cfg).unwrap();
+    let t: DashEh<u64> = DashEh::create(
+        pool.clone(),
+        DashConfig { bucket_bits: 2, initial_depth: 1, ..Default::default() },
+    )
+    .unwrap();
+    let keys = uniform_keys(500, 21);
+    for k in &keys {
+        t.insert(k, k.wrapping_mul(9)).unwrap();
+    }
+    let mut img = pool.crash_image();
+    drop(t);
+
+    let mut wrapped_seen = false;
+    for round in 0..300u32 {
+        let pool = PmemPool::open(img, pool_cfg).unwrap();
+        wrapped_seen |= pool.recovery_outcome().wrapped;
+        let t: DashEh<u64> = DashEh::open(pool.clone()).unwrap();
+        // Spot-check a rotating slice each round; full check at wrap.
+        let probe: Box<dyn Iterator<Item = &u64>> = if round % 50 == 0 || round == 255 {
+            Box::new(keys.iter())
+        } else {
+            Box::new(keys.iter().skip((round as usize * 7) % keys.len()).take(20))
+        };
+        for k in probe {
+            assert_eq!(t.get(k), Some(k.wrapping_mul(9)), "round {round}: key {k}");
+        }
+        img = pool.crash_image();
+        drop(t);
+    }
+    assert!(wrapped_seen, "300 crashes must wrap the one-byte version");
+}
+
+/// Same crossing for Dash-LH (it shares the lazy-recovery machinery but
+/// walks segment arrays instead of a directory).
+#[test]
+fn lh_survives_version_wraparound() {
+    let pool_cfg = cfg();
+    let pool = PmemPool::create(pool_cfg).unwrap();
+    let dash_cfg =
+        DashConfig { bucket_bits: 2, lh_first_array: 2, lh_stride: 2, ..Default::default() };
+    let t: DashLh<u64> = DashLh::create(pool.clone(), dash_cfg).unwrap();
+    let keys = uniform_keys(500, 23);
+    for k in &keys {
+        t.insert(k, k.wrapping_mul(11)).unwrap();
+    }
+    let mut img = pool.crash_image();
+    drop(t);
+
+    let mut wrapped_seen = false;
+    for round in 0..300u32 {
+        let pool = PmemPool::open(img, pool_cfg).unwrap();
+        wrapped_seen |= pool.recovery_outcome().wrapped;
+        let t: DashLh<u64> = DashLh::open(pool.clone()).unwrap();
+        let step = (round as usize * 13) % keys.len();
+        for k in keys.iter().skip(step).take(20) {
+            assert_eq!(t.get(k), Some(k.wrapping_mul(11)), "round {round}: key {k}");
+        }
+        img = pool.crash_image();
+        drop(t);
+    }
+    assert!(wrapped_seen);
+}
+
+/// Mutations interleaved with the wrap: insert fresh keys on rounds near
+/// the boundary and verify the combined state after crossing it.
+#[test]
+fn mutations_across_wrap_boundary() {
+    let pool_cfg = cfg();
+    let pool = PmemPool::create(pool_cfg).unwrap();
+    let t: DashEh<u64> = DashEh::create(
+        pool.clone(),
+        DashConfig { bucket_bits: 2, initial_depth: 1, ..Default::default() },
+    )
+    .unwrap();
+    let base = uniform_keys(200, 29);
+    for k in &base {
+        t.insert(k, 7).unwrap();
+    }
+    let mut img = pool.crash_image();
+    drop(t);
+
+    // Burn crash cycles up to just below the wrap, then mutate around it.
+    let fresh = uniform_keys(40, 31);
+    let mut inserted = Vec::new();
+    for round in 0..260u32 {
+        let pool = PmemPool::open(img, pool_cfg).unwrap();
+        let t: DashEh<u64> = DashEh::open(pool.clone()).unwrap();
+        if (250..=258).contains(&round) {
+            let k = fresh[(round - 250) as usize];
+            t.insert(&k, u64::from(round)).unwrap();
+            inserted.push((k, u64::from(round)));
+        }
+        img = pool.crash_image();
+        drop(t);
+    }
+    let pool = PmemPool::open(img, pool_cfg).unwrap();
+    let t: DashEh<u64> = DashEh::open(pool).unwrap();
+    for k in &base {
+        assert_eq!(t.get(k), Some(7));
+    }
+    for (k, v) in &inserted {
+        assert_eq!(t.get(k), Some(*v), "key inserted at wrap boundary lost");
+    }
+    assert_eq!(t.len_scan(), (base.len() + inserted.len()) as u64);
+}
+
+/// A clean shutdown between crashes must not bump the version: verify via
+/// the recovery outcome that clean reopens report `clean` and crashes
+/// don't, mixing both kinds.
+#[test]
+fn clean_and_crash_reopens_interleave() {
+    let pool_cfg = cfg();
+    let pool = PmemPool::create(pool_cfg).unwrap();
+    let t: DashEh<u64> = DashEh::create(pool.clone(), DashConfig::default()).unwrap();
+    let keys = uniform_keys(300, 37);
+    for k in &keys {
+        t.insert(k, 1).unwrap();
+    }
+    let mut img = pool.close_image();
+    drop(t);
+
+    for round in 0..6u32 {
+        let pool = PmemPool::open(img, pool_cfg).unwrap();
+        let outcome = pool.recovery_outcome();
+        if round % 2 == 0 {
+            assert!(outcome.clean, "round {round} followed a clean shutdown");
+        } else {
+            assert!(!outcome.clean, "round {round} followed a crash");
+        }
+        let t: DashEh<u64> = DashEh::open(pool.clone()).unwrap();
+        for k in keys.iter().take(50) {
+            assert_eq!(t.get(k), Some(1));
+        }
+        img = if round % 2 == 0 { pool.crash_image() } else { pool.close_image() };
+        drop(t);
+    }
+}
