@@ -85,7 +85,7 @@ impl VarKey {
     fn stored_bytes(pool: &PmemPool, stored: u64) -> Option<&[u8]> {
         let off = PmOffset::new(stored);
         if off.is_null()
-            || stored % 4 != 0
+            || !stored.is_multiple_of(4)
             || stored.checked_add(4).is_none_or(|end| end > pool.size() as u64)
         {
             return None;

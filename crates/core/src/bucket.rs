@@ -351,6 +351,7 @@ impl Bucket {
     /// Insert a record into a free slot with the persistence protocol of
     /// Algorithm 2: record first (flush+fence), then fingerprint + word
     /// (alloc bit = commit point) in one flushed cacheline.
+    #[allow(clippy::too_many_arguments)]
     pub fn insert_record(
         &self,
         pool: &PmemPool,

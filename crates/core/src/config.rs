@@ -104,7 +104,7 @@ impl DashConfig {
 
     /// Pack the persisted subset into a word for the table root so
     /// `open()` restores an identical geometry.
-    pub(crate) fn to_flags(&self) -> u64 {
+    pub(crate) fn to_flags(self) -> u64 {
         let mut f = 0u64;
         f |= self.bucket_bits as u64;
         f |= (self.stash_buckets as u64) << 8;

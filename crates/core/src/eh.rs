@@ -355,12 +355,9 @@ impl<K: Key> DashEh<K> {
         for (loc, slot, key_repr, value, kh) in to_move {
             if redo {
                 // Recovery rerun: skip records already moved pre-crash.
-                let (k, _) = match loc {
-                    _ => (key_repr, value),
-                };
                 let mut exists = false;
                 n.for_each_record(|_, _, kr, _| {
-                    if kr == k {
+                    if kr == key_repr {
                         exists = true;
                     }
                 });
@@ -903,27 +900,26 @@ mod tests {
         let keys = std::sync::Arc::new(uniform_keys(32_000, 5));
         let threads = 8;
         let per = keys.len() / threads;
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for tid in 0..threads {
                 let t = t.clone();
                 let keys = keys.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in tid * per..(tid + 1) * per {
                         t.insert(&keys[i], i as u64).unwrap();
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         for (i, k) in keys.iter().enumerate() {
             assert_eq!(t.get(k), Some(i as u64), "key {i}");
         }
         // Concurrent readers while writers mutate.
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for tid in 0..threads {
                 let t = t.clone();
                 let keys = keys.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in (tid..keys.len()).step_by(threads) {
                         if tid % 2 == 0 {
                             assert!(t.remove(&keys[i]));
@@ -933,24 +929,22 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
     }
 
     #[test]
     fn duplicate_insert_race_yields_exactly_one() {
         let t = std::sync::Arc::new(new_table(32, DashConfig::default()));
         let successes = std::sync::atomic::AtomicUsize::new(0);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..8 {
-                s.spawn(|_| {
+                s.spawn(|| {
                     if t.insert(&777, 1).is_ok() {
                         successes.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(successes.load(std::sync::atomic::Ordering::SeqCst), 1);
         assert_eq!(t.len_scan(), 1);
     }

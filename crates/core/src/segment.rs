@@ -262,6 +262,7 @@ impl<'a> SegView<'a> {
     /// Insert under bucket locks. `verify` runs after the locks are taken
     /// and must confirm the caller's directory resolution still holds.
     /// `allow_chain` enables Dash-LH's chained stash.
+    #[allow(clippy::too_many_arguments)]
     pub fn insert<K: Key>(
         &self,
         cfg: &DashConfig,
@@ -354,12 +355,9 @@ impl<'a> SegView<'a> {
 
         // 3. Stashing.
         if cfg.insert_policy >= InsertPolicy::Stash && self.geom.stash > 0 {
-            match self.stash_insert(cfg, y, p, key_repr, value, fp, allow_chain)? {
-                Some(res) => {
-                    unlock(self);
-                    return Ok(res);
-                }
-                None => {}
+            if let Some(res) = self.stash_insert(cfg, y, p, key_repr, value, fp, allow_chain)? {
+                unlock(self);
+                return Ok(res);
             }
         }
 
@@ -434,6 +432,7 @@ impl<'a> SegView<'a> {
     /// Insert into the stash area: fixed stash buckets first, then (LH)
     /// the chain, growing it if needed. Registers overflow metadata in the
     /// target/probing bucket (§4.3).
+    #[allow(clippy::too_many_arguments)]
     fn stash_insert(
         &self,
         cfg: &DashConfig,
@@ -455,13 +454,12 @@ impl<'a> SegView<'a> {
                 .is_some()
             {
                 self.writer_unlock(sb, mode);
-                if cfg.overflow_metadata {
-                    if !self.bucket(y).ovf_try_set(fp, j, false)
+                if cfg.overflow_metadata
+                    && !self.bucket(y).ovf_try_set(fp, j, false)
                         && !self.bucket(p).ovf_try_set(fp, j, true)
                     {
                         self.bucket(y).ovf_count_inc();
                     }
-                }
                 return Ok(Some(SegInsert::Inserted { chained: false }));
             }
             self.writer_unlock(sb, mode);

@@ -237,11 +237,12 @@ impl<K: Key> LevelHash<K> {
 
             // Try the four candidates, least-loaded top first.
             let mut order = cands;
-            if {
+            let second_less_loaded = {
                 let (b1, _) = self.bucket_at(self.level_base(false), cands[0].1);
                 let (b2, _) = self.bucket_at(self.level_base(false), cands[1].1);
                 b2.count() < b1.count()
-            } {
+            };
+            if second_less_loaded {
                 order.swap(0, 1);
             }
             for (bottom, idx) in order {
@@ -577,18 +578,17 @@ mod tests {
         let keys = std::sync::Arc::new(uniform_keys(12_000, 7));
         let threads = 8;
         let per = keys.len() / threads;
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for tid in 0..threads {
                 let t = t.clone();
                 let keys = keys.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in tid * per..(tid + 1) * per {
                         t.insert(&keys[i], i as u64).unwrap();
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         for (i, k) in keys.iter().enumerate() {
             assert_eq!(t.get(k), Some(i as u64));
         }

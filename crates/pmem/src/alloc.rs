@@ -293,7 +293,8 @@ mod tests {
         p.persist(slot, 8);
         let ticket = p.prepare_alloc(1024, slot).unwrap();
         let block = ticket.block;
-        std::mem::forget(ticket); // crash before commit
+        #[allow(clippy::forget_non_drop)] // simulate a crash before commit, even if AllocTicket grows a Drop impl
+        std::mem::forget(ticket);
         let img = p.crash_image();
         let p2 = PmemPool::open(img, cfg).unwrap();
         assert_eq!(p2.recovery_outcome().inflight_resolved, 1);

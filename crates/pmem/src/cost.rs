@@ -158,8 +158,7 @@ impl CostState {
     ) {
         let now = self.now_ns();
         let mut deadline = now + latency_ns;
-        if bw_bytes_per_us > 0 {
-            let transfer_ns = (bytes as u64 * 1000) / bw_bytes_per_us;
+        if let Some(transfer_ns) = (bytes as u64 * 1000).checked_div(bw_bytes_per_us) {
             let owed = DEBT.with(|d| {
                 let (id, mut rd, mut wr) = d.get();
                 if id != self.id {

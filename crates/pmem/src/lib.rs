@@ -20,6 +20,21 @@
 //! * PM access accounting and an optional Optane-like cost model (latency +
 //!   shared bandwidth token buckets) used by the benchmark harnesses to
 //!   reproduce the bandwidth-saturation behaviour central to the paper.
+//!
+//! ```
+//! use pmem::{PmemPool, PoolConfig};
+//!
+//! // Shadow mode: only flushed cachelines survive a simulated crash.
+//! let cfg = PoolConfig { size: 1 << 20, shadow: true, ..Default::default() };
+//! let pool = PmemPool::create(cfg).unwrap();
+//! let off = pool.alloc(64).unwrap();
+//! pool.zero(off, 64);
+//! pool.persist(off, 64);
+//!
+//! let img = pool.crash_image();
+//! let pool2 = PmemPool::open(img, cfg).unwrap();
+//! assert!(!pool2.recovery_outcome().clean, "crash images recover as unclean");
+//! ```
 
 mod alloc;
 mod cost;

@@ -202,7 +202,7 @@ pub struct PmemPool {
 
 impl PmemPool {
     fn validate_config(cfg: &PoolConfig) -> Result<()> {
-        if cfg.size < 64 * 1024 || cfg.size % 4096 != 0 {
+        if cfg.size < 64 * 1024 || !cfg.size.is_multiple_of(4096) {
             return Err(PmError::InvalidConfig("size must be a 4 KB multiple of at least 64 KB"));
         }
         Ok(())

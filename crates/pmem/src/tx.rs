@@ -73,7 +73,7 @@ impl PmemPool {
         for i in 0..count {
             let off = PmOffset::new(redo.entries[i].off.load(Ordering::Relaxed));
             let val = redo.entries[i].val.load(Ordering::Relaxed);
-            if off.get() as usize + 8 <= self.size() && off.get() % 8 == 0 {
+            if off.get() as usize + 8 <= self.size() && off.get().is_multiple_of(8) {
                 // SAFETY: bounds and alignment checked.
                 unsafe { (*self.at::<AtomicU64>(off)).store(val, Ordering::Relaxed) };
                 self.flush(off, 8);

@@ -1,0 +1,94 @@
+//! `any::<T>()` and the `Arbitrary` trait for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[inline]
+            fn arbitrary_value(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    #[inline]
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Arbitrary for i128 {
+    #[inline]
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        u128::arbitrary_value(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    #[inline]
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite values only (uniform in [-1e9, 1e9]); the tests use these
+    /// as ordinary payloads, where NaN would add noise, not coverage.
+    #[inline]
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        (rng.next_f64() - 0.5) * 2e9
+    }
+}
+
+impl Arbitrary for () {
+    #[inline]
+    fn arbitrary_value(_rng: &mut TestRng) -> Self {}
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+/// A strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_covers_domain() {
+        let mut rng = TestRng::new(7);
+        let mut seen_high_bit = false;
+        for _ in 0..200 {
+            if any::<u16>().generate(&mut rng) >= 0x8000 {
+                seen_high_bit = true;
+            }
+        }
+        assert!(seen_high_bit, "u16 generation never hit the top half");
+        let b: bool = any::<bool>().generate(&mut rng);
+        let _ = b;
+    }
+}

@@ -1,0 +1,42 @@
+//! Fixed-size array strategies (`uniformN`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// `N` independent draws from one element strategy.
+pub struct UniformArray<S, const N: usize>(S);
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.0.generate(rng))
+    }
+}
+
+macro_rules! uniform_fns {
+    ($($name:ident => $n:literal),* $(,)?) => {$(
+        pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+            UniformArray(element)
+        }
+    )*};
+}
+
+uniform_fns! {
+    uniform1 => 1, uniform2 => 2, uniform3 => 3, uniform4 => 4,
+    uniform8 => 8, uniform16 => 16, uniform32 => 32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+
+    #[test]
+    fn uniform16_draws_independently() {
+        let mut rng = TestRng::new(21);
+        let a: [u8; 16] = uniform16(any::<u8>()).generate(&mut rng);
+        // 16 independent draws virtually never come out all equal.
+        assert!(a.iter().any(|&b| b != a[0]));
+    }
+}

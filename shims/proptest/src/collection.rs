@@ -1,0 +1,148 @@
+//! Collection strategies: `vec` and `btree_map`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// Length bounds for a generated collection; converts from a `Range` or
+/// an exact `usize` like real proptest's `SizeRange`.
+#[derive(Debug, Clone)]
+pub struct SizeRange(Range<usize>);
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range for collection strategy");
+        SizeRange(r)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange(n..n + 1)
+    }
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        rng.range_u64(self.0.start as u64, self.0.end as u64) as usize
+    }
+
+    fn min(&self) -> usize {
+        self.0.start
+    }
+}
+
+/// A `Vec` of values from `element`, with length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.draw(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A `BTreeMap` with keys from `key`, values from `value` and target size
+/// drawn from `size`. Key collisions dedup, so (as with real proptest)
+/// the generated map may be smaller than the drawn size, but never empty
+/// if `size.start > 0`.
+pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy { key, value, size: size.into() }
+}
+
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let n = self.size.draw(rng).max(self.size.min().max(1));
+        let mut map = BTreeMap::new();
+        for _ in 0..n {
+            map.insert(self.key.generate(rng), self.value.generate(rng));
+        }
+        map
+    }
+}
+
+/// A `BTreeSet` with elements from `element` and target size drawn from
+/// `size`; collisions dedup as in [`btree_map`].
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size: size.into() }
+}
+
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let n = self.size.draw(rng).max(self.size.min().max(1));
+        let mut set = BTreeSet::new();
+        for _ in 0..n {
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+
+    #[test]
+    fn vec_length_in_range() {
+        let s = vec(any::<u64>(), 3..9);
+        let mut rng = TestRng::new(11);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((3..9).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn btree_map_nonempty_and_bounded() {
+        let s = btree_map(any::<u16>(), any::<u64>(), 1..50);
+        let mut rng = TestRng::new(12);
+        for _ in 0..200 {
+            let m = s.generate(&mut rng);
+            assert!(!m.is_empty() && m.len() < 50, "len {}", m.len());
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Deterministic case runner: config, RNG and failure reporting.
+
+use std::any::Any;
+use std::fmt;
+
+/// Mirror of `proptest::test_runner::Config` for the fields this
+/// workspace uses. `cases` defaults to 64 (overridable with
+/// `PROPTEST_CASES`) so the default `cargo test` run stays fast.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for source compatibility; this shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        Config { cases, max_shrink_iters: 0 }
+    }
+}
+
+/// A non-panicking test-case failure (produced by `prop_assert!`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+
+    /// Alias kept for source compatibility with real proptest.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// SplitMix64: tiny, fast, and plenty for test-input generation. Each
+/// test derives its stream from the test name, so runs are deterministic
+/// across processes and machines.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x6A09_E667_F3BC_C908 }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`; `hi > lo` required.
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(hi > lo, "empty range {lo}..{hi}");
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+/// Per-test base seed: `PROPTEST_SEED` if set, otherwise a hash of the
+/// test name (stable across runs — deterministic by default).
+pub fn base_seed(test_name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(v) = s.parse::<u64>() {
+            return v;
+        }
+    }
+    // FNV-1a over the name.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Turn one case's outcome into a pass, or a panic carrying enough
+/// context (case index, seed, generated inputs) to reproduce it.
+pub fn report(
+    test_name: &str,
+    case: u32,
+    seed: u64,
+    inputs: &str,
+    outcome: Result<TestCaseResult, Box<dyn Any + Send>>,
+) {
+    match outcome {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => {
+            panic!(
+                "proptest case failed: {test_name} (case {case}, seed {seed:#x})\n\
+                 {e}\ninputs:\n{inputs}"
+            );
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".into());
+            panic!(
+                "proptest case panicked: {test_name} (case {case}, seed {seed:#x})\n\
+                 {msg}\ninputs:\n{inputs}"
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Smoke test for the umbrella crate's re-export surface: every public
+//! type the README/quickstart names must be reachable from `dash_repro`
+//! and behave through the shared `PmHashTable` trait, for all four
+//! tables in one loop.
+
+use dash_repro::dash_common::uniform_keys;
+use dash_repro::{
+    hash64, hash_u64, Cceh, CcehConfig, DashConfig, DashEh, DashLh, LevelConfig, LevelHash,
+    PmHashTable, PmemPool, PoolConfig, TableError, VarKey, BUCKET_SLOTS,
+};
+
+mod common;
+
+#[test]
+fn umbrella_reexports_drive_all_four_tables() {
+    let mk_pool = || PmemPool::create(PoolConfig::with_size(64 << 20)).unwrap();
+    let tables: Vec<Box<dyn PmHashTable<u64>>> = vec![
+        Box::new(DashEh::<u64>::create(mk_pool(), DashConfig::default()).unwrap()),
+        Box::new(DashLh::<u64>::create(mk_pool(), DashConfig::default()).unwrap()),
+        Box::new(Cceh::<u64>::create(mk_pool(), CcehConfig::default()).unwrap()),
+        Box::new(LevelHash::<u64>::create(mk_pool(), LevelConfig::default()).unwrap()),
+    ];
+    let keys = uniform_keys(2_000, 71);
+    for table in tables {
+        let name = table.name();
+        assert!(!name.is_empty());
+        for (i, k) in keys.iter().enumerate() {
+            table.insert(k, i as u64).unwrap_or_else(|e| panic!("{name}: insert: {e}"));
+        }
+        assert!(
+            matches!(table.insert(&keys[0], 9), Err(TableError::Duplicate)),
+            "{name}: duplicate accepted"
+        );
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(table.get(k), Some(i as u64), "{name}: get {i}");
+            assert!(table.update(k, i as u64 + 1), "{name}: update {i}");
+        }
+        assert!(table.remove(&keys[0]), "{name}: remove");
+        assert_eq!(table.get(&keys[0]), None, "{name}: removed key visible");
+        assert_eq!(table.len_scan(), keys.len() as u64 - 1, "{name}: len_scan");
+        assert!(table.capacity_slots() > 0, "{name}: capacity_slots");
+        let lf = table.load_factor();
+        assert!(lf > 0.0 && lf <= 1.0, "{name}: load factor {lf}");
+    }
+}
+
+#[test]
+fn umbrella_reexports_cover_var_keys_and_hashing() {
+    // Hash helpers are re-exported and deterministic.
+    assert_eq!(hash64(b"dash"), hash64(b"dash"));
+    assert_eq!(hash_u64(42), hash_u64(42));
+    assert_ne!(hash_u64(42), hash_u64(43));
+    // Bucket geometry constant is visible (paper: 16 records per bucket).
+    const _: () = assert!(BUCKET_SLOTS > 0);
+
+    // VarKey round-trips through a table built from the umbrella exports.
+    let pool = PmemPool::create(common::shadow_cfg(64)).unwrap();
+    let table: DashEh<VarKey> = DashEh::create(pool, common::small_eh_cfg()).unwrap();
+    let k = VarKey::new(&b"variable-length key"[..]);
+    table.insert(&k, 7).unwrap();
+    assert_eq!(table.get(&k), Some(7));
+    assert!(table.remove(&k));
+}

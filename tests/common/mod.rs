@@ -1,0 +1,90 @@
+//! Shared support for the integration suites: pool/table factories with
+//! the small geometries the tests use (so splits, stashes and SMOs fire
+//! at test scale) and temp-file helpers for the file-backed pool.
+//!
+//! Every suite pulls this in with `mod common;` — keep additions here
+//! instead of re-pasting setup into individual suites.
+//!
+//! Each test binary compiles its own copy of this module and uses only a
+//! subset of it, so the blanket `dead_code` allow is required; don't add
+//! helpers no suite calls.
+#![allow(dead_code)]
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use dash_repro::{
+    Cceh, CcehConfig, DashConfig, DashEh, DashLh, Key, LevelConfig, LevelHash, PmHashTable,
+    PmemPool, PoolConfig,
+};
+
+/// A shadow-mode pool config of `mb` MiB: only flushed cachelines survive
+/// `crash_image()`, so missing-flush bugs surface as lost writes.
+pub fn shadow_cfg(mb: usize) -> PoolConfig {
+    PoolConfig { size: mb << 20, shadow: true, ..Default::default() }
+}
+
+/// Small Dash-EH geometry: 4-bucket segments, depth-1 directory, so a few
+/// thousand inserts already trigger segment splits and directory doubling.
+pub fn small_eh_cfg() -> DashConfig {
+    DashConfig { bucket_bits: 2, initial_depth: 1, ..Default::default() }
+}
+
+/// Small Dash-LH geometry: 4-bucket segments, 2-entry first array,
+/// stride 2, so hybrid expansion happens at test scale.
+pub fn small_lh_cfg() -> DashConfig {
+    DashConfig { bucket_bits: 2, lh_first_array: 2, lh_stride: 2, ..Default::default() }
+}
+
+/// Fresh heap pool (`mb` MiB) + Dash-EH with the given config.
+pub fn eh_table(mb: usize, cfg: DashConfig) -> Arc<DashEh<u64>> {
+    let pool = PmemPool::create(PoolConfig::with_size(mb << 20)).unwrap();
+    Arc::new(DashEh::create(pool, cfg).unwrap())
+}
+
+/// Fresh heap pool (`mb` MiB) + Dash-LH with the given config.
+pub fn lh_table(mb: usize, cfg: DashConfig) -> Arc<DashLh<u64>> {
+    let pool = PmemPool::create(PoolConfig::with_size(mb << 20)).unwrap();
+    Arc::new(DashLh::create(pool, cfg).unwrap())
+}
+
+/// One of each of the four tables, each on its own fresh pool of
+/// `pool_mb` MiB, behind the shared trait — generic over the key mode
+/// (inline `u64` or pooled `VarKey`).
+pub fn all_tables_generic<K: Key + 'static>(pool_mb: usize) -> Vec<Box<dyn PmHashTable<K>>> {
+    let mk_pool = || PmemPool::create(PoolConfig::with_size(pool_mb << 20)).unwrap();
+    vec![
+        Box::new(DashEh::<K>::create(mk_pool(), DashConfig::default()).unwrap()),
+        Box::new(DashLh::<K>::create(mk_pool(), DashConfig::default()).unwrap()),
+        Box::new(Cceh::<K>::create(mk_pool(), CcehConfig::default()).unwrap()),
+        Box::new(LevelHash::<K>::create(mk_pool(), LevelConfig::default()).unwrap()),
+    ]
+}
+
+/// [`all_tables_generic`] for the common inline-key case.
+pub fn all_tables(pool_mb: usize) -> Vec<Box<dyn PmHashTable<u64>>> {
+    all_tables_generic::<u64>(pool_mb)
+}
+
+/// A unique temp-file path for file-backed pool tests; removed by
+/// [`TempFile::drop`] even when the test panics.
+pub struct TempFile {
+    pub path: PathBuf,
+}
+
+impl TempFile {
+    pub fn new(tag: &str) -> Self {
+        let mut path = std::env::temp_dir();
+        path.push(format!("dash-it-{tag}-{}", std::process::id()));
+        // A stale file from a killed earlier run must not leak into this
+        // one as pre-existing pool state.
+        let _ = std::fs::remove_file(&path);
+        TempFile { path }
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}

@@ -7,17 +7,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dash_repro::dash_common::uniform_keys;
-use dash_repro::{DashConfig, DashEh, DashLh, PmHashTable, PmemPool, PoolConfig};
+use dash_repro::{DashConfig, PmHashTable};
 
-fn eh_table(mb: usize, cfg: DashConfig) -> Arc<DashEh<u64>> {
-    let pool = PmemPool::create(PoolConfig::with_size(mb << 20)).unwrap();
-    Arc::new(DashEh::create(pool, cfg).unwrap())
-}
-
-fn lh_table(mb: usize, cfg: DashConfig) -> Arc<DashLh<u64>> {
-    let pool = PmemPool::create(PoolConfig::with_size(mb << 20)).unwrap();
-    Arc::new(DashLh::create(pool, cfg).unwrap())
-}
+mod common;
+use common::{eh_table, lh_table};
 
 /// Readers run concurrently with writers; every value a reader observes
 /// must be one the writer actually wrote (odd generation counters make

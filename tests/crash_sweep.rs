@@ -6,11 +6,10 @@
 use std::collections::BTreeMap;
 
 use dash_repro::dash_common::uniform_keys;
-use dash_repro::{DashConfig, DashEh, DashLh, PmHashTable, PmemPool, PoolConfig};
+use dash_repro::{DashConfig, DashEh, DashLh, PmHashTable, PmemPool};
 
-fn shadow_cfg(mb: usize) -> PoolConfig {
-    PoolConfig { size: mb << 20, shadow: true, ..Default::default() }
-}
+mod common;
+use common::{shadow_cfg, small_eh_cfg, small_lh_cfg};
 
 /// Consistency contract after a crash at an arbitrary flush boundary:
 /// * every record committed before the cut-off survives with its value;
@@ -45,11 +44,7 @@ fn dash_eh_insert_crash_sweep() {
     // Determine the flush range of the in-flight batch once.
     let (flush_lo, flush_hi) = {
         let pool = PmemPool::create(cfg).unwrap();
-        let t: DashEh<u64> = DashEh::create(
-            pool.clone(),
-            DashConfig { bucket_bits: 2, initial_depth: 1, ..Default::default() },
-        )
-        .unwrap();
+        let t: DashEh<u64> = DashEh::create(pool.clone(), small_eh_cfg()).unwrap();
         for k in &base_keys {
             t.insert(k, k.wrapping_mul(7)).unwrap();
         }
@@ -65,11 +60,7 @@ fn dash_eh_insert_crash_sweep() {
     let mut cut = flush_lo;
     while cut <= flush_hi {
         let pool = PmemPool::create(cfg).unwrap();
-        let t: DashEh<u64> = DashEh::create(
-            pool.clone(),
-            DashConfig { bucket_bits: 2, initial_depth: 1, ..Default::default() },
-        )
-        .unwrap();
+        let t: DashEh<u64> = DashEh::create(pool.clone(), small_eh_cfg()).unwrap();
         let mut committed = BTreeMap::new();
         for k in &base_keys {
             t.insert(k, k.wrapping_mul(7)).unwrap();
@@ -96,8 +87,7 @@ fn dash_eh_insert_crash_sweep() {
 #[test]
 fn dash_lh_insert_crash_sweep() {
     let cfg = shadow_cfg(64);
-    let dash_cfg =
-        DashConfig { bucket_bits: 2, lh_first_array: 2, lh_stride: 2, ..Default::default() };
+    let dash_cfg = small_lh_cfg();
     let base_keys = uniform_keys(3_000, 5);
     let in_flight = uniform_keys(64, 6);
 

@@ -6,19 +6,11 @@ use std::sync::Arc;
 
 use dash_repro::dash_common::{negative_keys, uniform_keys};
 use dash_repro::{
-    Cceh, CcehConfig, DashConfig, DashEh, DashLh, LevelConfig, LevelHash, PmHashTable, PmemPool,
-    PoolConfig, TableError,
+    PmHashTable, TableError,
 };
 
-fn all_tables(pool_mb: usize) -> Vec<Box<dyn PmHashTable<u64>>> {
-    let mk_pool = || PmemPool::create(PoolConfig::with_size(pool_mb << 20)).unwrap();
-    vec![
-        Box::new(DashEh::<u64>::create(mk_pool(), DashConfig::default()).unwrap()),
-        Box::new(DashLh::<u64>::create(mk_pool(), DashConfig::default()).unwrap()),
-        Box::new(Cceh::<u64>::create(mk_pool(), CcehConfig::default()).unwrap()),
-        Box::new(LevelHash::<u64>::create(mk_pool(), LevelConfig::default()).unwrap()),
-    ]
-}
+mod common;
+use common::all_tables;
 
 #[test]
 fn identical_results_across_tables() {

@@ -5,24 +5,20 @@
 //! offsets standing in for its fixed-address persistent pointers.
 #![cfg(unix)]
 
-use std::path::PathBuf;
-
 use dash_repro::dash_common::uniform_keys;
 use dash_repro::{DashConfig, DashEh, DashLh, PmHashTable, PmemPool, PoolConfig};
 
-fn tmp(name: &str) -> PathBuf {
-    let mut p = std::env::temp_dir();
-    p.push(format!("dash-file-it-{name}-{}", std::process::id()));
-    p
-}
+mod common;
+use common::TempFile;
 
 #[test]
 fn eh_survives_clean_close_and_reopen() {
-    let path = tmp("eh-clean");
+    let tmp = TempFile::new("file-eh-clean");
+    let path = &tmp.path;
     let cfg = PoolConfig::with_size(64 << 20);
     let keys = uniform_keys(30_000, 41);
     {
-        let pool = PmemPool::create_file(&path, cfg).unwrap();
+        let pool = PmemPool::create_file(path, cfg).unwrap();
         let t: DashEh<u64> = DashEh::create(pool.clone(), DashConfig::default()).unwrap();
         for (i, k) in keys.iter().enumerate() {
             t.insert(k, i as u64).unwrap();
@@ -30,7 +26,7 @@ fn eh_survives_clean_close_and_reopen() {
         pool.close().unwrap();
     }
     {
-        let pool = PmemPool::open_file(&path, cfg).unwrap();
+        let pool = PmemPool::open_file(path, cfg).unwrap();
         assert!(pool.recovery_outcome().clean);
         let t: DashEh<u64> = DashEh::open(pool.clone()).unwrap();
         for (i, k) in keys.iter().enumerate() {
@@ -46,16 +42,16 @@ fn eh_survives_clean_close_and_reopen() {
         }
         pool.close().unwrap();
     }
-    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]
 fn eh_unclean_teardown_recovers_lazily() {
-    let path = tmp("eh-crash");
+    let tmp = TempFile::new("file-eh-crash");
+    let path = &tmp.path;
     let cfg = PoolConfig::with_size(64 << 20);
     let keys = uniform_keys(10_000, 47);
     {
-        let pool = PmemPool::create_file(&path, cfg).unwrap();
+        let pool = PmemPool::create_file(path, cfg).unwrap();
         let t: DashEh<u64> = DashEh::create(pool.clone(), DashConfig::default()).unwrap();
         for k in &keys {
             t.insert(k, k.wrapping_mul(13)).unwrap();
@@ -63,50 +59,50 @@ fn eh_unclean_teardown_recovers_lazily() {
         // Drop without close(): a process crash. Dirty pages reach the
         // file via the shared mapping; the clean marker stays unset.
     }
-    let pool = PmemPool::open_file(&path, cfg).unwrap();
+    let pool = PmemPool::open_file(path, cfg).unwrap();
     let out = pool.recovery_outcome();
     assert!(!out.clean, "missing close() must trigger crash recovery");
     let t: DashEh<u64> = DashEh::open(pool).unwrap();
     for k in &keys {
         assert_eq!(t.get(k), Some(k.wrapping_mul(13)));
     }
-    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]
 fn lh_round_trips_through_file() {
-    let path = tmp("lh");
+    let tmp = TempFile::new("file-lh");
+    let path = &tmp.path;
     let cfg = PoolConfig::with_size(64 << 20);
     let keys = uniform_keys(20_000, 53);
     {
-        let pool = PmemPool::create_file(&path, cfg).unwrap();
+        let pool = PmemPool::create_file(path, cfg).unwrap();
         let t: DashLh<u64> = DashLh::create(pool.clone(), DashConfig::default()).unwrap();
         for k in &keys {
             t.insert(k, k ^ 0xFF).unwrap();
         }
         pool.close().unwrap();
     }
-    let pool = PmemPool::open_file(&path, cfg).unwrap();
+    let pool = PmemPool::open_file(path, cfg).unwrap();
     let t: DashLh<u64> = DashLh::open(pool).unwrap();
     for k in &keys {
         assert_eq!(t.get(k), Some(k ^ 0xFF));
     }
     assert_eq!(t.len_scan(), keys.len() as u64);
-    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]
 fn many_reopen_cycles_accumulate_data() {
-    let path = tmp("cycles");
+    let tmp = TempFile::new("file-cycles");
+    let path = &tmp.path;
     let cfg = PoolConfig::with_size(64 << 20);
     let stream = uniform_keys(5 * 2_000, 59);
     {
-        let pool = PmemPool::create_file(&path, cfg).unwrap();
+        let pool = PmemPool::create_file(path, cfg).unwrap();
         let _t: DashEh<u64> = DashEh::create(pool.clone(), DashConfig::default()).unwrap();
         pool.close().unwrap();
     }
     for round in 0..5usize {
-        let pool = PmemPool::open_file(&path, cfg).unwrap();
+        let pool = PmemPool::open_file(path, cfg).unwrap();
         let t: DashEh<u64> = DashEh::open(pool.clone()).unwrap();
         // Everything from prior rounds is present.
         for k in &stream[..round * 2_000] {
@@ -120,8 +116,7 @@ fn many_reopen_cycles_accumulate_data() {
             pool.close().unwrap();
         }
     }
-    let pool = PmemPool::open_file(&path, cfg).unwrap();
+    let pool = PmemPool::open_file(path, cfg).unwrap();
     let t: DashEh<u64> = DashEh::open(pool).unwrap();
     assert_eq!(t.len_scan(), stream.len() as u64);
-    std::fs::remove_file(&path).unwrap();
 }

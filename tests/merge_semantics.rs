@@ -9,13 +9,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use dash_repro::dash_common::uniform_keys;
 use dash_repro::{DashConfig, DashEh, PmHashTable, PmemPool, PoolConfig};
 
+mod common;
+use common::{shadow_cfg, small_eh_cfg};
+
 fn merge_cfg() -> DashConfig {
-    DashConfig {
-        bucket_bits: 2, // tiny segments so merges trigger at test scale
-        initial_depth: 1,
-        merge_threshold: 0.25,
-        ..Default::default()
-    }
+    // Tiny segments (small_eh_cfg) so merges trigger at test scale.
+    DashConfig { merge_threshold: 0.25, ..small_eh_cfg() }
 }
 
 fn table(pool_mb: usize, cfg: DashConfig) -> (std::sync::Arc<PmemPool>, DashEh<u64>) {
@@ -81,10 +80,7 @@ fn merged_table_accepts_reinserts() {
 
 #[test]
 fn merge_disabled_by_default() {
-    let (_pool, t) = table(
-        64,
-        DashConfig { bucket_bits: 2, initial_depth: 1, ..Default::default() },
-    );
+    let (_pool, t) = table(64, small_eh_cfg());
     let keys = uniform_keys(10_000, 5);
     for k in &keys {
         t.insert(k, 1).unwrap();
@@ -146,7 +142,7 @@ fn concurrent_readers_during_merges() {
 /// on recovery or never started; survivors are never lost.
 #[test]
 fn merge_crash_sweep() {
-    let cfg = PoolConfig { size: 64 << 20, shadow: true, ..Default::default() };
+    let cfg = shadow_cfg(64);
     let keys = uniform_keys(6_000, 11);
     let survivors: Vec<u64> = keys.iter().copied().step_by(16).collect();
     let victims: Vec<u64> = keys.iter().copied().filter(|k| !survivors.contains(k)).collect();

@@ -1,6 +1,12 @@
 //! Property-based model checking: random operation sequences against a
 //! `BTreeMap` reference model, including clean restarts and crash
 //! restarts at arbitrary points, for both Dash variants.
+//!
+//! The Dash-EH model check and the random-crash-point check run on every
+//! `cargo test`; the LH and merging variants re-walk the same state
+//! machine with different table configs and take ~30 s each, so they are
+//! `#[ignore]`d by default — run `cargo test -- --ignored` (or
+//! `--include-ignored`) before touching restart or merge code paths.
 
 use std::collections::BTreeMap;
 
@@ -38,8 +44,10 @@ fn key_of(k: u16) -> u64 {
     (u64::from(k) << 32) | 0xABCD
 }
 
+mod common;
+
 fn shadow_cfg() -> PoolConfig {
-    PoolConfig { size: 32 << 20, shadow: true, ..Default::default() }
+    common::shadow_cfg(32)
 }
 
 fn check_model<T, MkOpen>(
@@ -117,38 +125,29 @@ proptest! {
     fn dash_eh_matches_model(ops in proptest::collection::vec(op_strategy(), 1..250)) {
         check_model(
             ops,
-            |pool| DashEh::<u64>::create(
-                pool,
-                DashConfig { bucket_bits: 2, initial_depth: 1, ..Default::default() },
-            ).unwrap(),
+            |pool| DashEh::<u64>::create(pool, common::small_eh_cfg()).unwrap(),
             |pool| DashEh::<u64>::open(pool).unwrap(),
         );
     }
 
     #[test]
+    #[ignore = "slow (~30 s): same model as dash_eh_matches_model on the LH config; run with --ignored"]
     fn dash_lh_matches_model(ops in proptest::collection::vec(op_strategy(), 1..250)) {
         check_model(
             ops,
-            |pool| DashLh::<u64>::create(
-                pool,
-                DashConfig { bucket_bits: 2, lh_first_array: 2, lh_stride: 2, ..Default::default() },
-            ).unwrap(),
+            |pool| DashLh::<u64>::create(pool, common::small_lh_cfg()).unwrap(),
             |pool| DashLh::<u64>::open(pool).unwrap(),
         );
     }
 
     #[test]
+    #[ignore = "slow (~30 s): model check with merging on; run with --ignored"]
     fn dash_eh_with_merging_matches_model(ops in proptest::collection::vec(op_strategy(), 1..250)) {
         check_model(
             ops,
             |pool| DashEh::<u64>::create(
                 pool,
-                DashConfig {
-                    bucket_bits: 2,
-                    initial_depth: 1,
-                    merge_threshold: 0.25,
-                    ..Default::default()
-                },
+                DashConfig { merge_threshold: 0.25, ..common::small_eh_cfg() },
             ).unwrap(),
             |pool| DashEh::<u64>::open(pool).unwrap(),
         );
@@ -168,10 +167,7 @@ proptest! {
     ) {
         let cfg = shadow_cfg();
         let pool = PmemPool::create(cfg).unwrap();
-        let t: DashEh<u64> = DashEh::create(
-            pool.clone(),
-            DashConfig { bucket_bits: 2, initial_depth: 1, ..Default::default() },
-        ).unwrap();
+        let t: DashEh<u64> = DashEh::create(pool.clone(), common::small_eh_cfg()).unwrap();
         let mut committed = BTreeMap::new();
         for (k, v) in &base {
             let k = key_of(*k);
@@ -191,10 +187,7 @@ proptest! {
 
         // Fresh pool, same script, cut at `cut`.
         let pool = PmemPool::create(cfg).unwrap();
-        let t: DashEh<u64> = DashEh::create(
-            pool.clone(),
-            DashConfig { bucket_bits: 2, initial_depth: 1, ..Default::default() },
-        ).unwrap();
+        let t: DashEh<u64> = DashEh::create(pool.clone(), common::small_eh_cfg()).unwrap();
         let mut committed = BTreeMap::new();
         for (k, v) in &base {
             let k = key_of(*k);

@@ -4,12 +4,11 @@
 
 use dash_repro::dash_common::uniform_keys;
 use dash_repro::{
-    Cceh, CcehConfig, DashConfig, DashEh, DashLh, PmemPool, PoolConfig,
+    Cceh, CcehConfig, DashEh, DashLh, PmemPool,
 };
 
-fn shadow(mb: usize) -> PoolConfig {
-    PoolConfig { size: mb << 20, shadow: true, ..Default::default() }
-}
+mod common;
+use common::{shadow_cfg as shadow, small_eh_cfg, small_lh_cfg};
 
 /// Dash's open() must not touch segments: PM reads at open time stay
 /// constant as data grows (the paper's "instant" claim), while CCEH's
@@ -22,11 +21,7 @@ fn dash_open_work_is_constant_cceh_is_linear() {
         // Dash-EH.
         let cfg = shadow(128);
         let pool = PmemPool::create(cfg).unwrap();
-        let t: DashEh<u64> = DashEh::create(
-            pool.clone(),
-            DashConfig { bucket_bits: 2, initial_depth: 1, ..Default::default() },
-        )
-        .unwrap();
+        let t: DashEh<u64> = DashEh::create(pool.clone(), small_eh_cfg()).unwrap();
         for (i, k) in uniform_keys(n, 3).iter().enumerate() {
             t.insert(k, i as u64).unwrap();
         }
@@ -67,11 +62,7 @@ fn dash_open_work_is_constant_cceh_is_linear() {
 fn lazy_recovery_amortizes_over_accesses() {
     let cfg = shadow(64);
     let pool = PmemPool::create(cfg).unwrap();
-    let t: DashEh<u64> = DashEh::create(
-        pool.clone(),
-        DashConfig { bucket_bits: 2, initial_depth: 1, ..Default::default() },
-    )
-    .unwrap();
+    let t: DashEh<u64> = DashEh::create(pool.clone(), small_eh_cfg()).unwrap();
     let keys = uniform_keys(4_000, 5);
     for (i, k) in keys.iter().enumerate() {
         t.insert(k, i as u64).unwrap();
@@ -113,11 +104,7 @@ fn lazy_recovery_amortizes_over_accesses() {
 fn clean_shutdown_skips_lazy_recovery() {
     let cfg = shadow(64);
     let pool = PmemPool::create(cfg).unwrap();
-    let t: DashLh<u64> = DashLh::create(
-        pool.clone(),
-        DashConfig { bucket_bits: 2, lh_first_array: 2, lh_stride: 2, ..Default::default() },
-    )
-    .unwrap();
+    let t: DashLh<u64> = DashLh::create(pool.clone(), small_lh_cfg()).unwrap();
     let keys = uniform_keys(3_000, 7);
     for (i, k) in keys.iter().enumerate() {
         t.insert(k, i as u64).unwrap();
@@ -153,11 +140,7 @@ fn clean_shutdown_skips_lazy_recovery() {
 fn recovery_then_mutate_then_recover_again() {
     let cfg = shadow(64);
     let pool = PmemPool::create(cfg).unwrap();
-    let t: DashEh<u64> = DashEh::create(
-        pool.clone(),
-        DashConfig { bucket_bits: 2, initial_depth: 1, ..Default::default() },
-    )
-    .unwrap();
+    let t: DashEh<u64> = DashEh::create(pool.clone(), small_eh_cfg()).unwrap();
     let keys = uniform_keys(3_000, 9);
     for k in &keys {
         t.insert(k, 1).unwrap();
@@ -196,11 +179,7 @@ fn recovery_then_mutate_then_recover_again() {
 fn crash_during_lazy_recovery_is_recoverable() {
     let cfg = shadow(64);
     let pool = PmemPool::create(cfg).unwrap();
-    let t: DashEh<u64> = DashEh::create(
-        pool.clone(),
-        DashConfig { bucket_bits: 2, initial_depth: 1, ..Default::default() },
-    )
-    .unwrap();
+    let t: DashEh<u64> = DashEh::create(pool.clone(), small_eh_cfg()).unwrap();
     let keys = uniform_keys(4_000, 11);
     for (i, k) in keys.iter().enumerate() {
         t.insert(k, i as u64).unwrap();

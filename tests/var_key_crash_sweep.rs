@@ -15,14 +15,16 @@ use std::collections::BTreeMap;
 use dash_repro::dash_common::var_keys;
 use dash_repro::{DashConfig, DashEh, PmHashTable, PmemPool, PoolConfig, VarKey};
 
+mod common;
+
 fn shadow_cfg() -> PoolConfig {
-    PoolConfig { size: 64 << 20, shadow: true, ..Default::default() }
+    common::shadow_cfg(64)
 }
 
 #[test]
 fn var_key_insert_crash_sweep() {
     let cfg = shadow_cfg();
-    let dash_cfg = DashConfig { bucket_bits: 2, initial_depth: 1, ..Default::default() };
+    let dash_cfg = common::small_eh_cfg();
     let base: Vec<VarKey> = var_keys(1_500, 61, 16);
     let in_flight: Vec<VarKey> = var_keys(48, 67, 24);
 
@@ -134,7 +136,7 @@ fn var_key_delete_crash_sweep() {
 #[test]
 fn crashed_var_key_inserts_do_not_leak() {
     let cfg = shadow_cfg();
-    let dash_cfg = DashConfig { bucket_bits: 2, initial_depth: 1, ..Default::default() };
+    let dash_cfg = common::small_eh_cfg();
     let pool0 = PmemPool::create(cfg).unwrap();
     let t0: DashEh<VarKey> = DashEh::create(pool0.clone(), dash_cfg).unwrap();
     drop(t0);

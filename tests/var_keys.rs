@@ -6,18 +6,15 @@ use std::sync::Arc;
 
 use dash_repro::dash_common::var_keys;
 use dash_repro::{
-    Cceh, CcehConfig, DashConfig, DashEh, DashLh, LevelConfig, LevelHash, PmHashTable, PmemPool,
+    DashConfig, DashEh, DashLh, PmHashTable, PmemPool,
     PoolConfig, TableError, VarKey,
 };
 
+mod common;
+use common::all_tables_generic;
+
 fn all_tables(pool_mb: usize) -> Vec<Box<dyn PmHashTable<VarKey>>> {
-    let mk = || PmemPool::create(PoolConfig::with_size(pool_mb << 20)).unwrap();
-    vec![
-        Box::new(DashEh::<VarKey>::create(mk(), DashConfig::default()).unwrap()),
-        Box::new(DashLh::<VarKey>::create(mk(), DashConfig::default()).unwrap()),
-        Box::new(Cceh::<VarKey>::create(mk(), CcehConfig::default()).unwrap()),
-        Box::new(LevelHash::<VarKey>::create(mk(), LevelConfig::default()).unwrap()),
-    ]
+    all_tables_generic::<VarKey>(pool_mb)
 }
 
 #[test]
@@ -90,13 +87,9 @@ fn remove_releases_key_storage_for_reuse() {
 
 #[test]
 fn var_keys_survive_crash_and_splits() {
-    let cfg = PoolConfig { size: 128 << 20, shadow: true, ..Default::default() };
+    let cfg = common::shadow_cfg(128);
     let pool = PmemPool::create(cfg).unwrap();
-    let table: DashEh<VarKey> = DashEh::create(
-        pool.clone(),
-        DashConfig { bucket_bits: 2, initial_depth: 1, ..Default::default() },
-    )
-    .unwrap();
+    let table: DashEh<VarKey> = DashEh::create(pool.clone(), common::small_eh_cfg()).unwrap();
     let keys = var_keys(6_000, 9, 24);
     for (i, k) in keys.iter().enumerate() {
         table.insert(k, i as u64).unwrap();
