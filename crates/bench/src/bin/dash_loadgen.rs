@@ -1,0 +1,395 @@
+//! `dash-loadgen` — multi-connection load generator for `dash-server`.
+//!
+//! Drives a running server with the same deterministic key machinery the
+//! offline benches use (`dash_common::workload`): a fixed keyspace of
+//! unique keys, a configurable GET/SET mix, uniform or Zipfian key
+//! popularity, and pipelined connections. Every value is a pure function
+//! of its key, so *any* GET that returns data can be verified exactly —
+//! even under concurrent writers — and `--verify-all` can prove after a
+//! server restart that no acknowledged write was lost.
+//!
+//! Exit status: 0 on success, 1 on any error / mismatch / zero
+//! throughput, 2 on bad usage.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use dash_common::{cli, mix64, uniform_keys, ZipfGenerator};
+use dash_server::{RespClient, Value};
+
+const USAGE: &str = "\
+dash-loadgen — load generator and checker for dash-server
+
+USAGE:
+    dash-loadgen [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT  server address (default 127.0.0.1:6379)
+    --conns N         concurrent connections (default 4)
+    --ops N           total timed operations across all connections
+                      (default 100000)
+    --read-pct P      percentage of GETs, 0-100 (default 90)
+    --keys N          keyspace size (default 10000)
+    --value-size B    value size in bytes (default 64)
+    --pipeline D      commands per pipelined batch (default 16)
+    --zipf THETA      Zipfian skew in (0,1); omitted = uniform
+    --seed S          keyspace seed (default 42)
+    --preload         SET the whole keyspace before the timed run
+    --verify-all      after the run, GET every key and require the
+                      exact expected value (use after --preload, or
+                      across a server restart)
+    -h, --help        show this help";
+
+struct Config {
+    addr: String,
+    conns: usize,
+    ops: usize,
+    read_pct: u32,
+    keys: usize,
+    value_size: usize,
+    pipeline: usize,
+    zipf: Option<f64>,
+    seed: u64,
+    preload: bool,
+    verify_all: bool,
+}
+
+fn parse_config() -> Config {
+    let args = cli::parse_or_exit(
+        USAGE,
+        &["addr", "conns", "ops", "read-pct", "keys", "value-size", "pipeline", "zipf", "seed"],
+        &["preload", "verify-all"],
+        0,
+    );
+    let cfg = Config {
+        addr: args.flag_str("addr", "127.0.0.1:6379"),
+        conns: args.flag_or_exit("conns", 4, USAGE),
+        ops: args.flag_or_exit("ops", 100_000, USAGE),
+        read_pct: args.flag_or_exit("read-pct", 90, USAGE),
+        keys: args.flag_or_exit("keys", 10_000, USAGE),
+        value_size: args.flag_or_exit("value-size", 64, USAGE),
+        pipeline: args.flag_or_exit("pipeline", 16, USAGE),
+        zipf: match args.flag_opt("zipf") {
+            None => None,
+            Some(v) => match v.parse::<f64>() {
+                Ok(t) if t > 0.0 && t < 1.0 => Some(t),
+                _ => cli::exit_usage(
+                    &format!("invalid value {v:?} for --zipf (need 0 < theta < 1)"),
+                    USAGE,
+                ),
+            },
+        },
+        seed: args.flag_or_exit("seed", 42, USAGE),
+        preload: args.switch("preload"),
+        verify_all: args.switch("verify-all"),
+    };
+    if cfg.conns == 0 || cfg.keys == 0 || cfg.pipeline == 0 {
+        cli::exit_usage("--conns, --keys and --pipeline must be at least 1", USAGE);
+    }
+    if cfg.read_pct > 100 {
+        cli::exit_usage("--read-pct must be 0-100", USAGE);
+    }
+    cfg
+}
+
+fn key_bytes(stem: u64) -> Vec<u8> {
+    format!("key:{stem:016x}").into_bytes()
+}
+
+/// The value every writer stores under `stem`: a pure function of the
+/// key, so reads verify exactly regardless of which connection wrote.
+fn value_bytes(stem: u64, size: usize) -> Vec<u8> {
+    stem.to_le_bytes().iter().copied().cycle().take(size).collect()
+}
+
+#[derive(Default)]
+struct Tally {
+    gets: u64,
+    sets: u64,
+    hits: u64,
+    errors: u64,
+    /// Batch round-trip times, microseconds.
+    batch_rtt_us: Vec<u64>,
+}
+
+/// Check one reply against what the op must produce; returns false on
+/// any server error, protocol surprise, or value mismatch. When the
+/// keyspace was preloaded every key is known present, so a Nil GET is a
+/// lost acknowledged write — an error, not a miss.
+fn check_reply(reply: &Value, expected: Option<&[u8]>, preloaded: bool, tally: &mut Tally) -> bool {
+    match (reply, expected) {
+        (Value::Simple(s), None) => s == "OK",
+        (Value::Nil, Some(_)) => !preloaded,
+        (Value::Bulk(got), Some(want)) => {
+            let matches = got.as_slice() == want;
+            if matches {
+                tally.hits += 1;
+            }
+            matches
+        }
+        _ => false,
+    }
+}
+
+fn run_connection(cfg: &Config, stems: &[u64], conn_id: usize, my_ops: usize) -> std::io::Result<Tally> {
+    let mut client = RespClient::connect(cfg.addr.as_str())?;
+    let mut tally = Tally::default();
+    let mut zipf = cfg
+        .zipf
+        .map(|theta| ZipfGenerator::new(stems.len(), theta, mix64(cfg.seed ^ conn_id as u64) | 1));
+    let mut rng = mix64(cfg.seed ^ (conn_id as u64).wrapping_mul(0x9E37)) | 1;
+    let mut done = 0usize;
+    while done < my_ops {
+        let batch = cfg.pipeline.min(my_ops - done);
+        // (is_get, key stem) per op in the batch.
+        let mut ops = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            rng = mix64(rng);
+            let idx = match &mut zipf {
+                Some(z) => z.next_index(),
+                None => ((rng >> 8) % stems.len() as u64) as usize,
+            };
+            let stem = stems[idx];
+            let is_get = (rng % 100) < cfg.read_pct as u64;
+            let key = key_bytes(stem);
+            if is_get {
+                client.enqueue(&[b"GET", &key]);
+            } else {
+                let value = value_bytes(stem, cfg.value_size);
+                client.enqueue(&[b"SET", &key, &value]);
+            }
+            ops.push((is_get, stem));
+        }
+        let t0 = Instant::now();
+        client.flush()?;
+        for (is_get, stem) in &ops {
+            let reply = client.read_reply()?;
+            let expected = if *is_get { Some(value_bytes(*stem, cfg.value_size)) } else { None };
+            if *is_get {
+                tally.gets += 1;
+            } else {
+                tally.sets += 1;
+            }
+            if !check_reply(&reply, expected.as_deref(), cfg.preload, &mut tally) {
+                tally.errors += 1;
+            }
+        }
+        tally.batch_rtt_us.push(t0.elapsed().as_micros() as u64);
+        done += batch;
+    }
+    Ok(tally)
+}
+
+/// SET every key in the keyspace (split across connections), so a later
+/// `--verify-all` has a fully defined expectation.
+fn preload(cfg: &Config, stems: &[u64]) -> Result<(), String> {
+    let errors = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for (conn_id, chunk) in stems.chunks(stems.len().div_ceil(cfg.conns)).enumerate() {
+            let errors = &errors;
+            s.spawn(move || {
+                let mut client = match RespClient::connect(cfg.addr.as_str()) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("preload conn {conn_id}: {e}");
+                        errors.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                for batch in chunk.chunks(cfg.pipeline) {
+                    for stem in batch {
+                        let key = key_bytes(*stem);
+                        let value = value_bytes(*stem, cfg.value_size);
+                        client.enqueue(&[b"SET", &key, &value]);
+                    }
+                    if client.flush().is_err() {
+                        errors.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        return;
+                    }
+                    for _ in batch {
+                        match client.read_reply() {
+                            Ok(Value::Simple(s)) if s == "OK" => {}
+                            _ => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    match errors.load(Ordering::Relaxed) {
+        0 => Ok(()),
+        n => Err(format!("{n} preload errors")),
+    }
+}
+
+/// GET every key and require the exact expected value — the
+/// no-acknowledged-write-lost check used across server restarts.
+fn verify_all(cfg: &Config, stems: &[u64]) -> Result<(), String> {
+    let missing = AtomicU64::new(0);
+    let wrong = AtomicU64::new(0);
+    let io_errors = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for chunk in stems.chunks(stems.len().div_ceil(cfg.conns)) {
+            let (missing, wrong, io_errors) = (&missing, &wrong, &io_errors);
+            s.spawn(move || {
+                let mut client = match RespClient::connect(cfg.addr.as_str()) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        io_errors.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                for batch in chunk.chunks(cfg.pipeline) {
+                    for stem in batch {
+                        client.enqueue(&[b"GET", &key_bytes(*stem)]);
+                    }
+                    if client.flush().is_err() {
+                        io_errors.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        return;
+                    }
+                    for stem in batch {
+                        match client.read_reply() {
+                            Ok(Value::Bulk(v)) if v == value_bytes(*stem, cfg.value_size) => {}
+                            Ok(Value::Bulk(_)) => {
+                                wrong.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(Value::Nil) => {
+                                missing.fetch_add(1, Ordering::Relaxed);
+                            }
+                            _ => {
+                                io_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let (m, w, io) = (
+        missing.load(Ordering::Relaxed),
+        wrong.load(Ordering::Relaxed),
+        io_errors.load(Ordering::Relaxed),
+    );
+    if m + w + io == 0 {
+        Ok(())
+    } else {
+        Err(format!("{m} keys missing, {w} wrong values, {io} I/O errors"))
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let cfg = parse_config();
+    let stems = uniform_keys(cfg.keys, cfg.seed);
+
+    // Reachability check with a useful error before spawning anything.
+    let mut probe = match RespClient::connect(cfg.addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("dash-loadgen: cannot connect to {}: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    if !matches!(probe.command(&[b"PING"]), Ok(Value::Simple(ref s)) if s == "PONG") {
+        eprintln!("dash-loadgen: {} did not answer PING", cfg.addr);
+        std::process::exit(1);
+    }
+
+    if cfg.preload {
+        let t0 = Instant::now();
+        if let Err(e) = preload(&cfg, &stems) {
+            eprintln!("dash-loadgen: preload failed: {e}");
+            std::process::exit(1);
+        }
+        println!("preloaded {} keys in {:?}", cfg.keys, t0.elapsed());
+    }
+
+    let mut failed = false;
+    if cfg.ops > 0 {
+        let per = cfg.ops / cfg.conns;
+        let t0 = Instant::now();
+        let tallies: Vec<std::io::Result<Tally>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..cfg.conns)
+                .map(|conn_id| {
+                    let (cfg, stems) = (&cfg, &stems);
+                    let my_ops = if conn_id == cfg.conns - 1 { cfg.ops - per * (cfg.conns - 1) } else { per };
+                    s.spawn(move || run_connection(cfg, stems, conn_id, my_ops))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        let elapsed = t0.elapsed();
+
+        let mut total = Tally::default();
+        let mut io_errors = 0u64;
+        for t in tallies {
+            match t {
+                Ok(t) => {
+                    total.gets += t.gets;
+                    total.sets += t.sets;
+                    total.hits += t.hits;
+                    total.errors += t.errors;
+                    total.batch_rtt_us.extend(t.batch_rtt_us);
+                }
+                Err(e) => {
+                    eprintln!("dash-loadgen: connection failed: {e}");
+                    io_errors += 1;
+                }
+            }
+        }
+        let ops_done = total.gets + total.sets;
+        let throughput = ops_done as f64 / elapsed.as_secs_f64();
+        total.batch_rtt_us.sort_unstable();
+        let rtt = &total.batch_rtt_us;
+        println!(
+            "ran {ops_done} ops ({} GET / {} SET, {} hits) over {} connections in {:.2?}",
+            total.gets, total.sets, total.hits, cfg.conns, elapsed
+        );
+        println!("throughput: {:.0} ops/s", throughput);
+        println!(
+            "batch RTT (pipeline depth {}): p50 {} us, p95 {} us, p99 {} us, max {} us",
+            cfg.pipeline,
+            percentile(rtt, 0.50),
+            percentile(rtt, 0.95),
+            percentile(rtt, 0.99),
+            rtt.last().copied().unwrap_or(0),
+        );
+        if total.errors > 0 || io_errors > 0 {
+            eprintln!("dash-loadgen: {} op errors, {io_errors} failed connections", total.errors);
+            failed = true;
+        }
+        if ops_done == 0 || throughput == 0.0 {
+            eprintln!("dash-loadgen: zero throughput");
+            failed = true;
+        }
+    }
+
+    if cfg.verify_all {
+        let t0 = Instant::now();
+        match verify_all(&cfg, &stems) {
+            Ok(()) => println!(
+                "verified all {} keys hold their expected values ({:?})",
+                cfg.keys,
+                t0.elapsed()
+            ),
+            Err(e) => {
+                eprintln!("dash-loadgen: verification failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if let Ok(Value::Integer(n)) = probe.command(&[b"DBSIZE"]) {
+        println!("server DBSIZE: {n}");
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

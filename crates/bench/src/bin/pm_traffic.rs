@@ -5,16 +5,26 @@
 //! bytes, write (flush) events and write bytes *per operation*, measured
 //! with the cost model disabled so that counts are exact and fast.
 //!
-//! Usage: `cargo run --release -p dash-bench --bin pm_traffic [preload] [ops]`
+//! Usage: `cargo run --release -p dash_bench --bin pm_traffic -- [preload] [ops]`
 
 use dash_bench::{build, preload, TableKind, Workload};
-use dash_common::{negative_keys, uniform_keys};
+use dash_common::{cli, negative_keys, uniform_keys};
 use pmem::CostModel;
 
+const USAGE: &str = "\
+pm_traffic — per-operation PM traffic accounting for all four tables
+
+USAGE:
+    pm_traffic [preload] [ops]
+
+ARGS:
+    preload    records loaded before measuring (default 50000)
+    ops        measured operations per workload (default 50000)";
+
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let pre_n: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(50_000);
-    let ops_n: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(50_000);
+    let args = cli::parse_or_exit(USAGE, &[], &[], 2);
+    let pre_n: usize = args.positional_or_exit(0, 50_000, USAGE);
+    let ops_n: usize = args.positional_or_exit(1, 50_000, USAGE);
 
     println!("# PM traffic per operation (preload {pre_n}, ops {ops_n}, single thread)");
     println!(

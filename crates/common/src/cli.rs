@@ -1,0 +1,213 @@
+//! Strict command-line parsing shared by the repo's binaries
+//! (`pm_traffic`, `dash-server`, `dash-loadgen`).
+//!
+//! The binaries used to fall back to defaults on unparsable input, which
+//! silently turns a typo (`--opps 100`) into a run with the wrong scale.
+//! This parser rejects unknown flags, malformed values and surplus
+//! positionals with a descriptive error so `main` can print its usage text and
+//! exit non-zero instead.
+
+use std::collections::HashMap;
+use std::str::FromStr;
+
+/// Parsed arguments: `--flag value` / `--switch` pairs plus positionals.
+#[derive(Debug)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+    positional: Vec<String>,
+}
+
+/// Parse `raw` (argv without the program name) against an allowlist.
+///
+/// * `flags` — options taking a value (`--conns 4`),
+/// * `switches` — boolean options (`--preload`),
+/// * `max_positional` — how many bare arguments are accepted.
+///
+/// Anything else is an error. `-h`/`--help` is reported as the dedicated
+/// error string `"help"` so callers can print usage and exit zero.
+pub fn parse_args(
+    raw: impl Iterator<Item = String>,
+    flags: &[&str],
+    switches: &[&str],
+    max_positional: usize,
+) -> Result<Args, String> {
+    let mut out = Args {
+        flags: HashMap::new(),
+        switches: Vec::new(),
+        positional: Vec::new(),
+    };
+    let mut raw = raw.peekable();
+    while let Some(arg) = raw.next() {
+        if arg == "-h" || arg == "--help" {
+            return Err("help".to_string());
+        }
+        if let Some(name) = arg.strip_prefix("--") {
+            // Accept `--flag=value` as well as `--flag value`.
+            let (name, inline_value) = match name.split_once('=') {
+                Some((n, v)) => (n, Some(v.to_string())),
+                None => (name, None),
+            };
+            if switches.contains(&name) {
+                if let Some(v) = inline_value {
+                    return Err(format!("switch --{name} does not take a value (got {v:?})"));
+                }
+                out.switches.push(name.to_string());
+            } else if flags.contains(&name) {
+                let value = match inline_value {
+                    Some(v) => v,
+                    None => raw
+                        .next()
+                        .ok_or_else(|| format!("flag --{name} requires a value"))?,
+                };
+                if out.flags.insert(name.to_string(), value).is_some() {
+                    return Err(format!("flag --{name} given twice"));
+                }
+            } else {
+                return Err(format!("unknown option --{name}"));
+            }
+        } else if out.positional.len() < max_positional {
+            out.positional.push(arg);
+        } else {
+            return Err(format!("unexpected argument {arg:?}"));
+        }
+    }
+    Ok(out)
+}
+
+impl Args {
+    /// The value of `--name`, parsed as `T`; `default` when absent.
+    pub fn flag<T: FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value {v:?} for --{name}")),
+        }
+    }
+
+    /// The raw value of `--name`, if given.
+    pub fn flag_opt(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// The value of `--name` as a string, `default` when absent.
+    pub fn flag_str(&self, name: &str, default: &str) -> String {
+        self.flags
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Whether the boolean `--name` switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Positional argument `idx`, parsed as `T`; `default` when absent.
+    pub fn positional<T: FromStr>(&self, idx: usize, default: T) -> Result<T, String> {
+        match self.positional.get(idx) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid argument {v:?}")),
+        }
+    }
+
+    /// [`Self::flag`], exiting with usage on a malformed value.
+    pub fn flag_or_exit<T: FromStr>(&self, name: &str, default: T, usage: &str) -> T {
+        self.flag(name, default).unwrap_or_else(|e| exit_usage(&e, usage))
+    }
+
+    /// [`Self::positional`], exiting with usage on a malformed value.
+    pub fn positional_or_exit<T: FromStr>(&self, idx: usize, default: T, usage: &str) -> T {
+        self.positional(idx, default).unwrap_or_else(|e| exit_usage(&e, usage))
+    }
+}
+
+/// Print `err` + `usage` to stderr and exit 2 — the one place the
+/// usage-error exit convention lives.
+pub fn exit_usage(err: &str, usage: &str) -> ! {
+    eprintln!("error: {err}\n\n{usage}");
+    std::process::exit(2);
+}
+
+/// Standard strict-binary prologue: parse, and on any error print `usage`
+/// plus the error to stderr and exit non-zero (zero for `--help`).
+pub fn parse_or_exit(
+    usage: &str,
+    flags: &[&str],
+    switches: &[&str],
+    max_positional: usize,
+) -> Args {
+    match parse_args(std::env::args().skip(1), flags, switches, max_positional) {
+        Ok(args) => args,
+        Err(e) if e == "help" => {
+            println!("{usage}");
+            std::process::exit(0);
+        }
+        Err(e) => exit_usage(&e, usage),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> std::vec::IntoIter<String> {
+        s.iter().map(|v| v.to_string()).collect::<Vec<_>>().into_iter()
+    }
+
+    #[test]
+    fn flags_switches_and_positionals_parse() {
+        let a = parse_args(
+            argv(&["--conns", "4", "--preload", "--addr=1.2.3.4:1", "9000"]),
+            &["conns", "addr"],
+            &["preload"],
+            1,
+        )
+        .unwrap();
+        assert_eq!(a.flag("conns", 1usize).unwrap(), 4);
+        assert_eq!(a.flag_str("addr", "x"), "1.2.3.4:1");
+        assert!(a.switch("preload"));
+        assert!(!a.switch("verify"));
+        assert_eq!(a.positional(0, 0usize).unwrap(), 9000);
+        assert_eq!(a.positional(1, 7usize).unwrap(), 7, "absent → default");
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        let e = parse_args(argv(&["--bogus", "1"]), &["conns"], &[], 0).unwrap_err();
+        assert!(e.contains("--bogus"), "{e}");
+    }
+
+    #[test]
+    fn malformed_value_rejected_not_defaulted() {
+        let a = parse_args(argv(&["--conns", "four"]), &["conns"], &[], 0).unwrap();
+        assert!(a.flag("conns", 1usize).is_err());
+    }
+
+    #[test]
+    fn malformed_positional_rejected_not_defaulted() {
+        let a = parse_args(argv(&["12x"]), &[], &[], 2).unwrap();
+        assert!(a.positional::<usize>(0, 5).is_err());
+    }
+
+    #[test]
+    fn missing_value_duplicate_and_surplus_rejected() {
+        assert!(parse_args(argv(&["--conns"]), &["conns"], &[], 0).is_err());
+        assert!(parse_args(argv(&["--conns", "1", "--conns", "2"]), &["conns"], &[], 0).is_err());
+        assert!(parse_args(argv(&["a", "b"]), &[], &[], 1).is_err());
+    }
+
+    #[test]
+    fn switch_with_value_rejected() {
+        assert!(parse_args(argv(&["--preload=yes"]), &[], &["preload"], 0).is_err());
+    }
+
+    #[test]
+    fn help_is_signalled() {
+        assert_eq!(parse_args(argv(&["--help"]), &[], &[], 0).unwrap_err(), "help");
+        assert_eq!(parse_args(argv(&["-h"]), &[], &[], 0).unwrap_err(), "help");
+    }
+}

@@ -4,6 +4,7 @@
 //! Dash-LH, CCEH, Level Hashing) and workload generators for the paper's
 //! micro-benchmarks (§6.2).
 
+pub mod cli;
 mod hash;
 mod key;
 mod table;
@@ -13,5 +14,5 @@ pub use hash::{hash64, hash64_seed, hash_u64};
 pub use key::{Key, VarKey, MAX_KEY_LEN};
 pub use table::{PmHashTable, TableError, TableResult};
 pub use workload::{
-    mixed_ops, negative_keys, uniform_keys, var_keys, MixedOp, ZipfGenerator,
+    mix64, mixed_ops, negative_keys, uniform_keys, var_keys, MixedOp, ZipfGenerator,
 };

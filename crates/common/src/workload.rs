@@ -6,9 +6,11 @@
 use crate::key::VarKey;
 
 /// SplitMix64 finalizer: a *bijective* mix, so distinct inputs give
-/// distinct keys — uniqueness without a dedup pass.
+/// distinct keys — uniqueness without a dedup pass. Public so harness
+/// binaries (`dash-loadgen`) derive their op streams from the same
+/// mixer as the generators they mirror.
 #[inline]
-fn mix64(mut z: u64) -> u64 {
+pub fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -383,6 +383,22 @@ impl PmemPool {
         Ok(pool)
     }
 
+    /// Open the pool file at `path` if one exists, otherwise create a
+    /// fresh pool there — the idiom every service layer needs on startup
+    /// ("reattach to my data or initialize it"). Returns whether an
+    /// existing pool was reopened, so callers can decide between
+    /// `Table::open` and `Table::create` on top of it. An existing file
+    /// that is not a valid pool is reported as corruption, never silently
+    /// truncated.
+    #[cfg(unix)]
+    pub fn open_or_create_file(path: &std::path::Path, cfg: PoolConfig) -> Result<(Arc<Self>, bool)> {
+        if path.exists() {
+            Ok((Self::open_file(path, cfg)?, true))
+        } else {
+            Ok((Self::create_file(path, cfg)?, false))
+        }
+    }
+
     /// Durable clean shutdown: set the clean marker and (for file-backed
     /// pools) synchronously write the region back. After `close`, an
     /// [`Self::open_file`] of the same path recovers instantly with
@@ -854,6 +870,25 @@ mod tests {
                 PmemPool::open_file(&path, PoolConfig::with_size(1 << 20)),
                 Err(PmError::Io(_))
             ));
+        }
+
+        #[test]
+        fn open_or_create_distinguishes_fresh_from_reopened() {
+            let path = tmp("open-or-create");
+            let _ = std::fs::remove_file(&path);
+            let cfg = PoolConfig::with_size(1 << 20);
+            let root = {
+                let (pool, reopened) = PmemPool::open_or_create_file(&path, cfg).unwrap();
+                assert!(!reopened, "no file yet: must create");
+                let off = pool.alloc(64).unwrap();
+                pool.set_root(off);
+                pool.close().unwrap();
+                off
+            };
+            let (pool, reopened) = PmemPool::open_or_create_file(&path, cfg).unwrap();
+            assert!(reopened, "file exists: must reopen, not truncate");
+            assert_eq!(pool.root(), root);
+            std::fs::remove_file(&path).unwrap();
         }
 
         #[test]

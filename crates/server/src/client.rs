@@ -1,0 +1,81 @@
+//! A minimal blocking RESP2 client with explicit pipelining — what
+//! `dash-loadgen`, the integration tests and the CI smoke job speak to
+//! the server with.
+//!
+//! `enqueue` buffers requests locally; `flush` ships the whole batch in
+//! one write; `read_reply` then yields the replies in order. `command`
+//! is the one-shot convenience wrapping all three.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::resp::{decode_value, encode_command, Decode, Value};
+
+pub struct RespClient {
+    stream: TcpStream,
+    wbuf: Vec<u8>,
+    rbuf: Vec<u8>,
+    /// Bytes of `rbuf` already decoded into replies.
+    rpos: usize,
+}
+
+impl RespClient {
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(RespClient { stream, wbuf: Vec::new(), rbuf: Vec::new(), rpos: 0 })
+    }
+
+    /// Append one command to the outgoing pipeline (not sent yet).
+    pub fn enqueue(&mut self, parts: &[&[u8]]) {
+        encode_command(parts, &mut self.wbuf);
+    }
+
+    /// Ship every enqueued command in one write.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if !self.wbuf.is_empty() {
+            self.stream.write_all(&self.wbuf)?;
+            self.wbuf.clear();
+        }
+        Ok(())
+    }
+
+    /// Read the next reply (blocking).
+    pub fn read_reply(&mut self) -> std::io::Result<Value> {
+        loop {
+            match decode_value(&self.rbuf[self.rpos..]) {
+                Ok(Decode::Complete(v, used)) => {
+                    self.rpos += used;
+                    // Compact once the buffer is fully drained so long
+                    // pipelines don't accumulate forever.
+                    if self.rpos == self.rbuf.len() {
+                        self.rbuf.clear();
+                        self.rpos = 0;
+                    }
+                    return Ok(v);
+                }
+                Ok(Decode::Incomplete) => {
+                    let mut chunk = [0u8; 16 * 1024];
+                    let n = self.stream.read(&mut chunk)?;
+                    if n == 0 {
+                        return Err(std::io::Error::new(
+                            ErrorKind::UnexpectedEof,
+                            "server closed the connection mid-reply",
+                        ));
+                    }
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e) => {
+                    return Err(std::io::Error::new(ErrorKind::InvalidData, e.to_string()));
+                }
+            }
+        }
+    }
+
+    /// Send one command and wait for its reply.
+    pub fn command(&mut self, parts: &[&[u8]]) -> std::io::Result<Value> {
+        self.enqueue(parts);
+        self.flush()?;
+        self.read_reply()
+    }
+}

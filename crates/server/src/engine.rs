@@ -1,0 +1,514 @@
+//! `ShardedDash`: the storage engine under the service — N independent
+//! Dash-EH tables, each on its own file-backed [`PmemPool`], with the
+//! keyspace partitioned by hash.
+//!
+//! Why shards instead of one big table: each shard is an independent
+//! failure/recovery domain (one pool file each, recovered per Dash §4.8
+//! in constant time on open), an independent allocator arena (no shared
+//! bump pointer between shards), and an independent write domain — so
+//! the service scales writes across cores the way the paper scales
+//! threads across one table, while the pool files together form the
+//! persistent image of the whole store.
+//!
+//! Values are arbitrary byte strings, stored out of line in the owning
+//! shard's pool as `u32 len || bytes` (the same layout `VarKey` uses for
+//! keys); the table's 8-byte value field holds the blob's pool offset.
+//! Readers run lock-free under an epoch pin; overwrites and deletes
+//! retire the old blob through the pool's epoch manager so a concurrent
+//! reader never dereferences recycled memory.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use dash_common::{hash64_seed, PmHashTable, TableError, VarKey, MAX_KEY_LEN};
+use dash_core::{DashConfig, DashEh};
+use parking_lot::Mutex;
+use pmem::{PmError, PmOffset, PmemPool, PoolConfig};
+
+/// Upper bound on one value. Bounded (like keys) so a stale blob pointer
+/// scanned by an optimistic reader can never walk far out of a block.
+pub const MAX_VALUE_LEN: usize = 1 << 20;
+
+/// Routing hash seed. Deliberately distinct from the tables' own key
+/// hash: reusing `hash64` for routing would hand every shard a keyspace
+/// with `log2(shards)` bits pinned, biasing bucket selection inside the
+/// shard's table.
+const SHARD_SEED: u64 = 0x5AD5_C0DE_BA5E_B33F;
+
+/// Service-layer errors (wire layer maps these onto RESP `-ERR` replies).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Key exceeds [`MAX_KEY_LEN`].
+    KeyTooLong(usize),
+    /// Value exceeds [`MAX_VALUE_LEN`].
+    ValueTooLong(usize),
+    /// The underlying pool/table failed (most commonly: shard pool full).
+    Table(TableError),
+    /// The pool directory exists but does not look like a store (gaps in
+    /// the shard files, unreadable dir, ...).
+    Layout(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::KeyTooLong(n) => write!(f, "key of {n} bytes exceeds {MAX_KEY_LEN}"),
+            EngineError::ValueTooLong(n) => write!(f, "value of {n} bytes exceeds {MAX_VALUE_LEN}"),
+            EngineError::Table(e) => write!(f, "{e}"),
+            EngineError::Layout(s) => write!(f, "store layout error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<TableError> for EngineError {
+    fn from(e: TableError) -> Self {
+        EngineError::Table(e)
+    }
+}
+
+impl From<PmError> for EngineError {
+    fn from(e: PmError) -> Self {
+        EngineError::Table(TableError::Pm(e))
+    }
+}
+
+pub type EngineResult<T> = Result<T, EngineError>;
+
+/// Configuration for opening (or creating) a sharded store.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Shard count for a **fresh** store. Reopening an existing directory
+    /// always uses the shard count found on disk (the partition function
+    /// depends on it; changing it would orphan keys).
+    pub shards: usize,
+    /// Pool bytes per shard (4 KB multiple, ≥ 64 KB).
+    pub shard_bytes: usize,
+    /// Directory holding one `shard-N.pool` file per shard. `None` runs
+    /// the store on volatile heap pools (tests, throwaway caches).
+    pub dir: Option<PathBuf>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { shards: 4, shard_bytes: 64 << 20, dir: None }
+    }
+}
+
+/// How one shard came up, surfaced through `INFO`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// An existing pool file was reopened (vs created fresh).
+    pub recovered: bool,
+    /// The reopened pool had a clean-shutdown marker (§4.8).
+    pub clean: bool,
+    /// The pool's global recovery version after open.
+    pub version: u8,
+}
+
+struct Shard {
+    pool: Arc<PmemPool>,
+    table: DashEh<VarKey>,
+    /// Serializes read-modify-write sequences (overwrite, delete) so two
+    /// writers can never double-free a value blob. Plain reads do not
+    /// take it — they go through the table's optimistic path.
+    write_lock: Mutex<()>,
+    /// Key count at open, computed **lazily** on the first `DBSIZE` /
+    /// `INFO` (it needs a table scan, and paying it inside `open` would
+    /// break the constant-time-recovery contract). Fresh shards seed it
+    /// with 0 eagerly.
+    base_keys: OnceLock<u64>,
+    /// Net keys added/removed since open; `count ≈ base_keys + delta`.
+    keys_delta: AtomicI64,
+    info: ShardInfo,
+}
+
+impl Shard {
+    /// Current key count: exact when quiescent, momentarily approximate
+    /// while writers race the first scan.
+    fn key_count(&self) -> u64 {
+        let base = *self.base_keys.get_or_init(|| {
+            let d0 = self.keys_delta.load(Ordering::SeqCst);
+            (self.table.len_scan() as i64 - d0).max(0) as u64
+        });
+        (base as i64 + self.keys_delta.load(Ordering::SeqCst)).max(0) as u64
+    }
+    /// Read the value blob at `off`, defensively bounds-checked (the
+    /// caller holds an epoch pin, so a *live* offset cannot be recycled
+    /// under us; the checks guard against a corrupt table).
+    fn read_blob(&self, off: u64) -> Option<Vec<u8>> {
+        let pool = &self.pool;
+        if off == 0 || !off.is_multiple_of(4) || off + 4 > pool.size() as u64 {
+            return None;
+        }
+        // SAFETY: bounds checked above.
+        let len = unsafe { *pool.at::<u32>(PmOffset::new(off)) } as usize;
+        if len > MAX_VALUE_LEN || off + 4 + len as u64 > pool.size() as u64 {
+            return None;
+        }
+        pool.note_pm_read(4 + len);
+        // SAFETY: bounds checked above.
+        let bytes = unsafe { std::slice::from_raw_parts(pool.base().add(off as usize + 4), len) };
+        Some(bytes.to_vec())
+    }
+
+    /// Allocate, fill and persist a value blob; returns its offset.
+    fn write_blob(&self, value: &[u8]) -> EngineResult<u64> {
+        let total = 4 + value.len();
+        let off = self.pool.alloc(total)?;
+        // SAFETY: freshly allocated block of at least `total` bytes.
+        unsafe {
+            let p = self.pool.base().add(off.get() as usize);
+            (p as *mut u32).write(value.len() as u32);
+            std::ptr::copy_nonoverlapping(value.as_ptr(), p.add(4), value.len());
+        }
+        self.pool.persist(off, total);
+        Ok(off.get())
+    }
+
+    /// Retire a value blob once no epoch-pinned reader can still see it.
+    fn release_blob(&self, off: u64) {
+        if off == 0 || off + 4 > self.pool.size() as u64 {
+            return;
+        }
+        // SAFETY: offset produced by `write_blob`.
+        let len = unsafe { *self.pool.at::<u32>(PmOffset::new(off)) } as usize;
+        self.pool.defer_free(PmOffset::new(off), 4 + len.min(MAX_VALUE_LEN));
+    }
+}
+
+/// The sharded, persistent KV engine. All operations are safe under full
+/// concurrency: reads are optimistic (epoch-pinned, no locks), writes
+/// serialize per shard.
+pub struct ShardedDash {
+    shards: Vec<Shard>,
+}
+
+fn shard_file(dir: &Path, i: usize) -> PathBuf {
+    dir.join(format!("shard-{i}.pool"))
+}
+
+/// Count the `shard-N.pool` files in `dir`, insisting they are exactly
+/// `0..n` — a gap means someone deleted part of the store, and opening
+/// the remainder would silently lose the missing shard's keyspace.
+fn discover_shards(dir: &Path) -> EngineResult<usize> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| EngineError::Layout(format!("cannot read {}: {e}", dir.display())))?;
+    let mut indices: Vec<usize> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            let name = e.file_name();
+            let name = name.to_str()?;
+            name.strip_prefix("shard-")?.strip_suffix(".pool")?.parse().ok()
+        })
+        .collect();
+    indices.sort_unstable();
+    for (want, &got) in indices.iter().enumerate() {
+        if want != got {
+            return Err(EngineError::Layout(format!(
+                "shard files not contiguous in {}: missing shard-{want}.pool",
+                dir.display()
+            )));
+        }
+    }
+    Ok(indices.len())
+}
+
+impl ShardedDash {
+    /// Open the store in `cfg.dir`, creating it (with `cfg.shards`
+    /// shards) when no shard files exist yet, otherwise reattaching to
+    /// every `shard-N.pool` found — each pool runs Dash's constant-work
+    /// recovery, so open time is independent of the data volume.
+    pub fn open(cfg: &EngineConfig) -> EngineResult<Self> {
+        if cfg.shards == 0 {
+            return Err(EngineError::Layout("shard count must be at least 1".into()));
+        }
+        let mut shards = Vec::new();
+        match &cfg.dir {
+            None => {
+                for _ in 0..cfg.shards {
+                    let pool = PmemPool::create(PoolConfig::with_size(cfg.shard_bytes))?;
+                    let table = DashEh::create(pool.clone(), DashConfig::default())?;
+                    shards.push(Shard {
+                        pool,
+                        table,
+                        write_lock: Mutex::new(()),
+                        base_keys: OnceLock::from(0),
+                        keys_delta: AtomicI64::new(0),
+                        info: ShardInfo { recovered: false, clean: true, version: 1 },
+                    });
+                }
+            }
+            Some(dir) => {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| EngineError::Layout(format!("cannot create {}: {e}", dir.display())))?;
+                // An existing store dictates its own shard count: the
+                // partition function baked into the data must not change.
+                let existing = discover_shards(dir)?;
+                let n = if existing > 0 { existing } else { cfg.shards };
+                for i in 0..n {
+                    let path = shard_file(dir, i);
+                    let pool_cfg = PoolConfig::with_size(cfg.shard_bytes);
+                    let (pool, recovered) = PmemPool::open_or_create_file(&path, pool_cfg)?;
+                    let table = if recovered {
+                        DashEh::open(pool.clone())?
+                    } else {
+                        DashEh::create(pool.clone(), DashConfig::default())?
+                    };
+                    let out = pool.recovery_outcome();
+                    // Recovered shards defer their base count to the
+                    // first DBSIZE/INFO; fresh ones are known empty.
+                    let base_keys = if recovered { OnceLock::new() } else { OnceLock::from(0) };
+                    shards.push(Shard {
+                        pool,
+                        table,
+                        write_lock: Mutex::new(()),
+                        base_keys,
+                        keys_delta: AtomicI64::new(0),
+                        info: ShardInfo { recovered, clean: out.clean, version: out.version },
+                    });
+                }
+            }
+        }
+        Ok(ShardedDash { shards })
+    }
+
+    #[inline]
+    fn shard(&self, key: &[u8]) -> &Shard {
+        let h = hash64_seed(key, SHARD_SEED);
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    fn check_key(key: &[u8]) -> EngineResult<VarKey> {
+        if key.len() > MAX_KEY_LEN {
+            return Err(EngineError::KeyTooLong(key.len()));
+        }
+        Ok(VarKey::new(key.to_vec()))
+    }
+
+    /// Read a key's value (`None` when absent). Lock-free.
+    pub fn get(&self, key: &[u8]) -> EngineResult<Option<Vec<u8>>> {
+        let k = Self::check_key(key)?;
+        let shard = self.shard(key);
+        let _pin = shard.pool.epoch().pin();
+        match shard.table.get(&k) {
+            None => Ok(None),
+            Some(off) => Ok(shard.read_blob(off)),
+        }
+    }
+
+    /// Whether a key is present. Lock-free, does not touch the value.
+    pub fn exists(&self, key: &[u8]) -> EngineResult<bool> {
+        let k = Self::check_key(key)?;
+        let shard = self.shard(key);
+        let _pin = shard.pool.epoch().pin();
+        Ok(shard.table.get(&k).is_some())
+    }
+
+    /// Insert or overwrite. Durable before return: both the value blob
+    /// and the table update are persisted by the time this returns, so a
+    /// reply sent after `set` is an acknowledged write that survives a
+    /// process kill.
+    pub fn set(&self, key: &[u8], value: &[u8]) -> EngineResult<()> {
+        let k = Self::check_key(key)?;
+        if value.len() > MAX_VALUE_LEN {
+            return Err(EngineError::ValueTooLong(value.len()));
+        }
+        let shard = self.shard(key);
+        let _w = shard.write_lock.lock();
+        let new_off = shard.write_blob(value)?;
+        match shard.table.get(&k) {
+            Some(old_off) => {
+                if !shard.table.update(&k, new_off) {
+                    // The write lock excludes concurrent mutators, so the
+                    // key cannot have vanished between get and update.
+                    unreachable!("key disappeared under the shard write lock");
+                }
+                shard.release_blob(old_off);
+            }
+            None => {
+                if let Err(e) = shard.table.insert(&k, new_off) {
+                    shard.release_blob(new_off);
+                    return Err(e.into());
+                }
+                shard.keys_delta.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete a key; true when it existed.
+    pub fn del(&self, key: &[u8]) -> EngineResult<bool> {
+        let k = Self::check_key(key)?;
+        let shard = self.shard(key);
+        let _w = shard.write_lock.lock();
+        match shard.table.get(&k) {
+            None => Ok(false),
+            Some(off) => {
+                let removed = shard.table.remove(&k);
+                debug_assert!(removed, "key disappeared under the shard write lock");
+                shard.release_blob(off);
+                shard.keys_delta.fetch_sub(1, Ordering::Relaxed);
+                Ok(true)
+            }
+        }
+    }
+
+    /// Keys stored across all shards. O(shards) once warm; the first
+    /// call after recovering existing shards pays a one-time scan that
+    /// `open` deliberately skipped (constant-time recovery).
+    pub fn len(&self) -> u64 {
+        self.shards.iter().map(|s| s.key_count()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard key counts (INFO).
+    pub fn shard_keys(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.key_count()).collect()
+    }
+
+    /// How each shard came up (INFO's recovery section).
+    pub fn shard_infos(&self) -> Vec<ShardInfo> {
+        self.shards.iter().map(|s| s.info).collect()
+    }
+
+    /// Shards whose pool file predates this open — i.e. data recovered
+    /// from a previous incarnation.
+    pub fn recovered_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.info.recovered).count()
+    }
+
+    /// Clean shutdown: durably sync every shard pool and set its clean
+    /// marker, so the next open skips the version bump (§4.8).
+    pub fn close(&self) -> EngineResult<()> {
+        for s in &self.shards {
+            s.pool.close()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem_engine(shards: usize) -> ShardedDash {
+        ShardedDash::open(&EngineConfig {
+            shards,
+            shard_bytes: 16 << 20,
+            dir: None,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn set_get_del_roundtrip() {
+        let e = mem_engine(4);
+        assert_eq!(e.get(b"k").unwrap(), None);
+        e.set(b"k", b"v1").unwrap();
+        assert_eq!(e.get(b"k").unwrap(), Some(b"v1".to_vec()));
+        assert!(e.exists(b"k").unwrap());
+        e.set(b"k", b"v2-longer-than-before").unwrap();
+        assert_eq!(e.get(b"k").unwrap(), Some(b"v2-longer-than-before".to_vec()));
+        assert_eq!(e.len(), 1, "overwrite must not grow the key count");
+        assert!(e.del(b"k").unwrap());
+        assert!(!e.del(b"k").unwrap());
+        assert_eq!(e.get(b"k").unwrap(), None);
+        assert_eq!(e.len(), 0);
+    }
+
+    #[test]
+    fn empty_and_binary_values() {
+        let e = mem_engine(2);
+        e.set(b"empty", b"").unwrap();
+        assert_eq!(e.get(b"empty").unwrap(), Some(Vec::new()));
+        let blob: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        e.set(b"blob", &blob).unwrap();
+        assert_eq!(e.get(b"blob").unwrap(), Some(blob));
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let e = mem_engine(8);
+        for i in 0..2_000u32 {
+            e.set(format!("key-{i}").as_bytes(), b"x").unwrap();
+        }
+        let per = e.shard_keys();
+        assert_eq!(per.iter().sum::<u64>(), 2_000);
+        assert!(
+            per.iter().all(|&n| n > 100),
+            "routing must spread keys over all shards: {per:?}"
+        );
+    }
+
+    #[test]
+    fn limits_enforced() {
+        let e = mem_engine(1);
+        let long_key = vec![b'k'; MAX_KEY_LEN + 1];
+        assert!(matches!(e.set(&long_key, b"v"), Err(EngineError::KeyTooLong(_))));
+        assert!(matches!(e.get(&long_key), Err(EngineError::KeyTooLong(_))));
+        let long_val = vec![0u8; MAX_VALUE_LEN + 1];
+        assert!(matches!(e.set(b"k", &long_val), Err(EngineError::ValueTooLong(_))));
+        // Max sizes themselves are fine.
+        e.set(&vec![b'k'; MAX_KEY_LEN], b"v").unwrap();
+    }
+
+    #[test]
+    fn overwrite_recycles_value_blobs() {
+        let e = mem_engine(1);
+        let shard = &e.shards[0];
+        e.set(b"k", &[7u8; 100]).unwrap();
+        let frees_before = shard.pool.stats().frees;
+        for _ in 0..300 {
+            e.set(b"k", &[8u8; 100]).unwrap();
+        }
+        shard.pool.epoch_collect();
+        assert!(
+            shard.pool.stats().frees > frees_before,
+            "old value blobs must return to the allocator"
+        );
+    }
+
+    #[test]
+    fn concurrent_mixed_ops_stay_consistent() {
+        let e = Arc::new(mem_engine(4));
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let e = e.clone();
+                s.spawn(move || {
+                    for i in 0..500usize {
+                        let key = format!("t{}-{}", t % 4, i % 50);
+                        match i % 3 {
+                            0 => e.set(key.as_bytes(), key.as_bytes()).unwrap(),
+                            1 => {
+                                if let Some(v) = e.get(key.as_bytes()).unwrap() {
+                                    assert_eq!(v, key.as_bytes(), "value must match its key");
+                                }
+                            }
+                            _ => {
+                                let _ = e.del(key.as_bytes()).unwrap();
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        assert!(matches!(
+            ShardedDash::open(&EngineConfig { shards: 0, ..Default::default() }),
+            Err(EngineError::Layout(_))
+        ));
+    }
+}

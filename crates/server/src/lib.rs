@@ -1,0 +1,45 @@
+//! # dash-server — a sharded, persistent KV service over Dash
+//!
+//! The paper builds a hash table designed to sit under a heavily
+//! concurrent service; this crate is that service. It layers three
+//! pieces over the reproduction:
+//!
+//! * [`ShardedDash`] ([`engine`]) — the storage engine: the keyspace
+//!   partitioned by hash over N independent `DashEh<VarKey>` tables,
+//!   each on its own file-backed [`pmem::PmemPool`] (`MAP_SHARED`), so
+//!   the store survives real process restarts and reopens in constant
+//!   time per shard (Dash §4.8). Values are byte strings stored out of
+//!   line in the owning shard's pool; reads are lock-free under an
+//!   epoch pin, writes serialize per shard.
+//! * [`serve`] ([`server`]) — a thread-per-connection TCP server
+//!   speaking a RESP2 subset (`GET` `SET` `DEL` `EXISTS` `PING` `INFO`
+//!   `DBSIZE` `SHUTDOWN`) with full pipelining, on `std::net` only.
+//! * [`resp`] / [`RespClient`] ([`client`]) — the wire codec (strict,
+//!   incremental, binary-safe) and a small blocking client used by
+//!   `dash-loadgen`, the tests and the CI smoke job.
+//!
+//! ```no_run
+//! use dash_server::{serve, EngineConfig, RespClient, ShardedDash, Value};
+//!
+//! let engine = ShardedDash::open(&EngineConfig {
+//!     shards: 4,
+//!     shard_bytes: 64 << 20,
+//!     dir: Some("/tmp/dash-store".into()),
+//! }).unwrap();
+//! let server = serve(engine, "127.0.0.1:6379").unwrap();
+//!
+//! let mut client = RespClient::connect(server.addr()).unwrap();
+//! client.command(&[b"SET", b"user:1", b"ada"]).unwrap();
+//! assert_eq!(client.command(&[b"GET", b"user:1"]).unwrap(), Value::bulk(*b"ada"));
+//! server.shutdown(); // clean close: next open skips the version bump
+//! ```
+
+pub mod client;
+pub mod engine;
+pub mod resp;
+pub mod server;
+
+pub use client::RespClient;
+pub use engine::{EngineConfig, EngineError, EngineResult, ShardInfo, ShardedDash, MAX_VALUE_LEN};
+pub use resp::{ProtocolError, Value};
+pub use server::{serve, ServerHandle};

@@ -1,0 +1,463 @@
+//! The networked service: a thread-per-connection TCP server speaking
+//! the RESP2 subset `GET` / `SET` / `DEL` / `EXISTS` / `PING` / `INFO` /
+//! `DBSIZE` (plus `SHUTDOWN` for orderly teardown) over a
+//! [`ShardedDash`] engine.
+//!
+//! Pipelining comes for free from the decode loop: every complete
+//! command sitting in the read buffer is executed and its reply appended
+//! to one write buffer, which is flushed in a single `write_all` — a
+//! client that sends N requests back-to-back pays one round trip, not N.
+//!
+//! Thread-per-connection is a deliberate first architecture (the
+//! ROADMAP's async I/O item replaces the accept loop, not the engine):
+//! Dash's optimistic concurrency means connection threads contend only
+//! inside the engine's bucket-level protocol, so a handful of
+//! connections already saturate the table just as the paper's bench
+//! threads do.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::engine::ShardedDash;
+use crate::resp::{decode_command, encode, Decode, Value};
+
+/// How often an idle connection thread wakes up to check for shutdown.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+/// How long a reply write may block before the connection is dropped.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+/// Read buffer growth quantum.
+const READ_CHUNK: usize = 16 * 1024;
+
+struct Inner {
+    engine: ShardedDash,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    connections_accepted: AtomicU64,
+    commands_served: AtomicU64,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Handle to a running server: address, shutdown, join.
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Block until the server stops on its own (a client issued
+    /// `SHUTDOWN`) — the serve-forever mode of the `dash-server` binary.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Ask the server to stop, wait for every connection thread to
+    /// drain, and close the engine's pools cleanly.
+    pub fn shutdown(mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.inner.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Serve `engine` on `addr` (e.g. `"127.0.0.1:0"` for an ephemeral
+/// port). Returns once the listener is bound; accepting runs on a
+/// background thread. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] leaves the pools uncleanly closed — the
+/// store recovers, but with a version bump, exactly like a crash.
+pub fn serve(engine: ShardedDash, addr: impl ToSocketAddrs) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let inner = Arc::new(Inner {
+        engine,
+        shutdown: AtomicBool::new(false),
+        addr,
+        connections_accepted: AtomicU64::new(0),
+        commands_served: AtomicU64::new(0),
+        workers: Mutex::new(Vec::new()),
+    });
+    let accept_inner = inner.clone();
+    let accept_thread = std::thread::spawn(move || accept_loop(listener, accept_inner));
+    Ok(ServerHandle { inner, accept_thread: Some(accept_thread) })
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                inner.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                let conn_inner = inner.clone();
+                let handle = std::thread::spawn(move || {
+                    let _ = serve_connection(stream, &conn_inner);
+                });
+                let mut workers = inner.workers.lock();
+                // Reap finished threads so the vec doesn't grow forever
+                // on a long-lived server.
+                workers.retain(|h| !h.is_finished());
+                workers.push(handle);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::ConnectionAborted | ErrorKind::Interrupted | ErrorKind::WouldBlock
+                ) =>
+            {
+                continue
+            }
+            Err(_) => {
+                // Fatal accept error (e.g. EMFILE): initiate shutdown so
+                // connection threads drain and the pools close cleanly,
+                // instead of wedging with the flag unset.
+                inner.shutdown.store(true, Ordering::SeqCst);
+                break;
+            }
+        }
+    }
+    // Drain connection threads (they observe the flag via read timeouts),
+    // then close the pools: the last reply written before this point is
+    // durably on disk after close().
+    let workers = std::mem::take(&mut *inner.workers.lock());
+    for w in workers {
+        let _ = w.join();
+    }
+    let _ = inner.engine.close();
+}
+
+fn serve_connection(stream: TcpStream, inner: &Inner) -> std::io::Result<()> {
+    let mut stream = stream;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(IDLE_POLL))?;
+    // A client that stops reading its replies must not pin this thread
+    // in write_all forever — that would wedge shutdown, which joins
+    // every worker before closing the pools. Timing out drops the
+    // connection instead.
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    let mut rbuf: Vec<u8> = Vec::with_capacity(READ_CHUNK);
+    let mut consumed = 0usize;
+    let mut wbuf: Vec<u8> = Vec::with_capacity(READ_CHUNK);
+    let mut chunk = [0u8; READ_CHUNK];
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock
+                    || e.kind() == ErrorKind::TimedOut
+                    || e.kind() == ErrorKind::Interrupted =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        };
+        rbuf.extend_from_slice(&chunk[..n]);
+        // Execute every complete pipelined command in the buffer.
+        wbuf.clear();
+        loop {
+            match decode_command(&rbuf[consumed..]) {
+                Ok(Decode::Incomplete) => break,
+                Ok(Decode::Complete(parts, used)) => {
+                    consumed += used;
+                    inner.commands_served.fetch_add(1, Ordering::Relaxed);
+                    match execute(&parts, inner) {
+                        Outcome::Reply(v) => encode(&v, &mut wbuf),
+                        Outcome::Shutdown => {
+                            encode(&Value::Simple("OK".into()), &mut wbuf);
+                            stream.write_all(&wbuf)?;
+                            stream.flush()?;
+                            inner.shutdown.store(true, Ordering::SeqCst);
+                            // Wake the accept loop so teardown proceeds.
+                            let _ = TcpStream::connect(inner.addr);
+                            return Ok(());
+                        }
+                    }
+                }
+                Err(e) => {
+                    // Protocol errors are fatal for the connection: reply
+                    // and hang up (the stream cannot be resynchronized).
+                    encode(&Value::Error(format!("ERR {e}")), &mut wbuf);
+                    stream.write_all(&wbuf)?;
+                    return Ok(());
+                }
+            }
+        }
+        if !wbuf.is_empty() {
+            stream.write_all(&wbuf)?;
+        }
+        // Compact the read buffer once everything decoded is executed.
+        if consumed > 0 {
+            rbuf.drain(..consumed);
+            consumed = 0;
+        }
+    }
+}
+
+enum Outcome {
+    Reply(Value),
+    Shutdown,
+}
+
+fn err(msg: impl Into<String>) -> Outcome {
+    Outcome::Reply(Value::Error(format!("ERR {}", msg.into())))
+}
+
+fn wrong_args(cmd: &str) -> Outcome {
+    err(format!("wrong number of arguments for '{cmd}' command"))
+}
+
+/// Execute one decoded command against the engine.
+fn execute(parts: &[Vec<u8>], inner: &Inner) -> Outcome {
+    let engine = &inner.engine;
+    let name = String::from_utf8_lossy(&parts[0]).to_ascii_uppercase();
+    let args = &parts[1..];
+    match name.as_str() {
+        "PING" => match args {
+            [] => Outcome::Reply(Value::Simple("PONG".into())),
+            [msg] => Outcome::Reply(Value::bulk(msg.clone())),
+            _ => wrong_args("ping"),
+        },
+        "GET" => match args {
+            [key] => match engine.get(key) {
+                Ok(Some(v)) => Outcome::Reply(Value::Bulk(v)),
+                Ok(None) => Outcome::Reply(Value::Nil),
+                Err(e) => err(e.to_string()),
+            },
+            _ => wrong_args("get"),
+        },
+        "SET" => match args {
+            [key, value] => match engine.set(key, value) {
+                Ok(()) => Outcome::Reply(Value::Simple("OK".into())),
+                Err(e) => err(e.to_string()),
+            },
+            _ => wrong_args("set"),
+        },
+        "DEL" => {
+            if args.is_empty() {
+                return wrong_args("del");
+            }
+            let mut removed = 0i64;
+            for key in args {
+                match engine.del(key) {
+                    Ok(true) => removed += 1,
+                    Ok(false) => {}
+                    Err(e) => return err(e.to_string()),
+                }
+            }
+            Outcome::Reply(Value::Integer(removed))
+        }
+        "EXISTS" => {
+            if args.is_empty() {
+                return wrong_args("exists");
+            }
+            let mut present = 0i64;
+            for key in args {
+                match engine.exists(key) {
+                    Ok(true) => present += 1,
+                    Ok(false) => {}
+                    Err(e) => return err(e.to_string()),
+                }
+            }
+            Outcome::Reply(Value::Integer(present))
+        }
+        "DBSIZE" => match args {
+            [] => Outcome::Reply(Value::Integer(engine.len() as i64)),
+            _ => wrong_args("dbsize"),
+        },
+        "INFO" => match args {
+            [] => Outcome::Reply(Value::Bulk(info_text(inner).into_bytes())),
+            _ => wrong_args("info"),
+        },
+        "SHUTDOWN" => Outcome::Shutdown,
+        _ => err(format!("unknown command '{}'", String::from_utf8_lossy(&parts[0]))),
+    }
+}
+
+/// The INFO payload: store-wide counters plus one line per shard with
+/// its recovery provenance (did this shard's pool file predate this
+/// process, did it come up clean, which recovery version it carries).
+fn info_text(inner: &Inner) -> String {
+    let engine = &inner.engine;
+    let infos = engine.shard_infos();
+    let keys = engine.shard_keys();
+    let mut out = String::new();
+    out.push_str("# dash-server\r\n");
+    out.push_str(&format!("shards:{}\r\n", engine.shard_count()));
+    out.push_str(&format!("keys:{}\r\n", engine.len()));
+    out.push_str(&format!("recovered_shards:{}\r\n", engine.recovered_shards()));
+    out.push_str(&format!(
+        "connections_accepted:{}\r\n",
+        inner.connections_accepted.load(Ordering::Relaxed)
+    ));
+    out.push_str(&format!(
+        "commands_served:{}\r\n",
+        inner.commands_served.load(Ordering::Relaxed)
+    ));
+    out.push_str("# shards\r\n");
+    for (i, (info, n)) in infos.iter().zip(&keys).enumerate() {
+        out.push_str(&format!(
+            "shard{i}:keys={n},recovered={},clean={},version={}\r\n",
+            u8::from(info.recovered),
+            u8::from(info.clean),
+            info.version,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::RespClient;
+    use crate::engine::EngineConfig;
+
+    fn mem_server() -> ServerHandle {
+        let engine = ShardedDash::open(&EngineConfig {
+            shards: 2,
+            shard_bytes: 16 << 20,
+            dir: None,
+        })
+        .unwrap();
+        serve(engine, "127.0.0.1:0").unwrap()
+    }
+
+    #[test]
+    fn command_surface_end_to_end() {
+        let server = mem_server();
+        let mut c = RespClient::connect(server.addr()).unwrap();
+        assert_eq!(c.command(&[b"PING"]).unwrap(), Value::Simple("PONG".into()));
+        assert_eq!(c.command(&[b"PING", b"hey"]).unwrap(), Value::bulk(*b"hey"));
+        assert_eq!(c.command(&[b"GET", b"nope"]).unwrap(), Value::Nil);
+        assert_eq!(c.command(&[b"SET", b"a", b"1"]).unwrap(), Value::Simple("OK".into()));
+        assert_eq!(c.command(&[b"GET", b"a"]).unwrap(), Value::bulk(*b"1"));
+        assert_eq!(c.command(&[b"EXISTS", b"a", b"nope", b"a"]).unwrap(), Value::Integer(2));
+        assert_eq!(c.command(&[b"DBSIZE"]).unwrap(), Value::Integer(1));
+        assert_eq!(c.command(&[b"DEL", b"a", b"nope"]).unwrap(), Value::Integer(1));
+        assert_eq!(c.command(&[b"DBSIZE"]).unwrap(), Value::Integer(0));
+        let Value::Bulk(info) = c.command(&[b"INFO"]).unwrap() else {
+            panic!("INFO must return a bulk string");
+        };
+        let info = String::from_utf8(info).unwrap();
+        assert!(info.contains("shards:2"), "{info}");
+        assert!(info.contains("recovered_shards:0"), "{info}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_batch_gets_replies_in_order() {
+        let server = mem_server();
+        let mut c = RespClient::connect(server.addr()).unwrap();
+        for i in 0..100u32 {
+            c.enqueue(&[b"SET", format!("k{i}").as_bytes(), format!("v{i}").as_bytes()]);
+        }
+        for i in 0..100u32 {
+            c.enqueue(&[b"GET", format!("k{i}").as_bytes()]);
+        }
+        c.flush().unwrap();
+        for _ in 0..100 {
+            assert_eq!(c.read_reply().unwrap(), Value::Simple("OK".into()));
+        }
+        for i in 0..100u32 {
+            assert_eq!(c.read_reply().unwrap(), Value::bulk(format!("v{i}").into_bytes()));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn errors_are_replies_not_disconnects() {
+        let server = mem_server();
+        let mut c = RespClient::connect(server.addr()).unwrap();
+        let Value::Error(e) = c.command(&[b"NOSUCH", b"x"]).unwrap() else {
+            panic!("unknown command must produce an error reply");
+        };
+        assert!(e.contains("unknown command"), "{e}");
+        let Value::Error(e) = c.command(&[b"SET", b"only-key"]).unwrap() else {
+            panic!("arity error must produce an error reply");
+        };
+        assert!(e.contains("wrong number of arguments"), "{e}");
+        // The connection is still healthy afterwards.
+        assert_eq!(c.command(&[b"PING"]).unwrap(), Value::Simple("PONG".into()));
+        server.shutdown();
+    }
+
+    #[test]
+    fn protocol_error_closes_connection() {
+        let server = mem_server();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.write_all(b"GET inline\r\n").unwrap();
+        let mut reply = Vec::new();
+        s.read_to_end(&mut reply).unwrap(); // server replies then hangs up
+        let text = String::from_utf8_lossy(&reply);
+        assert!(text.starts_with("-ERR"), "{text}");
+        assert!(text.contains("inline"), "{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = mem_server();
+        let addr = server.addr();
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                scope.spawn(move || {
+                    let mut c = RespClient::connect(addr).unwrap();
+                    for i in 0..200u32 {
+                        let key = format!("c{t}-{i}");
+                        assert_eq!(
+                            c.command(&[b"SET", key.as_bytes(), key.as_bytes()]).unwrap(),
+                            Value::Simple("OK".into())
+                        );
+                        assert_eq!(
+                            c.command(&[b"GET", key.as_bytes()]).unwrap(),
+                            Value::bulk(key.into_bytes())
+                        );
+                    }
+                });
+            }
+        });
+        let mut c = RespClient::connect(addr).unwrap();
+        assert_eq!(c.command(&[b"DBSIZE"]).unwrap(), Value::Integer(800));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_command_stops_the_server() {
+        let server = mem_server();
+        let addr = server.addr();
+        let mut c = RespClient::connect(addr).unwrap();
+        assert_eq!(c.command(&[b"SHUTDOWN"]).unwrap(), Value::Simple("OK".into()));
+        // The accept thread exits; join via the handle must not hang.
+        server.shutdown();
+        // New connections are refused (or reset) once the listener died.
+        std::thread::sleep(Duration::from_millis(50));
+        let mut failed = false;
+        for _ in 0..20 {
+            match TcpStream::connect(addr) {
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+                Ok(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+        assert!(failed, "listener must stop accepting after SHUTDOWN");
+    }
+}

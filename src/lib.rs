@@ -13,7 +13,11 @@
 //! * [`cceh`] and [`levelhash`] — the two state-of-the-art baselines the
 //!   paper compares against;
 //! * [`dash_common`] — the shared [`PmHashTable`] trait, key encodings
-//!   and workload generators.
+//!   and workload generators;
+//! * [`dash_server`] — the service layer: [`ShardedDash`] (keyspace
+//!   partitioned over per-shard file-backed pools, restart recovery
+//!   through the whole stack) and a RESP2 TCP server + client
+//!   ([`serve`], [`RespClient`]).
 //!
 //! ```
 //! use dash_repro::{DashConfig, DashEh, PmHashTable, PmemPool, PoolConfig};
@@ -27,5 +31,8 @@
 pub use cceh::{self, Cceh, CcehConfig};
 pub use dash_common::{self, hash64, hash_u64, Key, PmHashTable, TableError, TableResult, VarKey};
 pub use dash_core::{self, DashConfig, DashEh, DashLh, InsertPolicy, LockMode, BUCKET_SLOTS};
+pub use dash_server::{
+    self, serve, EngineConfig, EngineError, RespClient, ServerHandle, ShardInfo, ShardedDash,
+};
 pub use levelhash::{self, LevelConfig, LevelHash};
 pub use pmem::{self, CostModel, PmOffset, PmemPool, PoolConfig, PoolImage};

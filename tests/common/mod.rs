@@ -88,3 +88,26 @@ impl Drop for TempFile {
         let _ = std::fs::remove_file(&self.path);
     }
 }
+
+/// A unique temp *directory* (sharded-store tests need one per store);
+/// removed recursively on drop, even when the test panics.
+pub struct TempDir {
+    pub path: PathBuf,
+}
+
+impl TempDir {
+    pub fn new(tag: &str) -> Self {
+        let mut path = std::env::temp_dir();
+        path.push(format!("dash-it-dir-{tag}-{}", std::process::id()));
+        // A stale directory from a killed earlier run must not leak into
+        // this one as pre-existing store state.
+        let _ = std::fs::remove_dir_all(&path);
+        TempDir { path }
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
