@@ -32,6 +32,14 @@ OPTIONS:
     --keys N          keyspace size (default 10000)
     --value-size B    value size in bytes (default 64)
     --pipeline D      commands per pipelined batch (default 16)
+    --batch N         multi-key mode: issue MGET/MSET of N keys per
+                      command. Runs TWO timed phases over --ops each —
+                      N-deep pipelined singles, then N-key batches —
+                      and reports both throughputs side by side
+    --latency-sample N  after the timed run, measure N single-command
+                      round trips at pipeline depth 1 and report
+                      per-op latency percentiles (default 1000;
+                      0 disables)
     --zipf THETA      Zipfian skew in (0,1); omitted = uniform
     --seed S          keyspace seed (default 42)
     --preload         SET the whole keyspace before the timed run
@@ -40,6 +48,7 @@ OPTIONS:
                       across a server restart)
     -h, --help        show this help";
 
+#[derive(Clone)]
 struct Config {
     addr: String,
     conns: usize,
@@ -48,6 +57,8 @@ struct Config {
     keys: usize,
     value_size: usize,
     pipeline: usize,
+    batch: Option<usize>,
+    latency_sample: usize,
     zipf: Option<f64>,
     seed: u64,
     preload: bool,
@@ -57,7 +68,19 @@ struct Config {
 fn parse_config() -> Config {
     let args = cli::parse_or_exit(
         USAGE,
-        &["addr", "conns", "ops", "read-pct", "keys", "value-size", "pipeline", "zipf", "seed"],
+        &[
+            "addr",
+            "conns",
+            "ops",
+            "read-pct",
+            "keys",
+            "value-size",
+            "pipeline",
+            "batch",
+            "latency-sample",
+            "zipf",
+            "seed",
+        ],
         &["preload", "verify-all"],
         0,
     );
@@ -69,6 +92,14 @@ fn parse_config() -> Config {
         keys: args.flag_or_exit("keys", 10_000, USAGE),
         value_size: args.flag_or_exit("value-size", 64, USAGE),
         pipeline: args.flag_or_exit("pipeline", 16, USAGE),
+        batch: match args.flag_opt("batch") {
+            None => None,
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => Some(n),
+                _ => cli::exit_usage(&format!("invalid value {v:?} for --batch (need N >= 1)"), USAGE),
+            },
+        },
+        latency_sample: args.flag_or_exit("latency-sample", 1_000, USAGE),
         zipf: match args.flag_opt("zipf") {
             None => None,
             Some(v) => match v.parse::<f64>() {
@@ -173,6 +204,64 @@ fn run_connection(cfg: &Config, stems: &[u64], conn_id: usize, my_ops: usize) ->
             if !check_reply(&reply, expected.as_deref(), cfg.preload, &mut tally) {
                 tally.errors += 1;
             }
+        }
+        tally.batch_rtt_us.push(t0.elapsed().as_micros() as u64);
+        done += batch;
+    }
+    Ok(tally)
+}
+
+/// One connection's share of the **multi-key** phase: each command is an
+/// MGET or MSET of `--batch` keys (kind chosen per command by the
+/// read/write mix), and every element of the multi-key reply is verified
+/// exactly — order, presence, and value.
+fn run_connection_batched(
+    cfg: &Config,
+    stems: &[u64],
+    conn_id: usize,
+    my_ops: usize,
+) -> std::io::Result<Tally> {
+    let mut client = RespClient::connect(cfg.addr.as_str())?;
+    let mut tally = Tally::default();
+    let n = cfg.batch.expect("batched runner requires --batch");
+    let mut zipf = cfg
+        .zipf
+        .map(|theta| ZipfGenerator::new(stems.len(), theta, mix64(cfg.seed ^ conn_id as u64) | 1));
+    let mut rng = mix64(cfg.seed ^ (conn_id as u64).wrapping_mul(0x9E37)) | 1;
+    let mut done = 0usize;
+    while done < my_ops {
+        let batch = n.min(my_ops - done);
+        rng = mix64(rng);
+        let is_get = (rng % 100) < cfg.read_pct as u64;
+        let mut batch_stems = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            rng = mix64(rng);
+            let idx = match &mut zipf {
+                Some(z) => z.next_index(),
+                None => ((rng >> 8) % stems.len() as u64) as usize,
+            };
+            batch_stems.push(stems[idx]);
+        }
+        let keys: Vec<Vec<u8>> = batch_stems.iter().map(|s| key_bytes(*s)).collect();
+        let t0 = Instant::now();
+        if is_get {
+            let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+            let values = client.mget(&refs)?;
+            tally.gets += batch as u64;
+            for (stem, got) in batch_stems.iter().zip(values) {
+                match got {
+                    Some(v) if v == value_bytes(*stem, cfg.value_size) => tally.hits += 1,
+                    None if !cfg.preload => {} // legitimately absent
+                    _ => tally.errors += 1,
+                }
+            }
+        } else {
+            let values: Vec<Vec<u8>> =
+                batch_stems.iter().map(|s| value_bytes(*s, cfg.value_size)).collect();
+            let pairs: Vec<(&[u8], &[u8])> =
+                keys.iter().zip(&values).map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+            client.mset(&pairs)?;
+            tally.sets += batch as u64;
         }
         tally.batch_rtt_us.push(t0.elapsed().as_micros() as u64);
         done += batch;
@@ -287,6 +376,105 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[idx]
 }
 
+/// Run one timed phase (`runner` per connection), merge the tallies and
+/// print its report. Returns `(throughput ops/s, phase failed)`.
+fn timed_phase(
+    cfg: &Config,
+    stems: &[u64],
+    label: &str,
+    rtt_note: &str,
+    runner: fn(&Config, &[u64], usize, usize) -> std::io::Result<Tally>,
+) -> (f64, bool) {
+    let per = cfg.ops / cfg.conns;
+    let t0 = Instant::now();
+    let tallies: Vec<std::io::Result<Tally>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.conns)
+            .map(|conn_id| {
+                let (cfg, stems) = (cfg, stems);
+                let my_ops =
+                    if conn_id == cfg.conns - 1 { cfg.ops - per * (cfg.conns - 1) } else { per };
+                s.spawn(move || runner(cfg, stems, conn_id, my_ops))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let elapsed = t0.elapsed();
+
+    let mut total = Tally::default();
+    let mut io_errors = 0u64;
+    for t in tallies {
+        match t {
+            Ok(t) => {
+                total.gets += t.gets;
+                total.sets += t.sets;
+                total.hits += t.hits;
+                total.errors += t.errors;
+                total.batch_rtt_us.extend(t.batch_rtt_us);
+            }
+            Err(e) => {
+                eprintln!("dash-loadgen: {label}: connection failed: {e}");
+                io_errors += 1;
+            }
+        }
+    }
+    let ops_done = total.gets + total.sets;
+    let throughput = ops_done as f64 / elapsed.as_secs_f64();
+    total.batch_rtt_us.sort_unstable();
+    let rtt = &total.batch_rtt_us;
+    println!(
+        "{label}: ran {ops_done} ops ({} GET / {} SET, {} hits) over {} connections in {:.2?}",
+        total.gets, total.sets, total.hits, cfg.conns, elapsed
+    );
+    println!("{label}: throughput {throughput:.0} ops/s");
+    println!(
+        "{label}: RTT {rtt_note}: p50 {} us, p95 {} us, p99 {} us, max {} us",
+        percentile(rtt, 0.50),
+        percentile(rtt, 0.95),
+        percentile(rtt, 0.99),
+        rtt.last().copied().unwrap_or(0),
+    );
+    let mut failed = false;
+    if total.errors > 0 || io_errors > 0 {
+        eprintln!(
+            "dash-loadgen: {label}: {} op errors, {io_errors} failed connections",
+            total.errors
+        );
+        failed = true;
+    }
+    if ops_done == 0 || throughput == 0.0 {
+        eprintln!("dash-loadgen: {label}: zero throughput");
+        failed = true;
+    }
+    (throughput, failed)
+}
+
+/// Per-op latency sampling at pipeline depth 1 (ROADMAP "loadgen latency
+/// fidelity"): one connection, one command in flight, each round trip
+/// timed individually — the number a pipelined batch RTT cannot give.
+fn sample_latency(cfg: &Config, stems: &[u64]) -> std::io::Result<Vec<u64>> {
+    let mut client = RespClient::connect(cfg.addr.as_str())?;
+    let mut rng = mix64(cfg.seed ^ 0x1A7E_4C11) | 1;
+    let mut samples = Vec::with_capacity(cfg.latency_sample);
+    for _ in 0..cfg.latency_sample {
+        rng = mix64(rng);
+        let stem = stems[((rng >> 8) % stems.len() as u64) as usize];
+        let key = key_bytes(stem);
+        let is_get = (rng % 100) < cfg.read_pct as u64;
+        let t0 = Instant::now();
+        let reply = if is_get {
+            client.command(&[b"GET", &key])?
+        } else {
+            client.command(&[b"SET", &key, &value_bytes(stem, cfg.value_size)])?
+        };
+        samples.push(t0.elapsed().as_micros() as u64);
+        if let Value::Error(e) = reply {
+            return Err(std::io::Error::other(format!("server error while sampling: {e}")));
+        }
+    }
+    samples.sort_unstable();
+    Ok(samples)
+}
+
 fn main() {
     let cfg = parse_config();
     let stems = uniform_keys(cfg.keys, cfg.seed);
@@ -315,61 +503,62 @@ fn main() {
 
     let mut failed = false;
     if cfg.ops > 0 {
-        let per = cfg.ops / cfg.conns;
-        let t0 = Instant::now();
-        let tallies: Vec<std::io::Result<Tally>> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..cfg.conns)
-                .map(|conn_id| {
-                    let (cfg, stems) = (&cfg, &stems);
-                    let my_ops = if conn_id == cfg.conns - 1 { cfg.ops - per * (cfg.conns - 1) } else { per };
-                    s.spawn(move || run_connection(cfg, stems, conn_id, my_ops))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        });
-        let elapsed = t0.elapsed();
-
-        let mut total = Tally::default();
-        let mut io_errors = 0u64;
-        for t in tallies {
-            match t {
-                Ok(t) => {
-                    total.gets += t.gets;
-                    total.sets += t.sets;
-                    total.hits += t.hits;
-                    total.errors += t.errors;
-                    total.batch_rtt_us.extend(t.batch_rtt_us);
-                }
-                Err(e) => {
-                    eprintln!("dash-loadgen: connection failed: {e}");
-                    io_errors += 1;
+        match cfg.batch {
+            None => {
+                let (_, f) = timed_phase(
+                    &cfg,
+                    &stems,
+                    "run",
+                    &format!("(pipeline depth {})", cfg.pipeline),
+                    run_connection,
+                );
+                failed |= f;
+            }
+            Some(n) => {
+                // Same op count both ways: N-deep pipelined single-key
+                // commands, then N-key MGET/MSET commands — the batch API
+                // must win or it has no reason to exist.
+                let mut singles_cfg = cfg.clone();
+                singles_cfg.pipeline = n;
+                let (single_tput, f1) = timed_phase(
+                    &singles_cfg,
+                    &stems,
+                    "pipelined singles",
+                    &format!("(pipeline depth {n})"),
+                    run_connection,
+                );
+                let (batch_tput, f2) = timed_phase(
+                    &cfg,
+                    &stems,
+                    "batched",
+                    &format!("(MGET/MSET of {n} keys)"),
+                    run_connection_batched,
+                );
+                failed |= f1 | f2;
+                if single_tput > 0.0 && batch_tput > 0.0 {
+                    println!(
+                        "batched vs pipelined singles: {:.2}x ({batch_tput:.0} vs {single_tput:.0} ops/s)",
+                        batch_tput / single_tput
+                    );
                 }
             }
         }
-        let ops_done = total.gets + total.sets;
-        let throughput = ops_done as f64 / elapsed.as_secs_f64();
-        total.batch_rtt_us.sort_unstable();
-        let rtt = &total.batch_rtt_us;
-        println!(
-            "ran {ops_done} ops ({} GET / {} SET, {} hits) over {} connections in {:.2?}",
-            total.gets, total.sets, total.hits, cfg.conns, elapsed
-        );
-        println!("throughput: {:.0} ops/s", throughput);
-        println!(
-            "batch RTT (pipeline depth {}): p50 {} us, p95 {} us, p99 {} us, max {} us",
-            cfg.pipeline,
-            percentile(rtt, 0.50),
-            percentile(rtt, 0.95),
-            percentile(rtt, 0.99),
-            rtt.last().copied().unwrap_or(0),
-        );
-        if total.errors > 0 || io_errors > 0 {
-            eprintln!("dash-loadgen: {} op errors, {io_errors} failed connections", total.errors);
-            failed = true;
-        }
-        if ops_done == 0 || throughput == 0.0 {
-            eprintln!("dash-loadgen: zero throughput");
-            failed = true;
+    }
+
+    if cfg.latency_sample > 0 && cfg.ops > 0 {
+        match sample_latency(&cfg, &stems) {
+            Ok(samples) => println!(
+                "per-op latency (pipeline depth 1, {} samples): p50 {} us, p95 {} us, p99 {} us, max {} us",
+                samples.len(),
+                percentile(&samples, 0.50),
+                percentile(&samples, 0.95),
+                percentile(&samples, 0.99),
+                samples.last().copied().unwrap_or(0),
+            ),
+            Err(e) => {
+                eprintln!("dash-loadgen: latency sampling failed: {e}");
+                failed = true;
+            }
         }
     }
 

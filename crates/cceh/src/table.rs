@@ -483,6 +483,12 @@ impl<K: Key> PmHashTable<K> for Cceh<K> {
         Cceh::remove(self, key)
     }
 
+    // The batch ops use the trait's default single-pin loops; overriding
+    // `pin` is what makes them amortize the epoch entry (pins nest).
+    fn pin(&self) -> dash_common::Session<'_> {
+        dash_common::Session::pinned(self.pool.epoch().pin())
+    }
+
     fn capacity_slots(&self) -> u64 {
         self.scan_totals().1
     }

@@ -33,9 +33,50 @@ impl From<pmem::PmError> for TableError {
 
 pub type TableResult<T> = Result<T, TableError>;
 
+/// An epoch-scoped operation session (Dash §4.5): the epoch is entered
+/// once when the session is created and exited when it drops, so every
+/// operation issued while it lives shares one reclamation-bookkeeping
+/// entry/exit instead of paying it per op. Obtained from
+/// [`PmHashTable::pin`]; tables without epoch reclamation return an
+/// unpinned (no-op) session and remain trait-conformant.
+///
+/// Epoch pins are re-entrant, so the per-operation pins taken inside
+/// `get`/`insert`/`remove` degenerate to a counter bump while a session
+/// is held — the session is an amortization, never a correctness
+/// requirement.
+pub struct Session<'a> {
+    _pin: Option<pmem::EpochGuard<'a>>,
+}
+
+impl<'a> Session<'a> {
+    /// A session holding a real epoch pin.
+    pub fn pinned(guard: pmem::EpochGuard<'a>) -> Self {
+        Session { _pin: Some(guard) }
+    }
+
+    /// A no-op session (for tables without epoch-based reclamation).
+    pub fn unpinned() -> Self {
+        Session { _pin: None }
+    }
+
+    /// Whether this session holds an epoch pin.
+    pub fn is_pinned(&self) -> bool {
+        self._pin.is_some()
+    }
+}
+
 /// The operation surface shared by Dash-EH, Dash-LH, CCEH and Level
 /// Hashing; the benchmark harnesses and integration tests drive every
 /// table through this trait so comparisons exercise identical code paths.
+///
+/// The surface is **batch-first**: [`pin`](PmHashTable::pin) opens an
+/// epoch-scoped [`Session`], and [`get_many`](PmHashTable::get_many) /
+/// [`insert_many`](PmHashTable::insert_many) /
+/// [`remove_many`](PmHashTable::remove_many) run a whole slice of
+/// operations under a single epoch entry. The default implementations
+/// pin once and loop over the single-key ops, which is already
+/// trait-conformant for every table; Dash-EH/LH override them with
+/// native single-pin probe loops.
 pub trait PmHashTable<K: Key>: Send + Sync {
     /// Lookup; `None` when absent (negative search).
     fn get(&self, key: &K) -> Option<u64>;
@@ -49,6 +90,36 @@ pub trait PmHashTable<K: Key>: Send + Sync {
 
     /// Remove; false when absent.
     fn remove(&self, key: &K) -> bool;
+
+    /// Enter the table's epoch once for a batch of operations. Single-key
+    /// ops issued while the session lives skip the per-op epoch
+    /// publication (pins are re-entrant). The default returns an unpinned
+    /// session; tables with epoch reclamation override it.
+    fn pin(&self) -> Session<'_> {
+        Session::unpinned()
+    }
+
+    /// Batched lookup under one epoch entry; results are in key order.
+    fn get_many(&self, keys: &[K]) -> Vec<Option<u64>> {
+        let _s = self.pin();
+        keys.iter().map(|k| self.get(k)).collect()
+    }
+
+    /// Batched insert under one epoch entry; one result per item, in
+    /// order, so callers see exactly which keys were duplicates. Items
+    /// are applied left to right (a duplicate key within the batch fails
+    /// on its second occurrence).
+    fn insert_many(&self, items: &[(K, u64)]) -> Vec<TableResult<()>> {
+        let _s = self.pin();
+        items.iter().map(|(k, v)| self.insert(k, *v)).collect()
+    }
+
+    /// Batched remove under one epoch entry; one `bool` per key, in
+    /// order (false = the key was absent by the time its turn came).
+    fn remove_many(&self, keys: &[K]) -> Vec<bool> {
+        let _s = self.pin();
+        keys.iter().map(|k| self.remove(k)).collect()
+    }
 
     /// Total record slots currently allocated (for load-factor studies).
     fn capacity_slots(&self) -> u64;

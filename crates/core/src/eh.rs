@@ -207,8 +207,14 @@ impl<K: Key> DashEh<K> {
     // ---- public operations ----------------------------------------------
 
     pub fn get(&self, key: &K) -> Option<u64> {
-        let h = key.hash64();
         let _g = self.pool.epoch().pin();
+        self.get_pinned(key)
+    }
+
+    /// `get` body without the epoch entry — the caller holds the pin
+    /// (single ops pin per call; [`DashEh::get_many`] pins per batch).
+    fn get_pinned(&self, key: &K) -> Option<u64> {
+        let h = key.hash64();
         loop {
             let seg = self.resolve(h);
             match self.view(seg).search(&self.cfg, h, key, || self.locate(h) == seg) {
@@ -220,8 +226,12 @@ impl<K: Key> DashEh<K> {
     }
 
     pub fn insert(&self, key: &K, value: u64) -> TableResult<()> {
-        let h = key.hash64();
         let _g = self.pool.epoch().pin();
+        self.insert_pinned(key, value)
+    }
+
+    fn insert_pinned(&self, key: &K, value: u64) -> TableResult<()> {
+        let h = key.hash64();
         let key_repr = key.encode(&self.pool)?;
         loop {
             let seg = self.resolve(h);
@@ -256,8 +266,12 @@ impl<K: Key> DashEh<K> {
     }
 
     pub fn remove(&self, key: &K) -> bool {
-        let h = key.hash64();
         let _g = self.pool.epoch().pin();
+        self.remove_pinned(key)
+    }
+
+    fn remove_pinned(&self, key: &K) -> bool {
+        let h = key.hash64();
         loop {
             let seg = self.resolve(h);
             match self.view(seg).remove(&self.cfg, h, key, || self.locate(h) == seg) {
@@ -274,6 +288,29 @@ impl<K: Key> DashEh<K> {
                 SegMutate::Retry => std::hint::spin_loop(),
             }
         }
+    }
+
+    // ---- batched operations (§4.5: one epoch entry per batch) ------------
+
+    /// Batched lookup: enter the epoch once, then run the
+    /// fingerprint-probe loop per key. Results are in key order.
+    pub fn get_many(&self, keys: &[K]) -> Vec<Option<u64>> {
+        let _g = self.pool.epoch().pin();
+        keys.iter().map(|k| self.get_pinned(k)).collect()
+    }
+
+    /// Batched insert under one epoch entry; one result per item, in
+    /// order (splits and directory doublings triggered mid-batch happen
+    /// under the same pin).
+    pub fn insert_many(&self, items: &[(K, u64)]) -> Vec<TableResult<()>> {
+        let _g = self.pool.epoch().pin();
+        items.iter().map(|(k, v)| self.insert_pinned(k, *v)).collect()
+    }
+
+    /// Batched remove under one epoch entry; one `bool` per key, in order.
+    pub fn remove_many(&self, keys: &[K]) -> Vec<bool> {
+        let _g = self.pool.epoch().pin();
+        keys.iter().map(|k| self.remove_pinned(k)).collect()
     }
 
     // ---- structural modification operations (§4.7) -----------------------
@@ -776,6 +813,22 @@ impl<K: Key> PmHashTable<K> for DashEh<K> {
         DashEh::remove(self, key)
     }
 
+    fn pin(&self) -> dash_common::Session<'_> {
+        dash_common::Session::pinned(self.pool.epoch().pin())
+    }
+
+    fn get_many(&self, keys: &[K]) -> Vec<Option<u64>> {
+        DashEh::get_many(self, keys)
+    }
+
+    fn insert_many(&self, items: &[(K, u64)]) -> Vec<TableResult<()>> {
+        DashEh::insert_many(self, items)
+    }
+
+    fn remove_many(&self, keys: &[K]) -> Vec<bool> {
+        DashEh::remove_many(self, keys)
+    }
+
     fn capacity_slots(&self) -> u64 {
         self.scan_totals().1
     }
@@ -817,6 +870,28 @@ mod tests {
         assert_eq!(t.get(&1), None);
         assert!(!t.remove(&1));
         assert!(!t.update(&1, 1));
+    }
+
+    #[test]
+    fn batch_ops_roundtrip_through_splits() {
+        let t = new_table(64, small_cfg());
+        let keys = uniform_keys(8_000, 71);
+        let items: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, k)| (*k, i as u64)).collect();
+        // One batch insert large enough to force splits and doublings
+        // under a single epoch pin.
+        assert!(t.insert_many(&items).iter().all(|r| r.is_ok()));
+        assert!(t.global_depth() > small_cfg().initial_depth);
+        assert!(
+            t.insert_many(&items[..16]).iter().all(|r| matches!(r, Err(TableError::Duplicate))),
+            "batch re-insert must report Duplicate per item"
+        );
+        for (i, got) in t.get_many(&keys).into_iter().enumerate() {
+            assert_eq!(got, Some(i as u64), "batched get of key {i}");
+        }
+        let half = keys.len() / 2;
+        assert!(t.remove_many(&keys[..half]).into_iter().all(|b| b));
+        assert!(t.remove_many(&keys[..half]).into_iter().all(|b| !b), "second remove sees absent");
+        assert_eq!(t.len_scan(), (keys.len() - half) as u64);
     }
 
     #[test]

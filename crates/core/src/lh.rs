@@ -563,8 +563,14 @@ impl<K: Key> DashLh<K> {
     // ---- public operations ------------------------------------------------
 
     pub fn get(&self, key: &K) -> Option<u64> {
-        let h = key.hash64();
         let _g = self.pool.epoch().pin();
+        self.get_pinned(key)
+    }
+
+    /// `get` body without the epoch entry — the caller holds the pin
+    /// (single ops pin per call; [`DashLh::get_many`] pins per batch).
+    fn get_pinned(&self, key: &K) -> Option<u64> {
+        let h = key.hash64();
         let mut spins = 0u64;
         loop {
             spins += 1;
@@ -595,8 +601,12 @@ impl<K: Key> DashLh<K> {
     }
 
     pub fn insert(&self, key: &K, value: u64) -> TableResult<()> {
-        let h = key.hash64();
         let _g = self.pool.epoch().pin();
+        self.insert_pinned(key, value)
+    }
+
+    fn insert_pinned(&self, key: &K, value: u64) -> TableResult<()> {
+        let h = key.hash64();
         let key_repr = key.encode(&self.pool)?;
         loop {
             let (idx, seg) = self.resolve(h)?;
@@ -645,8 +655,12 @@ impl<K: Key> DashLh<K> {
     }
 
     pub fn remove(&self, key: &K) -> bool {
-        let h = key.hash64();
         let _g = self.pool.epoch().pin();
+        self.remove_pinned(key)
+    }
+
+    fn remove_pinned(&self, key: &K) -> bool {
+        let h = key.hash64();
         loop {
             let (idx, seg) = match self.resolve(h) {
                 Ok(x) => x,
@@ -667,6 +681,28 @@ impl<K: Key> DashLh<K> {
                 SegMutate::Retry => std::hint::spin_loop(),
             }
         }
+    }
+
+    // ---- batched operations (§4.5: one epoch entry per batch) ------------
+
+    /// Batched lookup: enter the epoch once, then run the
+    /// fingerprint-probe loop per key. Results are in key order.
+    pub fn get_many(&self, keys: &[K]) -> Vec<Option<u64>> {
+        let _g = self.pool.epoch().pin();
+        keys.iter().map(|k| self.get_pinned(k)).collect()
+    }
+
+    /// Batched insert under one epoch entry; one result per item, in
+    /// order (hybrid expansions triggered mid-batch run under the pin).
+    pub fn insert_many(&self, items: &[(K, u64)]) -> Vec<TableResult<()>> {
+        let _g = self.pool.epoch().pin();
+        items.iter().map(|(k, v)| self.insert_pinned(k, *v)).collect()
+    }
+
+    /// Batched remove under one epoch entry; one `bool` per key, in order.
+    pub fn remove_many(&self, keys: &[K]) -> Vec<bool> {
+        let _g = self.pool.epoch().pin();
+        keys.iter().map(|k| self.remove_pinned(k)).collect()
     }
 
     // ---- introspection ------------------------------------------------------
@@ -715,6 +751,22 @@ impl<K: Key> PmHashTable<K> for DashLh<K> {
 
     fn remove(&self, key: &K) -> bool {
         DashLh::remove(self, key)
+    }
+
+    fn pin(&self) -> dash_common::Session<'_> {
+        dash_common::Session::pinned(self.pool.epoch().pin())
+    }
+
+    fn get_many(&self, keys: &[K]) -> Vec<Option<u64>> {
+        DashLh::get_many(self, keys)
+    }
+
+    fn insert_many(&self, items: &[(K, u64)]) -> Vec<TableResult<()>> {
+        DashLh::insert_many(self, items)
+    }
+
+    fn remove_many(&self, keys: &[K]) -> Vec<bool> {
+        DashLh::remove_many(self, keys)
     }
 
     fn capacity_slots(&self) -> u64 {

@@ -15,6 +15,12 @@ const COLLECT_THRESHOLD: usize = 128;
 #[repr(align(64))]
 struct ThreadSlot {
     active: AtomicU64,
+    /// Pin nesting depth for the owning thread. Only the outermost pin
+    /// publishes `active` and only the outermost unpin clears it, so an
+    /// epoch-scoped batch session can hold one pin while the per-op code
+    /// paths it calls re-pin cheaply — and, crucially, a nested guard
+    /// dropping can never unpin an enclosing one.
+    depth: AtomicU64,
 }
 
 enum Deferred {
@@ -60,7 +66,8 @@ impl EpochManager {
             if let Some((_, slot)) = slots.iter().find(|(k, _)| *k == key) {
                 return slot.clone();
             }
-            let slot = Arc::new(ThreadSlot { active: AtomicU64::new(IDLE) });
+            let slot =
+                Arc::new(ThreadSlot { active: AtomicU64::new(IDLE), depth: AtomicU64::new(0) });
             self.registry.lock().push(slot.clone());
             slots.push((key, slot.clone()));
             slot
@@ -69,18 +76,29 @@ impl EpochManager {
 
     /// Pin the current thread. While the guard lives, nothing unlinked at
     /// or after the pinned epoch will be reclaimed.
+    ///
+    /// Pins are **re-entrant**: pinning while already pinned only bumps a
+    /// per-thread nesting count (no fenced publication loop), and the
+    /// epoch is held until the outermost guard drops. This is what makes
+    /// the batch API's one-pin-per-batch amortization (§4.5) work — a
+    /// session pins once and the per-operation pins underneath it
+    /// degenerate to a counter increment.
     pub fn pin(&self) -> EpochGuard<'_> {
         let slot = self.slot_for_current_thread();
-        loop {
-            let e = self.global.load(Ordering::Acquire);
-            slot.active.store(e + 1, Ordering::SeqCst);
-            // Re-check to close the window where a collector read our slot
-            // as idle after we read `global`.
-            if self.global.load(Ordering::SeqCst) == e {
-                break;
+        // `depth` is only ever touched by the owning thread; Relaxed is
+        // enough, the SeqCst stores to `active` carry the synchronization.
+        if slot.depth.fetch_add(1, Ordering::Relaxed) == 0 {
+            loop {
+                let e = self.global.load(Ordering::Acquire);
+                slot.active.store(e + 1, Ordering::SeqCst);
+                // Re-check to close the window where a collector read our
+                // slot as idle after we read `global`.
+                if self.global.load(Ordering::SeqCst) == e {
+                    break;
+                }
             }
         }
-        EpochGuard { mgr: self, slot }
+        EpochGuard { mgr: self, slot, _not_send: std::marker::PhantomData }
     }
 
     /// Defer returning `off` (of `size` bytes) to the pool allocator until
@@ -159,15 +177,22 @@ impl Default for EpochManager {
 }
 
 /// RAII pin on the epoch; readers hold one across optimistic accesses.
+///
+/// Deliberately `!Send`/`!Sync`: the pin (and its nesting depth) is
+/// per-thread state, so a guard dropped on a different thread than the
+/// one that pinned would clear that thread's still-live pin.
 pub struct EpochGuard<'a> {
     mgr: &'a EpochManager,
     slot: Arc<ThreadSlot>,
+    _not_send: std::marker::PhantomData<*mut ()>,
 }
 
 impl Drop for EpochGuard<'_> {
     fn drop(&mut self) {
         let _ = self.mgr;
-        self.slot.active.store(IDLE, Ordering::SeqCst);
+        if self.slot.depth.fetch_sub(1, Ordering::Relaxed) == 1 {
+            self.slot.active.store(IDLE, Ordering::SeqCst);
+        }
     }
 }
 
@@ -213,6 +238,39 @@ mod tests {
         let mut freed = Vec::new();
         mgr.collect(|off, size| freed.push((off, size)));
         assert_eq!(freed, vec![(PmOffset::new(4096), 256)]);
+    }
+
+    #[test]
+    fn nested_pins_hold_until_outermost_drop() {
+        let mgr = EpochManager::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let outer = mgr.pin();
+        let inner = mgr.pin();
+        drop(inner);
+        // The inner guard dropping must NOT have unpinned the thread.
+        let h = hits.clone();
+        mgr.defer(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        mgr.collect(|_, _| {});
+        assert_eq!(hits.load(Ordering::SeqCst), 0, "outer pin still protects");
+        drop(outer);
+        mgr.collect(|_, _| {});
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn deeply_nested_pins_balance() {
+        let mgr = EpochManager::new();
+        {
+            let _a = mgr.pin();
+            {
+                let _b = mgr.pin();
+                let _c = mgr.pin();
+            }
+            assert!(mgr.min_pinned().is_some(), "still pinned at depth 1");
+        }
+        assert!(mgr.min_pinned().is_none(), "fully unpinned after outermost drop");
     }
 
     #[test]

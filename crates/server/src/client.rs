@@ -78,4 +78,70 @@ impl RespClient {
         self.flush()?;
         self.read_reply()
     }
+
+    // ---- typed multi-key conveniences -------------------------------------
+    //
+    // One wire command per call (the server executes the whole key set
+    // through the engine's shard-grouped batch paths), with the reply
+    // decoded into the natural Rust shape. Server `-ERR` replies and
+    // shape mismatches surface as `InvalidData` errors.
+
+    /// `MGET`: values in key order, `None` for absent keys.
+    pub fn mget(&mut self, keys: &[&[u8]]) -> std::io::Result<Vec<Option<Vec<u8>>>> {
+        let mut parts: Vec<&[u8]> = Vec::with_capacity(keys.len() + 1);
+        parts.push(b"MGET");
+        parts.extend_from_slice(keys);
+        match self.command(&parts)? {
+            Value::Array(items) if items.len() == keys.len() => items
+                .into_iter()
+                .map(|v| match v {
+                    Value::Bulk(b) => Ok(Some(b)),
+                    Value::Nil => Ok(None),
+                    other => Err(bad_reply("MGET", &other)),
+                })
+                .collect(),
+            other => Err(bad_reply("MGET", &other)),
+        }
+    }
+
+    /// `MSET`: store every pair; the single `+OK` covers the whole batch.
+    pub fn mset(&mut self, pairs: &[(&[u8], &[u8])]) -> std::io::Result<()> {
+        let mut parts: Vec<&[u8]> = Vec::with_capacity(pairs.len() * 2 + 1);
+        parts.push(b"MSET");
+        for (k, v) in pairs {
+            parts.push(k);
+            parts.push(v);
+        }
+        match self.command(&parts)? {
+            Value::Simple(s) if s == "OK" => Ok(()),
+            other => Err(bad_reply("MSET", &other)),
+        }
+    }
+
+    /// Variadic `DEL`: how many of the keys existed and were removed.
+    pub fn del(&mut self, keys: &[&[u8]]) -> std::io::Result<i64> {
+        self.integer_command(b"DEL", keys)
+    }
+
+    /// Variadic `EXISTS`: how many of the keys are present (repeats count).
+    pub fn exists(&mut self, keys: &[&[u8]]) -> std::io::Result<i64> {
+        self.integer_command(b"EXISTS", keys)
+    }
+
+    fn integer_command(&mut self, name: &'static [u8], keys: &[&[u8]]) -> std::io::Result<i64> {
+        let mut parts: Vec<&[u8]> = Vec::with_capacity(keys.len() + 1);
+        parts.push(name);
+        parts.extend_from_slice(keys);
+        match self.command(&parts)? {
+            Value::Integer(n) => Ok(n),
+            other => Err(bad_reply(std::str::from_utf8(name).unwrap_or("?"), &other)),
+        }
+    }
+}
+
+fn bad_reply(cmd: &str, got: &Value) -> std::io::Error {
+    std::io::Error::new(
+        ErrorKind::InvalidData,
+        format!("unexpected {cmd} reply: {got:?}"),
+    )
 }

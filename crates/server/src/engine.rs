@@ -140,16 +140,9 @@ impl Shard {
     /// under us; the checks guard against a corrupt table).
     fn read_blob(&self, off: u64) -> Option<Vec<u8>> {
         let pool = &self.pool;
-        if off == 0 || !off.is_multiple_of(4) || off + 4 > pool.size() as u64 {
-            return None;
-        }
-        // SAFETY: bounds checked above.
-        let len = unsafe { *pool.at::<u32>(PmOffset::new(off)) } as usize;
-        if len > MAX_VALUE_LEN || off + 4 + len as u64 > pool.size() as u64 {
-            return None;
-        }
+        let len = blob_len(pool, off)?;
         pool.note_pm_read(4 + len);
-        // SAFETY: bounds checked above.
+        // SAFETY: bounds checked by blob_len.
         let bytes = unsafe { std::slice::from_raw_parts(pool.base().add(off as usize + 4), len) };
         Some(bytes.to_vec())
     }
@@ -170,13 +163,67 @@ impl Shard {
 
     /// Retire a value blob once no epoch-pinned reader can still see it.
     fn release_blob(&self, off: u64) {
-        if off == 0 || off + 4 > self.pool.size() as u64 {
-            return;
+        if let Some(len) = blob_len(&self.pool, off) {
+            self.pool.defer_free(PmOffset::new(off), 4 + len);
         }
-        // SAFETY: offset produced by `write_blob`.
-        let len = unsafe { *self.pool.at::<u32>(PmOffset::new(off)) } as usize;
-        self.pool.defer_free(PmOffset::new(off), 4 + len.min(MAX_VALUE_LEN));
     }
+
+    /// Insert or overwrite one key. The caller holds this shard's write
+    /// lock (and, for batches, one epoch pin for the whole group) — the
+    /// shared body of [`ShardedDash::set`] and [`ShardedDash::mset`].
+    fn set_locked(&self, k: &VarKey, value: &[u8]) -> EngineResult<()> {
+        let new_off = self.write_blob(value)?;
+        match self.table.get(k) {
+            Some(old_off) => {
+                if !self.table.update(k, new_off) {
+                    // The write lock excludes concurrent mutators, so the
+                    // key cannot have vanished between get and update.
+                    unreachable!("key disappeared under the shard write lock");
+                }
+                self.release_blob(old_off);
+            }
+            None => {
+                if let Err(e) = self.table.insert(k, new_off) {
+                    self.release_blob(new_off);
+                    return Err(e.into());
+                }
+                self.keys_delta.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete one key; true when it existed. The caller holds this
+    /// shard's write lock — the shared body of [`ShardedDash::del`] and
+    /// [`ShardedDash::mdel`].
+    fn del_locked(&self, k: &VarKey) -> bool {
+        match self.table.get(k) {
+            None => false,
+            Some(off) => {
+                let removed = self.table.remove(k);
+                debug_assert!(removed, "key disappeared under the shard write lock");
+                self.release_blob(off);
+                self.keys_delta.fetch_sub(1, Ordering::Relaxed);
+                true
+            }
+        }
+    }
+}
+
+/// Decode and bounds-check the `u32 len || bytes` blob header at `off`,
+/// returning the payload length. `None` means the offset cannot be a
+/// valid blob in this pool (corrupt table / stale pointer) — the single
+/// gate every read and release of a value blob goes through.
+fn blob_len(pool: &PmemPool, off: u64) -> Option<usize> {
+    if off == 0 || !off.is_multiple_of(4) || off + 4 > pool.size() as u64 {
+        return None;
+    }
+    // SAFETY: bounds checked above.
+    let len = unsafe { *pool.at::<u32>(PmOffset::new(off)) } as usize;
+    if len > MAX_VALUE_LEN || off + 4 + len as u64 > pool.size() as u64 {
+        return None;
+    }
+    Some(len)
 }
 
 /// The sharded, persistent KV engine. All operations are safe under full
@@ -276,9 +323,14 @@ impl ShardedDash {
     }
 
     #[inline]
-    fn shard(&self, key: &[u8]) -> &Shard {
+    fn shard_index(&self, key: &[u8]) -> usize {
         let h = hash64_seed(key, SHARD_SEED);
-        &self.shards[(h % self.shards.len() as u64) as usize]
+        (h % self.shards.len() as u64) as usize
+    }
+
+    #[inline]
+    fn shard(&self, key: &[u8]) -> &Shard {
+        &self.shards[self.shard_index(key)]
     }
 
     fn check_key(key: &[u8]) -> EngineResult<VarKey> {
@@ -318,25 +370,7 @@ impl ShardedDash {
         }
         let shard = self.shard(key);
         let _w = shard.write_lock.lock();
-        let new_off = shard.write_blob(value)?;
-        match shard.table.get(&k) {
-            Some(old_off) => {
-                if !shard.table.update(&k, new_off) {
-                    // The write lock excludes concurrent mutators, so the
-                    // key cannot have vanished between get and update.
-                    unreachable!("key disappeared under the shard write lock");
-                }
-                shard.release_blob(old_off);
-            }
-            None => {
-                if let Err(e) = shard.table.insert(&k, new_off) {
-                    shard.release_blob(new_off);
-                    return Err(e.into());
-                }
-                shard.keys_delta.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-        Ok(())
+        shard.set_locked(&k, value)
     }
 
     /// Delete a key; true when it existed.
@@ -344,16 +378,108 @@ impl ShardedDash {
         let k = Self::check_key(key)?;
         let shard = self.shard(key);
         let _w = shard.write_lock.lock();
-        match shard.table.get(&k) {
-            None => Ok(false),
-            Some(off) => {
-                let removed = shard.table.remove(&k);
-                debug_assert!(removed, "key disappeared under the shard write lock");
-                shard.release_blob(off);
-                shard.keys_delta.fetch_sub(1, Ordering::Relaxed);
-                Ok(true)
+        Ok(shard.del_locked(&k))
+    }
+
+    // ---- batched operations ----------------------------------------------
+    //
+    // The batch entry points group keys by owning shard, then execute
+    // each shard's whole group under ONE epoch pin (reads) plus ONE
+    // write-lock acquisition (mutations) — the service-layer analogue of
+    // Dash §4.5's epoch amortization. Keys are validated up front, so a
+    // `KeyTooLong`/`ValueTooLong` error means nothing was executed; a
+    // mid-batch pool error (`mset` only) can leave earlier keys written,
+    // exactly like the equivalent sequence of single-key calls.
+
+    /// Group `keys` by shard. Returns the per-key encoded `VarKey`s plus,
+    /// per shard, the indices of the keys it owns (in input order).
+    fn group_keys(&self, keys: &[&[u8]]) -> EngineResult<(Vec<VarKey>, Vec<Vec<usize>>)> {
+        let mut vks = Vec::with_capacity(keys.len());
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, key) in keys.iter().enumerate() {
+            vks.push(Self::check_key(key)?);
+            groups[self.shard_index(key)].push(i);
+        }
+        Ok((vks, groups))
+    }
+
+    /// Batched read: values in key order, `None` for absent keys. Each
+    /// shard's keys resolve under one epoch pin; no locks taken.
+    pub fn mget(&self, keys: &[&[u8]]) -> EngineResult<Vec<Option<Vec<u8>>>> {
+        let (vks, groups) = self.group_keys(keys)?;
+        let mut out = vec![None; keys.len()];
+        for (shard, group) in self.shards.iter().zip(&groups) {
+            if group.is_empty() {
+                continue;
+            }
+            let _pin = shard.pool.epoch().pin();
+            for &i in group {
+                if let Some(off) = shard.table.get(&vks[i]) {
+                    out[i] = shard.read_blob(off);
+                }
             }
         }
+        Ok(out)
+    }
+
+    /// Batched insert-or-overwrite. Durable before return, like `set`.
+    /// Each shard's pairs execute under one write-lock acquisition and
+    /// one epoch pin.
+    pub fn mset(&self, pairs: &[(&[u8], &[u8])]) -> EngineResult<()> {
+        for (_, value) in pairs {
+            if value.len() > MAX_VALUE_LEN {
+                return Err(EngineError::ValueTooLong(value.len()));
+            }
+        }
+        let keys: Vec<&[u8]> = pairs.iter().map(|(k, _)| *k).collect();
+        let (vks, groups) = self.group_keys(&keys)?;
+        for (shard, group) in self.shards.iter().zip(&groups) {
+            if group.is_empty() {
+                continue;
+            }
+            let _w = shard.write_lock.lock();
+            let _pin = shard.pool.epoch().pin();
+            for &i in group {
+                shard.set_locked(&vks[i], pairs[i].1)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Batched delete; returns how many of the keys existed. Each shard's
+    /// keys execute under one write-lock acquisition and one epoch pin.
+    pub fn mdel(&self, keys: &[&[u8]]) -> EngineResult<u64> {
+        let (vks, groups) = self.group_keys(keys)?;
+        let mut removed = 0u64;
+        for (shard, group) in self.shards.iter().zip(&groups) {
+            if group.is_empty() {
+                continue;
+            }
+            let _w = shard.write_lock.lock();
+            let _pin = shard.pool.epoch().pin();
+            for &i in group {
+                removed += u64::from(shard.del_locked(&vks[i]));
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Batched existence check; returns how many of the keys are present
+    /// (a key listed twice counts twice, RESP `EXISTS` semantics).
+    /// Lock-free: one epoch pin per shard group.
+    pub fn mexists(&self, keys: &[&[u8]]) -> EngineResult<u64> {
+        let (vks, groups) = self.group_keys(keys)?;
+        let mut present = 0u64;
+        for (shard, group) in self.shards.iter().zip(&groups) {
+            if group.is_empty() {
+                continue;
+            }
+            let _pin = shard.pool.epoch().pin();
+            for &i in group {
+                present += u64::from(shard.table.get(&vks[i]).is_some());
+            }
+        }
+        Ok(present)
     }
 
     /// Keys stored across all shards. O(shards) once warm; the first
@@ -448,6 +574,91 @@ mod tests {
             per.iter().all(|&n| n > 100),
             "routing must spread keys over all shards: {per:?}"
         );
+    }
+
+    #[test]
+    fn batch_ops_roundtrip_across_shards() {
+        let e = mem_engine(4);
+        let keys: Vec<Vec<u8>> = (0..400u32).map(|i| format!("bk-{i}").into_bytes()).collect();
+        let pairs: Vec<(&[u8], &[u8])> =
+            keys.iter().map(|k| (k.as_slice(), k.as_slice())).collect();
+        e.mset(&pairs).unwrap();
+        assert_eq!(e.len(), 400);
+        assert!(
+            e.shard_keys().iter().all(|&n| n > 0),
+            "mset must have touched every shard: {:?}",
+            e.shard_keys()
+        );
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let got = e.mget(&refs).unwrap();
+        for (k, g) in keys.iter().zip(&got) {
+            assert_eq!(g.as_deref(), Some(k.as_slice()), "mget must preserve key order");
+        }
+        // Absent keys come back None in position; EXISTS counts repeats.
+        let probe: Vec<&[u8]> = vec![b"bk-0", b"nope", b"bk-1", b"bk-0"];
+        assert_eq!(
+            e.mget(&probe).unwrap(),
+            vec![Some(b"bk-0".to_vec()), None, Some(b"bk-1".to_vec()), Some(b"bk-0".to_vec())]
+        );
+        assert_eq!(e.mexists(&probe).unwrap(), 3);
+        // mset overwrites like set.
+        e.mset(&[(b"bk-0".as_slice(), b"rewritten".as_slice())]).unwrap();
+        assert_eq!(e.get(b"bk-0").unwrap(), Some(b"rewritten".to_vec()));
+        assert_eq!(e.len(), 400, "overwrite must not grow the key count");
+        assert_eq!(e.mdel(&refs[..150]).unwrap(), 150);
+        assert_eq!(e.mdel(&refs[..150]).unwrap(), 0, "second delete finds nothing");
+        assert_eq!(e.len(), 250);
+    }
+
+    #[test]
+    fn batch_validation_happens_before_any_write() {
+        let e = mem_engine(2);
+        let long_key = vec![b'k'; MAX_KEY_LEN + 1];
+        let r = e.mset(&[(b"good".as_slice(), b"v".as_slice()), (long_key.as_slice(), b"v")]);
+        assert!(matches!(r, Err(EngineError::KeyTooLong(_))));
+        assert_eq!(e.get(b"good").unwrap(), None, "up-front validation must write nothing");
+        let long_val = vec![0u8; MAX_VALUE_LEN + 1];
+        let r = e.mset(&[(b"good".as_slice(), b"v".as_slice()), (b"k2".as_slice(), &long_val)]);
+        assert!(matches!(r, Err(EngineError::ValueTooLong(_))));
+        assert_eq!(e.get(b"good").unwrap(), None);
+        assert!(matches!(e.mget(&[b"ok".as_slice(), &long_key]), Err(EngineError::KeyTooLong(_))));
+        assert!(matches!(e.mdel(&[long_key.as_slice()]), Err(EngineError::KeyTooLong(_))));
+        assert!(matches!(e.mexists(&[long_key.as_slice()]), Err(EngineError::KeyTooLong(_))));
+    }
+
+    #[test]
+    fn concurrent_batch_and_single_ops_stay_consistent() {
+        let e = Arc::new(mem_engine(4));
+        std::thread::scope(|s| {
+            for t in 0..6usize {
+                let e = e.clone();
+                s.spawn(move || {
+                    for round in 0..60usize {
+                        let keys: Vec<Vec<u8>> = (0..16u32)
+                            .map(|i| format!("cb{}-{}", t % 3, (round as u32 + i) % 40).into_bytes())
+                            .collect();
+                        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+                        match round % 3 {
+                            0 => {
+                                let pairs: Vec<(&[u8], &[u8])> =
+                                    keys.iter().map(|k| (k.as_slice(), k.as_slice())).collect();
+                                e.mset(&pairs).unwrap();
+                            }
+                            1 => {
+                                for (k, got) in keys.iter().zip(e.mget(&refs).unwrap()) {
+                                    if let Some(v) = got {
+                                        assert_eq!(&v, k, "value must match its key");
+                                    }
+                                }
+                            }
+                            _ => {
+                                let _ = e.mdel(&refs).unwrap();
+                            }
+                        }
+                    }
+                });
+            }
+        });
     }
 
     #[test]

@@ -12,8 +12,11 @@
 //!   line in the owning shard's pool; reads are lock-free under an
 //!   epoch pin, writes serialize per shard.
 //! * [`serve`] ([`server`]) — a thread-per-connection TCP server
-//!   speaking a RESP2 subset (`GET` `SET` `DEL` `EXISTS` `PING` `INFO`
-//!   `DBSIZE` `SHUTDOWN`) with full pipelining, on `std::net` only.
+//!   speaking a RESP2 subset (`GET` `SET` `MGET` `MSET` `DEL` `EXISTS`
+//!   `PING` `INFO` `DBSIZE` `SHUTDOWN`) with full pipelining, on
+//!   `std::net` only. The multi-key commands run through the engine's
+//!   batch paths: keys grouped by shard, one epoch entry and one
+//!   write-lock acquisition per shard per command.
 //! * [`resp`] / [`RespClient`] ([`client`]) — the wire codec (strict,
 //!   incremental, binary-safe) and a small blocking client used by
 //!   `dash-loadgen`, the tests and the CI smoke job.

@@ -1,12 +1,16 @@
 //! The networked service: a thread-per-connection TCP server speaking
-//! the RESP2 subset `GET` / `SET` / `DEL` / `EXISTS` / `PING` / `INFO` /
-//! `DBSIZE` (plus `SHUTDOWN` for orderly teardown) over a
-//! [`ShardedDash`] engine.
+//! the RESP2 subset `GET` / `SET` / `MGET` / `MSET` / `DEL` / `EXISTS` /
+//! `PING` / `INFO` / `DBSIZE` (plus `SHUTDOWN` for orderly teardown)
+//! over a [`ShardedDash`] engine.
 //!
 //! Pipelining comes for free from the decode loop: every complete
 //! command sitting in the read buffer is executed and its reply appended
 //! to one write buffer, which is flushed in a single `write_all` — a
 //! client that sends N requests back-to-back pays one round trip, not N.
+//! The multi-key commands (`MGET`, `MSET`, variadic `DEL`/`EXISTS`) go
+//! further: one command executes its whole key set through the engine's
+//! batch paths, which group keys by shard and pay one epoch entry and
+//! one write-lock acquisition per shard instead of one per key.
 //!
 //! Thread-per-connection is a deliberate first architecture (the
 //! ROADMAP's async I/O item replaces the accept loop, not the engine):
@@ -250,34 +254,62 @@ fn execute(parts: &[Vec<u8>], inner: &Inner) -> Outcome {
             },
             _ => wrong_args("set"),
         },
-        "DEL" => {
+        "MGET" => {
             if args.is_empty() {
-                return wrong_args("del");
+                return wrong_args("mget");
             }
-            let mut removed = 0i64;
-            for key in args {
-                match engine.del(key) {
-                    Ok(true) => removed += 1,
-                    Ok(false) => {}
-                    Err(e) => return err(e.to_string()),
+            let keys: Vec<&[u8]> = args.iter().map(|a| a.as_slice()).collect();
+            match engine.mget(&keys) {
+                Ok(values) => Outcome::Reply(Value::Array(
+                    values
+                        .into_iter()
+                        .map(|v| v.map_or(Value::Nil, Value::Bulk))
+                        .collect(),
+                )),
+                Err(e) => err(e.to_string()),
+            }
+        }
+        "MSET" => {
+            if args.is_empty() || !args.len().is_multiple_of(2) {
+                return wrong_args("mset");
+            }
+            let pairs: Vec<(&[u8], &[u8])> =
+                args.chunks_exact(2).map(|c| (c[0].as_slice(), c[1].as_slice())).collect();
+            match engine.mset(&pairs) {
+                Ok(()) => Outcome::Reply(Value::Simple("OK".into())),
+                Err(e) => err(e.to_string()),
+            }
+        }
+        "DEL" => match args {
+            [] => wrong_args("del"),
+            // Single key (the common case): skip the batch path's
+            // grouping allocations.
+            [key] => match engine.del(key) {
+                Ok(removed) => Outcome::Reply(Value::Integer(i64::from(removed))),
+                Err(e) => err(e.to_string()),
+            },
+            _ => {
+                let keys: Vec<&[u8]> = args.iter().map(|a| a.as_slice()).collect();
+                match engine.mdel(&keys) {
+                    Ok(removed) => Outcome::Reply(Value::Integer(removed as i64)),
+                    Err(e) => err(e.to_string()),
                 }
             }
-            Outcome::Reply(Value::Integer(removed))
-        }
-        "EXISTS" => {
-            if args.is_empty() {
-                return wrong_args("exists");
-            }
-            let mut present = 0i64;
-            for key in args {
-                match engine.exists(key) {
-                    Ok(true) => present += 1,
-                    Ok(false) => {}
-                    Err(e) => return err(e.to_string()),
+        },
+        "EXISTS" => match args {
+            [] => wrong_args("exists"),
+            [key] => match engine.exists(key) {
+                Ok(present) => Outcome::Reply(Value::Integer(i64::from(present))),
+                Err(e) => err(e.to_string()),
+            },
+            _ => {
+                let keys: Vec<&[u8]> = args.iter().map(|a| a.as_slice()).collect();
+                match engine.mexists(&keys) {
+                    Ok(present) => Outcome::Reply(Value::Integer(present as i64)),
+                    Err(e) => err(e.to_string()),
                 }
             }
-            Outcome::Reply(Value::Integer(present))
-        }
+        },
         "DBSIZE" => match args {
             [] => Outcome::Reply(Value::Integer(engine.len() as i64)),
             _ => wrong_args("dbsize"),
@@ -358,6 +390,38 @@ mod tests {
         let info = String::from_utf8(info).unwrap();
         assert!(info.contains("shards:2"), "{info}");
         assert!(info.contains("recovered_shards:0"), "{info}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn multi_key_commands_end_to_end() {
+        let server = mem_server();
+        let mut c = RespClient::connect(server.addr()).unwrap();
+        c.mset(&[(b"a", b"1"), (b"b", b"2"), (b"c", b"3")]).unwrap();
+        assert_eq!(
+            c.mget(&[b"a", b"missing", b"c", b"a"]).unwrap(),
+            vec![Some(b"1".to_vec()), None, Some(b"3".to_vec()), Some(b"1".to_vec())],
+            "MGET must preserve key order and report absences as Nil"
+        );
+        assert_eq!(c.exists(&[b"a", b"b", b"missing", b"a"]).unwrap(), 3);
+        // Single-key DEL/EXISTS take the non-batch fast path — same
+        // observable semantics.
+        assert_eq!(c.exists(&[b"b"]).unwrap(), 1);
+        assert_eq!(c.del(&[b"b"]).unwrap(), 1);
+        assert_eq!(c.exists(&[b"b"]).unwrap(), 0);
+        assert_eq!(c.command(&[b"SET", b"b", b"2"]).unwrap(), Value::Simple("OK".into()));
+        assert_eq!(c.del(&[b"a", b"missing", b"c"]).unwrap(), 2);
+        assert_eq!(c.command(&[b"DBSIZE"]).unwrap(), Value::Integer(1));
+        // Arity errors are replies, not disconnects.
+        let Value::Error(e) = c.command(&[b"MSET", b"odd", b"pair", b"dangling"]).unwrap() else {
+            panic!("odd MSET arity must produce an error reply");
+        };
+        assert!(e.contains("wrong number of arguments"), "{e}");
+        let Value::Error(e) = c.command(&[b"MGET"]).unwrap() else {
+            panic!("empty MGET must produce an error reply");
+        };
+        assert!(e.contains("wrong number of arguments"), "{e}");
+        assert_eq!(c.command(&[b"PING"]).unwrap(), Value::Simple("PONG".into()));
         server.shutdown();
     }
 

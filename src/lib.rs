@@ -26,10 +26,22 @@
 //! let table: DashEh<u64> = DashEh::create(pool, DashConfig::default()).unwrap();
 //! table.insert(&1, 100).unwrap();
 //! assert_eq!(table.get(&1), Some(100));
+//!
+//! // Batch-first surface (§4.5): `pin()` enters the epoch once for a
+//! // whole session of operations, and the `*_many` calls run a batch
+//! // under a single epoch entry — singles issued inside the session
+//! // skip the per-op epoch publication too (pins are re-entrant).
+//! let session = table.pin();
+//! assert!(table.insert_many(&[(2, 200), (3, 300)]).iter().all(|r| r.is_ok()));
+//! assert_eq!(table.get_many(&[1, 2, 3, 4]), vec![Some(100), Some(200), Some(300), None]);
+//! assert_eq!(table.remove_many(&[1, 4]), vec![true, false]);
+//! drop(session);
 //! ```
 
 pub use cceh::{self, Cceh, CcehConfig};
-pub use dash_common::{self, hash64, hash_u64, Key, PmHashTable, TableError, TableResult, VarKey};
+pub use dash_common::{
+    self, hash64, hash_u64, Key, PmHashTable, Session, TableError, TableResult, VarKey,
+};
 pub use dash_core::{self, DashConfig, DashEh, DashLh, InsertPolicy, LockMode, BUCKET_SLOTS};
 pub use dash_server::{
     self, serve, EngineConfig, EngineError, RespClient, ServerHandle, ShardInfo, ShardedDash,

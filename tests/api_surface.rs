@@ -37,6 +37,16 @@ fn umbrella_reexports_drive_all_four_tables() {
         }
         assert!(table.remove(&keys[0]), "{name}: remove");
         assert_eq!(table.get(&keys[0]), None, "{name}: removed key visible");
+        // The batch-first surface is reachable through the trait object:
+        // an epoch-scoped session plus the *_many ops.
+        {
+            let _session: dash_repro::Session<'_> = table.pin();
+            let got = table.get_many(&keys[1..4]);
+            assert_eq!(got, vec![Some(2), Some(3), Some(4)], "{name}: get_many");
+            assert_eq!(table.remove_many(&keys[1..3]), vec![true, true], "{name}: remove_many");
+            let reinsert: Vec<(u64, u64)> = keys[1..3].iter().map(|k| (*k, 1)).collect();
+            assert!(table.insert_many(&reinsert).iter().all(|r| r.is_ok()), "{name}: insert_many");
+        }
         assert_eq!(table.len_scan(), keys.len() as u64 - 1, "{name}: len_scan");
         assert!(table.capacity_slots() > 0, "{name}: capacity_slots");
         let lf = table.load_factor();

@@ -30,6 +30,52 @@ fn identical_results_across_tables() {
     }
 }
 
+/// The batch surface (`pin` + `get_many`/`insert_many`/`remove_many`)
+/// must agree with the single-key ops on every table — Dash-EH/LH run
+/// their native single-pin batch loops, CCEH and Level the trait's
+/// default fallbacks.
+#[test]
+fn batch_ops_agree_with_singles_everywhere() {
+    let keys = uniform_keys(6_000, 202);
+    let items: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, k)| (*k, i as u64)).collect();
+    for table in all_tables(128) {
+        let name = table.name();
+        // An explicit session around the whole workload: epoch pins are
+        // re-entrant, so everything below shares one epoch entry.
+        let session = table.pin();
+        assert!(
+            table.insert_many(&items).iter().all(|r| r.is_ok()),
+            "{name}: batch insert of fresh keys"
+        );
+        assert!(
+            table
+                .insert_many(&items[..32])
+                .iter()
+                .all(|r| matches!(r, Err(TableError::Duplicate))),
+            "{name}: batch re-insert must report Duplicate per item"
+        );
+        for (i, got) in table.get_many(&keys).into_iter().enumerate() {
+            assert_eq!(got, Some(i as u64), "{name}: batched get of key {i}");
+        }
+        let half = keys.len() / 2;
+        assert!(
+            table.remove_many(&keys[..half]).into_iter().all(|b| b),
+            "{name}: batch remove of present keys"
+        );
+        assert!(
+            table.remove_many(&keys[..half]).into_iter().all(|b| !b),
+            "{name}: second batch remove sees absences"
+        );
+        drop(session);
+        // Singles observe exactly what the batches did.
+        for (i, k) in keys.iter().enumerate() {
+            let expect = if i < half { None } else { Some(i as u64) };
+            assert_eq!(table.get(k), expect, "{name}: key {i} after batch ops");
+        }
+        assert_eq!(table.len_scan(), (keys.len() - half) as u64, "{name}");
+    }
+}
+
 #[test]
 fn duplicates_rejected_everywhere() {
     for table in all_tables(64) {

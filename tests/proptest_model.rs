@@ -1,6 +1,7 @@
 //! Property-based model checking: random operation sequences against a
-//! `BTreeMap` reference model, including clean restarts and crash
-//! restarts at arbitrary points, for both Dash variants.
+//! `BTreeMap` reference model, including clean restarts, crash restarts
+//! at arbitrary points, and the batched (`get_many`/`insert_many`/
+//! `remove_many`) operation surface, for both Dash variants.
 //!
 //! The Dash-EH model check and the random-crash-point check run on every
 //! `cargo test`; the LH and merging variants re-walk the same state
@@ -21,6 +22,12 @@ enum Op {
     Remove(u16),
     Update(u16, u64),
     Get(u16),
+    /// Batched variants drive the trait's `*_many` surface: one epoch
+    /// entry per batch, per-item results checked against the model
+    /// applied left to right (so intra-batch duplicates/repeats matter).
+    InsertMany(Vec<(u16, u64)>),
+    RemoveMany(Vec<u16>),
+    GetMany(Vec<u16>),
     CleanRestart,
     CrashRestart,
 }
@@ -31,6 +38,9 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         2 => any::<u16>().prop_map(Op::Remove),
         2 => (any::<u16>(), any::<u64>()).prop_map(|(k, v)| Op::Update(k, v)),
         3 => any::<u16>().prop_map(Op::Get),
+        2 => proptest::collection::vec((any::<u16>(), any::<u64>()), 0..12).prop_map(Op::InsertMany),
+        1 => proptest::collection::vec(any::<u16>(), 0..12).prop_map(Op::RemoveMany),
+        2 => proptest::collection::vec(any::<u16>(), 0..12).prop_map(Op::GetMany),
         1 => Just(Op::CleanRestart),
         1 => Just(Op::CrashRestart),
     ]
@@ -92,6 +102,40 @@ fn check_model<T, MkOpen>(
             Op::Get(k) => {
                 let k = key_of(k);
                 assert_eq!(table.get(&k), model.get(&k).copied(), "get {k}");
+            }
+            Op::InsertMany(items) => {
+                let items: Vec<(u64, u64)> =
+                    items.iter().map(|(k, v)| (key_of(*k), *v)).collect();
+                let results = table.insert_many(&items);
+                assert_eq!(results.len(), items.len(), "one result per item");
+                for ((k, v), r) in items.iter().zip(results) {
+                    match r {
+                        Ok(()) => {
+                            assert!(!model.contains_key(k), "batch insert succeeded but model has {k}");
+                            model.insert(*k, *v);
+                        }
+                        Err(TableError::Duplicate) => {
+                            assert!(model.contains_key(k), "spurious batch duplicate for {k}");
+                        }
+                        Err(e) => panic!("unexpected batch error: {e}"),
+                    }
+                }
+            }
+            Op::RemoveMany(ks) => {
+                let ks: Vec<u64> = ks.iter().map(|k| key_of(*k)).collect();
+                let results = table.remove_many(&ks);
+                assert_eq!(results.len(), ks.len(), "one result per key");
+                for (k, removed) in ks.iter().zip(results) {
+                    assert_eq!(removed, model.remove(k).is_some(), "batch remove {k}");
+                }
+            }
+            Op::GetMany(ks) => {
+                let ks: Vec<u64> = ks.iter().map(|k| key_of(*k)).collect();
+                let got = table.get_many(&ks);
+                assert_eq!(got.len(), ks.len(), "one result per key");
+                for (k, g) in ks.iter().zip(got) {
+                    assert_eq!(g, model.get(k).copied(), "batch get {k}");
+                }
             }
             Op::CleanRestart => {
                 let img = pool.close_image();

@@ -1,0 +1,199 @@
+//! Multi-key operations through the whole service stack: RESP
+//! `MGET`/`MSET` and variadic `DEL`/`EXISTS` round-trips over TCP, plus
+//! durability of batch-written keys across both a clean restart and a
+//! crash-style teardown (the in-process equivalent of `kill -9`: the
+//! pools are dropped without `close()`, so the clean marker stays unset
+//! and reopen takes the crash-recovery path).
+#![cfg(unix)]
+
+use dash_repro::dash_server::Value;
+use dash_repro::{serve, EngineConfig, RespClient, ShardedDash};
+
+mod common;
+use common::TempDir;
+
+fn dir_cfg(dir: &TempDir, shards: usize) -> EngineConfig {
+    EngineConfig { shards, shard_bytes: 16 << 20, dir: Some(dir.path.clone()) }
+}
+
+fn mem_cfg(shards: usize) -> EngineConfig {
+    EngineConfig { shards, shard_bytes: 16 << 20, dir: None }
+}
+
+fn kv(i: u32) -> (Vec<u8>, Vec<u8>) {
+    (
+        format!("batch:{i:06}").into_bytes(),
+        format!("value-{}", i.wrapping_mul(0x9E37_79B9)).into_bytes(),
+    )
+}
+
+#[test]
+fn mget_mset_roundtrip_over_tcp() {
+    let server = serve(ShardedDash::open(&mem_cfg(4)).unwrap(), "127.0.0.1:0").unwrap();
+    let mut c = RespClient::connect(server.addr()).unwrap();
+
+    const N: u32 = 500;
+    let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..N).map(kv).collect();
+    let refs: Vec<(&[u8], &[u8])> =
+        pairs.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+    c.mset(&refs).unwrap();
+    assert_eq!(c.command(&[b"DBSIZE"]).unwrap(), Value::Integer(N as i64));
+
+    // One MGET for the whole keyspace plus interleaved absent keys:
+    // reply order must mirror request order exactly.
+    let mut query: Vec<Vec<u8>> = Vec::new();
+    for (i, (k, _)) in pairs.iter().enumerate() {
+        query.push(k.clone());
+        if i % 7 == 0 {
+            query.push(format!("absent:{i}").into_bytes());
+        }
+    }
+    let qrefs: Vec<&[u8]> = query.iter().map(|k| k.as_slice()).collect();
+    let got = c.mget(&qrefs).unwrap();
+    let mut pi = 0;
+    for (q, g) in query.iter().zip(got) {
+        if q.starts_with(b"absent:") {
+            assert_eq!(g, None, "absent key must be Nil in position");
+        } else {
+            assert_eq!(g.as_deref(), Some(pairs[pi].1.as_slice()), "key {pi} out of order");
+            pi += 1;
+        }
+    }
+
+    // Variadic EXISTS counts repeats; variadic DEL reports removals.
+    let (k0, _) = kv(0);
+    let (k1, _) = kv(1);
+    assert_eq!(c.exists(&[&k0, &k1, b"absent:x", &k0]).unwrap(), 3);
+    assert_eq!(c.del(&[&k0, b"absent:x", &k1]).unwrap(), 2);
+    assert_eq!(c.exists(&[&k0, &k1]).unwrap(), 0);
+    assert_eq!(c.command(&[b"DBSIZE"]).unwrap(), Value::Integer((N - 2) as i64));
+    server.shutdown();
+}
+
+#[test]
+fn mset_overwrites_and_mixes_with_singles() {
+    let server = serve(ShardedDash::open(&mem_cfg(2)).unwrap(), "127.0.0.1:0").unwrap();
+    let mut c = RespClient::connect(server.addr()).unwrap();
+    assert_eq!(c.command(&[b"SET", b"a", b"old"]).unwrap(), Value::Simple("OK".into()));
+    c.mset(&[(b"a", b"new"), (b"b", b"fresh")]).unwrap();
+    assert_eq!(c.command(&[b"GET", b"a"]).unwrap(), Value::bulk(*b"new"));
+    assert_eq!(
+        c.mget(&[b"a", b"b"]).unwrap(),
+        vec![Some(b"new".to_vec()), Some(b"fresh".to_vec())]
+    );
+    assert_eq!(c.command(&[b"DBSIZE"]).unwrap(), Value::Integer(2), "overwrite must not grow");
+    server.shutdown();
+}
+
+#[test]
+fn mset_written_keys_survive_crash_teardown() {
+    let dir = TempDir::new("batch-crash");
+    const N: u32 = 2_000;
+    {
+        let store = ShardedDash::open(&dir_cfg(&dir, 3)).unwrap();
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..N).map(kv).collect();
+        // Write the whole keyspace in MSET batches of 64, then drop the
+        // store WITHOUT close(): a process kill. Every mset() that
+        // returned is an acknowledged, durable batch.
+        for chunk in pairs.chunks(64) {
+            let refs: Vec<(&[u8], &[u8])> =
+                chunk.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+            store.mset(&refs).unwrap();
+        }
+        // A batch delete is acknowledged the same way.
+        let (k_gone, _) = kv(7);
+        assert_eq!(store.mdel(&[k_gone.as_slice()]).unwrap(), 1);
+    }
+    let store = ShardedDash::open(&dir_cfg(&dir, 3)).unwrap();
+    assert_eq!(store.recovered_shards(), 3);
+    for info in store.shard_infos() {
+        assert!(!info.clean, "missing close() must look like a crash: {info:?}");
+    }
+    let keys: Vec<Vec<u8>> = (0..N).map(|i| kv(i).0).collect();
+    let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+    let got = store.mget(&refs).unwrap();
+    for (i, g) in got.into_iter().enumerate() {
+        let (_, v) = kv(i as u32);
+        if i == 7 {
+            assert_eq!(g, None, "batch-deleted key must stay deleted after crash");
+        } else {
+            assert_eq!(g, Some(v), "MSET-written key {i} lost in crash");
+        }
+    }
+    assert_eq!(store.len(), (N - 1) as u64);
+}
+
+#[test]
+fn mset_written_keys_survive_server_restart() {
+    let dir = TempDir::new("batch-restart");
+    const N: u32 = 1_000;
+    {
+        let server = serve(ShardedDash::open(&dir_cfg(&dir, 4)).unwrap(), "127.0.0.1:0").unwrap();
+        let mut c = RespClient::connect(server.addr()).unwrap();
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..N).map(kv).collect();
+        for chunk in pairs.chunks(50) {
+            let refs: Vec<(&[u8], &[u8])> =
+                chunk.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+            c.mset(&refs).unwrap();
+        }
+        server.shutdown();
+    }
+    {
+        let server = serve(ShardedDash::open(&dir_cfg(&dir, 4)).unwrap(), "127.0.0.1:0").unwrap();
+        let mut c = RespClient::connect(server.addr()).unwrap();
+        assert_eq!(c.command(&[b"DBSIZE"]).unwrap(), Value::Integer(N as i64));
+        let keys: Vec<Vec<u8>> = (0..N).map(|i| kv(i).0).collect();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        for (i, g) in c.mget(&refs).unwrap().into_iter().enumerate() {
+            let (_, v) = kv(i as u32);
+            assert_eq!(g, Some(v), "MSET-written key {i} lost across restart");
+        }
+        server.shutdown();
+    }
+}
+
+/// Batch and single-key commands racing from multiple connections: every
+/// MGET element must be either absent or the exact value for its key.
+#[test]
+fn concurrent_batch_and_single_commands() {
+    let server = serve(ShardedDash::open(&mem_cfg(4)).unwrap(), "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+    const ROUNDS: usize = 150;
+    const SPAN: u32 = 60;
+    std::thread::scope(|s| {
+        for t in 0..4u32 {
+            s.spawn(move || {
+                let mut c = RespClient::connect(addr).unwrap();
+                for r in 0..ROUNDS {
+                    let base = (r as u32 + t) % SPAN;
+                    let pairs: Vec<(Vec<u8>, Vec<u8>)> =
+                        (base..base + 8).map(|i| kv(i % SPAN)).collect();
+                    match r % 3 {
+                        0 => {
+                            let refs: Vec<(&[u8], &[u8])> = pairs
+                                .iter()
+                                .map(|(k, v)| (k.as_slice(), v.as_slice()))
+                                .collect();
+                            c.mset(&refs).unwrap();
+                        }
+                        1 => {
+                            let keys: Vec<&[u8]> =
+                                pairs.iter().map(|(k, _)| k.as_slice()).collect();
+                            for ((_, want), got) in pairs.iter().zip(c.mget(&keys).unwrap()) {
+                                if let Some(v) = got {
+                                    assert_eq!(&v, want, "MGET returned a foreign value");
+                                }
+                            }
+                        }
+                        _ => {
+                            let keys: Vec<&[u8]> =
+                                pairs.iter().map(|(k, _)| k.as_slice()).collect();
+                            let _ = c.del(&keys).unwrap();
+                        }
+                    }
+                }
+            });
+        }
+    });
+    server.shutdown();
+}
