@@ -46,6 +46,17 @@ OPTIONS:
     --verify-all      after the run, GET every key and require the
                       exact expected value (use after --preload, or
                       across a server restart)
+    --verify-scan     after the run, enumerate the whole store with
+                      cursor SCAN and require (a) every preloaded key
+                      to appear, (b) the deduplicated key count to
+                      match DBSIZE (use after --preload on an
+                      otherwise-quiet server)
+    --snapshot PATH   after the run, issue `SNAPSHOT PATH` (the server
+                      writes an online checksummed backup to PATH on
+                      its filesystem)
+    --verify-snapshot PATH  read the snapshot file at PATH locally,
+                      verify its checksum, and require every preloaded
+                      key to be present with its exact expected value
     -h, --help        show this help";
 
 #[derive(Clone)]
@@ -63,6 +74,9 @@ struct Config {
     seed: u64,
     preload: bool,
     verify_all: bool,
+    verify_scan: bool,
+    snapshot: Option<String>,
+    verify_snapshot: Option<String>,
 }
 
 fn parse_config() -> Config {
@@ -80,8 +94,10 @@ fn parse_config() -> Config {
             "latency-sample",
             "zipf",
             "seed",
+            "snapshot",
+            "verify-snapshot",
         ],
-        &["preload", "verify-all"],
+        &["preload", "verify-all", "verify-scan"],
         0,
     );
     let cfg = Config {
@@ -113,6 +129,9 @@ fn parse_config() -> Config {
         seed: args.flag_or_exit("seed", 42, USAGE),
         preload: args.switch("preload"),
         verify_all: args.switch("verify-all"),
+        verify_scan: args.switch("verify-scan"),
+        snapshot: args.flag_opt("snapshot").map(str::to_owned),
+        verify_snapshot: args.flag_opt("verify-snapshot").map(str::to_owned),
     };
     if cfg.conns == 0 || cfg.keys == 0 || cfg.pipeline == 0 {
         cli::exit_usage("--conns, --keys and --pipeline must be at least 1", USAGE);
@@ -368,6 +387,80 @@ fn verify_all(cfg: &Config, stems: &[u64]) -> Result<(), String> {
     }
 }
 
+/// Enumerate the whole store with cursor `SCAN` and check it against the
+/// preloaded keyspace and `DBSIZE` — the scan-shaped analogue of
+/// `verify_all`: every expected key must be yielded, and the number of
+/// distinct keys scanned must equal the server's key counter (so the
+/// O(shards) counters and the scan ground truth agree end to end).
+fn verify_scan(cfg: &Config, stems: &[u64]) -> Result<(), String> {
+    let mut client =
+        RespClient::connect(cfg.addr.as_str()).map_err(|e| format!("connect: {e}"))?;
+    let mut scanned: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
+    let mut pages = 0u64;
+    let mut yielded = 0u64;
+    let mut cursor = 0u64;
+    loop {
+        let (next, keys) = client.scan(cursor, 512).map_err(|e| format!("SCAN: {e}"))?;
+        pages += 1;
+        yielded += keys.len() as u64;
+        scanned.extend(keys);
+        if next == 0 {
+            break;
+        }
+        cursor = next;
+    }
+    let mut missing = 0u64;
+    for stem in stems {
+        if !scanned.contains(&key_bytes(*stem)) {
+            missing += 1;
+        }
+    }
+    let dbsize = match client.command(&[b"DBSIZE"]) {
+        Ok(Value::Integer(n)) => n as u64,
+        other => return Err(format!("DBSIZE gave {other:?}")),
+    };
+    println!(
+        "scan enumerated {} distinct keys ({yielded} yielded over {pages} pages)",
+        scanned.len()
+    );
+    if missing > 0 {
+        return Err(format!("{missing} preloaded keys never yielded by SCAN"));
+    }
+    if scanned.len() as u64 != dbsize {
+        return Err(format!("SCAN found {} distinct keys but DBSIZE says {dbsize}", scanned.len()));
+    }
+    Ok(())
+}
+
+/// Read a snapshot file (written by `SNAPSHOT`) locally and verify it:
+/// the checksum must hold (read_all rejects corruption) and every
+/// preloaded key must be present with its exact deterministic value —
+/// byte-exact even for a snapshot taken under live 90/10 load, because
+/// every writer stores the same pure function of the key.
+fn verify_snapshot_file(cfg: &Config, stems: &[u64], path: &str) -> Result<(), String> {
+    let records = dash_server::snapshot::read_all(std::path::Path::new(path))
+        .map_err(|e| e.to_string())?;
+    // A key may appear twice when a segment split raced the scan (the
+    // cursor contract is at-least-once under mutation); the restore
+    // applies in order, so keeping the last occurrence mirrors it.
+    let map: std::collections::HashMap<&[u8], &[u8]> =
+        records.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+    let (mut missing, mut wrong) = (0u64, 0u64);
+    for stem in stems {
+        match map.get(key_bytes(*stem).as_slice()) {
+            None => missing += 1,
+            Some(v) if **v != *value_bytes(*stem, cfg.value_size) => wrong += 1,
+            Some(_) => {}
+        }
+    }
+    if missing + wrong > 0 {
+        return Err(format!("{missing} keys missing from snapshot, {wrong} wrong values"));
+    }
+    println!("snapshot {path}: {} records, checksum OK, all {} preloaded keys byte-exact",
+        records.len(), stems.len());
+    Ok(())
+}
+
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -572,6 +665,38 @@ fn main() {
             ),
             Err(e) => {
                 eprintln!("dash-loadgen: verification failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if cfg.verify_scan {
+        let t0 = Instant::now();
+        match verify_scan(&cfg, &stems) {
+            Ok(()) => println!("scan verification passed ({:?})", t0.elapsed()),
+            Err(e) => {
+                eprintln!("dash-loadgen: scan verification failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if let Some(path) = &cfg.snapshot {
+        let t0 = Instant::now();
+        match probe.snapshot(path) {
+            Ok(n) => println!("server snapshotted {n} records to {path} ({:?})", t0.elapsed()),
+            Err(e) => {
+                eprintln!("dash-loadgen: SNAPSHOT {path} failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if let Some(path) = &cfg.verify_snapshot {
+        match verify_snapshot_file(&cfg, &stems, path) {
+            Ok(()) => {}
+            Err(e) => {
+                eprintln!("dash-loadgen: snapshot verification failed: {e}");
                 failed = true;
             }
         }

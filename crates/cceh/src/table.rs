@@ -450,15 +450,10 @@ impl<K: Key> Cceh<K> {
         n
     }
 
-    fn scan_totals(&self) -> (u64, u64) {
-        let mut records = 0;
+    fn slots_total(&self) -> u64 {
         let mut slots = 0;
-        self.for_each_segment(|seg| {
-            let view = self.view(seg);
-            records += view.count_records();
-            slots += view.capacity_slots();
-        });
-        (records, slots)
+        self.for_each_segment(|seg| slots += self.view(seg).capacity_slots());
+        slots
     }
 
     pub fn pool(&self) -> &Arc<PmemPool> {
@@ -489,12 +484,21 @@ impl<K: Key> PmHashTable<K> for Cceh<K> {
         dash_common::Session::pinned(self.pool.epoch().pin())
     }
 
-    fn capacity_slots(&self) -> u64 {
-        self.scan_totals().1
+    // `scan` and `len_scan` use the trait defaults over this walk — the
+    // full-walk pagination a table without a stable iteration order gets.
+    fn for_each_kv(&self, f: &mut dyn FnMut(&K, u64)) {
+        let _g = self.pool.epoch().pin();
+        self.for_each_segment(|seg| {
+            self.view(seg).for_each_record(|_, _, key_repr, value| {
+                if let Some(key) = K::decode_stored(&self.pool, key_repr) {
+                    f(&key, value);
+                }
+            });
+        });
     }
 
-    fn len_scan(&self) -> u64 {
-        self.scan_totals().0
+    fn capacity_slots(&self) -> u64 {
+        self.slots_total()
     }
 
     fn name(&self) -> &'static str {

@@ -30,6 +30,13 @@ pub trait Key: Clone + Send + Sync + 'static {
     /// metadata from stash records, which requires re-hashing them §4.8).
     fn hash_stored(pool: &PmemPool, stored: u64) -> u64;
 
+    /// Reconstruct the key behind a stored representation — how table
+    /// scans turn raw record slots back into `K`s. `None` means the
+    /// representation cannot be a valid key in this pool (corrupt slot or
+    /// stale pointer); scans skip such records defensively. Callers must
+    /// hold an epoch pin for out-of-line keys, exactly as for `matches`.
+    fn decode_stored(pool: &PmemPool, stored: u64) -> Option<Self>;
+
     /// Release pool storage behind a stored representation. Deferred via
     /// the pool's epoch manager because optimistic readers may still
     /// dereference it.
@@ -57,6 +64,11 @@ impl Key for u64 {
     #[inline]
     fn hash_stored(_pool: &PmemPool, stored: u64) -> u64 {
         hash_u64(stored)
+    }
+
+    #[inline]
+    fn decode_stored(_pool: &PmemPool, stored: u64) -> Option<Self> {
+        Some(stored)
     }
 
     #[inline]
@@ -136,6 +148,10 @@ impl Key for VarKey {
             Some(bytes) => hash64(bytes),
             None => 0,
         }
+    }
+
+    fn decode_stored(pool: &PmemPool, stored: u64) -> Option<Self> {
+        Self::stored_bytes(pool, stored).map(|bytes| VarKey(bytes.to_vec()))
     }
 
     fn release(pool: &PmemPool, stored: u64) {

@@ -65,6 +65,66 @@ impl<'a> Session<'a> {
     }
 }
 
+/// A restartable scan position, issued and consumed by
+/// [`PmHashTable::scan`].
+///
+/// The position is **opaque to callers and private to the table that
+/// issued it**: Dash-EH encodes a keyspace boundary (a hash prefix),
+/// Dash-LH a segment index, and the trait-default implementation a raw
+/// hash watermark. The only portable operations are "start", "is it
+/// done", and round-tripping `pos()` through [`ScanCursor::resume`] for
+/// the same table (which is how the server serializes cursors onto the
+/// wire).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScanCursor {
+    pos: u64,
+    done: bool,
+}
+
+impl ScanCursor {
+    /// The cursor that begins a fresh scan.
+    pub const START: ScanCursor = ScanCursor { pos: 0, done: false };
+
+    /// Rebuild a cursor from a previously returned [`ScanCursor::pos`]
+    /// (wire deserialization). Only meaningful for the table that issued
+    /// the position.
+    pub fn resume(pos: u64) -> Self {
+        ScanCursor { pos, done: false }
+    }
+
+    /// The terminal cursor: the scan has visited the whole table.
+    pub fn finished() -> Self {
+        ScanCursor { pos: 0, done: true }
+    }
+
+    /// The raw position (for serialization). 0 for a fresh or finished
+    /// cursor; check [`ScanCursor::is_done`] to tell them apart.
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+/// One page of scan results: the records plus the cursor to pass back in
+/// for the next page ([`ScanCursor::is_done`] once the table is
+/// exhausted).
+#[derive(Debug)]
+pub struct ScanPage<K> {
+    /// `(key, value)` records, in the table's internal scan order.
+    pub items: Vec<(K, u64)>,
+    pub cursor: ScanCursor,
+}
+
+impl<K> ScanPage<K> {
+    /// An empty terminal page.
+    pub fn finished() -> Self {
+        ScanPage { items: Vec::new(), cursor: ScanCursor::finished() }
+    }
+}
+
 /// The operation surface shared by Dash-EH, Dash-LH, CCEH and Level
 /// Hashing; the benchmark harnesses and integration tests drive every
 /// table through this trait so comparisons exercise identical code paths.
@@ -77,6 +137,14 @@ impl<'a> Session<'a> {
 /// pin once and loop over the single-key ops, which is already
 /// trait-conformant for every table; Dash-EH/LH override them with
 /// native single-pin probe loops.
+///
+/// It is also **iteration-first**: [`scan`](PmHashTable::scan) pages
+/// through the whole table behind a stable [`ScanCursor`], which is what
+/// bulk consumers (`len_scan`, the server's `SCAN`, snapshot export,
+/// replication bootstrap) build on. Dash-EH and Dash-LH implement it
+/// natively with the guarantee spelled out on `scan`; CCEH and Level
+/// Hashing fall back to the trait default (full-walk pagination in hash
+/// order), which upholds the same contract only for quiescent tables.
 pub trait PmHashTable<K: Key>: Send + Sync {
     /// Lookup; `None` when absent (negative search).
     fn get(&self, key: &K) -> Option<u64>;
@@ -121,11 +189,79 @@ pub trait PmHashTable<K: Key>: Send + Sync {
         keys.iter().map(|k| self.remove(k)).collect()
     }
 
+    /// Visit every record as `(&key, value)` — the unpaginated
+    /// convenience walk that [`scan`](PmHashTable::scan) and
+    /// [`len_scan`](PmHashTable::len_scan) build on. The walk is
+    /// unsynchronized with respect to concurrent writers: it is exact
+    /// when the table is quiescent and best-effort otherwise (use `scan`
+    /// when you need the cursor guarantee under mutation).
+    fn for_each_kv(&self, f: &mut dyn FnMut(&K, u64));
+
+    /// Page through the table: up to roughly `budget` records per call
+    /// (a hint, like Redis `SCAN COUNT` — a page may run over to finish
+    /// an internal unit such as a segment), plus the cursor for the next
+    /// page. Pass [`ScanCursor::START`] to begin; the scan is over when
+    /// the returned cursor reports [`ScanCursor::is_done`].
+    ///
+    /// Cursor guarantee (the Redis guarantee, held natively by Dash-EH
+    /// and Dash-LH even across concurrent splits, merges and directory
+    /// doublings): **every key present for the entire duration of the
+    /// scan is yielded at least once**, and a key is never yielded twice
+    /// from the same segment generation — duplicates can only arise when
+    /// a structural operation moved the record mid-scan. Keys inserted
+    /// or removed while the scan runs may or may not appear.
+    ///
+    /// The default implementation paginates a full [`for_each_kv`]
+    /// (filtered and ordered by `hash64`) — correct pagination for a
+    /// quiescent table, best-effort under mutation; tables with a
+    /// walkable structure override it.
+    fn scan(&self, cursor: ScanCursor, budget: usize) -> ScanPage<K> {
+        if cursor.is_done() {
+            return ScanPage::finished();
+        }
+        let budget = budget.max(1);
+        let _s = self.pin();
+        let mut found: Vec<(u64, K, u64)> = Vec::new();
+        self.for_each_kv(&mut |k, v| {
+            let h = k.hash64();
+            if h >= cursor.pos() {
+                found.push((h, k.clone(), v));
+            }
+        });
+        found.sort_unstable_by_key(|(h, _, _)| *h);
+        if found.len() <= budget {
+            let items = found.into_iter().map(|(_, k, v)| (k, v)).collect();
+            return ScanPage { items, cursor: ScanCursor::finished() };
+        }
+        // Cut at the budget, then extend through the run of equal hashes
+        // so a resumed scan (pos = last hash + 1) can never skip a key
+        // that collides with the page's final hash.
+        let mut cut = budget;
+        let cut_hash = found[cut - 1].0;
+        while cut < found.len() && found[cut].0 == cut_hash {
+            cut += 1;
+        }
+        let cursor = if cut == found.len() {
+            ScanCursor::finished()
+        } else {
+            ScanCursor::resume(cut_hash + 1)
+        };
+        found.truncate(cut);
+        ScanPage { items: found.into_iter().map(|(_, k, v)| (k, v)).collect(), cursor }
+    }
+
     /// Total record slots currently allocated (for load-factor studies).
     fn capacity_slots(&self) -> u64;
 
-    /// Records currently stored (scan-based; not for hot paths).
-    fn len_scan(&self) -> u64;
+    /// Records currently stored: one [`for_each_kv`] pass — the single
+    /// shared counting loop over the iteration surface (paging through
+    /// `scan` would re-walk the whole table per page on tables using the
+    /// full-walk default). Not for hot paths.
+    fn len_scan(&self) -> u64 {
+        let mut n = 0u64;
+        self.for_each_kv(&mut |_, _| n += 1);
+        n
+    }
 
     /// Load factor = records / slots (fig. 11/12).
     fn load_factor(&self) -> f64 {

@@ -13,7 +13,7 @@ use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use dash_common::{Key, PmHashTable, TableError, TableResult};
+use dash_common::{Key, PmHashTable, ScanCursor, ScanPage, TableError, TableResult};
 use parking_lot::Mutex;
 use pmem::{PmOffset, PmemPool};
 
@@ -777,15 +777,10 @@ impl<K: Key> DashEh<K> {
         n
     }
 
-    fn scan_totals(&self) -> (u64, u64) {
-        let mut records = 0;
+    fn slots_total(&self) -> u64 {
         let mut slots = 0;
-        self.for_each_segment(|seg| {
-            let view = self.view(seg);
-            records += view.count_records();
-            slots += view.capacity_slots();
-        });
-        (records, slots)
+        self.for_each_segment(|seg| slots += self.view(seg).capacity_slots());
+        slots
     }
 
     /// Visit every record as `(key_repr, value)` (diagnostics / tests).
@@ -793,6 +788,73 @@ impl<K: Key> DashEh<K> {
         self.for_each_segment(|seg| {
             self.view(seg).for_each_record(|_, _, k, v| f(k, v));
         });
+    }
+
+    // ---- cursor scans ------------------------------------------------------
+
+    /// Paged iteration with a split-stable cursor.
+    ///
+    /// The cursor is a **keyspace position**: the 64-bit hash boundary of
+    /// the next segment to visit. Under MSB directory addressing (§4.7) a
+    /// record with hash `h` always lives in the segment whose directory
+    /// entry covers `h` — a split moves records only between the two
+    /// halves of the segment's own hash range, and directory
+    /// doubling/halving renumbers entries without moving a single hash
+    /// boundary. Scanning range-by-range in hash order therefore yields
+    /// every key that stays present at least once, no matter how many
+    /// SMOs run mid-scan: ranges behind the cursor keep their keys, and
+    /// ranges ahead are visited whatever segment ends up holding them.
+    ///
+    /// Each page snapshots whole segments (version-validated, so the
+    /// page is a union of per-segment atomic states) and runs past
+    /// `budget` only to finish the current segment. The position
+    /// encodes the covering segment's local depth implicitly — it *is*
+    /// the range boundary `(pattern+1) << (64-depth)` — so a merge that
+    /// widens the segment under a resumed cursor is handled by filtering
+    /// out the already-yielded lower half (`hash < pos`).
+    pub fn scan(&self, cursor: ScanCursor, budget: usize) -> ScanPage<K> {
+        if cursor.is_done() {
+            return ScanPage::finished();
+        }
+        let budget = budget.max(1);
+        let _g = self.pool.epoch().pin();
+        let mut pos = cursor.pos();
+        let mut items: Vec<(K, u64)> = Vec::new();
+        loop {
+            let seg = self.resolve(pos);
+            let view = self.view(seg);
+            let hdr = view.header();
+            let depth = hdr.local_depth.load(Ordering::Acquire);
+            let pattern = hdr.pattern.load(Ordering::Acquire);
+            let verify = || {
+                self.locate(pos) == seg
+                    && hdr.local_depth.load(Ordering::Acquire) == depth
+                    && hdr.pattern.load(Ordering::Acquire) == pattern
+            };
+            let Some(raw) = view.snapshot_records(self.cfg.lock_mode, verify) else {
+                // The segment split or merged under us; re-resolve `pos`
+                // against the new directory state.
+                continue;
+            };
+            for (key_repr, value) in raw {
+                if K::hash_stored(&self.pool, key_repr) < pos {
+                    // Lower half of a segment merged since the cursor was
+                    // issued: already yielded from its previous generation.
+                    continue;
+                }
+                if let Some(key) = K::decode_stored(&self.pool, key_repr) {
+                    items.push((key, value));
+                }
+            }
+            // Advance past this segment's hash range.
+            if depth == 0 || pattern + 1 == (1u64 << depth) {
+                return ScanPage { items, cursor: ScanCursor::finished() };
+            }
+            pos = (pattern + 1) << (64 - depth);
+            if items.len() >= budget {
+                return ScanPage { items, cursor: ScanCursor::resume(pos) };
+            }
+        }
     }
 }
 
@@ -829,12 +891,23 @@ impl<K: Key> PmHashTable<K> for DashEh<K> {
         DashEh::remove_many(self, keys)
     }
 
-    fn capacity_slots(&self) -> u64 {
-        self.scan_totals().1
+    fn for_each_kv(&self, f: &mut dyn FnMut(&K, u64)) {
+        let _g = self.pool.epoch().pin();
+        self.for_each_segment(|seg| {
+            self.view(seg).for_each_record(|_, _, key_repr, value| {
+                if let Some(key) = K::decode_stored(&self.pool, key_repr) {
+                    f(&key, value);
+                }
+            });
+        });
     }
 
-    fn len_scan(&self) -> u64 {
-        self.scan_totals().0
+    fn scan(&self, cursor: ScanCursor, budget: usize) -> ScanPage<K> {
+        DashEh::scan(self, cursor, budget)
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        self.slots_total()
     }
 
     fn name(&self) -> &'static str {
@@ -1124,6 +1197,118 @@ mod tests {
         for k in keys.iter().take(1_000) {
             t2.insert(k, 3).unwrap();
             assert_eq!(t2.get(k), Some(3));
+        }
+    }
+
+    #[test]
+    fn scan_pages_cover_table_exactly_once_when_quiescent() {
+        use dash_common::ScanCursor;
+        let t = new_table(64, small_cfg());
+        let keys = uniform_keys(10_000, 91);
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(k, i as u64).unwrap();
+        }
+        let mut seen = std::collections::HashMap::new();
+        let mut cursor = ScanCursor::START;
+        let mut pages = 0;
+        loop {
+            let page = t.scan(cursor, 64);
+            for (k, v) in page.items {
+                assert!(seen.insert(k, v).is_none(), "quiescent scan must not duplicate {k}");
+            }
+            pages += 1;
+            if page.cursor.is_done() {
+                break;
+            }
+            // Cursors round-trip through their raw position (the wire form).
+            cursor = ScanCursor::resume(page.cursor.pos());
+        }
+        assert!(pages > 1, "budget 64 must paginate 10k keys");
+        assert_eq!(seen.len(), keys.len());
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(seen.get(k), Some(&(i as u64)), "key {i} missing from scan");
+        }
+        // len_scan rides the same path.
+        assert_eq!(t.len_scan(), keys.len() as u64);
+    }
+
+    /// The deterministic split test of the acceptance criteria: start a
+    /// scan, force many splits and a directory doubling mid-scan, finish
+    /// the scan — every key present throughout must be yielded.
+    #[test]
+    fn scan_survives_splits_and_doubling_mid_scan() {
+        use dash_common::ScanCursor;
+        let t = new_table(128, small_cfg());
+        let stable = uniform_keys(2_000, 7);
+        for k in &stable {
+            t.insert(k, 1).unwrap();
+        }
+        let depth_before = t.global_depth();
+
+        // First page with a tiny budget, so the cursor parks mid-table.
+        let mut yielded: Vec<u64> = Vec::new();
+        let first = t.scan(ScanCursor::START, 8);
+        yielded.extend(first.items.iter().map(|(k, _)| *k));
+        assert!(!first.cursor.is_done(), "2k keys cannot fit one 8-budget page");
+
+        // Mid-scan structural churn: enough inserts to split every
+        // segment several times and double the directory.
+        for k in dash_common::negative_keys(12_000, 7) {
+            t.insert(&k, 2).unwrap();
+        }
+        assert!(t.global_depth() > depth_before, "churn must double the directory");
+
+        let mut cursor = first.cursor;
+        while !cursor.is_done() {
+            let page = t.scan(cursor, 256);
+            yielded.extend(page.items.iter().map(|(k, _)| *k));
+            cursor = page.cursor;
+        }
+        let yielded: std::collections::HashSet<u64> = yielded.into_iter().collect();
+        for k in &stable {
+            assert!(yielded.contains(k), "stable key {k} lost by a scan crossing splits");
+        }
+    }
+
+    /// Merges move records the other way: shrink the table under a
+    /// parked cursor and confirm the surviving keys still all appear.
+    #[test]
+    fn scan_survives_merges_and_halving_mid_scan() {
+        use dash_common::ScanCursor;
+        let cfg = DashConfig {
+            bucket_bits: 2,
+            initial_depth: 1,
+            merge_threshold: 0.3,
+            ..Default::default()
+        };
+        let t = new_table(64, cfg);
+        let keep = uniform_keys(500, 19);
+        let churn = dash_common::negative_keys(8_000, 19);
+        for k in keep.iter().chain(&churn) {
+            t.insert(k, 3).unwrap();
+        }
+        let depth_full = t.global_depth();
+        assert!(depth_full > 1);
+
+        let first = t.scan(ScanCursor::START, 8);
+        let mut yielded: std::collections::HashSet<u64> =
+            first.items.iter().map(|(k, _)| *k).collect();
+        assert!(!first.cursor.is_done());
+
+        // Mass delete mid-scan: merges + directory halving.
+        for k in &churn {
+            assert!(t.remove(k));
+        }
+        assert!(t.global_depth() < depth_full, "deletes must halve the directory");
+
+        let mut cursor = first.cursor;
+        while !cursor.is_done() {
+            let page = t.scan(cursor, 64);
+            yielded.extend(page.items.iter().map(|(k, _)| *k));
+            cursor = page.cursor;
+        }
+        for k in &keep {
+            assert!(yielded.contains(k), "kept key {k} lost by a scan crossing merges");
         }
     }
 

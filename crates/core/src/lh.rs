@@ -18,7 +18,7 @@ use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use dash_common::{Key, PmHashTable, TableError, TableResult};
+use dash_common::{Key, PmHashTable, ScanCursor, ScanPage, TableError, TableResult};
 use parking_lot::Mutex;
 use pmem::{PmOffset, PmemPool};
 
@@ -716,22 +716,73 @@ impl<K: Key> DashLh<K> {
         self.addressable().0
     }
 
-    fn scan_totals(&self) -> (u64, u64) {
+    fn slots_total(&self) -> u64 {
         let (count, _) = self.addressable();
-        let mut records = 0;
-        let mut slots = 0;
-        for idx in 0..count {
-            let view = self.view(self.seg_offset(idx));
-            records += view.count_records();
-            slots += view.capacity_slots();
-        }
-        (records, slots)
+        (0..count).map(|idx| self.view(self.seg_offset(idx)).capacity_slots()).sum()
     }
 
     pub fn for_each(&self, mut f: impl FnMut(u64, u64)) {
         let (count, _) = self.addressable();
         for idx in 0..count {
             self.view(self.seg_offset(idx)).for_each_record(|_, _, k, v| f(k, v));
+        }
+    }
+
+    // ---- cursor scans ------------------------------------------------------
+
+    /// Paged iteration with a split-stable cursor.
+    ///
+    /// The cursor is simply the **next segment index**: linear hashing
+    /// only ever moves records *forward* — a split relocates records from
+    /// segment `Next` into the buddy `Next + a0·2^N`, which at the moment
+    /// it becomes addressable is the highest index in the table — so an
+    /// index-ordered scan can never have a stable key migrate behind the
+    /// cursor. Lagging segments (whose decoupled split has not run yet)
+    /// are scanned as they are: their records, including those destined
+    /// for a buddy ahead, are present right there. The addressable bound
+    /// is re-read every step, so expansions mid-scan extend the walk.
+    ///
+    /// Pages snapshot whole segments (version-validated; the in-progress
+    /// split holds every source bucket lock, so a racing rehash forces a
+    /// clean retry) and overrun `budget` only to finish a segment.
+    pub fn scan(&self, cursor: ScanCursor, budget: usize) -> ScanPage<K> {
+        if cursor.is_done() {
+            return ScanPage::finished();
+        }
+        let budget = budget.max(1);
+        let _g = self.pool.epoch().pin();
+        let mut idx = cursor.pos();
+        let mut items: Vec<(K, u64)> = Vec::new();
+        loop {
+            let (count, _) = self.addressable();
+            if idx >= count {
+                return ScanPage { items, cursor: ScanCursor::finished() };
+            }
+            let seg = self.seg_offset(idx);
+            let v = self.pool.global_version();
+            let hdr = unsafe { self.pool.at_ref::<SegmentHeader>(seg) };
+            if hdr.rec_version.load(Ordering::Acquire) != v {
+                self.recover_segment(seg);
+                continue;
+            }
+            // The idx→segment mapping is fixed in LH, so there is no
+            // directory re-resolution to verify.
+            let Some(raw) = self.view(seg).snapshot_records(self.cfg.lock_mode, || true) else {
+                continue;
+            };
+            for (key_repr, value) in raw {
+                if let Some(key) = K::decode_stored(&self.pool, key_repr) {
+                    items.push((key, value));
+                }
+            }
+            idx += 1;
+            if items.len() >= budget {
+                let (count, _) = self.addressable();
+                if idx >= count {
+                    return ScanPage { items, cursor: ScanCursor::finished() };
+                }
+                return ScanPage { items, cursor: ScanCursor::resume(idx) };
+            }
         }
     }
 }
@@ -769,12 +820,24 @@ impl<K: Key> PmHashTable<K> for DashLh<K> {
         DashLh::remove_many(self, keys)
     }
 
-    fn capacity_slots(&self) -> u64 {
-        self.scan_totals().1
+    fn for_each_kv(&self, f: &mut dyn FnMut(&K, u64)) {
+        let _g = self.pool.epoch().pin();
+        let (count, _) = self.addressable();
+        for idx in 0..count {
+            self.view(self.seg_offset(idx)).for_each_record(|_, _, key_repr, value| {
+                if let Some(key) = K::decode_stored(&self.pool, key_repr) {
+                    f(&key, value);
+                }
+            });
+        }
     }
 
-    fn len_scan(&self) -> u64 {
-        self.scan_totals().0
+    fn scan(&self, cursor: ScanCursor, budget: usize) -> ScanPage<K> {
+        DashLh::scan(self, cursor, budget)
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        self.slots_total()
     }
 
     fn name(&self) -> &'static str {
@@ -993,6 +1056,75 @@ mod tests {
         }
         for k in negative_keys(500, 15) {
             t2.insert(&k, 1).unwrap();
+        }
+    }
+
+    #[test]
+    fn scan_pages_cover_table_exactly_once_when_quiescent() {
+        use dash_common::ScanCursor;
+        let t = new_table(64, small_cfg());
+        let keys = uniform_keys(8_000, 41);
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(k, i as u64).unwrap();
+        }
+        let mut seen = std::collections::HashMap::new();
+        let mut cursor = ScanCursor::START;
+        let mut pages = 0;
+        loop {
+            let page = t.scan(cursor, 64);
+            for (k, v) in page.items {
+                assert!(seen.insert(k, v).is_none(), "quiescent scan must not duplicate {k}");
+            }
+            pages += 1;
+            if page.cursor.is_done() {
+                break;
+            }
+            cursor = ScanCursor::resume(page.cursor.pos());
+        }
+        assert!(pages > 1, "budget 64 must paginate 8k keys");
+        assert_eq!(seen.len(), keys.len());
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(seen.get(k), Some(&(i as u64)), "key {i} missing from scan");
+        }
+        assert_eq!(t.len_scan(), keys.len() as u64);
+    }
+
+    /// Deterministic split test: park a cursor early, force rounds of
+    /// decoupled linear-hashing expansion, finish the scan — every key
+    /// present throughout must be yielded (splits only move records to
+    /// higher, still-unvisited segment indices).
+    #[test]
+    fn scan_survives_expansion_rounds_mid_scan() {
+        use dash_common::ScanCursor;
+        let t = new_table(128, small_cfg());
+        let stable = uniform_keys(2_000, 27);
+        for k in &stable {
+            t.insert(k, 1).unwrap();
+        }
+        let (level0, next0) = t.level_and_next();
+
+        let first = t.scan(ScanCursor::START, 8);
+        let mut yielded: std::collections::HashSet<u64> =
+            first.items.iter().map(|(k, _)| *k).collect();
+        assert!(!first.cursor.is_done(), "2k keys cannot fit one 8-budget page");
+
+        for k in negative_keys(12_000, 27) {
+            t.insert(&k, 2).unwrap();
+        }
+        let (level1, next1) = t.level_and_next();
+        assert!(
+            level1 > level0 || next1 > next0,
+            "churn must expand the table: ({level0},{next0}) -> ({level1},{next1})"
+        );
+
+        let mut cursor = first.cursor;
+        while !cursor.is_done() {
+            let page = t.scan(cursor, 256);
+            yielded.extend(page.items.iter().map(|(k, _)| *k));
+            cursor = page.cursor;
+        }
+        for k in &stable {
+            assert!(yielded.contains(k), "stable key {k} lost by a scan crossing expansions");
         }
     }
 

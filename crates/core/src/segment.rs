@@ -1019,6 +1019,60 @@ impl<'a> SegView<'a> {
         }
     }
 
+    /// Point-snapshot of every record in the segment, for scans.
+    ///
+    /// Optimistic protocol: capture every fixed bucket's version, run
+    /// `verify` (the caller's check that its resolution of this segment
+    /// still holds), walk the records, then re-validate the versions.
+    /// Every mutation path in a segment — insert, remove, update,
+    /// displacement, SMO rehash, chained-stash append — takes at least
+    /// one fixed-bucket writer lock first, so an unchanged version set
+    /// proves the walk saw an atomic state. After a few failed attempts
+    /// (a write-hot segment) it falls back to locking every bucket, which
+    /// is the same exclusion SMOs use and cannot starve.
+    ///
+    /// Returns `None` when `verify` fails: the segment no longer is what
+    /// the caller resolved (split/merge republished it) — re-resolve and
+    /// retry.
+    pub fn snapshot_records(
+        &self,
+        mode: LockMode,
+        verify: impl Fn() -> bool,
+    ) -> Option<Vec<(u64, u64)>> {
+        const OPTIMISTIC_ATTEMPTS: usize = 8;
+        let total = self.geom.total();
+        let mut versions = Vec::with_capacity(total);
+        'attempt: for _ in 0..OPTIMISTIC_ATTEMPTS {
+            versions.clear();
+            for i in 0..total {
+                let v = self.bucket(i).version();
+                if Bucket::is_locked(v) {
+                    std::hint::spin_loop();
+                    continue 'attempt;
+                }
+                versions.push(v);
+            }
+            if !verify() {
+                return None;
+            }
+            let mut out = Vec::new();
+            self.for_each_record(|_, _, k, v| out.push((k, v)));
+            if (0..total).all(|i| self.bucket(i).version() == versions[i]) {
+                return Some(out);
+            }
+        }
+        // Contended: take every bucket lock (writers quiesce, §4.4).
+        self.lock_all(mode);
+        if !verify() {
+            self.unlock_all(mode);
+            return None;
+        }
+        let mut out = Vec::new();
+        self.for_each_record(|_, _, k, v| out.push((k, v)));
+        self.unlock_all(mode);
+        Some(out)
+    }
+
     /// Delete a record found by `for_each_record` (SMO context).
     pub fn delete_at(&self, loc: RecLoc, slot: usize) {
         match loc {

@@ -451,18 +451,24 @@ impl<K: Key> LevelHash<K> {
         &self.pool
     }
 
-    fn scan_totals(&self) -> (u64, u64) {
+    /// Walk every live record `(key_repr, value)` under the resize gate
+    /// (shared, so operations proceed; the full-table rehash excludes us).
+    fn for_each_raw(&self, mut f: impl FnMut(u64, u64)) {
         let _gate = self.resize_gate.read();
         let n = self.top_n();
-        let mut records = 0;
         for (bottom, len) in [(false, n), (true, (n / 2).max(1))] {
             let base = self.level_base(bottom);
             for i in 0..len {
                 let (b, _) = self.bucket_at(base, i);
-                records += u64::from(b.count());
+                let mut live = b.live_mask();
+                while live != 0 {
+                    let s = live.trailing_zeros() as usize;
+                    live &= live - 1;
+                    let (k, v) = b.record(s);
+                    f(k, v);
+                }
             }
         }
-        (records, (self.bucket_count() * SLOTS) as u64)
     }
 }
 
@@ -489,12 +495,19 @@ impl<K: Key> PmHashTable<K> for LevelHash<K> {
         dash_common::Session::pinned(self.pool.epoch().pin())
     }
 
-    fn capacity_slots(&self) -> u64 {
-        self.scan_totals().1
+    // `scan` and `len_scan` use the trait defaults over this walk — the
+    // full-walk pagination a table without a stable iteration order gets.
+    fn for_each_kv(&self, f: &mut dyn FnMut(&K, u64)) {
+        let _g = self.pool.epoch().pin();
+        self.for_each_raw(|key_repr, value| {
+            if let Some(key) = K::decode_stored(&self.pool, key_repr) {
+                f(&key, value);
+            }
+        });
     }
 
-    fn len_scan(&self) -> u64 {
-        self.scan_totals().0
+    fn capacity_slots(&self) -> u64 {
+        (self.bucket_count() * SLOTS) as u64
     }
 
     fn name(&self) -> &'static str {
@@ -560,8 +573,7 @@ mod tests {
                 prev_slots = slots;
             }
         }
-        let (records, _) = t.scan_totals();
-        assert_eq!(records, keys.len() as u64);
+        assert_eq!(t.len_scan(), keys.len() as u64);
         assert!(max_lf > 0.7, "pre-resize load factor should be high, got {max_lf}");
     }
 

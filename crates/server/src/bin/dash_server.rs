@@ -28,23 +28,34 @@ OPTIONS:
     --shards N         shard count for a fresh store (default 4;
                        an existing --dir keeps its own count)
     --pool-mb MB       pool size per shard in MiB (default 64)
+    --restore PATH     bootstrap a FRESH store from a snapshot file
+                       (written by the SNAPSHOT command) before serving;
+                       refuses a --dir that already holds a store
     -h, --help         show this help";
 
 fn main() {
-    let args = cli::parse_or_exit(USAGE, &["addr", "dir", "shards", "pool-mb"], &[], 0);
+    let args = cli::parse_or_exit(USAGE, &["addr", "dir", "shards", "pool-mb", "restore"], &[], 0);
     let addr = args.flag_str("addr", "127.0.0.1:6379");
     let shards: usize = args.flag_or_exit("shards", 4, USAGE);
     let pool_mb: usize = args.flag_or_exit("pool-mb", 64, USAGE);
     let dir = args.flag_opt("dir").map(std::path::PathBuf::from);
+    let restore = args.flag_opt("restore").map(std::path::PathBuf::from);
 
     let cfg = EngineConfig { shards, shard_bytes: pool_mb << 20, dir };
-    let engine = match ShardedDash::open(&cfg) {
+    let engine = match &restore {
+        None => ShardedDash::open(&cfg),
+        Some(snapshot) => ShardedDash::restore(&cfg, snapshot),
+    };
+    let engine = match engine {
         Ok(e) => e,
         Err(e) => {
             eprintln!("dash-server: cannot open store: {e}");
             std::process::exit(1);
         }
     };
+    if let Some(snapshot) = &restore {
+        println!("restored {} keys from snapshot {}", engine.len(), snapshot.display());
+    }
     for (i, info) in engine.shard_infos().iter().enumerate() {
         if info.recovered {
             println!(

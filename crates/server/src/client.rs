@@ -128,6 +128,64 @@ impl RespClient {
         self.integer_command(b"EXISTS", keys)
     }
 
+    /// One `SCAN` page: `(next_cursor, keys)`. Pass cursor `0` to start;
+    /// a returned `0` means the iteration is complete (Redis semantics).
+    pub fn scan(&mut self, cursor: u64, count: usize) -> std::io::Result<(u64, Vec<Vec<u8>>)> {
+        let cursor_arg = cursor.to_string().into_bytes();
+        let count_arg = count.to_string().into_bytes();
+        let reply = self.command(&[b"SCAN", &cursor_arg, b"COUNT", &count_arg])?;
+        let Value::Array(mut parts) = reply else {
+            return Err(bad_reply("SCAN", &reply));
+        };
+        if parts.len() != 2 {
+            return Err(bad_reply("SCAN", &Value::Array(parts)));
+        }
+        let keys_value = parts.pop().expect("len checked");
+        let cursor_value = parts.pop().expect("len checked");
+        let next = match &cursor_value {
+            Value::Bulk(b) => std::str::from_utf8(b)
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| bad_reply("SCAN", &cursor_value))?,
+            other => return Err(bad_reply("SCAN", other)),
+        };
+        let Value::Array(items) = keys_value else {
+            return Err(bad_reply("SCAN", &keys_value));
+        };
+        let keys = items
+            .into_iter()
+            .map(|v| match v {
+                Value::Bulk(b) => Ok(b),
+                other => Err(bad_reply("SCAN", &other)),
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok((next, keys))
+    }
+
+    /// Drain a full `SCAN` iteration into one key list (the cursor-driven
+    /// equivalent of `KEYS *`, but paged — safe against huge keyspaces).
+    pub fn scan_all(&mut self, count: usize) -> std::io::Result<Vec<Vec<u8>>> {
+        let mut all = Vec::new();
+        let mut cursor = 0u64;
+        loop {
+            let (next, mut keys) = self.scan(cursor, count)?;
+            all.append(&mut keys);
+            if next == 0 {
+                return Ok(all);
+            }
+            cursor = next;
+        }
+    }
+
+    /// `SNAPSHOT`: ask the server to stream an online backup to `path`
+    /// on **its** filesystem; returns the record count.
+    pub fn snapshot(&mut self, path: &str) -> std::io::Result<i64> {
+        match self.command(&[b"SNAPSHOT", path.as_bytes()])? {
+            Value::Integer(n) => Ok(n),
+            other => Err(bad_reply("SNAPSHOT", &other)),
+        }
+    }
+
     fn integer_command(&mut self, name: &'static [u8], keys: &[&[u8]]) -> std::io::Result<i64> {
         let mut parts: Vec<&[u8]> = Vec::with_capacity(keys.len() + 1);
         parts.push(name);

@@ -21,10 +21,12 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use dash_common::{hash64_seed, PmHashTable, TableError, VarKey, MAX_KEY_LEN};
+use dash_common::{hash64_seed, PmHashTable, ScanCursor, TableError, VarKey, MAX_KEY_LEN};
 use dash_core::{DashConfig, DashEh};
 use parking_lot::Mutex;
 use pmem::{PmError, PmOffset, PmemPool, PoolConfig};
+
+use crate::snapshot::SnapshotWriter;
 
 /// Upper bound on one value. Bounded (like keys) so a stale blob pointer
 /// scanned by an optimistic reader can never walk far out of a block.
@@ -48,6 +50,10 @@ pub enum EngineError {
     /// The pool directory exists but does not look like a store (gaps in
     /// the shard files, unreadable dir, ...).
     Layout(String),
+    /// A `SCAN` continuation cursor the engine never issued.
+    BadCursor(u64),
+    /// Snapshot export/import failed (I/O or a corrupt file).
+    Snapshot(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -57,6 +63,8 @@ impl std::fmt::Display for EngineError {
             EngineError::ValueTooLong(n) => write!(f, "value of {n} bytes exceeds {MAX_VALUE_LEN}"),
             EngineError::Table(e) => write!(f, "{e}"),
             EngineError::Layout(s) => write!(f, "store layout error: {s}"),
+            EngineError::BadCursor(c) => write!(f, "invalid scan cursor {c}"),
+            EngineError::Snapshot(s) => write!(f, "snapshot error: {s}"),
         }
     }
 }
@@ -231,10 +239,33 @@ fn blob_len(pool: &PmemPool, off: u64) -> Option<usize> {
 /// serialize per shard.
 pub struct ShardedDash {
     shards: Vec<Shard>,
+    /// The shard pool files backing this store (empty for a volatile
+    /// store) — what `snapshot_to` must never be pointed at.
+    shard_paths: Vec<PathBuf>,
 }
 
 fn shard_file(dir: &Path, i: usize) -> PathBuf {
     dir.join(format!("shard-{i}.pool"))
+}
+
+/// Do `a` and `b` name the same file? Compared by file name plus
+/// canonicalized parent, so it works for an `a` that does not exist yet
+/// (snapshot targets) and sees through `.`/`..`/symlinked directories.
+fn same_target(a: &Path, b: &Path) -> bool {
+    let (Some(an), Some(bn)) = (a.file_name(), b.file_name()) else {
+        return false;
+    };
+    if an != bn {
+        return false;
+    }
+    let canon = |p: &Path| {
+        let parent = p.parent().filter(|d| !d.as_os_str().is_empty()).unwrap_or(Path::new("."));
+        parent.canonicalize().ok()
+    };
+    match (canon(a), canon(b)) {
+        (Some(x), Some(y)) => x == y,
+        _ => false,
+    }
 }
 
 /// Count the `shard-N.pool` files in `dir`, insisting they are exactly
@@ -273,6 +304,7 @@ impl ShardedDash {
             return Err(EngineError::Layout("shard count must be at least 1".into()));
         }
         let mut shards = Vec::new();
+        let mut shard_paths = Vec::new();
         match &cfg.dir {
             None => {
                 for _ in 0..cfg.shards {
@@ -297,6 +329,7 @@ impl ShardedDash {
                 let n = if existing > 0 { existing } else { cfg.shards };
                 for i in 0..n {
                     let path = shard_file(dir, i);
+                    shard_paths.push(path.clone());
                     let pool_cfg = PoolConfig::with_size(cfg.shard_bytes);
                     let (pool, recovered) = PmemPool::open_or_create_file(&path, pool_cfg)?;
                     let table = if recovered {
@@ -319,7 +352,7 @@ impl ShardedDash {
                 }
             }
         }
-        Ok(ShardedDash { shards })
+        Ok(ShardedDash { shards, shard_paths })
     }
 
     #[inline]
@@ -482,6 +515,188 @@ impl ShardedDash {
         Ok(present)
     }
 
+    // ---- cursor scans ------------------------------------------------------
+    //
+    // The engine's scan walks the shards in order, paging each one with
+    // its table's native split-stable cursor (Dash-EH: a keyspace
+    // boundary). The two coordinates are packed into one opaque `u64` —
+    // what `SCAN` puts on the wire: the shard index in the high 32 bits
+    // and the shard position's top 32 bits below it. Dash-EH positions
+    // are hash-prefix boundaries with at most `MAX_DEPTH` (24) high bits
+    // set, so the low 32 bits of the position are always zero and the
+    // truncation is exact (enforced by debug assertion). Cursor 0 means
+    // "start"; a returned 0 means "done" — the Redis convention.
+
+    fn encode_cursor(shard: usize, pos: u64) -> u64 {
+        debug_assert_eq!(pos & 0xFFFF_FFFF, 0, "EH scan position must be a high-bit boundary");
+        ((shard as u64) << 32) | (pos >> 32)
+    }
+
+    fn decode_cursor(&self, cursor: u64) -> EngineResult<(usize, u64)> {
+        let shard = (cursor >> 32) as usize;
+        let pos = (cursor & 0xFFFF_FFFF) << 32;
+        if shard >= self.shards.len() {
+            return Err(EngineError::BadCursor(cursor));
+        }
+        Ok((shard, pos))
+    }
+
+    /// One `SCAN` page: up to roughly `count` keys (a hint — pages run
+    /// over to finish a segment) plus the continuation cursor, `0` when
+    /// the iteration completed. Guarantee (from the tables' cursors):
+    /// every key present from the first page to the last is returned at
+    /// least once; duplicates only when a concurrent split/merge moved
+    /// the record mid-scan.
+    pub fn scan_keys(&self, cursor: u64, count: usize) -> EngineResult<(u64, Vec<Vec<u8>>)> {
+        let (mut shard_idx, mut pos) = self.decode_cursor(cursor)?;
+        let count = count.max(1);
+        let mut keys = Vec::new();
+        while shard_idx < self.shards.len() {
+            let shard = &self.shards[shard_idx];
+            let _pin = shard.pool.epoch().pin();
+            // `keys.len() < count` here: the loop breaks as soon as the
+            // budget is met, so the remaining budget is always positive.
+            let page = shard.table.scan(ScanCursor::resume(pos), count - keys.len());
+            keys.extend(page.items.into_iter().map(|(k, _)| k.0));
+            if page.cursor.is_done() {
+                shard_idx += 1;
+                pos = 0;
+            } else {
+                pos = page.cursor.pos();
+            }
+            if keys.len() >= count {
+                break;
+            }
+        }
+        if shard_idx >= self.shards.len() {
+            Ok((0, keys))
+        } else {
+            Ok((Self::encode_cursor(shard_idx, pos), keys))
+        }
+    }
+
+    /// Every key in the store, by draining the scan (test/debug helper
+    /// behind the `KEYS` command — O(total keys), not for production).
+    pub fn keys(&self) -> EngineResult<Vec<Vec<u8>>> {
+        let mut all = Vec::new();
+        let mut cursor = 0u64;
+        loop {
+            let (next, mut page) = self.scan_keys(cursor, 4096)?;
+            all.append(&mut page);
+            if next == 0 {
+                return Ok(all);
+            }
+            cursor = next;
+        }
+    }
+
+    /// Key count by full scan — ground truth for the O(shards) counters
+    /// behind [`len`](Self::len). Exact when quiescent; under live
+    /// writers the two may legitimately diverge momentarily, which is
+    /// why the drift assertion lives in [`close`](Self::close) (a
+    /// quiescence point) and not here.
+    pub fn scan_len(&self) -> u64 {
+        self.shards.iter().map(|s| s.table.len_scan()).sum()
+    }
+
+    // ---- snapshot / restore ------------------------------------------------
+
+    /// Online snapshot: stream every `(key, value)` record to a
+    /// checksummed file at `path` (written to `<path>.tmp` and renamed —
+    /// never half-present). Per shard, the epoch is pinned once and held
+    /// across **all** of that shard's scan pages and value-blob reads,
+    /// so an offset captured in a page can never be reclaimed before its
+    /// blob is copied out; concurrent writers keep running (reads take
+    /// no locks) and an overwritten key lands with either its old or new
+    /// value. Returns the record count.
+    pub fn snapshot_to(&self, path: &Path) -> EngineResult<u64> {
+        const SNAPSHOT_PAGE: usize = 1024;
+        // A snapshot renamed over a live shard pool file would destroy
+        // that shard's data at the next restart (the running server keeps
+        // its mapping of the old inode, so nothing would even fail until
+        // then). The path is client-controlled on the SNAPSHOT command —
+        // refuse the store's own files outright.
+        if self.shard_paths.iter().any(|shard| same_target(path, shard)) {
+            return Err(EngineError::Snapshot(format!(
+                "refusing to overwrite live shard pool file {}",
+                path.display()
+            )));
+        }
+        let mut writer = SnapshotWriter::create(path, self.shards.len() as u32)
+            .map_err(|e| EngineError::Snapshot(e.to_string()))?;
+        for shard in &self.shards {
+            let _pin = shard.pool.epoch().pin();
+            let mut cursor = ScanCursor::START;
+            loop {
+                let page = shard.table.scan(cursor, SNAPSHOT_PAGE);
+                for (key, off) in &page.items {
+                    // A blob the defensive decode rejects is a corrupt
+                    // record; skip it rather than abort the backup.
+                    if let Some(value) = shard.read_blob(*off) {
+                        writer
+                            .append(key.as_bytes(), &value)
+                            .map_err(|e| EngineError::Snapshot(e.to_string()))?;
+                    }
+                }
+                if page.cursor.is_done() {
+                    break;
+                }
+                cursor = page.cursor;
+            }
+        }
+        writer.finish().map_err(|e| EngineError::Snapshot(e.to_string()))
+    }
+
+    /// Restore a snapshot into a **fresh** store opened with `cfg` (the
+    /// open-from-backup path). The file is fully verified — structure,
+    /// record count, checksum — *before* any store state is created, so
+    /// a corrupted snapshot is rejected with a clean error and no
+    /// half-restored directory. Records re-partition under `cfg.shards`;
+    /// the snapshot's source shard count does not constrain the target.
+    pub fn restore(cfg: &EngineConfig, snapshot: &Path) -> EngineResult<Self> {
+        let records =
+            crate::snapshot::read_all(snapshot).map_err(|e| EngineError::Snapshot(e.to_string()))?;
+        if let Some(dir) = &cfg.dir {
+            if dir.exists() && discover_shards(dir).map_or(true, |n| n > 0) {
+                return Err(EngineError::Layout(format!(
+                    "refusing to restore into {}: it already holds a store",
+                    dir.display()
+                )));
+            }
+        }
+        let open_and_load = || -> EngineResult<Self> {
+            let store = Self::open(cfg)?;
+            // Load through the batch path: one write-lock + epoch entry
+            // per shard group per chunk.
+            for chunk in records.chunks(256) {
+                let pairs: Vec<(&[u8], &[u8])> =
+                    chunk.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+                store.mset(&pairs)?;
+            }
+            Ok(store)
+        };
+        match open_and_load() {
+            Ok(store) => Ok(store),
+            Err(e) => {
+                // A failure mid-restore (snapshot bigger than the
+                // configured pools, disk full, ...) must not leave a
+                // half-built store behind: a retry would be refused as
+                // "already holds a store" and a plain open would
+                // silently serve partial data. The directory was
+                // store-free before (checked above), so every shard
+                // file a fresh open could have created is ours to
+                // delete — including ones `open` itself created before
+                // failing.
+                if let Some(dir) = &cfg.dir {
+                    for i in 0..cfg.shards {
+                        let _ = std::fs::remove_file(shard_file(dir, i));
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
     /// Keys stored across all shards. O(shards) once warm; the first
     /// call after recovering existing shards pays a one-time scan that
     /// `open` deliberately skipped (constant-time recovery).
@@ -515,7 +730,18 @@ impl ShardedDash {
 
     /// Clean shutdown: durably sync every shard pool and set its clean
     /// marker, so the next open skips the version bump (§4.8).
+    ///
+    /// In debug builds this is also the drift check between the
+    /// O(shards) `DBSIZE` counters and a ground-truth full scan: close
+    /// is a quiescence point (the server joins every connection thread
+    /// first), so any disagreement here is a real accounting bug, not a
+    /// racing writer.
     pub fn close(&self) -> EngineResult<()> {
+        debug_assert_eq!(
+            self.len(),
+            self.scan_len(),
+            "DBSIZE counters drifted from the scan ground truth"
+        );
         for s in &self.shards {
             s.pool.close()?;
         }
@@ -659,6 +885,45 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn scan_pages_cover_all_shards_without_duplicates() {
+        let e = mem_engine(4);
+        for i in 0..1_000u32 {
+            e.set(format!("sk-{i}").as_bytes(), b"x").unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut yielded = 0usize;
+        let mut pages = 0usize;
+        let mut cursor = 0u64;
+        loop {
+            let (next, keys) = e.scan_keys(cursor, 64).unwrap();
+            yielded += keys.len();
+            seen.extend(keys);
+            pages += 1;
+            if next == 0 {
+                break;
+            }
+            cursor = next;
+        }
+        assert!(pages > 4, "64-key pages over 4 shards must paginate, got {pages}");
+        assert_eq!(yielded, 1_000, "quiescent engine scan must not duplicate");
+        assert_eq!(seen.len(), 1_000);
+        for i in 0..1_000u32 {
+            assert!(seen.contains(format!("sk-{i}").as_bytes()), "key {i} never scanned");
+        }
+        assert_eq!(e.keys().unwrap().len(), 1_000);
+        assert_eq!(e.scan_len(), 1_000);
+        assert_eq!(e.scan_len(), e.len(), "counters must match the scan when quiescent");
+    }
+
+    #[test]
+    fn scan_cursor_for_missing_shard_is_rejected() {
+        let e = mem_engine(2);
+        assert!(matches!(e.scan_keys(99u64 << 32, 10), Err(EngineError::BadCursor(_))));
+        // Cursor 0 on an empty store terminates immediately.
+        assert_eq!(e.scan_keys(0, 10).unwrap(), (0, Vec::new()));
     }
 
     #[test]

@@ -41,8 +41,10 @@ pub mod client;
 pub mod engine;
 pub mod resp;
 pub mod server;
+pub mod snapshot;
 
 pub use client::RespClient;
 pub use engine::{EngineConfig, EngineError, EngineResult, ShardInfo, ShardedDash, MAX_VALUE_LEN};
 pub use resp::{ProtocolError, Value};
 pub use server::{serve, ServerHandle};
+pub use snapshot::{SnapshotError, SnapshotWriter};

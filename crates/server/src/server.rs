@@ -1,7 +1,13 @@
 //! The networked service: a thread-per-connection TCP server speaking
 //! the RESP2 subset `GET` / `SET` / `MGET` / `MSET` / `DEL` / `EXISTS` /
-//! `PING` / `INFO` / `DBSIZE` (plus `SHUTDOWN` for orderly teardown)
-//! over a [`ShardedDash`] engine.
+//! `SCAN` / `KEYS` / `SNAPSHOT` / `PING` / `INFO` / `DBSIZE` (plus
+//! `SHUTDOWN` for orderly teardown) over a [`ShardedDash`] engine.
+//!
+//! `SCAN cursor [COUNT n]` pages through the keyspace with the Redis
+//! cursor contract (every key present for the whole scan is returned at
+//! least once, even across concurrent segment splits); `SNAPSHOT <path>`
+//! streams an online, checksummed backup of the whole store to a file on
+//! the **server's** filesystem while writers keep running.
 //!
 //! Pipelining comes for free from the decode loop: every complete
 //! command sitting in the read buffer is executed and its reply appended
@@ -36,6 +42,10 @@ const IDLE_POLL: Duration = Duration::from_millis(50);
 const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 /// Read buffer growth quantum.
 const READ_CHUNK: usize = 16 * 1024;
+/// `SCAN` page size when the client sends no `COUNT`.
+const DEFAULT_SCAN_COUNT: usize = 64;
+/// Cap on a client-supplied `COUNT` (bounds one reply's memory).
+const MAX_SCAN_COUNT: usize = 10_000;
 
 struct Inner {
     engine: ShardedDash,
@@ -310,6 +320,52 @@ fn execute(parts: &[Vec<u8>], inner: &Inner) -> Outcome {
                 }
             }
         },
+        "SCAN" => {
+            let (cursor, count) = match args {
+                [cur] => (cur, DEFAULT_SCAN_COUNT),
+                [cur, word, n] if word.eq_ignore_ascii_case(b"COUNT") => {
+                    match std::str::from_utf8(n).ok().and_then(|s| s.parse::<usize>().ok()) {
+                        Some(n) if n >= 1 => (cur, n.min(MAX_SCAN_COUNT)),
+                        _ => return err("COUNT must be a positive integer"),
+                    }
+                }
+                _ => return wrong_args("scan"),
+            };
+            let Some(cursor) =
+                std::str::from_utf8(cursor).ok().and_then(|s| s.parse::<u64>().ok())
+            else {
+                return err("invalid cursor");
+            };
+            match engine.scan_keys(cursor, count) {
+                Ok((next, keys)) => Outcome::Reply(Value::Array(vec![
+                    Value::Bulk(next.to_string().into_bytes()),
+                    Value::Array(keys.into_iter().map(Value::Bulk).collect()),
+                ])),
+                Err(e) => err(e.to_string()),
+            }
+        }
+        // Test-only: enumerates the whole store in one reply. Only the
+        // match-everything pattern is supported; use SCAN in production.
+        "KEYS" => match args {
+            [pat] if pat.as_slice() == b"*" => match engine.keys() {
+                Ok(keys) => {
+                    Outcome::Reply(Value::Array(keys.into_iter().map(Value::Bulk).collect()))
+                }
+                Err(e) => err(e.to_string()),
+            },
+            [_] => err("only the '*' pattern is supported"),
+            _ => wrong_args("keys"),
+        },
+        "SNAPSHOT" => match args {
+            [path] => match std::str::from_utf8(path) {
+                Ok(path) => match engine.snapshot_to(std::path::Path::new(path)) {
+                    Ok(count) => Outcome::Reply(Value::Integer(count as i64)),
+                    Err(e) => err(e.to_string()),
+                },
+                Err(_) => err("snapshot path must be valid UTF-8"),
+            },
+            _ => wrong_args("snapshot"),
+        },
         "DBSIZE" => match args {
             [] => Outcome::Reply(Value::Integer(engine.len() as i64)),
             _ => wrong_args("dbsize"),
@@ -334,6 +390,11 @@ fn info_text(inner: &Inner) -> String {
     out.push_str("# dash-server\r\n");
     out.push_str(&format!("shards:{}\r\n", engine.shard_count()));
     out.push_str(&format!("keys:{}\r\n", engine.len()));
+    // Ground-truth key count by full scan, next to the O(shards)
+    // counter above: persistent disagreement on a quiescent server
+    // means counter drift (momentary disagreement under live writers
+    // is expected). O(total keys) — INFO is a diagnostics command.
+    out.push_str(&format!("scan_len:{}\r\n", engine.scan_len()));
     out.push_str(&format!("recovered_shards:{}\r\n", engine.recovered_shards()));
     out.push_str(&format!(
         "connections_accepted:{}\r\n",

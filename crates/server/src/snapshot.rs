@@ -1,0 +1,393 @@
+//! Snapshot files: the length-prefixed, checksummed on-disk format the
+//! engine's online `SNAPSHOT` export writes and the restore path loads.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic     u64   SNAP_MAGIC
+//! version   u32   format version (1)
+//! shards    u32   source store's shard count (informational — a restore
+//!                 may target any shard count; records re-partition)
+//! records   *     u32 key_len, u32 value_len, key bytes, value bytes
+//! end mark  u32   key_len = 0xFFFF_FFFF
+//! count     u64   number of records
+//! checksum  u64   FNV-1a over every preceding byte of the file
+//! ```
+//!
+//! The writer streams records through a running checksum and publishes
+//! atomically: everything goes to `<path>.tmp`, which is fsynced and
+//! renamed over `<path>` only in [`SnapshotWriter::finish`] — a crash
+//! mid-snapshot can never leave a half-written file under the real name.
+//!
+//! The reader ([`read_all`]) verifies structure, bounds, record count and
+//! checksum **before** returning a single record, so a corrupted snapshot
+//! is rejected with a clean error instead of partially restored. It holds
+//! the whole record set in memory, which is the right trade-off at the
+//! sizes this store targets per snapshot (values are capped at
+//! [`MAX_VALUE_LEN`](crate::MAX_VALUE_LEN) and the source pools are
+//! bounded); a streaming two-pass verify can replace it if pools grow.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use dash_common::MAX_KEY_LEN;
+
+use crate::engine::MAX_VALUE_LEN;
+
+/// `b"DASHSNP1"` as a little-endian u64.
+pub const SNAP_MAGIC: u64 = u64::from_le_bytes(*b"DASHSNP1");
+/// Current format version.
+pub const SNAP_VERSION: u32 = 1;
+/// `key_len` sentinel terminating the record stream.
+const END_MARK: u32 = u32::MAX;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Running FNV-1a 64 (not cryptographic — an integrity check against
+/// torn writes and bit rot, not an authenticity check).
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// Why a snapshot could not be written or loaded.
+#[derive(Debug)]
+pub enum SnapshotError {
+    Io(std::io::Error),
+    /// Structural or checksum corruption; the message says what and where.
+    Corrupt(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::Corrupt(s) => write!(f, "snapshot rejected: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+fn corrupt(msg: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt(msg.into())
+}
+
+pub type SnapshotResult<T> = Result<T, SnapshotError>;
+
+/// Streams `(key, value)` records into `<path>.tmp` and publishes the
+/// finished, checksummed file as `<path>` on [`finish`](Self::finish).
+pub struct SnapshotWriter {
+    out: BufWriter<File>,
+    tmp: PathBuf,
+    path: PathBuf,
+    fnv: Fnv,
+    count: u64,
+}
+
+impl SnapshotWriter {
+    /// Start a snapshot destined for `path`. `shards` is recorded in the
+    /// header for diagnostics.
+    pub fn create(path: &Path, shards: u32) -> SnapshotResult<Self> {
+        // A unique tmp name per writer (pid + in-process sequence), so
+        // two concurrent snapshots to the same path cannot interleave
+        // bytes into a shared tmp file and publish a corrupt backup —
+        // the last rename wins with a complete, self-consistent file.
+        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let mut name = path
+            .file_name()
+            .ok_or_else(|| corrupt("snapshot path has no file name"))?
+            .to_os_string();
+        name.push(format!(
+            ".tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        let tmp = path.with_file_name(name);
+        let file = File::create(&tmp)?;
+        let mut w = SnapshotWriter {
+            out: BufWriter::new(file),
+            tmp,
+            path: path.to_path_buf(),
+            fnv: Fnv::new(),
+            count: 0,
+        };
+        let mut header = Vec::with_capacity(16);
+        header.extend_from_slice(&SNAP_MAGIC.to_le_bytes());
+        header.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+        header.extend_from_slice(&shards.to_le_bytes());
+        w.write_hashed(&header)?;
+        Ok(w)
+    }
+
+    fn write_hashed(&mut self, bytes: &[u8]) -> SnapshotResult<()> {
+        self.fnv.update(bytes);
+        self.out.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// Append one record.
+    pub fn append(&mut self, key: &[u8], value: &[u8]) -> SnapshotResult<()> {
+        let mut lens = [0u8; 8];
+        lens[..4].copy_from_slice(&(key.len() as u32).to_le_bytes());
+        lens[4..].copy_from_slice(&(value.len() as u32).to_le_bytes());
+        self.write_hashed(&lens)?;
+        self.write_hashed(key)?;
+        self.write_hashed(value)?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Write the trailer, fsync, and atomically publish the file under
+    /// its real name. Returns the record count.
+    pub fn finish(mut self) -> SnapshotResult<u64> {
+        let mut trailer = Vec::with_capacity(12);
+        trailer.extend_from_slice(&END_MARK.to_le_bytes());
+        trailer.extend_from_slice(&self.count.to_le_bytes());
+        self.write_hashed(&trailer)?;
+        let checksum = self.fnv.0;
+        self.out.write_all(&checksum.to_le_bytes())?;
+        self.out.flush()?;
+        self.out.get_ref().sync_all()?;
+        std::fs::rename(&self.tmp, &self.path)?;
+        Ok(self.count)
+    }
+}
+
+impl Drop for SnapshotWriter {
+    fn drop(&mut self) {
+        // An unfinished snapshot leaves no debris under the real name;
+        // clean up the tmp file too (best effort).
+        let _ = std::fs::remove_file(&self.tmp);
+    }
+}
+
+struct Parser<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn take(&mut self, n: usize, what: &str) -> SnapshotResult<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return Err(corrupt(format!("truncated file: {what} at offset {}", self.pos)));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self, what: &str) -> SnapshotResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> SnapshotResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+}
+
+/// Load and fully verify a snapshot file. Every structural check —
+/// magic, version, per-record length bounds, end marker, record count,
+/// checksum, no trailing bytes — passes before any record is returned.
+pub fn read_all(path: &Path) -> SnapshotResult<Vec<(Vec<u8>, Vec<u8>)>> {
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    if buf.len() < 8 + 4 + 4 + 4 + 8 + 8 {
+        return Err(corrupt(format!("file of {} bytes is smaller than an empty snapshot", buf.len())));
+    }
+    let mut p = Parser { buf: &buf, pos: 0 };
+    if p.u64("magic")? != SNAP_MAGIC {
+        return Err(corrupt("bad magic: not a dash snapshot"));
+    }
+    let version = p.u32("version")?;
+    if version != SNAP_VERSION {
+        return Err(corrupt(format!("unsupported snapshot version {version}")));
+    }
+    let _shards = p.u32("shard count")?;
+    let mut records = Vec::new();
+    loop {
+        let klen = p.u32("key length")?;
+        if klen == END_MARK {
+            break;
+        }
+        let vlen = p.u32("value length")?;
+        if klen as usize > MAX_KEY_LEN {
+            return Err(corrupt(format!("key length {klen} exceeds limit")));
+        }
+        if vlen as usize > MAX_VALUE_LEN {
+            return Err(corrupt(format!("value length {vlen} exceeds limit")));
+        }
+        let key = p.take(klen as usize, "key bytes")?.to_vec();
+        let value = p.take(vlen as usize, "value bytes")?.to_vec();
+        records.push((key, value));
+    }
+    let count = p.u64("record count")?;
+    if count != records.len() as u64 {
+        return Err(corrupt(format!(
+            "trailer claims {count} records, file holds {}",
+            records.len()
+        )));
+    }
+    let hashed_end = p.pos;
+    let checksum = p.u64("checksum")?;
+    if p.pos != buf.len() {
+        return Err(corrupt(format!("{} trailing bytes after checksum", buf.len() - p.pos)));
+    }
+    let mut fnv = Fnv::new();
+    fnv.update(&buf[..hashed_end]);
+    if fnv.0 != checksum {
+        return Err(corrupt(format!(
+            "checksum mismatch: file says {checksum:#018x}, computed {:#018x}",
+            fnv.0
+        )));
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempPath(PathBuf);
+
+    impl TempPath {
+        fn new(tag: &str) -> Self {
+            let mut p = std::env::temp_dir();
+            p.push(format!("dash-snap-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_file(&p);
+            TempPath(p)
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    /// Any leftover `<name>.tmp.*` files next to `path`?
+    fn tmp_debris(path: &Path) -> bool {
+        let stem = format!("{}.tmp", path.file_name().unwrap().to_str().unwrap());
+        std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .any(|e| e.file_name().to_str().is_some_and(|n| n.starts_with(&stem)))
+    }
+
+    fn write_sample(path: &Path, n: u32) -> u64 {
+        let mut w = SnapshotWriter::create(path, 4).unwrap();
+        for i in 0..n {
+            w.append(format!("key-{i}").as_bytes(), format!("value-{i}").as_bytes()).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = TempPath::new("roundtrip");
+        assert_eq!(write_sample(&p.0, 100), 100);
+        let records = read_all(&p.0).unwrap();
+        assert_eq!(records.len(), 100);
+        for (i, (k, v)) in records.iter().enumerate() {
+            assert_eq!(k, format!("key-{i}").as_bytes());
+            assert_eq!(v, format!("value-{i}").as_bytes());
+        }
+        assert!(!tmp_debris(&p.0), "tmp must be renamed away");
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let p = TempPath::new("empty");
+        assert_eq!(write_sample(&p.0, 0), 0);
+        assert_eq!(read_all(&p.0).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn binary_keys_and_values() {
+        let p = TempPath::new("binary");
+        let key: Vec<u8> = (0..=255u8).collect();
+        let value = vec![0u8; 10_000];
+        let mut w = SnapshotWriter::create(&p.0, 1).unwrap();
+        w.append(&key, &value).unwrap();
+        w.finish().unwrap();
+        assert_eq!(read_all(&p.0).unwrap(), vec![(key, value)]);
+    }
+
+    #[test]
+    fn every_corrupted_byte_is_detected() {
+        let p = TempPath::new("corrupt");
+        write_sample(&p.0, 10);
+        let original = std::fs::read(&p.0).unwrap();
+        // Flipping any single byte must fail verification (length fields
+        // may shift parsing, data bytes break the checksum — either way
+        // read_all must reject, never mis-restore).
+        for pos in (0..original.len()).step_by(7) {
+            let mut bad = original.clone();
+            bad[pos] ^= 0x40;
+            std::fs::write(&p.0, &bad).unwrap();
+            assert!(read_all(&p.0).is_err(), "flip at byte {pos} went undetected");
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let p = TempPath::new("trunc");
+        write_sample(&p.0, 10);
+        let original = std::fs::read(&p.0).unwrap();
+        for cut in [1, original.len() / 2, original.len() - 1] {
+            std::fs::write(&p.0, &original[..cut]).unwrap();
+            assert!(read_all(&p.0).is_err(), "truncation to {cut} bytes went undetected");
+        }
+    }
+
+    #[test]
+    fn unfinished_writer_leaves_no_file() {
+        let p = TempPath::new("drop");
+        {
+            let mut w = SnapshotWriter::create(&p.0, 1).unwrap();
+            w.append(b"k", b"v").unwrap();
+            // Dropped without finish(): simulated crash mid-snapshot.
+        }
+        assert!(!p.0.exists(), "unfinished snapshot must not appear under the real name");
+        assert!(!tmp_debris(&p.0), "tmp file must be cleaned up");
+    }
+
+    #[test]
+    fn concurrent_writers_to_one_path_publish_a_valid_file() {
+        let p = TempPath::new("concurrent");
+        // Interleaved writers with distinct tmp files: whichever rename
+        // lands last, the published file must be complete and verify.
+        let mut a = SnapshotWriter::create(&p.0, 1).unwrap();
+        let mut b = SnapshotWriter::create(&p.0, 1).unwrap();
+        for i in 0..50u32 {
+            a.append(format!("a-{i}").as_bytes(), b"va").unwrap();
+            b.append(format!("b-{i}").as_bytes(), b"vb").unwrap();
+        }
+        a.finish().unwrap();
+        b.finish().unwrap();
+        let records = read_all(&p.0).unwrap();
+        assert_eq!(records.len(), 50, "the survivor must be one writer's complete stream");
+        assert!(records.iter().all(|(k, _)| k.starts_with(b"b-")), "last rename wins");
+        assert!(!tmp_debris(&p.0));
+    }
+}

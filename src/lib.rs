@@ -36,11 +36,19 @@
 //! assert_eq!(table.get_many(&[1, 2, 3, 4]), vec![Some(100), Some(200), Some(300), None]);
 //! assert_eq!(table.remove_many(&[1, 4]), vec![true, false]);
 //! drop(session);
+//!
+//! // Iteration-first surface: cursor scans page through the table with
+//! // the Redis guarantee (stable keys yielded at least once, even
+//! // across concurrent segment splits).
+//! let page = table.scan(dash_repro::ScanCursor::START, 10);
+//! assert_eq!(page.items.len(), 2); // keys 2 and 3 remain
+//! assert!(page.cursor.is_done());
 //! ```
 
 pub use cceh::{self, Cceh, CcehConfig};
 pub use dash_common::{
-    self, hash64, hash_u64, Key, PmHashTable, Session, TableError, TableResult, VarKey,
+    self, hash64, hash_u64, Key, PmHashTable, ScanCursor, ScanPage, Session, TableError,
+    TableResult, VarKey,
 };
 pub use dash_core::{self, DashConfig, DashEh, DashLh, InsertPolicy, LockMode, BUCKET_SLOTS};
 pub use dash_server::{

@@ -6,7 +6,7 @@
 use dash_repro::dash_common::uniform_keys;
 use dash_repro::{
     hash64, hash_u64, Cceh, CcehConfig, DashConfig, DashEh, DashLh, LevelConfig, LevelHash,
-    PmHashTable, PmemPool, PoolConfig, TableError, VarKey, BUCKET_SLOTS,
+    PmHashTable, PmemPool, PoolConfig, ScanCursor, TableError, VarKey, BUCKET_SLOTS,
 };
 
 mod common;
@@ -51,6 +51,22 @@ fn umbrella_reexports_drive_all_four_tables() {
         assert!(table.capacity_slots() > 0, "{name}: capacity_slots");
         let lf = table.load_factor();
         assert!(lf > 0.0 && lf <= 1.0, "{name}: load factor {lf}");
+        // The iteration-first surface is reachable through the trait
+        // object: cursor scans plus the for_each_kv convenience walk.
+        let mut scanned = 0u64;
+        let mut cursor: ScanCursor = ScanCursor::START;
+        loop {
+            let page: dash_repro::ScanPage<u64> = table.scan(cursor, 500);
+            scanned += page.items.len() as u64;
+            if page.cursor.is_done() {
+                break;
+            }
+            cursor = page.cursor;
+        }
+        assert_eq!(scanned, table.len_scan(), "{name}: scan covers the table");
+        let mut walked = 0u64;
+        table.for_each_kv(&mut |_, _| walked += 1);
+        assert_eq!(walked, scanned, "{name}: for_each_kv agrees with scan");
     }
 }
 

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use dash_repro::dash_common::{negative_keys, uniform_keys};
 use dash_repro::{
-    PmHashTable, TableError,
+    PmHashTable, ScanCursor, TableError,
 };
 
 mod common;
@@ -73,6 +73,49 @@ fn batch_ops_agree_with_singles_everywhere() {
             assert_eq!(table.get(k), expect, "{name}: key {i} after batch ops");
         }
         assert_eq!(table.len_scan(), (keys.len() - half) as u64, "{name}");
+    }
+}
+
+/// The iteration surface must agree with the point-read surface on every
+/// table: `for_each_kv` and a drained `scan` (native on Dash-EH/LH, the
+/// full-walk trait default on CCEH/Level) see exactly the records that
+/// `get` sees, and the cursor round-trips through its wire form.
+#[test]
+fn iteration_agrees_with_point_reads_everywhere() {
+    let keys = uniform_keys(4_000, 909);
+    for table in all_tables(128) {
+        let name = table.name();
+        for (i, k) in keys.iter().enumerate() {
+            table.insert(k, i as u64).unwrap();
+        }
+        // Remove a third so the walks must skip dead slots.
+        for k in keys.iter().step_by(3) {
+            assert!(table.remove(k), "{name}");
+        }
+        let expected: std::collections::HashMap<u64, u64> = keys
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 != 0)
+            .map(|(i, k)| (*k, i as u64))
+            .collect();
+        let mut walked = std::collections::HashMap::new();
+        table.for_each_kv(&mut |k, v| {
+            assert!(walked.insert(*k, v).is_none(), "{name}: for_each_kv duplicated {k}");
+        });
+        assert_eq!(walked, expected, "{name}: for_each_kv vs point reads");
+        let mut scanned = std::collections::HashMap::new();
+        let mut cursor = ScanCursor::START;
+        loop {
+            let page = table.scan(cursor, 128);
+            for (k, v) in page.items {
+                assert!(scanned.insert(k, v).is_none(), "{name}: scan duplicated {k}");
+            }
+            if page.cursor.is_done() {
+                break;
+            }
+            cursor = ScanCursor::resume(page.cursor.pos());
+        }
+        assert_eq!(scanned, expected, "{name}: scan vs point reads");
     }
 }
 

@@ -1,0 +1,254 @@
+//! Cursor-scan semantics across the table zoo: the Redis guarantee (a
+//! key present for the whole scan is yielded at least once; quiescent
+//! scans yield exactly once) must hold on Dash-EH and Dash-LH natively —
+//! including under interleaved and fully concurrent inserts, removes and
+//! structural operations — and on CCEH/Level Hashing through the trait's
+//! full-walk default for quiescent pagination.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use dash_repro::dash_common::{negative_keys, uniform_keys};
+use dash_repro::{PmHashTable, ScanCursor};
+use proptest::prelude::*;
+
+mod common;
+use common::{all_tables, eh_table, lh_table, small_eh_cfg, small_lh_cfg};
+
+/// Drain a scan to completion, round-tripping every cursor through its
+/// raw `pos()` (the wire form the server uses).
+fn drain_scan<K: dash_repro::Key + std::hash::Hash + Eq>(
+    table: &dyn PmHashTable<K>,
+    budget: usize,
+) -> Vec<(K, u64)> {
+    let mut out = Vec::new();
+    let mut cursor = ScanCursor::START;
+    loop {
+        let page = table.scan(cursor, budget);
+        out.extend(page.items);
+        if page.cursor.is_done() {
+            return out;
+        }
+        cursor = ScanCursor::resume(page.cursor.pos());
+    }
+}
+
+/// Quiescent pagination on every table (incl. the CCEH/Level trait
+/// defaults): pages with a small budget must union to the exact record
+/// set, with no duplicates, and resumed cursors must not re-yield.
+#[test]
+fn quiescent_scan_is_exact_on_all_tables() {
+    let keys = uniform_keys(5_000, 303);
+    for table in all_tables(128) {
+        let name = table.name();
+        for (i, k) in keys.iter().enumerate() {
+            table.insert(k, i as u64).unwrap();
+        }
+        let mut seen: HashMap<u64, u64> = HashMap::new();
+        let mut pages = 0usize;
+        for (k, v) in drain_scan(table.as_ref(), 100) {
+            assert!(seen.insert(k, v).is_none(), "{name}: key {k} yielded twice while quiescent");
+            pages += 1;
+        }
+        assert!(pages > 0);
+        assert_eq!(seen.len(), keys.len(), "{name}: scan must cover every record");
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(seen.get(k), Some(&(i as u64)), "{name}: key {i} wrong/missing");
+        }
+        // A scan buys len_scan and load_factor for free (satellite: one
+        // counting loop, shared by all tables).
+        assert_eq!(table.len_scan(), keys.len() as u64, "{name}");
+        let lf = table.load_factor();
+        assert!(lf > 0.0 && lf <= 1.0, "{name}: load factor {lf}");
+    }
+}
+
+/// Budget is a page-size hint everywhere: each page holds at least one
+/// record (until done) and the iteration always terminates.
+#[test]
+fn scan_budget_paginates_on_all_tables() {
+    let keys = uniform_keys(2_000, 404);
+    for table in all_tables(64) {
+        let name = table.name();
+        for k in &keys {
+            table.insert(k, 7).unwrap();
+        }
+        let mut cursor = ScanCursor::START;
+        let mut pages = 0usize;
+        let mut total = 0usize;
+        loop {
+            let page = table.scan(cursor, 50);
+            pages += 1;
+            total += page.items.len();
+            assert!(
+                !page.items.is_empty() || page.cursor.is_done(),
+                "{name}: an unfinished page must make progress"
+            );
+            if page.cursor.is_done() {
+                break;
+            }
+            cursor = page.cursor;
+            assert!(pages < 10_000, "{name}: scan failed to terminate");
+        }
+        assert_eq!(total, keys.len(), "{name}");
+        assert!(pages > 1, "{name}: 50-budget pages must paginate 2k records");
+    }
+}
+
+/// Fully concurrent scan-vs-writers stress on the native implementations:
+/// scanner threads page with tiny budgets while writer threads churn a
+/// disjoint keyspace with inserts and removes (forcing splits/expansions
+/// mid-scan). Every stable key must be yielded by every scanner.
+fn concurrent_scan_stress<T: PmHashTable<u64>>(table: Arc<T>) {
+    const SCANNERS: usize = 2;
+    let stable = Arc::new(uniform_keys(4_000, 515));
+    let churn = Arc::new(negative_keys(8_000, 515));
+    for k in stable.iter() {
+        table.insert(k, 1).unwrap();
+    }
+    // Writers churn until every scanner has finished its full iteration.
+    let scanners_done = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for wt in 0..3usize {
+            let table = table.clone();
+            let churn = churn.clone();
+            let scanners_done = &scanners_done;
+            s.spawn(move || {
+                let mut round = 0usize;
+                while scanners_done.load(Ordering::Acquire) < SCANNERS {
+                    for k in churn.iter().skip(wt).step_by(3) {
+                        if round % 2 == 0 {
+                            let _ = table.insert(k, 2);
+                        } else {
+                            let _ = table.remove(k);
+                        }
+                    }
+                    round += 1;
+                }
+            });
+        }
+        for _ in 0..SCANNERS {
+            let table = table.clone();
+            let stable = stable.clone();
+            let scanners_done = &scanners_done;
+            s.spawn(move || {
+                let mut yielded: HashSet<u64> = HashSet::new();
+                let mut cursor = ScanCursor::START;
+                loop {
+                    let page = table.scan(cursor, 32);
+                    yielded.extend(page.items.iter().map(|(k, _)| *k));
+                    if page.cursor.is_done() {
+                        break;
+                    }
+                    cursor = page.cursor;
+                }
+                scanners_done.fetch_add(1, Ordering::Release);
+                for k in stable.iter() {
+                    assert!(yielded.contains(k), "stable key {k} lost by a concurrent scan");
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn concurrent_scan_stress_eh() {
+    concurrent_scan_stress(eh_table(256, small_eh_cfg()));
+}
+
+#[test]
+fn concurrent_scan_stress_lh() {
+    concurrent_scan_stress(lh_table(256, small_lh_cfg()));
+}
+
+/// Single-threaded but adversarially *interleaved*: a deterministic op
+/// script runs between scan pages (inserts of new keys, removes and
+/// re-inserts of churn keys, removes of designated stable keys), driven
+/// by proptest. The checked property is the cursor contract itself:
+/// every preloaded key that was never removed during the scan appears in
+/// the yielded set, and nothing impossible (a key never inserted) is
+/// ever yielded.
+macro_rules! interleaved_scan_property {
+    ($test_name:ident, $mk_table:expr) => {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 12, ..Default::default() })]
+            #[test]
+            fn $test_name(
+                ops in proptest::collection::vec((0u8..4, 0usize..2_000), 1..400),
+                budget in 1usize..96,
+                seed in 0u64..1_000,
+            ) {
+                let table = $mk_table;
+                let stable = uniform_keys(1_500, 606 ^ seed);
+                let churn = negative_keys(2_000, 606 ^ seed);
+                for k in &stable {
+                    table.insert(k, 1).unwrap();
+                }
+                let mut removed_stable: HashSet<u64> = HashSet::new();
+                let mut churn_live: HashSet<u64> = HashSet::new();
+                let mut yielded: HashSet<u64> = HashSet::new();
+                let mut cursor = ScanCursor::START;
+                let mut script = ops.iter().cycle();
+                loop {
+                    let page = table.scan(cursor, budget);
+                    yielded.extend(page.items.iter().map(|(k, _)| *k));
+                    if page.cursor.is_done() {
+                        break;
+                    }
+                    cursor = ScanCursor::resume(page.cursor.pos());
+                    // A burst of mutations between every pair of pages.
+                    for _ in 0..4 {
+                        let (op, idx) = script.next().unwrap();
+                        match op % 4 {
+                            0 => {
+                                let k = churn[idx % churn.len()];
+                                if table.insert(&k, 2).is_ok() {
+                                    churn_live.insert(k);
+                                }
+                            }
+                            1 => {
+                                let k = churn[idx % churn.len()];
+                                if table.remove(&k) {
+                                    churn_live.remove(&k);
+                                }
+                            }
+                            2 => {
+                                // Remove a stable key: it forfeits the
+                                // at-least-once guarantee.
+                                let k = stable[idx % stable.len()];
+                                if table.remove(&k) {
+                                    removed_stable.insert(k);
+                                }
+                            }
+                            _ => {
+                                // Bulk insert to force structural ops.
+                                for k in churn.iter().skip(idx % 7).step_by(7) {
+                                    if table.insert(k, 3).is_ok() {
+                                        churn_live.insert(*k);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                for k in &stable {
+                    if !removed_stable.contains(k) {
+                        prop_assert!(
+                            yielded.contains(k),
+                            "key {k} was present for the whole scan but never yielded"
+                        );
+                    }
+                }
+                let known: HashSet<u64> =
+                    stable.iter().chain(churn.iter()).copied().collect();
+                for k in &yielded {
+                    prop_assert!(known.contains(k), "scan yielded a key {k} that never existed");
+                }
+            }
+        }
+    };
+}
+
+interleaved_scan_property!(interleaved_scan_holds_on_eh, eh_table(256, small_eh_cfg()));
+interleaved_scan_property!(interleaved_scan_holds_on_lh, lh_table(256, small_lh_cfg()));
