@@ -40,6 +40,12 @@ OPTIONS:
                       round trips at pipeline depth 1 and report
                       per-op latency percentiles (default 1000;
                       0 disables)
+    --latency-rate R  coordinated-omission-safe latency mode: issue the
+                      --latency-sample ops on a FIXED arrival schedule
+                      of R ops/sec and measure each from its intended
+                      start time, so a stalled server accrues queueing
+                      delay instead of silently skipping arrivals
+                      (0 = closed-loop sampling, the default)
     --zipf THETA      Zipfian skew in (0,1); omitted = uniform
     --seed S          keyspace seed (default 42)
     --preload         SET the whole keyspace before the timed run
@@ -57,6 +63,14 @@ OPTIONS:
     --verify-snapshot PATH  read the snapshot file at PATH locally,
                       verify its checksum, and require every preloaded
                       key to be present with its exact expected value
+    --wait-sync ADDR  after the timed run, poll until the replica at
+                      ADDR reports the same repl_offset as the primary
+                      at --addr (fails after 60s) — the catch-up gate
+                      the failover drill needs before killing a primary
+    --cmd COMMAND     send one command (words split on whitespace) to
+                      --addr before anything else and print the reply;
+                      an error reply fails the run. Example:
+                      --cmd 'REPLICAOF NO ONE' promotes a replica
     -h, --help        show this help";
 
 #[derive(Clone)]
@@ -70,6 +84,7 @@ struct Config {
     pipeline: usize,
     batch: Option<usize>,
     latency_sample: usize,
+    latency_rate: f64,
     zipf: Option<f64>,
     seed: u64,
     preload: bool,
@@ -77,6 +92,8 @@ struct Config {
     verify_scan: bool,
     snapshot: Option<String>,
     verify_snapshot: Option<String>,
+    wait_sync: Option<String>,
+    cmd: Option<String>,
 }
 
 fn parse_config() -> Config {
@@ -92,10 +109,13 @@ fn parse_config() -> Config {
             "pipeline",
             "batch",
             "latency-sample",
+            "latency-rate",
             "zipf",
             "seed",
             "snapshot",
             "verify-snapshot",
+            "wait-sync",
+            "cmd",
         ],
         &["preload", "verify-all", "verify-scan"],
         0,
@@ -116,6 +136,16 @@ fn parse_config() -> Config {
             },
         },
         latency_sample: args.flag_or_exit("latency-sample", 1_000, USAGE),
+        latency_rate: match args.flag_opt("latency-rate") {
+            None => 0.0,
+            Some(v) => match v.parse::<f64>() {
+                Ok(r) if r > 0.0 => r,
+                _ => cli::exit_usage(
+                    &format!("invalid value {v:?} for --latency-rate (need R > 0)"),
+                    USAGE,
+                ),
+            },
+        },
         zipf: match args.flag_opt("zipf") {
             None => None,
             Some(v) => match v.parse::<f64>() {
@@ -132,6 +162,8 @@ fn parse_config() -> Config {
         verify_scan: args.switch("verify-scan"),
         snapshot: args.flag_opt("snapshot").map(str::to_owned),
         verify_snapshot: args.flag_opt("verify-snapshot").map(str::to_owned),
+        wait_sync: args.flag_opt("wait-sync").map(str::to_owned),
+        cmd: args.flag_opt("cmd").map(str::to_owned),
     };
     if cfg.conns == 0 || cfg.keys == 0 || cfg.pipeline == 0 {
         cli::exit_usage("--conns, --keys and --pipeline must be at least 1", USAGE);
@@ -541,6 +573,105 @@ fn timed_phase(
     (throughput, failed)
 }
 
+/// Coordinated-omission-safe latency sampling: ops depart on a FIXED
+/// arrival schedule (`--latency-rate` per second) and each is measured
+/// from its *intended* start time, not from when the previous reply
+/// freed the connection. A server stall therefore shows up as queueing
+/// delay on every op scheduled during the stall — the closed-loop
+/// sampler would instead silently issue fewer ops and report only the
+/// stall survivor, hiding exactly the tail the percentiles exist to
+/// expose.
+fn sample_latency_scheduled(cfg: &Config, stems: &[u64]) -> std::io::Result<Vec<u64>> {
+    let mut client = RespClient::connect(cfg.addr.as_str())?;
+    let mut rng = mix64(cfg.seed ^ 0x1A7E_4C11) | 1;
+    let interval = std::time::Duration::from_secs_f64(1.0 / cfg.latency_rate);
+    let mut samples = Vec::with_capacity(cfg.latency_sample);
+    let mut late_starts = 0u64;
+    let t0 = Instant::now();
+    for i in 0..cfg.latency_sample {
+        let intended = t0 + interval * i as u32;
+        let now = Instant::now();
+        if now < intended {
+            std::thread::sleep(intended - now);
+        } else if i > 0 {
+            late_starts += 1;
+        }
+        rng = mix64(rng);
+        let stem = stems[((rng >> 8) % stems.len() as u64) as usize];
+        let key = key_bytes(stem);
+        let is_get = (rng % 100) < cfg.read_pct as u64;
+        let reply = if is_get {
+            client.command(&[b"GET", &key])?
+        } else {
+            client.command(&[b"SET", &key, &value_bytes(stem, cfg.value_size)])?
+        };
+        // Latency = completion minus INTENDED start: queueing included.
+        samples.push(intended.elapsed().as_micros() as u64);
+        if let Value::Error(e) = reply {
+            return Err(std::io::Error::other(format!("server error while sampling: {e}")));
+        }
+    }
+    if late_starts > 0 {
+        println!(
+            "latency schedule: {late_starts}/{} arrivals departed late (their queueing delay is in the numbers)",
+            cfg.latency_sample
+        );
+    }
+    samples.sort_unstable();
+    Ok(samples)
+}
+
+/// Poll until the replica at `replica_addr` has applied everything the
+/// primary at `cfg.addr` has published (equal `repl_offset`s, link up)
+/// — the catch-up gate before a deliberate failover. Fails after ~60s.
+fn wait_sync(cfg: &Config, replica_addr: &str) -> Result<(), String> {
+    let mut primary =
+        RespClient::connect(cfg.addr.as_str()).map_err(|e| format!("connect primary: {e}"))?;
+    let mut replica =
+        RespClient::connect(replica_addr).map_err(|e| format!("connect replica: {e}"))?;
+    match replica.role() {
+        Ok(r) if r == "replica" => {}
+        Ok(r) => return Err(format!("{replica_addr} has role {r:?}, expected a replica")),
+        Err(e) => return Err(format!("replica INFO: {e}")),
+    }
+    // Offsets are numbered by the replica's own primary: comparing them
+    // against an unrelated server would be meaningless (and could wave
+    // the failover drill through with writes still missing). Insist the
+    // replica actually follows --addr.
+    match replica.info_field("master_addr") {
+        Ok(Some(a)) if a == cfg.addr => {}
+        Ok(Some(a)) => {
+            return Err(format!("{replica_addr} replicates {a}, not {} — wrong pair", cfg.addr))
+        }
+        Ok(None) => return Err(format!("{replica_addr} reports no master_addr")),
+        Err(e) => return Err(format!("replica INFO: {e}")),
+    }
+    let mut last = (0, 0);
+    for _ in 0..600 {
+        // Order matters: replica first, primary second. Offsets only
+        // move forward, so replica ≥ primary-read-AFTER proves the
+        // replica had applied everything published up to the later
+        // timestamp — the reverse order would let writes landing
+        // between the two reads hide behind a stale primary number.
+        let r = replica.repl_offset().map_err(|e| format!("replica INFO: {e}"))?;
+        let link = replica
+            .master_link()
+            .map_err(|e| format!("replica INFO: {e}"))?
+            .unwrap_or_default();
+        let p = primary.repl_offset().map_err(|e| format!("primary INFO: {e}"))?;
+        if link == "up" && r >= p {
+            println!("replica {replica_addr} in sync with {} at offset {r}", cfg.addr);
+            return Ok(());
+        }
+        last = (p, r);
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    Err(format!(
+        "replica never caught up: primary offset {}, replica offset {} after 60s",
+        last.0, last.1
+    ))
+}
+
 /// Per-op latency sampling at pipeline depth 1 (ROADMAP "loadgen latency
 /// fidelity"): one connection, one command in flight, each round trip
 /// timed individually — the number a pipelined batch RTT cannot give.
@@ -583,6 +714,25 @@ fn main() {
     if !matches!(probe.command(&[b"PING"]), Ok(Value::Simple(ref s)) if s == "PONG") {
         eprintln!("dash-loadgen: {} did not answer PING", cfg.addr);
         std::process::exit(1);
+    }
+
+    if let Some(cmd) = &cfg.cmd {
+        let words: Vec<&[u8]> = cmd.split_whitespace().map(str::as_bytes).collect();
+        if words.is_empty() {
+            eprintln!("dash-loadgen: --cmd is empty");
+            std::process::exit(2);
+        }
+        match probe.command(&words) {
+            Ok(Value::Error(e)) => {
+                eprintln!("dash-loadgen: --cmd {cmd:?} got error reply: {e}");
+                std::process::exit(1);
+            }
+            Ok(reply) => println!("--cmd {cmd:?} → {reply:?}"),
+            Err(e) => {
+                eprintln!("dash-loadgen: --cmd {cmd:?} failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     if cfg.preload {
@@ -638,10 +788,18 @@ fn main() {
         }
     }
 
-    if cfg.latency_sample > 0 && cfg.ops > 0 {
-        match sample_latency(&cfg, &stems) {
+    if cfg.latency_sample > 0 && (cfg.ops > 0 || cfg.latency_rate > 0.0) {
+        let (mode, result) = if cfg.latency_rate > 0.0 {
+            (
+                format!("fixed {} ops/s arrivals, CO-safe", cfg.latency_rate),
+                sample_latency_scheduled(&cfg, &stems),
+            )
+        } else {
+            ("pipeline depth 1".to_string(), sample_latency(&cfg, &stems))
+        };
+        match result {
             Ok(samples) => println!(
-                "per-op latency (pipeline depth 1, {} samples): p50 {} us, p95 {} us, p99 {} us, max {} us",
+                "per-op latency ({mode}, {} samples): p50 {} us, p95 {} us, p99 {} us, max {} us",
                 samples.len(),
                 percentile(&samples, 0.50),
                 percentile(&samples, 0.95),
@@ -650,6 +808,17 @@ fn main() {
             ),
             Err(e) => {
                 eprintln!("dash-loadgen: latency sampling failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if let Some(replica_addr) = &cfg.wait_sync {
+        let t0 = Instant::now();
+        match wait_sync(&cfg, replica_addr) {
+            Ok(()) => println!("replica sync confirmed ({:?})", t0.elapsed()),
+            Err(e) => {
+                eprintln!("dash-loadgen: wait-sync failed: {e}");
                 failed = true;
             }
         }

@@ -1,8 +1,10 @@
 //! The `dash-server` binary: a sharded, persistent RESP2 KV server over
-//! Dash tables on file-backed pools.
+//! Dash tables on file-backed pools, with async replication.
 //!
 //! ```sh
 //! dash-server --addr 127.0.0.1:6379 --dir /var/lib/dash --shards 4 --pool-mb 64
+//! dash-server --addr 127.0.0.1:6380 --dir /var/lib/dash-replica \
+//!             --replica-of 127.0.0.1:6379
 //! ```
 //!
 //! Reopening an existing `--dir` reattaches to the shard pool files
@@ -11,9 +13,13 @@
 //! pools cleanly; killing the process does not, and the next start
 //! recovers with a version bump — by design, no acknowledged write is
 //! lost either way.
+//!
+//! A `--replica-of` server bootstraps from the primary (snapshot +
+//! tail over `PSYNC`), serves reads (writes get `-READONLY`), and
+//! becomes a primary when a client sends `REPLICAOF NO ONE`.
 
 use dash_common::cli;
-use dash_server::{serve, EngineConfig, ShardedDash};
+use dash_server::{serve_with, EngineConfig, ServeOptions, ShardedDash};
 
 const USAGE: &str = "\
 dash-server — sharded persistent RESP2 KV server over Dash
@@ -31,15 +37,51 @@ OPTIONS:
     --restore PATH     bootstrap a FRESH store from a snapshot file
                        (written by the SNAPSHOT command) before serving;
                        refuses a --dir that already holds a store
+    --replay-logs DIR  after opening (or restoring) the store, replay
+                       the redo logs (repl-N.log) found in DIR on top —
+                       incremental backup: old snapshot + log replay
+                       reconstructs the final state
+    --replica-of HOST:PORT
+                       start as a read-only replica of the primary at
+                       HOST:PORT (bootstraps via PSYNC snapshot+tail;
+                       requires a fresh store; promote with
+                       'REPLICAOF NO ONE')
     -h, --help         show this help";
 
 fn main() {
-    let args = cli::parse_or_exit(USAGE, &["addr", "dir", "shards", "pool-mb", "restore"], &[], 0);
+    let args = cli::parse_or_exit(
+        USAGE,
+        &["addr", "dir", "shards", "pool-mb", "restore", "replay-logs", "replica-of"],
+        &[],
+        0,
+    );
     let addr = args.flag_str("addr", "127.0.0.1:6379");
     let shards: usize = args.flag_or_exit("shards", 4, USAGE);
     let pool_mb: usize = args.flag_or_exit("pool-mb", 64, USAGE);
     let dir = args.flag_opt("dir").map(std::path::PathBuf::from);
     let restore = args.flag_opt("restore").map(std::path::PathBuf::from);
+    let replay_logs = args.flag_opt("replay-logs").map(std::path::PathBuf::from);
+    let replica_of = args.flag_opt("replica-of").map(str::to_owned);
+
+    if replica_of.is_some() && (restore.is_some() || replay_logs.is_some()) {
+        cli::exit_usage(
+            "--replica-of bootstraps from the primary; it cannot be combined with --restore or --replay-logs",
+            USAGE,
+        );
+    }
+    if let (Some(dir), Some(_)) = (&dir, &replica_of) {
+        // A replica's first full sync clears its store; refusing an
+        // existing one protects against pointing --replica-of at a
+        // directory that holds data someone still wants.
+        if ShardedDash::store_exists(dir) {
+            eprintln!(
+                "dash-server: {} already holds a store; a replica bootstraps from \
+                 its primary and needs a fresh --dir (delete the old store first)",
+                dir.display()
+            );
+            std::process::exit(1);
+        }
+    }
 
     let cfg = EngineConfig { shards, shard_bytes: pool_mb << 20, dir };
     let engine = match &restore {
@@ -56,6 +98,19 @@ fn main() {
     if let Some(snapshot) = &restore {
         println!("restored {} keys from snapshot {}", engine.len(), snapshot.display());
     }
+    if let Some(log_dir) = &replay_logs {
+        match engine.replay_log_dir(log_dir) {
+            Ok(n) => println!(
+                "replayed {n} ops from redo logs in {} ({} keys now)",
+                log_dir.display(),
+                engine.len()
+            ),
+            Err(e) => {
+                eprintln!("dash-server: cannot replay logs from {}: {e}", log_dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
     for (i, info) in engine.shard_infos().iter().enumerate() {
         if info.recovered {
             println!(
@@ -67,14 +122,21 @@ fn main() {
             println!("shard {i}: created fresh");
         }
     }
-    let server = match serve(engine, addr.as_str()) {
+    let opts = ServeOptions { replica_of: replica_of.clone() };
+    let server = match serve_with(engine, addr.as_str(), opts) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("dash-server: cannot listen on {addr}: {e}");
             std::process::exit(1);
         }
     };
-    println!("dash-server listening on {}", server.addr());
+    match &replica_of {
+        Some(master) => println!(
+            "dash-server listening on {} as a replica of {master} (promote with REPLICAOF NO ONE)",
+            server.addr()
+        ),
+        None => println!("dash-server listening on {}", server.addr()),
+    }
     server.join();
     println!("dash-server: shut down cleanly");
 }

@@ -186,6 +186,83 @@ impl RespClient {
         }
     }
 
+    // ---- typed INFO accessors ---------------------------------------------
+    //
+    // INFO is `key:value` lines; these pull single fields out so
+    // replication tooling (loadgen's --wait-sync, the CI failover
+    // drill, tests) doesn't re-implement the parsing. The replication
+    // accessors go through `INFO replication`, the cheap section —
+    // full `INFO` pays an O(total keys) `scan_len` scan, which a
+    // 10 Hz offset poll must not inflict on a live pair.
+
+    /// The raw `INFO` payload (full — includes the `scan_len` ground
+    /// truth, an O(total keys) scan; prefer the typed accessors for
+    /// polling).
+    pub fn info(&mut self) -> std::io::Result<String> {
+        self.info_payload(&[b"INFO"])
+    }
+
+    /// The raw `INFO replication` payload (cheap: no key counts).
+    pub fn replication_info(&mut self) -> std::io::Result<String> {
+        self.info_payload(&[b"INFO", b"replication"])
+    }
+
+    fn info_payload(&mut self, cmd: &[&[u8]]) -> std::io::Result<String> {
+        match self.command(cmd)? {
+            Value::Bulk(text) => String::from_utf8(text).map_err(|_| {
+                std::io::Error::new(ErrorKind::InvalidData, "INFO payload is not UTF-8")
+            }),
+            other => Err(bad_reply("INFO", &other)),
+        }
+    }
+
+    /// One `field:value` line out of the full `INFO` (`None` when the
+    /// server doesn't report that field).
+    pub fn info_field(&mut self, field: &str) -> std::io::Result<Option<String>> {
+        Ok(find_field(&self.info()?, field))
+    }
+
+    fn repl_field(&mut self, field: &str) -> std::io::Result<String> {
+        find_field(&self.replication_info()?, field).ok_or_else(|| {
+            std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("INFO replication has no {field} field"),
+            )
+        })
+    }
+
+    fn repl_u64(&mut self, field: &str) -> std::io::Result<u64> {
+        let value = self.repl_field(field)?;
+        value.parse().map_err(|_| {
+            std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("INFO {field} is not an integer: {value:?}"),
+            )
+        })
+    }
+
+    /// `role`: `"primary"` or `"replica"`.
+    pub fn role(&mut self) -> std::io::Result<String> {
+        self.repl_field("role")
+    }
+
+    /// `repl_offset`: the server's replication stream position. Equal
+    /// on a primary and its caught-up replica once writes quiesce.
+    pub fn repl_offset(&mut self) -> std::io::Result<u64> {
+        self.repl_u64("repl_offset")
+    }
+
+    /// `connected_replicas`: live replica streams on a primary.
+    pub fn connected_replicas(&mut self) -> std::io::Result<u64> {
+        self.repl_u64("connected_replicas")
+    }
+
+    /// `master_link` on a replica: `"up"` or `"down"` (`None` on a
+    /// primary, which reports no link).
+    pub fn master_link(&mut self) -> std::io::Result<Option<String>> {
+        Ok(find_field(&self.replication_info()?, "master_link"))
+    }
+
     fn integer_command(&mut self, name: &'static [u8], keys: &[&[u8]]) -> std::io::Result<i64> {
         let mut parts: Vec<&[u8]> = Vec::with_capacity(keys.len() + 1);
         parts.push(name);
@@ -195,6 +272,16 @@ impl RespClient {
             other => Err(bad_reply(std::str::from_utf8(name).unwrap_or("?"), &other)),
         }
     }
+}
+
+/// Find `field:value` in an INFO-style payload.
+fn find_field(text: &str, field: &str) -> Option<String> {
+    text.lines().find_map(|line| {
+        line.trim_end()
+            .split_once(':')
+            .filter(|(k, _)| *k == field)
+            .map(|(_, v)| v.to_string())
+    })
 }
 
 fn bad_reply(cmd: &str, got: &Value) -> std::io::Error {

@@ -18,7 +18,7 @@
 //! reader never dereferences recycled memory.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use dash_common::{hash64_seed, PmHashTable, ScanCursor, TableError, VarKey, MAX_KEY_LEN};
@@ -26,7 +26,10 @@ use dash_core::{DashConfig, DashEh};
 use parking_lot::Mutex;
 use pmem::{PmError, PmOffset, PmemPool, PoolConfig};
 
-use crate::snapshot::SnapshotWriter;
+use crate::repl::hub::{ReplHub, ReplSubscription};
+use crate::repl::log::LogWriter;
+use crate::repl::ReplOp;
+use crate::snapshot::{SnapshotResult, SnapshotStream, SnapshotWriter};
 
 /// Upper bound on one value. Bounded (like keys) so a stale blob pointer
 /// scanned by an optimistic reader can never walk far out of a block.
@@ -54,6 +57,8 @@ pub enum EngineError {
     BadCursor(u64),
     /// Snapshot export/import failed (I/O or a corrupt file).
     Snapshot(String),
+    /// Redo-log open/replay failed (I/O or a corrupt file).
+    ReplLog(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -65,6 +70,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Layout(s) => write!(f, "store layout error: {s}"),
             EngineError::BadCursor(c) => write!(f, "invalid scan cursor {c}"),
             EngineError::Snapshot(s) => write!(f, "snapshot error: {s}"),
+            EngineError::ReplLog(s) => write!(f, "repl log error: {s}"),
         }
     }
 }
@@ -131,6 +137,16 @@ struct Shard {
     /// Net keys added/removed since open; `count ≈ base_keys + delta`.
     keys_delta: AtomicI64,
     info: ShardInfo,
+    /// Redo log (file-backed stores only): every applied mutation is
+    /// appended here, under the write lock the caller already holds —
+    /// the log needs no locking of its own, the `Mutex` is just interior
+    /// mutability for the `File`.
+    log: Option<Mutex<LogWriter>>,
+    /// Store-wide replication fan-out (shared by all shards).
+    hub: Arc<ReplHub>,
+    /// Redo-log append failures (the write itself already succeeded, so
+    /// they must not fail the op — they are counted and surfaced).
+    log_errors: AtomicU64,
 }
 
 impl Shard {
@@ -198,6 +214,7 @@ impl Shard {
                 self.keys_delta.fetch_add(1, Ordering::Relaxed);
             }
         }
+        self.record(|| ReplOp::Set { key: k.as_bytes().to_vec(), value: value.to_vec() });
         Ok(())
     }
 
@@ -212,11 +229,48 @@ impl Shard {
                 debug_assert!(removed, "key disappeared under the shard write lock");
                 self.release_blob(off);
                 self.keys_delta.fetch_sub(1, Ordering::Relaxed);
+                self.record(|| ReplOp::Del { key: k.as_bytes().to_vec() });
                 true
             }
         }
     }
+
+    /// Record one applied mutation: append it to the shard's redo log
+    /// (when file-backed) and publish it to the replication hub. Called
+    /// with the shard write lock held, *after* the table update — which
+    /// is what makes the hub's offset a consistent cut (every op at or
+    /// below a subscriber's start offset is already in the table).
+    ///
+    /// A log append failure must not fail the op (the write is already
+    /// applied and durable in the pool), but it must not leave a silent
+    /// *gap* either — a replay over a gapped log would reconstruct a
+    /// state that never existed. So the first failure poisons the
+    /// shard's log: no further records are appended (the log stays a
+    /// clean prefix, replaying to a consistent-but-stale state, exactly
+    /// like an older backup), and every skipped op keeps incrementing
+    /// the `INFO log_append_errors` counter so the operator sees both
+    /// the failure and its scale. Live replica streams are unaffected
+    /// (they feed from the hub, not the log).
+    fn record(&self, make: impl FnOnce() -> ReplOp) {
+        match &self.log {
+            Some(log) => {
+                let op = make();
+                if self.log_errors.load(Ordering::Relaxed) == 0 {
+                    if log.lock().append(&op).is_err() {
+                        self.log_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else {
+                    self.log_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                self.hub.publish_with(move || op);
+            }
+            None => self.hub.publish_with(make),
+        }
+    }
 }
+
+/// What [`ShardedDash::snapshot_each`] feeds each record to.
+type SnapshotEmit<'a> = dyn FnMut(&[u8], &[u8]) -> SnapshotResult<()> + 'a;
 
 /// Decode and bounds-check the `u32 len || bytes` blob header at `off`,
 /// returning the payload length. `None` means the offset cannot be a
@@ -242,10 +296,16 @@ pub struct ShardedDash {
     /// The shard pool files backing this store (empty for a volatile
     /// store) — what `snapshot_to` must never be pointed at.
     shard_paths: Vec<PathBuf>,
+    /// Replication offset counter + live replica sinks.
+    hub: Arc<ReplHub>,
 }
 
 fn shard_file(dir: &Path, i: usize) -> PathBuf {
     dir.join(format!("shard-{i}.pool"))
+}
+
+fn log_file(dir: &Path, i: usize) -> PathBuf {
+    dir.join(format!("repl-{i}.log"))
 }
 
 /// Do `a` and `b` name the same file? Compared by file name plus
@@ -303,6 +363,7 @@ impl ShardedDash {
         if cfg.shards == 0 {
             return Err(EngineError::Layout("shard count must be at least 1".into()));
         }
+        let hub = Arc::new(ReplHub::new());
         let mut shards = Vec::new();
         let mut shard_paths = Vec::new();
         match &cfg.dir {
@@ -317,6 +378,9 @@ impl ShardedDash {
                         base_keys: OnceLock::from(0),
                         keys_delta: AtomicI64::new(0),
                         info: ShardInfo { recovered: false, clean: true, version: 1 },
+                        log: None,
+                        hub: hub.clone(),
+                        log_errors: AtomicU64::new(0),
                     });
                 }
             }
@@ -327,6 +391,7 @@ impl ShardedDash {
                 // partition function baked into the data must not change.
                 let existing = discover_shards(dir)?;
                 let n = if existing > 0 { existing } else { cfg.shards };
+                let mut log_records = 0u64;
                 for i in 0..n {
                     let path = shard_file(dir, i);
                     shard_paths.push(path.clone());
@@ -338,6 +403,14 @@ impl ShardedDash {
                         DashEh::create(pool.clone(), DashConfig::default())?
                     };
                     let out = pool.recovery_outcome();
+                    // The shard's redo log opens alongside its pool:
+                    // torn tails truncate here, and the recovered record
+                    // count seeds the store-wide replication offset.
+                    let (log, log_rec) = LogWriter::open(&log_file(dir, i), i as u32)
+                        .map_err(|e| {
+                            EngineError::ReplLog(format!("{}: {e}", log_file(dir, i).display()))
+                        })?;
+                    log_records += log_rec.records;
                     // Recovered shards defer their base count to the
                     // first DBSIZE/INFO; fresh ones are known empty.
                     let base_keys = if recovered { OnceLock::new() } else { OnceLock::from(0) };
@@ -348,11 +421,15 @@ impl ShardedDash {
                         base_keys,
                         keys_delta: AtomicI64::new(0),
                         info: ShardInfo { recovered, clean: out.clean, version: out.version },
+                        log: Some(Mutex::new(log)),
+                        hub: hub.clone(),
+                        log_errors: AtomicU64::new(0),
                     });
                 }
+                hub.set_offset(log_records);
             }
         }
-        Ok(ShardedDash { shards, shard_paths })
+        Ok(ShardedDash { shards, shard_paths, hub })
     }
 
     #[inline]
@@ -601,16 +678,42 @@ impl ShardedDash {
 
     // ---- snapshot / restore ------------------------------------------------
 
+    /// Walk every `(key, value)` record the way a snapshot sees them:
+    /// per shard, the epoch is pinned once and held across **all** of
+    /// that shard's scan pages and value-blob reads, so an offset
+    /// captured in a page can never be reclaimed before its blob is
+    /// copied out; concurrent writers keep running (reads take no
+    /// locks) and an overwritten key lands with either its old or new
+    /// value. The shared body of [`snapshot_to`](Self::snapshot_to) and
+    /// [`snapshot_bytes`](Self::snapshot_bytes).
+    fn snapshot_each(&self, emit: &mut SnapshotEmit<'_>) -> EngineResult<()> {
+        const SNAPSHOT_PAGE: usize = 1024;
+        for shard in &self.shards {
+            let _pin = shard.pool.epoch().pin();
+            let mut cursor = ScanCursor::START;
+            loop {
+                let page = shard.table.scan(cursor, SNAPSHOT_PAGE);
+                for (key, off) in &page.items {
+                    // A blob the defensive decode rejects is a corrupt
+                    // record; skip it rather than abort the backup.
+                    if let Some(value) = shard.read_blob(*off) {
+                        emit(key.as_bytes(), &value)
+                            .map_err(|e| EngineError::Snapshot(e.to_string()))?;
+                    }
+                }
+                if page.cursor.is_done() {
+                    break;
+                }
+                cursor = page.cursor;
+            }
+        }
+        Ok(())
+    }
+
     /// Online snapshot: stream every `(key, value)` record to a
     /// checksummed file at `path` (written to `<path>.tmp` and renamed —
-    /// never half-present). Per shard, the epoch is pinned once and held
-    /// across **all** of that shard's scan pages and value-blob reads,
-    /// so an offset captured in a page can never be reclaimed before its
-    /// blob is copied out; concurrent writers keep running (reads take
-    /// no locks) and an overwritten key lands with either its old or new
-    /// value. Returns the record count.
+    /// never half-present). Returns the record count.
     pub fn snapshot_to(&self, path: &Path) -> EngineResult<u64> {
-        const SNAPSHOT_PAGE: usize = 1024;
         // A snapshot renamed over a live shard pool file would destroy
         // that shard's data at the next restart (the running server keeps
         // its mapping of the old inode, so nothing would even fail until
@@ -624,27 +727,19 @@ impl ShardedDash {
         }
         let mut writer = SnapshotWriter::create(path, self.shards.len() as u32)
             .map_err(|e| EngineError::Snapshot(e.to_string()))?;
-        for shard in &self.shards {
-            let _pin = shard.pool.epoch().pin();
-            let mut cursor = ScanCursor::START;
-            loop {
-                let page = shard.table.scan(cursor, SNAPSHOT_PAGE);
-                for (key, off) in &page.items {
-                    // A blob the defensive decode rejects is a corrupt
-                    // record; skip it rather than abort the backup.
-                    if let Some(value) = shard.read_blob(*off) {
-                        writer
-                            .append(key.as_bytes(), &value)
-                            .map_err(|e| EngineError::Snapshot(e.to_string()))?;
-                    }
-                }
-                if page.cursor.is_done() {
-                    break;
-                }
-                cursor = page.cursor;
-            }
-        }
+        self.snapshot_each(&mut |key, value| writer.append(key, value))?;
         writer.finish().map_err(|e| EngineError::Snapshot(e.to_string()))
+    }
+
+    /// Online snapshot into memory — the replica-bootstrap payload
+    /// (`PSYNC` streams these bytes as one bulk string). Same format and
+    /// same epoch-pinned consistency as [`snapshot_to`](Self::snapshot_to).
+    /// Returns the bytes and the record count.
+    pub fn snapshot_bytes(&self) -> EngineResult<(Vec<u8>, u64)> {
+        let mut stream = SnapshotStream::new(Vec::new(), self.shards.len() as u32)
+            .map_err(|e| EngineError::Snapshot(e.to_string()))?;
+        self.snapshot_each(&mut |key, value| stream.append(key, value))?;
+        stream.finish().map_err(|e| EngineError::Snapshot(e.to_string()))
     }
 
     /// Restore a snapshot into a **fresh** store opened with `cfg` (the
@@ -690,11 +785,159 @@ impl ShardedDash {
                 if let Some(dir) = &cfg.dir {
                     for i in 0..cfg.shards {
                         let _ = std::fs::remove_file(shard_file(dir, i));
+                        let _ = std::fs::remove_file(log_file(dir, i));
                     }
                 }
                 Err(e)
             }
         }
+    }
+
+    // ---- replication -------------------------------------------------------
+    //
+    // The engine's side of the replication subsystem: every applied
+    // mutation is appended to the owning shard's redo log and published
+    // through the hub (see `Shard::record`); what lives here is the
+    // consumer surface — subscribing a replica stream, applying a
+    // replicated op sequence through the batch paths, and replaying
+    // redo logs as an incremental backup.
+
+    /// Ops published since store creation (recovered from the redo logs
+    /// on open). On a caught-up replica, `INFO repl_offset` of primary
+    /// and replica are equal.
+    pub fn repl_offset(&self) -> u64 {
+        self.hub.offset()
+    }
+
+    /// Live replica streams.
+    pub fn connected_replicas(&self) -> usize {
+        self.hub.sink_count()
+    }
+
+    /// Redo-log append failures since open (the ops themselves
+    /// succeeded; their log records are missing).
+    pub fn log_append_errors(&self) -> u64 {
+        self.shards.iter().map(|s| s.log_errors.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Register a replica stream: returns the subscription whose
+    /// `start_offset` is the pinned cut — a snapshot taken *after* this
+    /// call holds every op at or below it, and the subscription's
+    /// channel delivers every op above it.
+    pub fn repl_subscribe(&self) -> ReplSubscription {
+        self.hub.subscribe()
+    }
+
+    /// Apply a replicated op sequence through the batch write paths:
+    /// consecutive runs of `Set`s become one `mset` (one write-lock
+    /// acquisition + one epoch pin per shard group), runs of `Del`s one
+    /// `mdel` — order between runs is preserved, so per-key op order is
+    /// too. Returns how many ops were applied.
+    pub fn apply_ops(&self, ops: &[ReplOp]) -> EngineResult<u64> {
+        const CHUNK: usize = 256;
+        let mut i = 0;
+        while i < ops.len() {
+            let set_run = matches!(ops[i], ReplOp::Set { .. });
+            let mut j = i;
+            while j < ops.len()
+                && j - i < CHUNK
+                && matches!(ops[j], ReplOp::Set { .. }) == set_run
+            {
+                j += 1;
+            }
+            if set_run {
+                let pairs: Vec<(&[u8], &[u8])> = ops[i..j]
+                    .iter()
+                    .map(|op| match op {
+                        ReplOp::Set { key, value } => (key.as_slice(), value.as_slice()),
+                        ReplOp::Del { .. } => unreachable!("run split by kind"),
+                    })
+                    .collect();
+                self.mset(&pairs)?;
+            } else {
+                let keys: Vec<&[u8]> = ops[i..j].iter().map(|op| op.key()).collect();
+                self.mdel(&keys)?;
+            }
+            i = j;
+        }
+        Ok(ops.len() as u64)
+    }
+
+    /// Delete every key (the replica's full-resync reset). Quiescent
+    /// callers only — concurrent writers could race the scan.
+    ///
+    /// Each pass resumes its cursor (the EH cursor is a keyspace
+    /// boundary, unaffected by deleting already-visited records), so a
+    /// quiescent clear is one linear walk; the outer loop only repeats
+    /// until a whole pass finds nothing, catching records a structural
+    /// op moved mid-pass.
+    pub fn clear(&self) -> EngineResult<u64> {
+        let mut removed = 0u64;
+        loop {
+            let mut cursor = 0u64;
+            let mut pass_removed = 0u64;
+            loop {
+                let (next, keys) = self.scan_keys(cursor, 4096)?;
+                if !keys.is_empty() {
+                    let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+                    pass_removed += self.mdel(&refs)?;
+                }
+                if next == 0 {
+                    break;
+                }
+                cursor = next;
+            }
+            removed += pass_removed;
+            if pass_removed == 0 {
+                return Ok(removed);
+            }
+        }
+    }
+
+    /// Replay the redo logs found in `dir` (`repl-N.log`, any shard
+    /// count) on top of this store — the incremental-backup restore: a
+    /// store bootstrapped from an old snapshot plus a full log replay
+    /// converges to the log's final state, because each key's last op
+    /// wins and per-shard order is preserved (a key lives in exactly one
+    /// source shard, so one file holds its whole history in order).
+    /// Returns how many ops were applied.
+    pub fn replay_log_dir(&self, dir: &Path) -> EngineResult<u64> {
+        // Replaying a store's own logs into it would append every
+        // replayed op back onto the very logs being read.
+        let own_dir = self
+            .shard_paths
+            .first()
+            .and_then(|p| p.parent())
+            .and_then(|d| d.canonicalize().ok());
+        if own_dir.is_some() && own_dir == dir.canonicalize().ok() {
+            return Err(EngineError::ReplLog(format!(
+                "refusing to replay a store's own logs ({}) into it",
+                dir.display()
+            )));
+        }
+        if !log_file(dir, 0).exists() {
+            return Err(EngineError::ReplLog(format!(
+                "no repl-0.log in {}",
+                dir.display()
+            )));
+        }
+        let mut applied = 0u64;
+        for i in 0.. {
+            let path = log_file(dir, i);
+            if !path.exists() {
+                break;
+            }
+            let (ops, _recovery) = crate::repl::log::read_log(&path)
+                .map_err(|e| EngineError::ReplLog(format!("{}: {e}", path.display())))?;
+            applied += self.apply_ops(&ops)?;
+        }
+        Ok(applied)
+    }
+
+    /// Does `dir` already hold a store? (What replica bootstrap refuses
+    /// to clobber.)
+    pub fn store_exists(dir: &Path) -> bool {
+        discover_shards(dir).map_or_else(|_| shard_file(dir, 0).exists(), |n| n > 0)
     }
 
     /// Keys stored across all shards. O(shards) once warm; the first
@@ -742,10 +985,24 @@ impl ShardedDash {
             self.scan_len(),
             "DBSIZE counters drifted from the scan ground truth"
         );
+        // Log fsync is best-effort and must never stop the pools from
+        // closing cleanly: the pools are the authoritative state, and
+        // aborting here would turn a log-partition hiccup into a full
+        // crash-recovery restart. The first log error is still reported
+        // — after every pool is closed.
+        let mut log_err = None;
         for s in &self.shards {
+            if let Some(log) = &s.log {
+                if let Err(e) = log.lock().sync() {
+                    log_err.get_or_insert(e);
+                }
+            }
             s.pool.close()?;
         }
-        Ok(())
+        match log_err {
+            None => Ok(()),
+            Some(e) => Err(EngineError::ReplLog(format!("redo log sync failed: {e}"))),
+        }
     }
 }
 

@@ -17,6 +17,12 @@
 //!   `std::net` only. The multi-key commands run through the engine's
 //!   batch paths: keys grouped by shard, one epoch entry and one
 //!   write-lock acquisition per shard per command.
+//! * [`repl`] — replication: a per-shard redo log (torn-tail-safe,
+//!   doubling as incremental backup via `--replay-logs`), primary-side
+//!   streaming (`REPLCONF`/`PSYNC` → `+FULLRESYNC` snapshot + tail),
+//!   and replica mode ([`serve_with`] + [`ServeOptions::replica_of`]):
+//!   reads served, writes bounced with `-READONLY`, promotion via
+//!   `REPLICAOF NO ONE`.
 //! * [`resp`] / [`RespClient`] ([`client`]) — the wire codec (strict,
 //!   incremental, binary-safe) and a small blocking client used by
 //!   `dash-loadgen`, the tests and the CI smoke job.
@@ -39,12 +45,14 @@
 
 pub mod client;
 pub mod engine;
+pub mod repl;
 pub mod resp;
 pub mod server;
 pub mod snapshot;
 
 pub use client::RespClient;
 pub use engine::{EngineConfig, EngineError, EngineResult, ShardInfo, ShardedDash, MAX_VALUE_LEN};
+pub use repl::ReplOp;
 pub use resp::{ProtocolError, Value};
-pub use server::{serve, ServerHandle};
+pub use server::{serve, serve_with, Role, ServeOptions, ServerHandle};
 pub use snapshot::{SnapshotError, SnapshotWriter};

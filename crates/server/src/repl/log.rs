@@ -1,0 +1,408 @@
+//! The per-shard redo log: an append-only file of checksummed mutation
+//! records, written under the shard's existing write serialization.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! header    16 B  LOG_MAGIC, LOG_VERSION, shard index (wire::FileHeader)
+//! record    *     u32 body_len
+//!                 body: u8 op (1=SET, 2=DEL), u32 key_len, key, value…
+//!                 u64 FNV-1a over (body_len ‖ body)
+//! ```
+//!
+//! There is no trailer: the log is meant to be appended to forever and
+//! read back after any kind of crash, so each record carries its own
+//! checksum and the valid prefix is whatever parses. On reopen
+//! ([`LogWriter::open`]) the file is scanned once; the first record that
+//! is truncated, oversized, structurally invalid or checksum-mismatched
+//! ends the valid prefix, and the file is **truncated back to it** — a
+//! torn tail from a crash mid-append disappears instead of poisoning
+//! later appends, and a corrupt record can never be replayed into state.
+//! A corrupt *header* resets the whole log (the pools remain the
+//! authoritative store state; the log is the replication/backup feed).
+//!
+//! The writer issues one unbuffered `write` per record: the bytes are in
+//! the kernel page cache when `append` returns, so a process kill (the
+//! failure mode the service recovers from) loses nothing; [`sync`]
+//! (called from the engine's clean close) makes the file durable against
+//! power loss too.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use dash_common::MAX_KEY_LEN;
+
+use crate::engine::MAX_VALUE_LEN;
+use crate::repl::wire::{fnv64, FileHeader, Fnv, Parser};
+use crate::repl::ReplOp;
+
+/// `b"DASHLOG1"` as a little-endian u64.
+pub const LOG_MAGIC: u64 = u64::from_le_bytes(*b"DASHLOG1");
+/// Current format version.
+pub const LOG_VERSION: u32 = 1;
+
+const OP_SET: u8 = 1;
+const OP_DEL: u8 = 2;
+/// Largest legal record body: tag + key_len field + max key + max value.
+const MAX_BODY: usize = 1 + 4 + MAX_KEY_LEN + MAX_VALUE_LEN;
+
+/// Append the wire form of `op` to `out`.
+pub fn encode_record(op: &ReplOp, out: &mut Vec<u8>) {
+    let (tag, key, value): (u8, &[u8], &[u8]) = match op {
+        ReplOp::Set { key, value } => (OP_SET, key, value),
+        ReplOp::Del { key } => (OP_DEL, key, &[]),
+    };
+    let body_len = 1 + 4 + key.len() + value.len();
+    let start = out.len();
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.push(tag);
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    out.extend_from_slice(key);
+    out.extend_from_slice(value);
+    let checksum = fnv64(&out[start..]);
+    out.extend_from_slice(&checksum.to_le_bytes());
+}
+
+/// Decode the record starting at `p`'s position. `Ok(None)` means the
+/// bytes from here on are not a valid record (torn tail / corruption) —
+/// the caller must treat everything from `p.pos()` as garbage.
+fn decode_record(p: &mut Parser<'_>) -> Option<ReplOp> {
+    let start = p.pos();
+    let body_len = p.u32("record length").ok()? as usize;
+    if !(1 + 4..=MAX_BODY).contains(&body_len) {
+        return None;
+    }
+    let body = p.take(body_len, "record body").ok()?;
+    let checksum = p.u64("record checksum").ok()?;
+    // The checksum covers the length prefix too, so a corrupted length
+    // cannot masquerade as a differently-framed valid record.
+    let mut fnv = Fnv::new();
+    fnv.update(&(body_len as u32).to_le_bytes());
+    fnv.update(body);
+    if fnv.value() != checksum {
+        return None;
+    }
+    let mut b = Parser::new(body);
+    let tag = b.u8("op tag").ok()?;
+    let key_len = b.u32("key length").ok()? as usize;
+    if key_len > MAX_KEY_LEN {
+        return None;
+    }
+    let key = b.take(key_len, "key bytes").ok()?.to_vec();
+    let op = match tag {
+        OP_SET => {
+            let value = body[5 + key_len..].to_vec();
+            if value.len() > MAX_VALUE_LEN {
+                return None;
+            }
+            ReplOp::Set { key, value }
+        }
+        OP_DEL => {
+            if b.remaining() != 0 {
+                return None;
+            }
+            ReplOp::Del { key }
+        }
+        _ => return None,
+    };
+    debug_assert!(p.pos() > start);
+    Some(op)
+}
+
+/// Parse a whole log buffer: the header's shard index, the records of
+/// the valid prefix, and the byte length of that prefix (header
+/// included). `Err` only when the header itself is unusable.
+fn parse(buf: &[u8]) -> Result<(u32, Vec<ReplOp>, usize), String> {
+    let mut p = Parser::new(buf);
+    let shard = FileHeader::read(&mut p, LOG_MAGIC, LOG_VERSION, "repl log")?;
+    let mut ops = Vec::new();
+    let mut valid_len = p.pos();
+    while p.remaining() > 0 {
+        match decode_record(&mut p) {
+            Some(op) => {
+                ops.push(op);
+                valid_len = p.pos();
+            }
+            None => break,
+        }
+    }
+    Ok((shard, ops, valid_len))
+}
+
+/// What [`LogWriter::open`] found on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogRecovery {
+    /// Intact records recovered from the existing file.
+    pub records: u64,
+    /// Bytes cut off the tail (0 for a cleanly closed log).
+    pub truncated_bytes: u64,
+    /// The header was unusable and the log was reset to empty. The
+    /// store itself is unaffected — but log-replay backups from before
+    /// the reset no longer cover this shard.
+    pub reset: bool,
+}
+
+/// Read every intact record of a log file (the replay path). Rejects an
+/// unusable header as an error; a torn tail simply ends the record list.
+pub fn read_log(path: &Path) -> io::Result<(Vec<ReplOp>, LogRecovery)> {
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    let (_shard, ops, valid_len) =
+        parse(&buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let recovery = LogRecovery {
+        records: ops.len() as u64,
+        truncated_bytes: (buf.len() - valid_len) as u64,
+        reset: false,
+    };
+    Ok((ops, recovery))
+}
+
+/// The append handle one shard holds. Creation recovers the existing
+/// file (torn-tail truncation) or starts a fresh one.
+pub struct LogWriter {
+    file: File,
+    records: u64,
+}
+
+impl LogWriter {
+    /// Open (or create) the log at `path` for shard `shard`. An existing
+    /// file is scanned, its torn tail truncated, and appends continue
+    /// from the end of the valid prefix.
+    pub fn open(path: &Path, shard: u32) -> io::Result<(LogWriter, LogRecovery)> {
+        // truncate(false): an existing log is recovered, not clobbered.
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        if buf.is_empty() {
+            let header = FileHeader { magic: LOG_MAGIC, version: LOG_VERSION, meta: shard };
+            file.write_all(&header.encode())?;
+            let recovery = LogRecovery { records: 0, truncated_bytes: 0, reset: false };
+            return Ok((LogWriter { file, records: 0 }, recovery));
+        }
+        match parse(&buf) {
+            // The header's shard index is outside any record checksum;
+            // a mismatch (corruption, or a file moved between shard
+            // slots) makes the whole log untrustworthy → reset.
+            Ok((got_shard, _, _)) if got_shard != shard => {
+                Self::reset(file, buf.len(), shard)
+            }
+            Ok((_, ops, valid_len)) => {
+                if valid_len < buf.len() {
+                    file.set_len(valid_len as u64)?;
+                }
+                file.seek(SeekFrom::Start(valid_len as u64))?;
+                let recovery = LogRecovery {
+                    records: ops.len() as u64,
+                    truncated_bytes: (buf.len() - valid_len) as u64,
+                    reset: false,
+                };
+                Ok((LogWriter { file, records: ops.len() as u64 }, recovery))
+            }
+            // Unusable header: the log cannot be trusted at all. Reset
+            // it rather than refuse to open the store — the pools hold
+            // the authoritative state.
+            Err(_) => Self::reset(file, buf.len(), shard),
+        }
+    }
+
+    fn reset(mut file: File, old_len: usize, shard: u32) -> io::Result<(LogWriter, LogRecovery)> {
+        file.set_len(0)?;
+        file.seek(SeekFrom::Start(0))?;
+        let header = FileHeader { magic: LOG_MAGIC, version: LOG_VERSION, meta: shard };
+        file.write_all(&header.encode())?;
+        let recovery = LogRecovery { records: 0, truncated_bytes: old_len as u64, reset: true };
+        Ok((LogWriter { file, records: 0 }, recovery))
+    }
+
+    /// Append one record. One `write` syscall: in the page cache (and so
+    /// safe against a process kill) when this returns.
+    pub fn append(&mut self, op: &ReplOp) -> io::Result<()> {
+        let mut rec = Vec::with_capacity(64);
+        encode_record(op, &mut rec);
+        self.file.write_all(&rec)?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records in the log (recovered + appended).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// fsync — durable against power loss, not just process death.
+    pub fn sync(&self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    struct TempPath(PathBuf);
+
+    impl TempPath {
+        fn new(tag: &str) -> Self {
+            let mut p = std::env::temp_dir();
+            p.push(format!("dash-repl-log-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_file(&p);
+            TempPath(p)
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    fn sample_ops(n: u32) -> Vec<ReplOp> {
+        (0..n)
+            .map(|i| {
+                if i % 4 == 3 {
+                    ReplOp::Del { key: format!("key-{}", i - 1).into_bytes() }
+                } else {
+                    ReplOp::Set {
+                        key: format!("key-{i}").into_bytes(),
+                        value: format!("value-{i}").into_bytes(),
+                    }
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_and_reopen_append() {
+        let p = TempPath::new("roundtrip");
+        let ops = sample_ops(20);
+        {
+            let (mut w, rec) = LogWriter::open(&p.0, 7).unwrap();
+            assert_eq!(rec, LogRecovery { records: 0, truncated_bytes: 0, reset: false });
+            for op in &ops[..10] {
+                w.append(op).unwrap();
+            }
+            w.sync().unwrap();
+        }
+        // Reopen continues where the valid prefix ends.
+        let (mut w, rec) = LogWriter::open(&p.0, 7).unwrap();
+        assert_eq!(rec, LogRecovery { records: 10, truncated_bytes: 0, reset: false });
+        for op in &ops[10..] {
+            w.append(op).unwrap();
+        }
+        drop(w);
+        let (read, rec) = read_log(&p.0).unwrap();
+        assert_eq!(read, ops);
+        assert_eq!(rec.records, 20);
+    }
+
+    #[test]
+    fn empty_and_binary_payloads() {
+        let p = TempPath::new("binary");
+        let ops = vec![
+            ReplOp::Set { key: b"empty".to_vec(), value: Vec::new() },
+            ReplOp::Set { key: (0..=255u8).collect(), value: vec![0u8; 10_000] },
+            ReplOp::Del { key: vec![0u8, 13, 10, 255] },
+        ];
+        let (mut w, _) = LogWriter::open(&p.0, 0).unwrap();
+        for op in &ops {
+            w.append(op).unwrap();
+        }
+        drop(w);
+        assert_eq!(read_log(&p.0).unwrap().0, ops);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_reopen() {
+        let p = TempPath::new("torn");
+        let ops = sample_ops(10);
+        {
+            let (mut w, _) = LogWriter::open(&p.0, 0).unwrap();
+            for op in &ops {
+                w.append(op).unwrap();
+            }
+        }
+        let full = std::fs::read(&p.0).unwrap();
+        // Cut the file mid-record: reopen must drop the torn record,
+        // truncate the file back to the valid prefix, and keep working.
+        std::fs::write(&p.0, &full[..full.len() - 5]).unwrap();
+        let (mut w, rec) = LogWriter::open(&p.0, 0).unwrap();
+        assert_eq!(rec.records, 9, "the torn last record must be dropped");
+        assert!(rec.truncated_bytes > 0);
+        assert!(!rec.reset);
+        assert!(
+            std::fs::metadata(&p.0).unwrap().len() < full.len() as u64,
+            "the file itself must shrink to the valid prefix"
+        );
+        w.append(&ops[9]).unwrap();
+        drop(w);
+        let (read, _) = read_log(&p.0).unwrap();
+        assert_eq!(read, ops, "append after truncation must continue the sequence");
+    }
+
+    #[test]
+    fn every_corrupted_byte_yields_only_a_valid_prefix() {
+        let p = TempPath::new("corrupt");
+        let ops = sample_ops(12);
+        {
+            let (mut w, _) = LogWriter::open(&p.0, 3).unwrap();
+            for op in &ops {
+                w.append(op).unwrap();
+            }
+        }
+        let original = std::fs::read(&p.0).unwrap();
+        for pos in 0..original.len() {
+            let mut bad = original.clone();
+            bad[pos] ^= 0x40;
+            std::fs::write(&p.0, &bad).unwrap();
+            if pos < FileHeader::LEN {
+                // Header corruption: the writer resets to an empty log
+                // (never an error, never data). Magic/version flips are
+                // also rejected by the reader; a flipped shard index
+                // (bytes 12..16) is informational to the reader but
+                // still a mismatch the writer refuses to append behind.
+                if pos < 12 {
+                    assert!(read_log(&p.0).is_err(), "header flip at {pos} accepted by reader");
+                }
+                let (w, rec) = LogWriter::open(&p.0, 3).unwrap();
+                assert!(rec.reset && rec.records == 0, "header flip at {pos} must reset");
+                assert_eq!(w.records(), 0);
+            } else {
+                // Record corruption: the result must be an exact prefix
+                // of the original op sequence — a flipped byte can
+                // never invent or alter a record.
+                let (read, rec) = read_log(&p.0).unwrap();
+                assert!(read.len() < ops.len(), "flip at byte {pos} went undetected");
+                assert_eq!(
+                    read,
+                    ops[..read.len()],
+                    "flip at byte {pos} must yield a strict prefix"
+                );
+                assert!(rec.truncated_bytes > 0);
+            }
+        }
+        // Restore and confirm the pristine file still reads fully.
+        std::fs::write(&p.0, &original).unwrap();
+        assert_eq!(read_log(&p.0).unwrap().0, ops);
+    }
+
+    #[test]
+    fn oversized_length_claims_are_rejected() {
+        let p = TempPath::new("oversize");
+        {
+            let (mut w, _) = LogWriter::open(&p.0, 0).unwrap();
+            w.append(&ReplOp::Set { key: b"k".to_vec(), value: b"v".to_vec() }).unwrap();
+        }
+        // Append a record claiming a gigantic body: must end the prefix,
+        // not trigger a gigantic allocation or a bogus record.
+        let mut bytes = std::fs::read(&p.0).unwrap();
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        bytes.extend_from_slice(b"garbage");
+        std::fs::write(&p.0, &bytes).unwrap();
+        let (read, rec) = read_log(&p.0).unwrap();
+        assert_eq!(read.len(), 1);
+        assert!(rec.truncated_bytes > 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Replication: a per-shard persistent redo log, a primary-side fan-out
+//! hub feeding live replica streams, and the replica-side sync loop.
+//!
+//! The moving parts:
+//!
+//! * [`wire`] — the versioned-header + FNV-checksummed framing shared by
+//!   the snapshot format and the redo log (one reader/writer helper
+//!   instead of two hand-rolled copies).
+//! * [`log`] — the redo log: one append-only `repl-N.log` file per
+//!   shard, written under the shard's existing write serialization.
+//!   Reopen truncates torn tails and never yields a corrupt record, so
+//!   the log doubles as an incremental backup: replaying it on top of a
+//!   snapshot (or an empty store) reconstructs the final state without
+//!   rewriting the full store.
+//! * [`hub`] — the in-memory fan-out: every applied mutation is
+//!   published as a [`ReplOp`] with a store-wide monotonic offset;
+//!   replica-serving connections subscribe and stream the tail.
+//! * [`replica`] — the follower: connects to the primary, bootstraps
+//!   from an epoch-pinned `SNAPSHOT`-format stream pinned at a log
+//!   offset (`PSYNC` → `+FULLRESYNC <offset>`), then applies the tail
+//!   through the engine's batch write API until promoted.
+//!
+//! Replication is asynchronous (a write is acknowledged once durable on
+//! the primary); convergence is observable — `INFO` exposes
+//! `repl_offset` on both sides, and equality after quiescing means the
+//! replica holds every acknowledged write. The failover drill is:
+//! quiesce, wait for offset equality, kill the primary, `REPLICAOF NO
+//! ONE` on the replica.
+
+pub mod hub;
+pub mod log;
+pub(crate) mod replica;
+pub mod wire;
+
+pub use hub::{ReplHub, ReplSubscription};
+pub use log::{read_log, LogRecovery, LogWriter};
+
+/// One replicated mutation: the unit the redo log stores, the hub fans
+/// out, and the replication stream carries (as a RESP `SET`/`DEL`
+/// command). Ops are idempotent — applying a prefix twice converges to
+/// the same state — which is what lets the snapshot+tail bootstrap
+/// overlap the two sources without coordination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplOp {
+    /// Insert or overwrite `key` with `value`.
+    Set { key: Vec<u8>, value: Vec<u8> },
+    /// Remove `key` (only logged when the key existed).
+    Del { key: Vec<u8> },
+}
+
+impl ReplOp {
+    pub fn key(&self) -> &[u8] {
+        match self {
+            ReplOp::Set { key, .. } | ReplOp::Del { key } => key,
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! The replica-side sync loop: connect to the primary, bootstrap from
+//! the `PSYNC` snapshot+tail stream, apply the tail through the engine's
+//! batch write API, reconnect (with a fresh full sync) whenever the link
+//! drops, and stop the moment the server is promoted or shut down.
+//!
+//! Runs on one background thread owned by the server
+//! ([`crate::serve_with`] spawns it, shutdown joins it). All reads are
+//! under a short timeout so the loop notices shutdown/promotion within
+//! ~100 ms even when the primary is silent.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::repl::ReplOp;
+use crate::resp::{decode_command, decode_value, encode_command, Decode, Value};
+use crate::server::{Inner, Role};
+use crate::snapshot;
+
+/// How long one blocking read may sit before the loop re-checks
+/// shutdown/promotion.
+const READ_POLL: Duration = Duration::from_millis(100);
+/// Ceiling on the `$len` a FULLRESYNC bulk may claim (a corrupt length
+/// prefix must not make the replica reserve gigabytes). Generous: a
+/// snapshot is bounded by the primary's pools.
+const MAX_SNAPSHOT_BYTES: usize = 4 << 30;
+
+/// Should the sync loop stop (promotion or server shutdown)?
+/// Promotion raises `sync_stop` *before* flipping the role and joins
+/// this thread before accepting writes — see `Inner::promote`.
+fn stopping(inner: &Inner) -> bool {
+    inner.shutdown.load(Ordering::SeqCst)
+        || inner.sync_stop.load(Ordering::SeqCst)
+        || inner.role() != Role::Replica
+}
+
+/// The sync thread's entry point: keep a replication session alive
+/// against `master` until promoted or shut down.
+pub(crate) fn run(inner: Arc<Inner>, master: String) {
+    let mut announced_down = false;
+    while !stopping(&inner) {
+        match session(&inner, &master) {
+            // A session only returns Ok when stopping — fall out.
+            Ok(()) => break,
+            Err(e) => {
+                // A drop after an established link is a fresh outage:
+                // announce it even if an earlier one was announced too.
+                if inner.link_up.swap(false, Ordering::SeqCst) {
+                    announced_down = false;
+                }
+                if !announced_down {
+                    eprintln!("dash-server: replication link to {master}: {e}; retrying");
+                    announced_down = true;
+                }
+                // Brief backoff, still responsive to shutdown/promote.
+                for _ in 0..6 {
+                    if stopping(&inner) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+    inner.link_up.store(false, Ordering::SeqCst);
+}
+
+/// A buffered connection to the primary with incremental decoding.
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    pos: usize,
+}
+
+impl Conn {
+    fn connect(master: &str) -> io::Result<Conn> {
+        let stream = TcpStream::connect(master)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(READ_POLL))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Conn { stream, rbuf: Vec::new(), pos: 0 })
+    }
+
+    fn send(&mut self, parts: &[&[u8]]) -> io::Result<()> {
+        let mut wire = Vec::new();
+        encode_command(parts, &mut wire);
+        self.stream.write_all(&wire)
+    }
+
+    /// One read into the buffer. `Ok(false)` = timeout (nothing read),
+    /// `Ok(true)` = bytes arrived, `Err(UnexpectedEof)` = primary gone.
+    fn fill(&mut self) -> io::Result<bool> {
+        let mut chunk = [0u8; 64 * 1024];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => Err(io::Error::new(ErrorKind::UnexpectedEof, "primary closed the stream")),
+            Ok(n) => {
+                self.rbuf.extend_from_slice(&chunk[..n]);
+                Ok(true)
+            }
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock
+                    || e.kind() == ErrorKind::TimedOut
+                    || e.kind() == ErrorKind::Interrupted =>
+            {
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Drop consumed bytes once the buffer is fully drained.
+    fn compact(&mut self) {
+        if self.pos == self.rbuf.len() {
+            self.rbuf.clear();
+            self.pos = 0;
+        } else if self.pos > 0 {
+            self.rbuf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Read one RESP value (handshake replies), polling for stop.
+    fn read_value(&mut self, inner: &Inner) -> io::Result<Option<Value>> {
+        loop {
+            match decode_value(&self.rbuf[self.pos..]) {
+                Ok(Decode::Complete(v, used)) => {
+                    self.pos += used;
+                    self.compact();
+                    return Ok(Some(v));
+                }
+                Ok(Decode::Incomplete) => {
+                    if stopping(inner) {
+                        return Ok(None);
+                    }
+                    self.fill()?;
+                }
+                Err(e) => return Err(io::Error::new(ErrorKind::InvalidData, e.to_string())),
+            }
+        }
+    }
+
+    /// Read the FULLRESYNC payload: `$<len>\r\n` + `len` raw bytes +
+    /// `\r\n`. Read manually (not via `decode_value`) because a
+    /// snapshot may legitimately exceed the codec's per-bulk cap.
+    fn read_snapshot_bulk(&mut self, inner: &Inner) -> io::Result<Option<Vec<u8>>> {
+        let len = loop {
+            let head = &self.rbuf[self.pos..];
+            if let Some(nl) = head.windows(2).position(|w| w == b"\r\n") {
+                if head[0] != b'$' {
+                    return Err(io::Error::new(
+                        ErrorKind::InvalidData,
+                        "FULLRESYNC payload is not a bulk string",
+                    ));
+                }
+                let len: usize = std::str::from_utf8(&head[1..nl])
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n <= MAX_SNAPSHOT_BYTES)
+                    .ok_or_else(|| {
+                        io::Error::new(ErrorKind::InvalidData, "bad FULLRESYNC bulk length")
+                    })?;
+                self.pos += nl + 2;
+                break len;
+            }
+            if stopping(inner) {
+                return Ok(None);
+            }
+            self.fill()?;
+        };
+        // Shift the consumed prefix away so the bulk starts at 0, then
+        // carve the body out of rbuf in place — duplicating it with a
+        // copy would hold ~2x the snapshot in memory at once, on
+        // exactly the path the primary side kept single-copy.
+        if self.pos > 0 {
+            self.rbuf.drain(..self.pos);
+            self.pos = 0;
+        }
+        while self.rbuf.len() < len + 2 {
+            if stopping(inner) {
+                return Ok(None);
+            }
+            self.fill()?;
+        }
+        if &self.rbuf[len..len + 2] != b"\r\n" {
+            return Err(io::Error::new(
+                ErrorKind::InvalidData,
+                "FULLRESYNC bulk not terminated by CRLF",
+            ));
+        }
+        let rest = self.rbuf.split_off(len + 2);
+        let mut body = std::mem::replace(&mut self.rbuf, rest);
+        body.truncate(len);
+        Ok(Some(body))
+    }
+}
+
+fn bad_stream(msg: impl Into<String>) -> io::Error {
+    io::Error::new(ErrorKind::InvalidData, msg.into())
+}
+
+fn engine_err(e: crate::engine::EngineError) -> io::Error {
+    io::Error::other(format!("applying replicated ops: {e}"))
+}
+
+/// One replication session: handshake, full sync, tail. Returns `Ok`
+/// only on a deliberate stop (promotion/shutdown); every failure path is
+/// an `Err` so [`run`] reconnects and re-syncs.
+fn session(inner: &Inner, master: &str) -> io::Result<()> {
+    let mut conn = Conn::connect(master)?;
+    // Advisory metadata; the primary replies +OK and ignores it.
+    let port = inner.addr.port().to_string();
+    conn.send(&[b"REPLCONF", b"listening-port", port.as_bytes()])?;
+    match conn.read_value(inner)? {
+        None => return Ok(()),
+        Some(Value::Simple(s)) if s == "OK" => {}
+        Some(other) => return Err(bad_stream(format!("REPLCONF got {other:?}"))),
+    }
+    conn.send(&[b"PSYNC", b"?", b"-1"])?;
+    let base_offset = match conn.read_value(inner)? {
+        None => return Ok(()),
+        Some(Value::Simple(s)) => match s.strip_prefix("FULLRESYNC ") {
+            Some(off) => off
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| bad_stream(format!("bad FULLRESYNC offset in {s:?}")))?,
+            None => return Err(bad_stream(format!("PSYNC got +{s}"))),
+        },
+        Some(Value::Error(e)) => return Err(bad_stream(format!("PSYNC refused: {e}"))),
+        Some(other) => return Err(bad_stream(format!("PSYNC got {other:?}"))),
+    };
+    let Some(snap) = conn.read_snapshot_bulk(inner)? else {
+        return Ok(());
+    };
+    let records = snapshot::parse_all(&snap)
+        .map_err(|e| bad_stream(format!("bootstrap snapshot: {e}")))?;
+    drop(snap);
+    // Full-resync semantics: local state is replaced wholesale. On the
+    // first sync of a fresh replica the clear is a no-op; after a link
+    // loss it removes keys the primary may have deleted meanwhile.
+    inner.engine.clear().map_err(engine_err)?;
+    let loaded = records.len();
+    let ops: Vec<ReplOp> =
+        records.into_iter().map(|(key, value)| ReplOp::Set { key, value }).collect();
+    inner.engine.apply_ops(&ops).map_err(engine_err)?;
+    drop(ops);
+    inner.applied_offset.store(base_offset, Ordering::SeqCst);
+    inner.link_up.store(true, Ordering::SeqCst);
+    println!(
+        "dash-server: replica of {master}: full sync loaded {loaded} records at offset {base_offset}"
+    );
+    // Tail: decode every complete command in the buffer, apply them as
+    // one batch through the engine's batch paths, repeat.
+    let mut ops: Vec<ReplOp> = Vec::new();
+    loop {
+        if stopping(inner) {
+            return Ok(());
+        }
+        ops.clear();
+        loop {
+            match decode_command(&conn.rbuf[conn.pos..]) {
+                Ok(Decode::Complete(mut parts, used)) => {
+                    conn.pos += used;
+                    let name = parts[0].to_ascii_uppercase();
+                    match (name.as_slice(), parts.len()) {
+                        (b"SET", 3) => {
+                            let value = parts.pop().expect("len checked");
+                            let key = parts.pop().expect("len checked");
+                            ops.push(ReplOp::Set { key, value });
+                        }
+                        (b"DEL", 2) => {
+                            let key = parts.pop().expect("len checked");
+                            ops.push(ReplOp::Del { key });
+                        }
+                        // Liveness only; does not advance the offset.
+                        (b"PING", 1) => {}
+                        _ => {
+                            return Err(bad_stream(format!(
+                                "unexpected command {:?} in replication stream",
+                                String::from_utf8_lossy(&parts[0])
+                            )))
+                        }
+                    }
+                }
+                Ok(Decode::Incomplete) => break,
+                Err(e) => return Err(io::Error::new(ErrorKind::InvalidData, e.to_string())),
+            }
+        }
+        conn.compact();
+        if !ops.is_empty() {
+            inner.engine.apply_ops(&ops).map_err(engine_err)?;
+            inner.applied_offset.fetch_add(ops.len() as u64, Ordering::SeqCst);
+        }
+        conn.fill()?;
+    }
+}

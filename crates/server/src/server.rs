@@ -27,14 +27,15 @@
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use crate::engine::ShardedDash;
-use crate::resp::{decode_command, encode, Decode, Value};
+use crate::repl::ReplOp;
+use crate::resp::{decode_command, encode, encode_command, Decode, Value};
 
 /// How often an idle connection thread wakes up to check for shutdown.
 const IDLE_POLL: Duration = Duration::from_millis(50);
@@ -47,13 +48,70 @@ const DEFAULT_SCAN_COUNT: usize = 64;
 /// Cap on a client-supplied `COUNT` (bounds one reply's memory).
 const MAX_SCAN_COUNT: usize = 10_000;
 
-struct Inner {
-    engine: ShardedDash,
-    shutdown: AtomicBool,
-    addr: SocketAddr,
+/// Which side of replication this server is on. A server starts as a
+/// primary (the default) or as a replica (`--replica-of`); a replica
+/// becomes a primary through `REPLICAOF NO ONE` (promotion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    Primary,
+    Replica,
+}
+
+/// Options for [`serve_with`].
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Start as a read-only replica of the primary at `host:port`:
+    /// bootstrap via `PSYNC` (snapshot + tail) and keep applying the
+    /// primary's stream until promoted. The engine should be empty —
+    /// the first full sync clears it.
+    pub replica_of: Option<String>,
+}
+
+pub(crate) struct Inner {
+    pub(crate) engine: ShardedDash,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) addr: SocketAddr,
     connections_accepted: AtomicU64,
     commands_served: AtomicU64,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// `Role` as a u8 (0 = primary, 1 = replica); flipped by promotion.
+    role: AtomicU8,
+    /// Replica: the primary this server follows.
+    pub(crate) master_addr: Option<String>,
+    /// Replica: replication-stream offset applied so far (primary
+    /// numbering: FULLRESYNC base + tail ops applied).
+    pub(crate) applied_offset: AtomicU64,
+    /// Replica: is the link to the primary currently established?
+    pub(crate) link_up: AtomicBool,
+    /// Replica: tells the sync thread to stop (promotion fence).
+    pub(crate) sync_stop: AtomicBool,
+    /// Replica: the background sync thread, joined at shutdown.
+    replica_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Inner {
+    pub(crate) fn role(&self) -> Role {
+        if self.role.load(Ordering::SeqCst) == 0 { Role::Primary } else { Role::Replica }
+    }
+
+    /// Promote to primary (idempotent). The role only flips — i.e.
+    /// writes are only accepted — after the sync thread has been
+    /// stopped AND joined: a replicated batch already in flight when
+    /// the promotion arrived must fully apply (it is pre-promotion
+    /// state) before any client write can land, or the stale batch
+    /// could overwrite an acknowledged post-promotion write. Holding
+    /// the thread-handle lock across the join serializes concurrent
+    /// promotions onto the same fence.
+    fn promote(&self) {
+        self.sync_stop.store(true, Ordering::SeqCst);
+        let mut handle = self.replica_thread.lock();
+        if let Some(t) = handle.take() {
+            let _ = t.join();
+        }
+        if self.role.swap(0, Ordering::SeqCst) == 1 {
+            self.link_up.store(false, Ordering::SeqCst);
+        }
+    }
 }
 
 /// Handle to a running server: address, shutdown, join.
@@ -94,6 +152,15 @@ impl ServerHandle {
 /// [`ServerHandle::shutdown`] leaves the pools uncleanly closed — the
 /// store recovers, but with a version bump, exactly like a crash.
 pub fn serve(engine: ShardedDash, addr: impl ToSocketAddrs) -> std::io::Result<ServerHandle> {
+    serve_with(engine, addr, ServeOptions::default())
+}
+
+/// [`serve`] with options — currently: start as a replica.
+pub fn serve_with(
+    engine: ShardedDash,
+    addr: impl ToSocketAddrs,
+    opts: ServeOptions,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let inner = Arc::new(Inner {
@@ -103,7 +170,18 @@ pub fn serve(engine: ShardedDash, addr: impl ToSocketAddrs) -> std::io::Result<S
         connections_accepted: AtomicU64::new(0),
         commands_served: AtomicU64::new(0),
         workers: Mutex::new(Vec::new()),
+        role: AtomicU8::new(u8::from(opts.replica_of.is_some())),
+        master_addr: opts.replica_of.clone(),
+        applied_offset: AtomicU64::new(0),
+        link_up: AtomicBool::new(false),
+        sync_stop: AtomicBool::new(false),
+        replica_thread: Mutex::new(None),
     });
+    if let Some(master) = opts.replica_of {
+        let sync_inner = inner.clone();
+        let handle = std::thread::spawn(move || crate::repl::replica::run(sync_inner, master));
+        *inner.replica_thread.lock() = Some(handle);
+    }
     let accept_inner = inner.clone();
     let accept_thread = std::thread::spawn(move || accept_loop(listener, accept_inner));
     Ok(ServerHandle { inner, accept_thread: Some(accept_thread) })
@@ -145,11 +223,15 @@ fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
         }
     }
     // Drain connection threads (they observe the flag via read timeouts),
-    // then close the pools: the last reply written before this point is
-    // durably on disk after close().
+    // then the replica sync thread (it uses the engine), then close the
+    // pools: the last reply written before this point is durably on disk
+    // after close().
     let workers = std::mem::take(&mut *inner.workers.lock());
     for w in workers {
         let _ = w.join();
+    }
+    if let Some(t) = inner.replica_thread.lock().take() {
+        let _ = t.join();
     }
     let _ = inner.engine.close();
 }
@@ -194,6 +276,16 @@ fn serve_connection(stream: TcpStream, inner: &Inner) -> std::io::Result<()> {
                     inner.commands_served.fetch_add(1, Ordering::Relaxed);
                     match execute(&parts, inner) {
                         Outcome::Reply(v) => encode(&v, &mut wbuf),
+                        Outcome::StartReplication => {
+                            // Hand the connection over to the replication
+                            // stream: flush any pipelined replies first,
+                            // then this thread serves snapshot + tail
+                            // until the replica or the server goes away.
+                            if !wbuf.is_empty() {
+                                stream.write_all(&wbuf)?;
+                            }
+                            return serve_replica_stream(stream, inner);
+                        }
                         Outcome::Shutdown => {
                             encode(&Value::Simple("OK".into()), &mut wbuf);
                             stream.write_all(&wbuf)?;
@@ -227,7 +319,17 @@ fn serve_connection(stream: TcpStream, inner: &Inner) -> std::io::Result<()> {
 
 enum Outcome {
     Reply(Value),
+    /// `PSYNC` accepted: the connection becomes a replication stream.
+    StartReplication,
     Shutdown,
+}
+
+/// Does this command mutate engine state? The replica write gate — keep
+/// in lockstep with the dispatch arms in [`execute`]: every command that
+/// reaches a mutating engine call MUST be listed here, or clients could
+/// write to a replica and silently diverge it from its primary.
+fn writes_engine_state(name: &str) -> bool {
+    matches!(name, "SET" | "MSET" | "DEL")
 }
 
 fn err(msg: impl Into<String>) -> Outcome {
@@ -243,6 +345,14 @@ fn execute(parts: &[Vec<u8>], inner: &Inner) -> Outcome {
     let engine = &inner.engine;
     let name = String::from_utf8_lossy(&parts[0]).to_ascii_uppercase();
     let args = &parts[1..];
+    // A replica owns no writes: its state is the primary's stream (the
+    // sync thread applies that through the engine directly, not through
+    // commands). Client writes bounce with the Redis error class.
+    if writes_engine_state(&name) && inner.role() == Role::Replica {
+        return Outcome::Reply(Value::Error(
+            "READONLY You can't write against a read only replica.".into(),
+        ));
+    }
     match name.as_str() {
         "PING" => match args {
             [] => Outcome::Reply(Value::Simple("PONG".into())),
@@ -372,10 +482,113 @@ fn execute(parts: &[Vec<u8>], inner: &Inner) -> Outcome {
         },
         "INFO" => match args {
             [] => Outcome::Reply(Value::Bulk(info_text(inner).into_bytes())),
+            // The cheap section for replication monitoring: no
+            // scan_len (full INFO pays an O(total keys) ground-truth
+            // scan), so offset polls don't perturb the stores they
+            // watch. What the typed client accessors use.
+            [section] if section.eq_ignore_ascii_case(b"replication") => {
+                Outcome::Reply(Value::Bulk(replication_info_text(inner).into_bytes()))
+            }
+            [_] => err("unknown INFO section (only 'replication' is supported)"),
             _ => wrong_args("info"),
+        },
+        // Replication handshake: REPLCONF carries replica metadata
+        // (accepted and ignored — `listening-port` etc. are advisory);
+        // PSYNC turns the connection into a replication stream.
+        "REPLCONF" => Outcome::Reply(Value::Simple("OK".into())),
+        "PSYNC" => {
+            if inner.role() == Role::Replica {
+                err("PSYNC on a replica (chained replication) is not supported")
+            } else {
+                Outcome::StartReplication
+            }
+        }
+        "REPLICAOF" => match args {
+            [host, port]
+                if host.eq_ignore_ascii_case(b"NO") && port.eq_ignore_ascii_case(b"ONE") =>
+            {
+                // Promote: stop and join the sync loop, then accept
+                // writes. +OK is sent only once the fence is complete.
+                inner.promote();
+                Outcome::Reply(Value::Simple("OK".into()))
+            }
+            [_, _] => err("attaching to a primary at runtime is not supported; start with --replica-of"),
+            _ => wrong_args("replicaof"),
         },
         "SHUTDOWN" => Outcome::Shutdown,
         _ => err(format!("unknown command '{}'", String::from_utf8_lossy(&parts[0]))),
+    }
+}
+
+/// Serve one replica over an accepted connection (the `PSYNC` handoff):
+/// subscribe to the op stream *first* (pinning the offset cut), then
+/// stream an online snapshot as `+FULLRESYNC <offset>` plus one bulk
+/// string, then forward the live tail as `SET`/`DEL` commands, with a
+/// `PING` every ~2 s of idleness as a liveness signal.
+fn serve_replica_stream(mut stream: TcpStream, inner: &Inner) -> std::io::Result<()> {
+    let sub = inner.engine.repl_subscribe();
+    let snap = match inner.engine.snapshot_bytes() {
+        Ok((bytes, _records)) => bytes,
+        Err(e) => {
+            let mut wbuf = Vec::new();
+            encode(&Value::Error(format!("ERR {e}")), &mut wbuf);
+            stream.write_all(&wbuf)?;
+            return Ok(());
+        }
+    };
+    // The snapshot is written directly — copying it into a reply
+    // buffer would double peak memory per attaching replica.
+    let mut wbuf =
+        format!("+FULLRESYNC {}\r\n${}\r\n", sub.start_offset, snap.len()).into_bytes();
+    stream.write_all(&wbuf)?;
+    stream.write_all(&snap)?;
+    stream.write_all(b"\r\n")?;
+    drop(snap);
+    let mut idle_polls = 0u32;
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match sub.recv_timeout(Duration::from_millis(100)) {
+            Ok(op) => {
+                wbuf.clear();
+                encode_op(&op, &mut wbuf);
+                // Drain whatever else is queued into the same write —
+                // the stream-side analogue of pipelining — but bound
+                // the burst so one write_all stays shippable.
+                while wbuf.len() < 4 << 20 {
+                    match sub.try_recv() {
+                        Ok(more) => encode_op(&more, &mut wbuf),
+                        Err(_) => break,
+                    }
+                }
+                stream.write_all(&wbuf)?;
+                idle_polls = 0;
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                idle_polls += 1;
+                if idle_polls >= 20 {
+                    // Not an op (PINGs don't advance the offset on
+                    // either side) — just proof of life, and the way a
+                    // dead replica connection is detected while idle.
+                    stream.write_all(b"*1\r\n$4\r\nPING\r\n")?;
+                    idle_polls = 0;
+                }
+            }
+            // The hub dropped this sink as too slow: close the stream
+            // so the replica reconnects and runs a fresh full sync.
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return Ok(()),
+        }
+    }
+}
+
+/// The wire form of one replicated op: exactly the client command that
+/// would have produced it, so the replica applies the stream with the
+/// same decoder the server uses for clients.
+fn encode_op(op: &ReplOp, out: &mut Vec<u8>) {
+    match op {
+        ReplOp::Set { key, value } => encode_command(&[b"SET", key, value], out),
+        ReplOp::Del { key } => encode_command(&[b"DEL", key], out),
     }
 }
 
@@ -396,6 +609,7 @@ fn info_text(inner: &Inner) -> String {
     // is expected). O(total keys) — INFO is a diagnostics command.
     out.push_str(&format!("scan_len:{}\r\n", engine.scan_len()));
     out.push_str(&format!("recovered_shards:{}\r\n", engine.recovered_shards()));
+    out.push_str(&replication_info_text(inner));
     out.push_str(&format!(
         "connections_accepted:{}\r\n",
         inner.connections_accepted.load(Ordering::Relaxed)
@@ -411,6 +625,43 @@ fn info_text(inner: &Inner) -> String {
             u8::from(info.recovered),
             u8::from(info.clean),
             info.version,
+        ));
+    }
+    out
+}
+
+/// The replication lines of INFO, also served standalone as
+/// `INFO replication` (cheap — no key counts, no scans): the role, the
+/// stream position (primary: ops published since store creation;
+/// replica: primary-numbered offset applied), and the live replica
+/// streams. Offset equality between a primary and its quiesced replica
+/// means the replica holds every acknowledged write — the precondition
+/// the failover drill checks before killing the primary.
+fn replication_info_text(inner: &Inner) -> String {
+    let engine = &inner.engine;
+    let role = inner.role();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "role:{}\r\n",
+        match role {
+            Role::Primary => "primary",
+            Role::Replica => "replica",
+        }
+    ));
+    let repl_offset = match role {
+        Role::Primary => engine.repl_offset(),
+        Role::Replica => inner.applied_offset.load(Ordering::SeqCst),
+    };
+    out.push_str(&format!("repl_offset:{repl_offset}\r\n"));
+    out.push_str(&format!("connected_replicas:{}\r\n", engine.connected_replicas()));
+    out.push_str(&format!("log_append_errors:{}\r\n", engine.log_append_errors()));
+    if role == Role::Replica {
+        if let Some(master) = &inner.master_addr {
+            out.push_str(&format!("master_addr:{master}\r\n"));
+        }
+        out.push_str(&format!(
+            "master_link:{}\r\n",
+            if inner.link_up.load(Ordering::SeqCst) { "up" } else { "down" }
         ));
     }
     out

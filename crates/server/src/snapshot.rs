@@ -1,31 +1,35 @@
-//! Snapshot files: the length-prefixed, checksummed on-disk format the
-//! engine's online `SNAPSHOT` export writes and the restore path loads.
+//! Snapshot streams: the length-prefixed, checksummed record format the
+//! engine's online `SNAPSHOT` export writes, the restore path loads, and
+//! replica bootstrap ships over the wire (`PSYNC` → `+FULLRESYNC`).
 //!
-//! Layout (all integers little-endian):
+//! Layout (all integers little-endian; header/checksum framing shared
+//! with the repl log via [`crate::repl::wire`]):
 //!
 //! ```text
-//! magic     u64   SNAP_MAGIC
-//! version   u32   format version (1)
-//! shards    u32   source store's shard count (informational — a restore
-//!                 may target any shard count; records re-partition)
+//! header    16 B  SNAP_MAGIC, SNAP_VERSION, source shard count
+//!                 (informational — a restore may target any shard
+//!                 count; records re-partition)
 //! records   *     u32 key_len, u32 value_len, key bytes, value bytes
 //! end mark  u32   key_len = 0xFFFF_FFFF
 //! count     u64   number of records
-//! checksum  u64   FNV-1a over every preceding byte of the file
+//! checksum  u64   FNV-1a over every preceding byte of the stream
 //! ```
 //!
-//! The writer streams records through a running checksum and publishes
-//! atomically: everything goes to `<path>.tmp`, which is fsynced and
-//! renamed over `<path>` only in [`SnapshotWriter::finish`] — a crash
-//! mid-snapshot can never leave a half-written file under the real name.
+//! [`SnapshotStream`] writes that layout to any `Write` sink — a `Vec`
+//! for the replication bootstrap payload, a buffered temp file for disk
+//! backups. [`SnapshotWriter`] is the disk flavor: it streams to
+//! `<path>.tmp`, fsyncs, and renames over `<path>` only in
+//! [`SnapshotWriter::finish`] — a crash mid-snapshot can never leave a
+//! half-written file under the real name.
 //!
-//! The reader ([`read_all`]) verifies structure, bounds, record count and
-//! checksum **before** returning a single record, so a corrupted snapshot
-//! is rejected with a clean error instead of partially restored. It holds
-//! the whole record set in memory, which is the right trade-off at the
-//! sizes this store targets per snapshot (values are capped at
-//! [`MAX_VALUE_LEN`](crate::MAX_VALUE_LEN) and the source pools are
-//! bounded); a streaming two-pass verify can replace it if pools grow.
+//! The readers ([`read_all`] / [`parse_all`]) verify structure, bounds,
+//! record count and checksum **before** returning a single record, so a
+//! corrupted snapshot is rejected with a clean error instead of
+//! partially restored. They hold the whole record set in memory, which
+//! is the right trade-off at the sizes this store targets per snapshot
+//! (values are capped at [`MAX_VALUE_LEN`](crate::MAX_VALUE_LEN) and the
+//! source pools are bounded); a streaming two-pass verify can replace it
+//! if pools grow.
 
 use std::fmt;
 use std::fs::File;
@@ -35,6 +39,7 @@ use std::path::{Path, PathBuf};
 use dash_common::MAX_KEY_LEN;
 
 use crate::engine::MAX_VALUE_LEN;
+use crate::repl::wire::{FileHeader, Fnv, Parser};
 
 /// `b"DASHSNP1"` as a little-endian u64.
 pub const SNAP_MAGIC: u64 = u64::from_le_bytes(*b"DASHSNP1");
@@ -42,27 +47,6 @@ pub const SNAP_MAGIC: u64 = u64::from_le_bytes(*b"DASHSNP1");
 pub const SNAP_VERSION: u32 = 1;
 /// `key_len` sentinel terminating the record stream.
 const END_MARK: u32 = u32::MAX;
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// Running FNV-1a 64 (not cryptographic — an integrity check against
-/// torn writes and bit rot, not an authenticity check).
-#[derive(Clone, Copy)]
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(FNV_OFFSET)
-    }
-
-    fn update(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(FNV_PRIME);
-        }
-    }
-}
 
 /// Why a snapshot could not be written or loaded.
 #[derive(Debug)]
@@ -95,14 +79,61 @@ fn corrupt(msg: impl Into<String>) -> SnapshotError {
 
 pub type SnapshotResult<T> = Result<T, SnapshotError>;
 
+/// Streams snapshot-format records (header, records, checksummed
+/// trailer) into any `Write` sink.
+pub struct SnapshotStream<W: Write> {
+    out: W,
+    fnv: Fnv,
+    count: u64,
+}
+
+impl<W: Write> SnapshotStream<W> {
+    /// Start a stream: writes the header. `shards` is recorded for
+    /// diagnostics.
+    pub fn new(out: W, shards: u32) -> SnapshotResult<Self> {
+        let mut s = SnapshotStream { out, fnv: Fnv::new(), count: 0 };
+        let header = FileHeader { magic: SNAP_MAGIC, version: SNAP_VERSION, meta: shards };
+        s.write_hashed(&header.encode())?;
+        Ok(s)
+    }
+
+    fn write_hashed(&mut self, bytes: &[u8]) -> SnapshotResult<()> {
+        self.fnv.update(bytes);
+        self.out.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// Append one record.
+    pub fn append(&mut self, key: &[u8], value: &[u8]) -> SnapshotResult<()> {
+        let mut lens = [0u8; 8];
+        lens[..4].copy_from_slice(&(key.len() as u32).to_le_bytes());
+        lens[4..].copy_from_slice(&(value.len() as u32).to_le_bytes());
+        self.write_hashed(&lens)?;
+        self.write_hashed(key)?;
+        self.write_hashed(value)?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Write the end mark, count and checksum; returns the sink and the
+    /// record count.
+    pub fn finish(mut self) -> SnapshotResult<(W, u64)> {
+        let mut trailer = Vec::with_capacity(12);
+        trailer.extend_from_slice(&END_MARK.to_le_bytes());
+        trailer.extend_from_slice(&self.count.to_le_bytes());
+        self.write_hashed(&trailer)?;
+        let checksum = self.fnv.value();
+        self.out.write_all(&checksum.to_le_bytes())?;
+        Ok((self.out, self.count))
+    }
+}
+
 /// Streams `(key, value)` records into `<path>.tmp` and publishes the
 /// finished, checksummed file as `<path>` on [`finish`](Self::finish).
 pub struct SnapshotWriter {
-    out: BufWriter<File>,
+    stream: Option<SnapshotStream<BufWriter<File>>>,
     tmp: PathBuf,
     path: PathBuf,
-    fnv: Fnv,
-    count: u64,
 }
 
 impl SnapshotWriter {
@@ -125,143 +156,91 @@ impl SnapshotWriter {
         ));
         let tmp = path.with_file_name(name);
         let file = File::create(&tmp)?;
-        let mut w = SnapshotWriter {
-            out: BufWriter::new(file),
-            tmp,
-            path: path.to_path_buf(),
-            fnv: Fnv::new(),
-            count: 0,
-        };
-        let mut header = Vec::with_capacity(16);
-        header.extend_from_slice(&SNAP_MAGIC.to_le_bytes());
-        header.extend_from_slice(&SNAP_VERSION.to_le_bytes());
-        header.extend_from_slice(&shards.to_le_bytes());
-        w.write_hashed(&header)?;
-        Ok(w)
-    }
-
-    fn write_hashed(&mut self, bytes: &[u8]) -> SnapshotResult<()> {
-        self.fnv.update(bytes);
-        self.out.write_all(bytes)?;
-        Ok(())
+        let stream = SnapshotStream::new(BufWriter::new(file), shards)?;
+        Ok(SnapshotWriter { stream: Some(stream), tmp, path: path.to_path_buf() })
     }
 
     /// Append one record.
     pub fn append(&mut self, key: &[u8], value: &[u8]) -> SnapshotResult<()> {
-        let mut lens = [0u8; 8];
-        lens[..4].copy_from_slice(&(key.len() as u32).to_le_bytes());
-        lens[4..].copy_from_slice(&(value.len() as u32).to_le_bytes());
-        self.write_hashed(&lens)?;
-        self.write_hashed(key)?;
-        self.write_hashed(value)?;
-        self.count += 1;
-        Ok(())
+        self.stream.as_mut().expect("append after finish").append(key, value)
     }
 
     /// Write the trailer, fsync, and atomically publish the file under
     /// its real name. Returns the record count.
     pub fn finish(mut self) -> SnapshotResult<u64> {
-        let mut trailer = Vec::with_capacity(12);
-        trailer.extend_from_slice(&END_MARK.to_le_bytes());
-        trailer.extend_from_slice(&self.count.to_le_bytes());
-        self.write_hashed(&trailer)?;
-        let checksum = self.fnv.0;
-        self.out.write_all(&checksum.to_le_bytes())?;
-        self.out.flush()?;
-        self.out.get_ref().sync_all()?;
+        let (mut out, count) = self.stream.take().expect("finish called twice").finish()?;
+        out.flush()?;
+        out.get_ref().sync_all()?;
         std::fs::rename(&self.tmp, &self.path)?;
-        Ok(self.count)
+        Ok(count)
     }
 }
 
 impl Drop for SnapshotWriter {
     fn drop(&mut self) {
         // An unfinished snapshot leaves no debris under the real name;
-        // clean up the tmp file too (best effort).
+        // clean up the tmp file too (best effort). After a successful
+        // finish the tmp was renamed away and this is a no-op.
         let _ = std::fs::remove_file(&self.tmp);
     }
 }
 
-struct Parser<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn take(&mut self, n: usize, what: &str) -> SnapshotResult<&'a [u8]> {
-        if self.buf.len() - self.pos < n {
-            return Err(corrupt(format!("truncated file: {what} at offset {}", self.pos)));
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
+/// Fully verify and decode a snapshot byte stream. Every structural
+/// check — magic, version, per-record length bounds, end marker, record
+/// count, checksum, no trailing bytes — passes before any record is
+/// returned.
+pub fn parse_all(buf: &[u8]) -> SnapshotResult<Vec<(Vec<u8>, Vec<u8>)>> {
+    if buf.len() < FileHeader::LEN + 4 + 8 + 8 {
+        return Err(corrupt(format!("stream of {} bytes is smaller than an empty snapshot", buf.len())));
     }
-
-    fn u32(&mut self, what: &str) -> SnapshotResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
-    }
-
-    fn u64(&mut self, what: &str) -> SnapshotResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
-    }
-}
-
-/// Load and fully verify a snapshot file. Every structural check —
-/// magic, version, per-record length bounds, end marker, record count,
-/// checksum, no trailing bytes — passes before any record is returned.
-pub fn read_all(path: &Path) -> SnapshotResult<Vec<(Vec<u8>, Vec<u8>)>> {
-    let mut buf = Vec::new();
-    File::open(path)?.read_to_end(&mut buf)?;
-    if buf.len() < 8 + 4 + 4 + 4 + 8 + 8 {
-        return Err(corrupt(format!("file of {} bytes is smaller than an empty snapshot", buf.len())));
-    }
-    let mut p = Parser { buf: &buf, pos: 0 };
-    if p.u64("magic")? != SNAP_MAGIC {
-        return Err(corrupt("bad magic: not a dash snapshot"));
-    }
-    let version = p.u32("version")?;
-    if version != SNAP_VERSION {
-        return Err(corrupt(format!("unsupported snapshot version {version}")));
-    }
-    let _shards = p.u32("shard count")?;
+    let mut p = Parser::new(buf);
+    let _shards =
+        FileHeader::read(&mut p, SNAP_MAGIC, SNAP_VERSION, "snapshot").map_err(corrupt)?;
     let mut records = Vec::new();
     loop {
-        let klen = p.u32("key length")?;
+        let klen = p.u32("key length").map_err(corrupt)?;
         if klen == END_MARK {
             break;
         }
-        let vlen = p.u32("value length")?;
+        let vlen = p.u32("value length").map_err(corrupt)?;
         if klen as usize > MAX_KEY_LEN {
             return Err(corrupt(format!("key length {klen} exceeds limit")));
         }
         if vlen as usize > MAX_VALUE_LEN {
             return Err(corrupt(format!("value length {vlen} exceeds limit")));
         }
-        let key = p.take(klen as usize, "key bytes")?.to_vec();
-        let value = p.take(vlen as usize, "value bytes")?.to_vec();
+        let key = p.take(klen as usize, "key bytes").map_err(corrupt)?.to_vec();
+        let value = p.take(vlen as usize, "value bytes").map_err(corrupt)?.to_vec();
         records.push((key, value));
     }
-    let count = p.u64("record count")?;
+    let count = p.u64("record count").map_err(corrupt)?;
     if count != records.len() as u64 {
         return Err(corrupt(format!(
-            "trailer claims {count} records, file holds {}",
+            "trailer claims {count} records, stream holds {}",
             records.len()
         )));
     }
-    let hashed_end = p.pos;
-    let checksum = p.u64("checksum")?;
-    if p.pos != buf.len() {
-        return Err(corrupt(format!("{} trailing bytes after checksum", buf.len() - p.pos)));
+    let hashed_end = p.pos();
+    let checksum = p.u64("checksum").map_err(corrupt)?;
+    if p.remaining() != 0 {
+        return Err(corrupt(format!("{} trailing bytes after checksum", p.remaining())));
     }
     let mut fnv = Fnv::new();
     fnv.update(&buf[..hashed_end]);
-    if fnv.0 != checksum {
+    if fnv.value() != checksum {
         return Err(corrupt(format!(
-            "checksum mismatch: file says {checksum:#018x}, computed {:#018x}",
-            fnv.0
+            "checksum mismatch: stream says {checksum:#018x}, computed {:#018x}",
+            fnv.value()
         )));
     }
     Ok(records)
+}
+
+/// [`parse_all`] over a file on disk.
+pub fn read_all(path: &Path) -> SnapshotResult<Vec<(Vec<u8>, Vec<u8>)>> {
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    parse_all(&buf)
 }
 
 #[cfg(test)]
@@ -313,6 +292,20 @@ mod tests {
             assert_eq!(v, format!("value-{i}").as_bytes());
         }
         assert!(!tmp_debris(&p.0), "tmp must be renamed away");
+    }
+
+    #[test]
+    fn in_memory_stream_matches_file_format() {
+        let p = TempPath::new("memstream");
+        write_sample(&p.0, 10);
+        let mut s = SnapshotStream::new(Vec::new(), 4).unwrap();
+        for i in 0..10 {
+            s.append(format!("key-{i}").as_bytes(), format!("value-{i}").as_bytes()).unwrap();
+        }
+        let (bytes, count) = s.finish().unwrap();
+        assert_eq!(count, 10);
+        assert_eq!(bytes, std::fs::read(&p.0).unwrap(), "Vec sink and file must be byte-identical");
+        assert_eq!(parse_all(&bytes).unwrap().len(), 10);
     }
 
     #[test]

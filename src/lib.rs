@@ -16,8 +16,10 @@
 //!   and workload generators;
 //! * [`dash_server`] — the service layer: [`ShardedDash`] (keyspace
 //!   partitioned over per-shard file-backed pools, restart recovery
-//!   through the whole stack) and a RESP2 TCP server + client
-//!   ([`serve`], [`RespClient`]).
+//!   through the whole stack), a RESP2 TCP server + client
+//!   ([`serve`], [`RespClient`]), and replication (per-shard redo log,
+//!   `--replica-of` followers bootstrapped by snapshot+tail over
+//!   `PSYNC`, promote-on-failover via `REPLICAOF NO ONE`).
 //!
 //! ```
 //! use dash_repro::{DashConfig, DashEh, PmHashTable, PmemPool, PoolConfig};
@@ -52,7 +54,8 @@ pub use dash_common::{
 };
 pub use dash_core::{self, DashConfig, DashEh, DashLh, InsertPolicy, LockMode, BUCKET_SLOTS};
 pub use dash_server::{
-    self, serve, EngineConfig, EngineError, RespClient, ServerHandle, ShardInfo, ShardedDash,
+    self, serve, serve_with, EngineConfig, EngineError, ReplOp, RespClient, Role, ServeOptions,
+    ServerHandle, ShardInfo, ShardedDash,
 };
 pub use levelhash::{self, LevelConfig, LevelHash};
 pub use pmem::{self, CostModel, PmOffset, PmemPool, PoolConfig, PoolImage};
