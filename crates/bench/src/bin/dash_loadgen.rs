@@ -46,6 +46,10 @@ OPTIONS:
                       start time, so a stalled server accrues queueing
                       delay instead of silently skipping arrivals
                       (0 = closed-loop sampling, the default)
+    --assert-p99-us N fail the run (exit 1) if the sampled per-op p99
+                      latency exceeds N microseconds — a regression
+                      tripwire for CI and the soak tests (requires a
+                      latency sample; 0 disables, the default)
     --zipf THETA      Zipfian skew in (0,1); omitted = uniform
     --seed S          keyspace seed (default 42)
     --preload         SET the whole keyspace before the timed run
@@ -85,6 +89,7 @@ struct Config {
     batch: Option<usize>,
     latency_sample: usize,
     latency_rate: f64,
+    assert_p99_us: u64,
     zipf: Option<f64>,
     seed: u64,
     preload: bool,
@@ -110,6 +115,7 @@ fn parse_config() -> Config {
             "batch",
             "latency-sample",
             "latency-rate",
+            "assert-p99-us",
             "zipf",
             "seed",
             "snapshot",
@@ -146,6 +152,7 @@ fn parse_config() -> Config {
                 ),
             },
         },
+        assert_p99_us: args.flag_or_exit("assert-p99-us", 0, USAGE),
         zipf: match args.flag_opt("zipf") {
             None => None,
             Some(v) => match v.parse::<f64>() {
@@ -703,6 +710,14 @@ fn main() {
     let cfg = parse_config();
     let stems = uniform_keys(cfg.keys, cfg.seed);
 
+    // High connection counts are fd-bound before they are thread-bound:
+    // make sure this process can open a socket per connection (plus
+    // headroom for the verify/preload phases), or say why not.
+    let want_fds = (cfg.conns as u64) * 2 + 64;
+    if let Err(e) = dash_server::net::ensure_nofile_limit(want_fds) {
+        eprintln!("dash-loadgen: cannot raise fd limit to {want_fds}: {e} (continuing)");
+    }
+
     // Reachability check with a useful error before spawning anything.
     let mut probe = match RespClient::connect(cfg.addr.as_str()) {
         Ok(c) => c,
@@ -798,19 +813,32 @@ fn main() {
             ("pipeline depth 1".to_string(), sample_latency(&cfg, &stems))
         };
         match result {
-            Ok(samples) => println!(
-                "per-op latency ({mode}, {} samples): p50 {} us, p95 {} us, p99 {} us, max {} us",
-                samples.len(),
-                percentile(&samples, 0.50),
-                percentile(&samples, 0.95),
-                percentile(&samples, 0.99),
-                samples.last().copied().unwrap_or(0),
-            ),
+            Ok(samples) => {
+                let p99 = percentile(&samples, 0.99);
+                println!(
+                    "per-op latency ({mode}, {} samples): p50 {} us, p95 {} us, p99 {} us, max {} us",
+                    samples.len(),
+                    percentile(&samples, 0.50),
+                    percentile(&samples, 0.95),
+                    p99,
+                    samples.last().copied().unwrap_or(0),
+                );
+                if cfg.assert_p99_us > 0 && p99 > cfg.assert_p99_us {
+                    eprintln!(
+                        "dash-loadgen: p99 latency {p99} us exceeds --assert-p99-us {}",
+                        cfg.assert_p99_us
+                    );
+                    failed = true;
+                }
+            }
             Err(e) => {
                 eprintln!("dash-loadgen: latency sampling failed: {e}");
                 failed = true;
             }
         }
+    } else if cfg.assert_p99_us > 0 {
+        eprintln!("dash-loadgen: --assert-p99-us set but no latency sample was taken");
+        failed = true;
     }
 
     if let Some(replica_addr) = &cfg.wait_sync {

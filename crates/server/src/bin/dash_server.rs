@@ -46,12 +46,22 @@ OPTIONS:
                        HOST:PORT (bootstraps via PSYNC snapshot+tail;
                        requires a fresh store; promote with
                        'REPLICAOF NO ONE')
+    --event-workers N  event-loop worker threads (default: one per CPU)
     -h, --help         show this help";
 
 fn main() {
     let args = cli::parse_or_exit(
         USAGE,
-        &["addr", "dir", "shards", "pool-mb", "restore", "replay-logs", "replica-of"],
+        &[
+            "addr",
+            "dir",
+            "shards",
+            "pool-mb",
+            "restore",
+            "replay-logs",
+            "replica-of",
+            "event-workers",
+        ],
         &[],
         0,
     );
@@ -62,6 +72,13 @@ fn main() {
     let restore = args.flag_opt("restore").map(std::path::PathBuf::from);
     let replay_logs = args.flag_opt("replay-logs").map(std::path::PathBuf::from);
     let replica_of = args.flag_opt("replica-of").map(str::to_owned);
+    let event_workers: Option<usize> = match args.flag_opt("event-workers") {
+        None => None,
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => cli::exit_usage("--event-workers must be a positive integer", USAGE),
+        },
+    };
 
     if replica_of.is_some() && (restore.is_some() || replay_logs.is_some()) {
         cli::exit_usage(
@@ -122,7 +139,14 @@ fn main() {
             println!("shard {i}: created fresh");
         }
     }
-    let opts = ServeOptions { replica_of: replica_of.clone() };
+    // Serving thousands of connections from a fixed worker pool is fd-
+    // bound, not thread-bound: raise the soft RLIMIT_NOFILE to the hard
+    // limit so the EMFILE backoff path is for genuine exhaustion only.
+    match dash_server::net::ensure_nofile_limit(u64::MAX) {
+        Ok(limit) => println!("fd limit: {limit}"),
+        Err(e) => eprintln!("dash-server: cannot raise fd limit: {e} (continuing)"),
+    }
+    let opts = ServeOptions { replica_of: replica_of.clone(), event_workers };
     let server = match serve_with(engine, addr.as_str(), opts) {
         Ok(s) => s,
         Err(e) => {

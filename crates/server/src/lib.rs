@@ -11,12 +11,15 @@
 //!   time per shard (Dash §4.8). Values are byte strings stored out of
 //!   line in the owning shard's pool; reads are lock-free under an
 //!   epoch pin, writes serialize per shard.
-//! * [`serve`] ([`server`]) — a thread-per-connection TCP server
+//! * [`serve`] ([`server`], [`net`]) — an event-driven TCP server
 //!   speaking a RESP2 subset (`GET` `SET` `MGET` `MSET` `DEL` `EXISTS`
-//!   `PING` `INFO` `DBSIZE` `SHUTDOWN`) with full pipelining, on
-//!   `std::net` only. The multi-key commands run through the engine's
-//!   batch paths: keys grouped by shard, one epoch entry and one
-//!   write-lock acquisition per shard per command.
+//!   `PING` `INFO` `DBSIZE` `SHUTDOWN`) with full pipelining: a fixed
+//!   pool of epoll event-loop workers (default: one per CPU) drives
+//!   nonblocking connections round-robin-assigned at accept time, so
+//!   thousands of connections cost no threads and an idle server makes
+//!   zero periodic wakeups. The multi-key commands run through the
+//!   engine's batch paths: keys grouped by shard, one epoch entry and
+//!   one write-lock acquisition per shard per command.
 //! * [`repl`] — replication: a per-shard redo log (torn-tail-safe,
 //!   doubling as incremental backup via `--replay-logs`), primary-side
 //!   streaming (`REPLCONF`/`PSYNC` → `+FULLRESYNC` snapshot + tail),
@@ -45,6 +48,7 @@
 
 pub mod client;
 pub mod engine;
+pub mod net;
 pub mod repl;
 pub mod resp;
 pub mod server;

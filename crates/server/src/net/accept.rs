@@ -1,0 +1,244 @@
+//! The event-driven accept loop: a nonblocking listener plus a wakeup
+//! eventfd on one epoll, so the loop sleeps with **no timeout** and
+//! wakes for exactly two reasons — a connection to accept, or a
+//! shutdown to run (no more throwaway self-connect to unblock a
+//! blocking `accept`).
+//!
+//! Accepted sockets are made nonblocking and dealt round-robin to the
+//! worker pool. Two failure paths that used to be wrong are handled
+//! here:
+//!
+//! * **Transient accept errors survive.** EMFILE/ENFILE (fd
+//!   exhaustion) used to shut the whole server down; now the listener
+//!   is unarmed for [`ACCEPT_BACKOFF_MS`], the `accept_errors` INFO
+//!   counter ticks, and existing connections keep being served. The
+//!   backlog is retried once descriptors free up.
+//! * **Shutdown is announced.** A connection that raced the shutdown
+//!   flag — including everything still sitting in the listener backlog
+//!   at teardown — gets `-ERR server shutting down` before the close,
+//!   so clients can tell an orderly shutdown from a network fault.
+
+use std::io::{ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::server::Inner;
+
+use super::conn::SHUTDOWN_ERR;
+use super::event_loop::Worker;
+use super::sys::{Epoll, EventFd, Interest};
+
+const TOKEN_WAKE: u64 = 0;
+const TOKEN_LISTENER: u64 = 1;
+
+/// How long the listener stays unarmed after a transient accept error
+/// (fd exhaustion, ENOMEM, ...) before the backlog is retried.
+const ACCEPT_BACKOFF_MS: i32 = 100;
+/// Accepts per wakeup before re-checking shutdown; the level-triggered
+/// listener re-fires immediately if more are pending.
+const ACCEPT_BURST: usize = 512;
+
+pub(crate) struct Acceptor {
+    listener: TcpListener,
+    epoll: Epoll,
+    wake: Arc<EventFd>,
+    workers: Vec<Worker>,
+    /// Round-robin assignment cursor.
+    next: usize,
+    /// Is the listener registered with epoll (false while backing off
+    /// after an accept error)?
+    armed: bool,
+}
+
+impl Acceptor {
+    /// Build the accept loop's epoll state (fallibly, before any thread
+    /// spawns) and register its wakeup with the server.
+    pub(crate) fn new(
+        listener: TcpListener,
+        workers: Vec<Worker>,
+        inner: &Inner,
+    ) -> std::io::Result<Acceptor> {
+        listener.set_nonblocking(true)?;
+        let epoll = Epoll::new()?;
+        let wake = Arc::new(EventFd::new()?);
+        epoll.add(wake.raw(), TOKEN_WAKE, Interest::READ)?;
+        {
+            use std::os::unix::io::AsRawFd;
+            epoll.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+        }
+        inner.register_wake(wake.clone());
+        Ok(Acceptor { listener, epoll, wake, workers, next: 0, armed: true })
+    }
+
+    /// Serve accepts until shutdown, then run the whole teardown:
+    /// backlog drain, worker join, replication threads, engine close.
+    pub(crate) fn run(mut self, inner: Arc<Inner>) {
+        let mut events = Vec::with_capacity(8);
+        loop {
+            events.clear();
+            let timeout = if self.armed { -1 } else { ACCEPT_BACKOFF_MS };
+            if self.epoll.wait(&mut events, timeout).is_err() {
+                // epoll itself failing is unrecoverable for this loop;
+                // treat it as a shutdown request so the server winds
+                // down cleanly instead of wedging.
+                inner.begin_shutdown();
+            }
+            if events.iter().any(|ev| ev.token == TOKEN_WAKE) {
+                self.wake.drain();
+            }
+            if inner.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            if !self.armed {
+                // Backoff elapsed: re-arm and fall through to accept —
+                // the burst below retries the backlog immediately.
+                use std::os::unix::io::AsRawFd;
+                if self.epoll.add(self.listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ).is_ok()
+                {
+                    self.armed = true;
+                }
+            }
+            if self.armed {
+                self.accept_burst(&inner);
+            }
+        }
+        self.teardown(&inner);
+    }
+
+    fn accept_burst(&mut self, inner: &Arc<Inner>) {
+        for _ in 0..ACCEPT_BURST {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if inner.shutdown.load(Ordering::SeqCst) {
+                        // Raced the flag: announce instead of a silent
+                        // drop. The outer loop breaks next iteration
+                        // and teardown drains the rest of the backlog.
+                        reply_shutdown_error(stream);
+                        return;
+                    }
+                    inner.count_accept();
+                    self.dispatch(stream);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::ConnectionAborted | ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue
+                }
+                Err(e) => {
+                    // Transient resource exhaustion (EMFILE/ENFILE/
+                    // ENOMEM): back off and keep serving what's already
+                    // connected. This used to shut the server down.
+                    let n = inner.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    if n.is_multiple_of(64) {
+                        eprintln!(
+                            "dash-server: accept failed ({e}); backing off {ACCEPT_BACKOFF_MS} ms \
+                             (error #{})",
+                            n + 1
+                        );
+                    }
+                    use std::os::unix::io::AsRawFd;
+                    let _ = self.epoll.del(self.listener.as_raw_fd());
+                    self.armed = false;
+                    return;
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            return; // dropping closes it; nothing was promised yet
+        }
+        let worker = &self.workers[self.next];
+        self.next = (self.next + 1) % self.workers.len();
+        worker.shared.inbox.lock().push(stream);
+        worker.shared.wake.wake();
+    }
+
+    fn teardown(self, inner: &Arc<Inner>) {
+        // Reply to every connection still in the listener backlog, then
+        // close the listener so new connects are refused outright.
+        drain_backlog_with_error(&self.listener);
+        drop(self.listener);
+        // Stop the workers. Joining counts panicked loops; a dispatch
+        // that raced a worker's exit leaves its stream in the inbox,
+        // which is drained here — after the join, so without racing the
+        // worker's own drain.
+        for w in &self.workers {
+            w.shared.wake.wake();
+        }
+        for w in self.workers {
+            let shared = w.shared.clone();
+            if w.thread.join().is_err() {
+                inner.worker_panics.fetch_add(1, Ordering::Relaxed);
+            }
+            for stream in std::mem::take(&mut *shared.inbox.lock()) {
+                reply_shutdown_error(stream);
+            }
+        }
+        // Replication-stream threads, the replica sync thread, then the
+        // pools: the last reply written is durably on disk after close.
+        inner.finish_shutdown();
+    }
+}
+
+/// Accept whatever is still queued on `listener` (which must be
+/// nonblocking) and tell each connection the server is shutting down.
+/// Bounded, so connects racing in forever cannot pin the teardown.
+pub(crate) fn drain_backlog_with_error(listener: &TcpListener) {
+    for _ in 0..4096 {
+        match listener.accept() {
+            Ok((stream, _)) => reply_shutdown_error(stream),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return, // WouldBlock (backlog empty) or worse
+        }
+    }
+}
+
+/// Best-effort `-ERR server shutting down` + close. The write is given
+/// a short blocking window: the reply is a courtesy, not a promise
+/// worth wedging teardown for.
+pub(crate) fn reply_shutdown_error(stream: TcpStream) {
+    let mut stream = stream;
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.write_all(SHUTDOWN_ERR);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    /// The satellite-3 contract, tested deterministically at the unit
+    /// seam: a connection sitting in the backlog when the server tears
+    /// down reads the shutdown error, not a bare RST/EOF.
+    #[test]
+    fn backlog_drain_replies_shutdown_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let mut c1 = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut c2 = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        drain_backlog_with_error(&listener);
+        drop(listener);
+        for c in [&mut c1, &mut c2] {
+            let mut got = Vec::new();
+            c.read_to_end(&mut got).unwrap();
+            assert_eq!(got, SHUTDOWN_ERR, "{:?}", String::from_utf8_lossy(&got));
+        }
+    }
+
+    #[test]
+    fn backlog_drain_on_empty_listener_is_a_noop() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        drain_backlog_with_error(&listener); // must not block or panic
+    }
+}

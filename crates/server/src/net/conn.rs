@@ -1,0 +1,276 @@
+//! The non-blocking connection state machine: one [`Conn`] per client,
+//! driven by its event loop whenever epoll reports readiness.
+//!
+//! A readiness tick does bounded work — read what the socket has,
+//! execute every complete pipelined command into the write buffer, and
+//! write what the socket will take — and then parks the connection
+//! again with exactly the epoll interest that can make further
+//! progress. Two rules bound memory against a client that writes
+//! commands faster than it reads replies (or never reads them at all):
+//!
+//! * **Write backpressure.** Once [`HIGH_WATER`] reply bytes are
+//!   pending, the connection stops *executing* (and stops reading), and
+//!   re-arms only for writability; decoding resumes as the kernel
+//!   drains the buffer. Pending replies are therefore bounded by
+//!   `HIGH_WATER` plus one command's reply.
+//! * **Bounded read bursts.** At most [`MAX_READS_PER_EVENT`] chunks
+//!   are read per tick; level-triggered epoll re-arms the rest, so one
+//!   firehose connection cannot starve its loop-mates.
+//!
+//! The slow paths keep their blocking shape deliberately: `SHUTDOWN`'s
+//! `+OK` and the `PSYNC` handoff flush with a bounded blocking write,
+//! because both are once-per-connection events whose next act (server
+//! teardown, replication streaming) is blocking anyway.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::io::{AsRawFd, RawFd};
+
+use crate::resp::{decode_command, encode, Decode, Value};
+use crate::server::{execute, Inner, Outcome, WRITE_TIMEOUT};
+
+use super::sys::Interest;
+
+/// Read chunk per `read` call.
+const READ_CHUNK: usize = 64 * 1024;
+/// Reads per readiness tick before yielding to other connections.
+const MAX_READS_PER_EVENT: usize = 4;
+/// Pending-reply bytes above which the connection stops executing
+/// commands until the kernel drains the write side.
+const HIGH_WATER: usize = 1 << 20;
+/// Consumed-prefix size above which a partially written buffer is
+/// compacted instead of growing.
+const COMPACT_AT: usize = 1 << 20;
+
+/// The error sent to a connection the shutdown path can no longer
+/// serve, so clients can tell an orderly shutdown from a network fault.
+pub(crate) const SHUTDOWN_ERR: &[u8] = b"-ERR server shutting down\r\n";
+
+/// What the event loop should do with the connection after a tick.
+#[derive(Debug)]
+pub(crate) enum Drive {
+    /// Keep it registered (interest may have changed).
+    Continue,
+    /// Deregister and drop it.
+    Close,
+    /// `PSYNC` accepted: hand the (flushed, re-blocked) socket to a
+    /// dedicated replication-stream thread.
+    Replicate,
+}
+
+/// Why the command-execution loop stopped.
+enum Ran {
+    /// Every complete command in the read buffer was executed.
+    Drained,
+    /// Stopped at [`HIGH_WATER`]; more complete commands may remain.
+    Paused,
+    /// `SHUTDOWN` executed (its `+OK` is in the write buffer).
+    Shutdown,
+    /// `PSYNC` accepted.
+    Replicate,
+}
+
+pub(crate) struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    consumed: usize,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// The interest currently registered with epoll (owned by the
+    /// worker; stored here so a tick can tell whether it changed).
+    pub(crate) registered: Interest,
+    /// Protocol error replied: close once the write buffer drains.
+    close_after_flush: bool,
+    /// Client half-closed its write side; serve what's buffered, then
+    /// close once replies are flushed.
+    peer_eof: bool,
+}
+
+impl Conn {
+    /// Wrap an accepted stream (already nonblocking + nodelay).
+    pub(crate) fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::with_capacity(READ_CHUNK),
+            consumed: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            registered: Interest::READ,
+            close_after_flush: false,
+            peer_eof: false,
+        }
+    }
+
+    pub(crate) fn fd(&self) -> RawFd {
+        self.stream.as_raw_fd()
+    }
+
+    /// Reply bytes not yet written to the socket.
+    fn pending(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// The epoll interest that can make progress right now.
+    pub(crate) fn desired_interest(&self) -> Interest {
+        Interest {
+            readable: !self.close_after_flush && !self.peer_eof && self.pending() < HIGH_WATER,
+            writable: self.pending() > 0,
+        }
+    }
+
+    /// One readiness tick. `Err` means the connection is broken and
+    /// should be dropped (the thread-per-connection model's behavior).
+    pub(crate) fn on_ready(
+        &mut self,
+        readable: bool,
+        writable: bool,
+        inner: &Inner,
+    ) -> io::Result<Drive> {
+        if writable {
+            self.flush_some()?;
+        }
+        if readable && !self.close_after_flush && !self.peer_eof && self.pending() < HIGH_WATER {
+            self.read_burst()?;
+        }
+        // Execute + flush until neither can progress: a tick that
+        // drains the write buffer below HIGH_WATER resumes executing
+        // commands that backpressure had parked in the read buffer.
+        loop {
+            match self.run_commands(inner) {
+                Ran::Shutdown => {
+                    // Deliver the +OK before the listener dies; then the
+                    // whole server winds down, so blocking (bounded by
+                    // the write timeout) costs nothing.
+                    let _ = self.flush_blocking();
+                    inner.begin_shutdown();
+                    return Ok(Drive::Close);
+                }
+                Ran::Replicate => {
+                    // Flush pipelined replies ahead of the handoff; a
+                    // failure here closes instead of streaming to a
+                    // replica that already lost its socket.
+                    self.flush_blocking()?;
+                    return Ok(Drive::Replicate);
+                }
+                Ran::Drained => {
+                    self.flush_some()?;
+                    break;
+                }
+                Ran::Paused => {
+                    self.flush_some()?;
+                    if self.pending() >= HIGH_WATER {
+                        break; // clogged: wait for EPOLLOUT
+                    }
+                }
+            }
+        }
+        if (self.close_after_flush || self.peer_eof) && self.pending() == 0 {
+            return Ok(Drive::Close);
+        }
+        Ok(Drive::Continue)
+    }
+
+    /// Take the socket for the replication handoff (blocking mode was
+    /// restored by the preceding [`Conn::flush_blocking`]).
+    pub(crate) fn into_stream(self) -> TcpStream {
+        self.stream
+    }
+
+    fn read_burst(&mut self) -> io::Result<()> {
+        let mut chunk = [0u8; READ_CHUNK];
+        for _ in 0..MAX_READS_PER_EVENT {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.peer_eof = true;
+                    return Ok(());
+                }
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                    if n < chunk.len() {
+                        return Ok(()); // socket drained
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute complete commands from the read buffer into the write
+    /// buffer until it drains, backpressure pauses it, or a
+    /// connection-fate command (SHUTDOWN/PSYNC) executes.
+    fn run_commands(&mut self, inner: &Inner) -> Ran {
+        loop {
+            if self.pending() >= HIGH_WATER {
+                return Ran::Paused;
+            }
+            match decode_command(&self.rbuf[self.consumed..]) {
+                Ok(Decode::Incomplete) => {
+                    if self.consumed > 0 {
+                        self.rbuf.drain(..self.consumed);
+                        self.consumed = 0;
+                    }
+                    return Ran::Drained;
+                }
+                Ok(Decode::Complete(parts, used)) => {
+                    self.consumed += used;
+                    inner.count_command();
+                    match execute(&parts, inner) {
+                        Outcome::Reply(v) => encode(&v, &mut self.wbuf),
+                        Outcome::Shutdown => {
+                            encode(&Value::Simple("OK".into()), &mut self.wbuf);
+                            return Ran::Shutdown;
+                        }
+                        Outcome::StartReplication => return Ran::Replicate,
+                    }
+                }
+                Err(e) => {
+                    // Protocol errors are fatal for the connection:
+                    // reply, discard the unparseable tail, and hang up
+                    // once the reply is flushed.
+                    encode(&Value::Error(format!("ERR {e}")), &mut self.wbuf);
+                    self.rbuf.clear();
+                    self.consumed = 0;
+                    self.close_after_flush = true;
+                    return Ran::Drained;
+                }
+            }
+        }
+    }
+
+    /// Write as much pending reply as the socket takes right now.
+    fn flush_some(&mut self) -> io::Result<()> {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(ErrorKind::WriteZero, "socket accepted 0 bytes"))
+                }
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        } else if self.wpos > COMPACT_AT {
+            self.wbuf.drain(..self.wpos);
+            self.wpos = 0;
+        }
+        Ok(())
+    }
+
+    /// Flush everything, blocking (bounded by [`WRITE_TIMEOUT`]), and
+    /// leave the socket in blocking mode — the SHUTDOWN / PSYNC paths.
+    fn flush_blocking(&mut self) -> io::Result<()> {
+        self.stream.set_nonblocking(false)?;
+        self.stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+        self.stream.write_all(&self.wbuf[self.wpos..])?;
+        self.wbuf.clear();
+        self.wpos = 0;
+        Ok(())
+    }
+}

@@ -1,0 +1,189 @@
+//! The fixed pool of event-loop workers. Each worker owns one epoll
+//! instance, an eventfd for cross-thread wakeups, and the connections
+//! the accept loop assigned to it (round-robin at accept time); a
+//! connection lives on one worker for its whole life, so no connection
+//! state is ever shared between loops.
+//!
+//! A worker tick is: wait on epoll (no timeout — an idle server makes
+//! **zero** wakeups), drain the wakeup eventfd if it fired, register
+//! any newly assigned connections, then drive each ready connection's
+//! state machine. A panic inside one connection's handler is caught,
+//! counted in the `worker_panics` INFO counter, and costs only that
+//! connection — not the worker, and not the other connections on it.
+
+use std::net::TcpStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::server::Inner;
+
+use super::accept::reply_shutdown_error;
+use super::conn::{Conn, Drive};
+use super::sys::{Epoll, EventFd, Interest};
+
+/// Token for the worker's wakeup eventfd; connection tokens are slab
+/// indices, which stay far below this.
+const TOKEN_WAKE: u64 = u64::MAX;
+
+/// The accept loop's handle to one worker: where to put new
+/// connections, and how to wake the loop to pick them up (or to notice
+/// shutdown).
+pub(crate) struct WorkerShared {
+    pub(crate) inbox: Mutex<Vec<TcpStream>>,
+    pub(crate) wake: Arc<EventFd>,
+}
+
+pub(crate) struct Worker {
+    pub(crate) shared: Arc<WorkerShared>,
+    pub(crate) thread: std::thread::JoinHandle<()>,
+}
+
+/// Create a worker's epoll + eventfd (fallibly, so `serve()` surfaces
+/// the error) and start its loop thread.
+pub(crate) fn spawn_worker(id: usize, inner: Arc<Inner>) -> std::io::Result<Worker> {
+    let epoll = Epoll::new()?;
+    let wake = Arc::new(EventFd::new()?);
+    epoll.add(wake.raw(), TOKEN_WAKE, Interest::READ)?;
+    inner.register_wake(wake.clone());
+    let shared = Arc::new(WorkerShared { inbox: Mutex::new(Vec::new()), wake });
+    let loop_shared = shared.clone();
+    let thread = std::thread::Builder::new()
+        .name(format!("dash-evloop-{id}"))
+        .spawn(move || run(epoll, loop_shared, inner))?;
+    Ok(Worker { shared, thread })
+}
+
+/// What to do with a connection after driving it (computed while the
+/// connection is borrowed, applied after).
+enum After {
+    Keep,
+    Remove,
+    Handoff,
+}
+
+fn run(epoll: Epoll, shared: Arc<WorkerShared>, inner: Arc<Inner>) {
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut events = Vec::with_capacity(256);
+    loop {
+        events.clear();
+        if epoll.wait(&mut events, -1).is_err() {
+            break;
+        }
+        if events.iter().any(|ev| ev.token == TOKEN_WAKE) {
+            shared.wake.drain();
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // Adopt newly assigned connections. Checked on every tick, not
+        // just wakeups: the check is one uncontended lock when empty.
+        let incoming = std::mem::take(&mut *shared.inbox.lock());
+        for stream in incoming {
+            register(&epoll, &mut conns, &mut free, stream, &inner);
+        }
+        for ev in &events {
+            if ev.token == TOKEN_WAKE {
+                continue;
+            }
+            let idx = ev.token as usize;
+            let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else {
+                continue; // closed earlier this batch
+            };
+            // EPOLLERR/EPOLLHUP have no interest bit — fold them into a
+            // read attempt so the failure surfaces as the read error.
+            let readable = ev.readable || ev.error;
+            let after = match catch_unwind(AssertUnwindSafe(|| {
+                conn.on_ready(readable, ev.writable, &inner)
+            })) {
+                Err(_) => {
+                    // A panic poisons only this connection. Count it:
+                    // the old thread-per-connection model dropped the
+                    // JoinHandle and the panic vanished silently.
+                    inner.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "dash-server: connection handler panicked; dropping the connection"
+                    );
+                    After::Remove
+                }
+                Ok(Err(_)) => After::Remove, // I/O error: drop, as before
+                Ok(Ok(Drive::Continue)) => {
+                    let want = conn.desired_interest();
+                    if want == conn.registered {
+                        After::Keep
+                    } else {
+                        match epoll.modify(conn.fd(), ev.token, want) {
+                            Ok(()) => {
+                                conn.registered = want;
+                                After::Keep
+                            }
+                            Err(_) => After::Remove,
+                        }
+                    }
+                }
+                Ok(Ok(Drive::Close)) => After::Remove,
+                Ok(Ok(Drive::Replicate)) => After::Handoff,
+            };
+            match after {
+                After::Keep => {}
+                After::Remove => remove(&epoll, &mut conns, &mut free, idx, &inner),
+                After::Handoff => {
+                    // PSYNC: the socket leaves the event loop for a
+                    // dedicated blocking replication-stream thread — the
+                    // one place a connection genuinely owns its socket.
+                    if let Some(conn) = conns[idx].take() {
+                        let _ = epoll.del(conn.fd());
+                        free.push(idx);
+                        inner.active_connections.fetch_sub(1, Ordering::Relaxed);
+                        inner.spawn_stream_thread(conn.into_stream());
+                    }
+                }
+            }
+        }
+    }
+    // Shutdown. Connections assigned but never registered were accepted
+    // around the shutdown flag — tell them why they're being dropped.
+    // Registered connections close silently, as they always have.
+    for stream in std::mem::take(&mut *shared.inbox.lock()) {
+        reply_shutdown_error(stream);
+    }
+    let open = conns.iter().flatten().count() as u64;
+    inner.active_connections.fetch_sub(open, Ordering::Relaxed);
+}
+
+fn register(
+    epoll: &Epoll,
+    conns: &mut Vec<Option<Conn>>,
+    free: &mut Vec<usize>,
+    stream: TcpStream,
+    inner: &Inner,
+) {
+    let idx = free.pop().unwrap_or_else(|| {
+        conns.push(None);
+        conns.len() - 1
+    });
+    let conn = Conn::new(stream);
+    if epoll.add(conn.fd(), idx as u64, conn.registered).is_err() {
+        free.push(idx);
+        return; // dropping the stream closes it
+    }
+    conns[idx] = Some(conn);
+    inner.active_connections.fetch_add(1, Ordering::Relaxed);
+}
+
+fn remove(
+    epoll: &Epoll,
+    conns: &mut [Option<Conn>],
+    free: &mut Vec<usize>,
+    idx: usize,
+    inner: &Inner,
+) {
+    if let Some(conn) = conns[idx].take() {
+        let _ = epoll.del(conn.fd());
+        free.push(idx);
+        inner.active_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,30 @@
+//! The event-driven server core: epoll readiness loops instead of a
+//! thread per connection.
+//!
+//! Layout:
+//!
+//! * [`sys`] — safe wrappers over the vendored `libc` shim: `epoll`,
+//!   `eventfd`, and the `RLIMIT_NOFILE` helpers (public, because the
+//!   load generator and the soak tests raise their own fd limits).
+//! * [`conn`](self) — the per-connection nonblocking state machine:
+//!   incremental RESP decode, pipelined execution, write backpressure.
+//! * [`event_loop`](self) — the fixed worker pool; each worker owns an
+//!   epoll and the connections assigned to it.
+//! * [`accept`](self) — the accept loop: nonblocking listener + wakeup
+//!   eventfd on an epoll of its own, EMFILE backoff, and the
+//!   shutdown-announcement drain.
+//!
+//! An idle server parks every thread in `epoll_wait` with no timeout:
+//! zero periodic wakeups, where the previous architecture woke every
+//! connection thread every 50 ms to poll for shutdown.
+
+mod accept;
+mod conn;
+mod event_loop;
+pub mod sys;
+
+pub(crate) use accept::Acceptor;
+pub(crate) use event_loop::spawn_worker;
+pub(crate) use sys::EventFd;
+
+pub use sys::{ensure_nofile_limit, nofile_limit, set_nofile_limit};

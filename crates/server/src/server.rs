@@ -1,5 +1,5 @@
-//! The networked service: a thread-per-connection TCP server speaking
-//! the RESP2 subset `GET` / `SET` / `MGET` / `MSET` / `DEL` / `EXISTS` /
+//! The networked service: an **event-driven** TCP server speaking the
+//! RESP2 subset `GET` / `SET` / `MGET` / `MSET` / `DEL` / `EXISTS` /
 //! `SCAN` / `KEYS` / `SNAPSHOT` / `PING` / `INFO` / `DBSIZE` (plus
 //! `SHUTDOWN` for orderly teardown) over a [`ShardedDash`] engine.
 //!
@@ -11,21 +11,30 @@
 //!
 //! Pipelining comes for free from the decode loop: every complete
 //! command sitting in the read buffer is executed and its reply appended
-//! to one write buffer, which is flushed in a single `write_all` — a
-//! client that sends N requests back-to-back pays one round trip, not N.
+//! to one write buffer, which is flushed in a single burst — a client
+//! that sends N requests back-to-back pays one round trip, not N.
 //! The multi-key commands (`MGET`, `MSET`, variadic `DEL`/`EXISTS`) go
 //! further: one command executes its whole key set through the engine's
 //! batch paths, which group keys by shard and pay one epoch entry and
 //! one write-lock acquisition per shard instead of one per key.
 //!
-//! Thread-per-connection is a deliberate first architecture (the
-//! ROADMAP's async I/O item replaces the accept loop, not the engine):
-//! Dash's optimistic concurrency means connection threads contend only
-//! inside the engine's bucket-level protocol, so a handful of
-//! connections already saturate the table just as the paper's bench
-//! threads do.
+//! Connections are served by a fixed pool of epoll event-loop workers
+//! ([`crate::net`]) — default one per CPU, `--event-workers` to
+//! override — assigned round-robin at accept time. Connection count no
+//! longer costs thread stacks or scheduler churn, and an idle server
+//! makes zero periodic wakeups (the old model parked one thread per
+//! connection in a 50 ms read-timeout poll). Shutdown is event-driven
+//! too: an eventfd wakes every loop, replacing the throwaway
+//! self-connect that used to unblock `accept`. The one place a
+//! connection still owns a blocking socket and a dedicated thread is
+//! the `PSYNC` replication stream ([`serve_replica_stream`]), which
+//! genuinely does.
+//!
+//! This file owns the protocol surface (command dispatch, INFO,
+//! replication handshake) and the server lifecycle; the readiness
+//! machinery lives in [`crate::net`].
 
-use std::io::{ErrorKind, Read, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
@@ -34,15 +43,13 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use crate::engine::ShardedDash;
+use crate::net::EventFd;
 use crate::repl::ReplOp;
-use crate::resp::{decode_command, encode, encode_command, Decode, Value};
+use crate::resp::{encode, encode_command, Value};
 
-/// How often an idle connection thread wakes up to check for shutdown.
-const IDLE_POLL: Duration = Duration::from_millis(50);
-/// How long a reply write may block before the connection is dropped.
-const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
-/// Read buffer growth quantum.
-const READ_CHUNK: usize = 16 * 1024;
+/// How long a blocking reply write (SHUTDOWN ack, replication stream)
+/// may stall before the connection is dropped.
+pub(crate) const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 /// `SCAN` page size when the client sends no `COUNT`.
 const DEFAULT_SCAN_COUNT: usize = 64;
 /// Cap on a client-supplied `COUNT` (bounds one reply's memory).
@@ -65,6 +72,9 @@ pub struct ServeOptions {
     /// primary's stream until promoted. The engine should be empty —
     /// the first full sync clears it.
     pub replica_of: Option<String>,
+    /// Event-loop worker threads serving connections. `None` = one per
+    /// available CPU (minimum 1).
+    pub event_workers: Option<usize>,
 }
 
 pub(crate) struct Inner {
@@ -73,7 +83,24 @@ pub(crate) struct Inner {
     pub(crate) addr: SocketAddr,
     connections_accepted: AtomicU64,
     commands_served: AtomicU64,
-    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Accept-loop errors survived (EMFILE and friends); the server
+    /// backs off and keeps serving instead of shutting down.
+    pub(crate) accept_errors: AtomicU64,
+    /// Connection handlers that panicked (caught, connection dropped)
+    /// plus panicked worker/stream threads found at join. Zero on a
+    /// healthy server — the smoke tests assert it.
+    pub(crate) worker_panics: AtomicU64,
+    /// Connections currently registered on an event loop.
+    pub(crate) active_connections: AtomicU64,
+    /// Size of the event-loop worker pool.
+    event_workers: usize,
+    /// One wakeup eventfd per event loop (accept + workers): shutdown
+    /// pokes them all so every loop notices the flag immediately.
+    wakes: Mutex<Vec<Arc<EventFd>>>,
+    /// Dedicated threads serving `PSYNC` replication streams — the only
+    /// remaining per-connection threads. Reaped with a real `join` (a
+    /// panic is counted, not silently dropped).
+    stream_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     /// `Role` as a u8 (0 = primary, 1 = replica); flipped by promotion.
     role: AtomicU8,
     /// Replica: the primary this server follows.
@@ -92,6 +119,79 @@ pub(crate) struct Inner {
 impl Inner {
     pub(crate) fn role(&self) -> Role {
         if self.role.load(Ordering::SeqCst) == 0 { Role::Primary } else { Role::Replica }
+    }
+
+    pub(crate) fn count_accept(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_command(&self) {
+        self.commands_served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Make an event loop's wakeup reachable from [`Inner::wake_all`].
+    pub(crate) fn register_wake(&self, wake: Arc<EventFd>) {
+        self.wakes.lock().push(wake);
+    }
+
+    fn wake_all(&self) {
+        for wake in self.wakes.lock().iter() {
+            wake.wake();
+        }
+    }
+
+    /// Raise the shutdown flag and wake every event loop so it notices
+    /// now — the event-driven replacement for the old throwaway
+    /// self-connect plus 50 ms per-connection polling.
+    pub(crate) fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.wake_all();
+    }
+
+    /// Start a dedicated thread for an accepted `PSYNC` stream, reaping
+    /// finished ones first so handles don't accumulate unjoined on a
+    /// long-lived primary.
+    pub(crate) fn spawn_stream_thread(self: &Arc<Self>, stream: TcpStream) {
+        self.reap_stream_threads();
+        let inner = self.clone();
+        let handle = std::thread::spawn(move || {
+            let _ = serve_replica_stream(stream, &inner);
+        });
+        self.stream_threads.lock().push(handle);
+    }
+
+    /// Join every finished stream thread. Unlike the old
+    /// `retain(|h| !h.is_finished())`, a panicked thread is *joined* and
+    /// counted in `worker_panics` instead of vanishing with its handle.
+    pub(crate) fn reap_stream_threads(&self) {
+        let mut threads = self.stream_threads.lock();
+        let mut i = 0;
+        while i < threads.len() {
+            if threads[i].is_finished() {
+                if threads.swap_remove(i).join().is_err() {
+                    self.worker_panics.fetch_add(1, Ordering::Relaxed);
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// The tail of teardown, run by the accept loop after its workers
+    /// are joined: replication-stream threads, the replica sync thread,
+    /// then the engine's pools — the last acknowledged write is durably
+    /// on disk when this returns.
+    pub(crate) fn finish_shutdown(&self) {
+        let threads = std::mem::take(&mut *self.stream_threads.lock());
+        for t in threads {
+            if t.join().is_err() {
+                self.worker_panics.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if let Some(t) = self.replica_thread.lock().take() {
+            let _ = t.join();
+        }
+        let _ = self.engine.close();
     }
 
     /// Promote to primary (idempotent). The role only flips — i.e.
@@ -134,12 +234,10 @@ impl ServerHandle {
         }
     }
 
-    /// Ask the server to stop, wait for every connection thread to
-    /// drain, and close the engine's pools cleanly.
+    /// Ask the server to stop, wait for every event loop and stream
+    /// thread to drain, and close the engine's pools cleanly.
     pub fn shutdown(mut self) {
-        self.inner.shutdown.store(true, Ordering::SeqCst);
-        // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.inner.addr);
+        self.inner.begin_shutdown();
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
@@ -163,13 +261,22 @@ pub fn serve_with(
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
+    let event_workers = opts
+        .event_workers
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .max(1);
     let inner = Arc::new(Inner {
         engine,
         shutdown: AtomicBool::new(false),
         addr,
         connections_accepted: AtomicU64::new(0),
         commands_served: AtomicU64::new(0),
-        workers: Mutex::new(Vec::new()),
+        accept_errors: AtomicU64::new(0),
+        worker_panics: AtomicU64::new(0),
+        active_connections: AtomicU64::new(0),
+        event_workers,
+        wakes: Mutex::new(Vec::new()),
+        stream_threads: Mutex::new(Vec::new()),
         role: AtomicU8::new(u8::from(opts.replica_of.is_some())),
         master_addr: opts.replica_of.clone(),
         applied_offset: AtomicU64::new(0),
@@ -182,142 +289,18 @@ pub fn serve_with(
         let handle = std::thread::spawn(move || crate::repl::replica::run(sync_inner, master));
         *inner.replica_thread.lock() = Some(handle);
     }
+    // Build the whole event core fallibly before anything serves: the
+    // worker pool first, then the accept loop wired to it.
+    let workers = (0..event_workers)
+        .map(|id| crate::net::spawn_worker(id, inner.clone()))
+        .collect::<std::io::Result<Vec<_>>>()?;
+    let acceptor = crate::net::Acceptor::new(listener, workers, &inner)?;
     let accept_inner = inner.clone();
-    let accept_thread = std::thread::spawn(move || accept_loop(listener, accept_inner));
+    let accept_thread = std::thread::spawn(move || acceptor.run(accept_inner));
     Ok(ServerHandle { inner, accept_thread: Some(accept_thread) })
 }
 
-fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if inner.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                inner.connections_accepted.fetch_add(1, Ordering::Relaxed);
-                let conn_inner = inner.clone();
-                let handle = std::thread::spawn(move || {
-                    let _ = serve_connection(stream, &conn_inner);
-                });
-                let mut workers = inner.workers.lock();
-                // Reap finished threads so the vec doesn't grow forever
-                // on a long-lived server.
-                workers.retain(|h| !h.is_finished());
-                workers.push(handle);
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    ErrorKind::ConnectionAborted | ErrorKind::Interrupted | ErrorKind::WouldBlock
-                ) =>
-            {
-                continue
-            }
-            Err(_) => {
-                // Fatal accept error (e.g. EMFILE): initiate shutdown so
-                // connection threads drain and the pools close cleanly,
-                // instead of wedging with the flag unset.
-                inner.shutdown.store(true, Ordering::SeqCst);
-                break;
-            }
-        }
-    }
-    // Drain connection threads (they observe the flag via read timeouts),
-    // then the replica sync thread (it uses the engine), then close the
-    // pools: the last reply written before this point is durably on disk
-    // after close().
-    let workers = std::mem::take(&mut *inner.workers.lock());
-    for w in workers {
-        let _ = w.join();
-    }
-    if let Some(t) = inner.replica_thread.lock().take() {
-        let _ = t.join();
-    }
-    let _ = inner.engine.close();
-}
-
-fn serve_connection(stream: TcpStream, inner: &Inner) -> std::io::Result<()> {
-    let mut stream = stream;
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(IDLE_POLL))?;
-    // A client that stops reading its replies must not pin this thread
-    // in write_all forever — that would wedge shutdown, which joins
-    // every worker before closing the pools. Timing out drops the
-    // connection instead.
-    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
-    let mut rbuf: Vec<u8> = Vec::with_capacity(READ_CHUNK);
-    let mut consumed = 0usize;
-    let mut wbuf: Vec<u8> = Vec::with_capacity(READ_CHUNK);
-    let mut chunk = [0u8; READ_CHUNK];
-    loop {
-        if inner.shutdown.load(Ordering::SeqCst) {
-            return Ok(());
-        }
-        let n = match stream.read(&mut chunk) {
-            Ok(0) => return Ok(()), // client closed
-            Ok(n) => n,
-            Err(e)
-                if e.kind() == ErrorKind::WouldBlock
-                    || e.kind() == ErrorKind::TimedOut
-                    || e.kind() == ErrorKind::Interrupted =>
-            {
-                continue
-            }
-            Err(e) => return Err(e),
-        };
-        rbuf.extend_from_slice(&chunk[..n]);
-        // Execute every complete pipelined command in the buffer.
-        wbuf.clear();
-        loop {
-            match decode_command(&rbuf[consumed..]) {
-                Ok(Decode::Incomplete) => break,
-                Ok(Decode::Complete(parts, used)) => {
-                    consumed += used;
-                    inner.commands_served.fetch_add(1, Ordering::Relaxed);
-                    match execute(&parts, inner) {
-                        Outcome::Reply(v) => encode(&v, &mut wbuf),
-                        Outcome::StartReplication => {
-                            // Hand the connection over to the replication
-                            // stream: flush any pipelined replies first,
-                            // then this thread serves snapshot + tail
-                            // until the replica or the server goes away.
-                            if !wbuf.is_empty() {
-                                stream.write_all(&wbuf)?;
-                            }
-                            return serve_replica_stream(stream, inner);
-                        }
-                        Outcome::Shutdown => {
-                            encode(&Value::Simple("OK".into()), &mut wbuf);
-                            stream.write_all(&wbuf)?;
-                            stream.flush()?;
-                            inner.shutdown.store(true, Ordering::SeqCst);
-                            // Wake the accept loop so teardown proceeds.
-                            let _ = TcpStream::connect(inner.addr);
-                            return Ok(());
-                        }
-                    }
-                }
-                Err(e) => {
-                    // Protocol errors are fatal for the connection: reply
-                    // and hang up (the stream cannot be resynchronized).
-                    encode(&Value::Error(format!("ERR {e}")), &mut wbuf);
-                    stream.write_all(&wbuf)?;
-                    return Ok(());
-                }
-            }
-        }
-        if !wbuf.is_empty() {
-            stream.write_all(&wbuf)?;
-        }
-        // Compact the read buffer once everything decoded is executed.
-        if consumed > 0 {
-            rbuf.drain(..consumed);
-            consumed = 0;
-        }
-    }
-}
-
-enum Outcome {
+pub(crate) enum Outcome {
     Reply(Value),
     /// `PSYNC` accepted: the connection becomes a replication stream.
     StartReplication,
@@ -341,7 +324,7 @@ fn wrong_args(cmd: &str) -> Outcome {
 }
 
 /// Execute one decoded command against the engine.
-fn execute(parts: &[Vec<u8>], inner: &Inner) -> Outcome {
+pub(crate) fn execute(parts: &[Vec<u8>], inner: &Inner) -> Outcome {
     let engine = &inner.engine;
     let name = String::from_utf8_lossy(&parts[0]).to_ascii_uppercase();
     let args = &parts[1..];
@@ -516,6 +499,11 @@ fn execute(parts: &[Vec<u8>], inner: &Inner) -> Outcome {
             _ => wrong_args("replicaof"),
         },
         "SHUTDOWN" => Outcome::Shutdown,
+        // Test-only: panics inside the command handler, to prove a
+        // connection panic is caught, counted, and costs only that
+        // connection (not the worker or its other connections).
+        #[cfg(test)]
+        "PANICTEST" => panic!("PANICTEST: injected command-handler panic"),
         _ => err(format!("unknown command '{}'", String::from_utf8_lossy(&parts[0]))),
     }
 }
@@ -525,7 +513,7 @@ fn execute(parts: &[Vec<u8>], inner: &Inner) -> Outcome {
 /// stream an online snapshot as `+FULLRESYNC <offset>` plus one bulk
 /// string, then forward the live tail as `SET`/`DEL` commands, with a
 /// `PING` every ~2 s of idleness as a liveness signal.
-fn serve_replica_stream(mut stream: TcpStream, inner: &Inner) -> std::io::Result<()> {
+pub(crate) fn serve_replica_stream(mut stream: TcpStream, inner: &Inner) -> std::io::Result<()> {
     let sub = inner.engine.repl_subscribe();
     let snap = match inner.engine.snapshot_bytes() {
         Ok((bytes, _records)) => bytes,
@@ -618,6 +606,19 @@ fn info_text(inner: &Inner) -> String {
         "commands_served:{}\r\n",
         inner.commands_served.load(Ordering::Relaxed)
     ));
+    out.push_str(&format!("event_workers:{}\r\n", inner.event_workers));
+    out.push_str(&format!(
+        "active_connections:{}\r\n",
+        inner.active_connections.load(Ordering::Relaxed)
+    ));
+    out.push_str(&format!(
+        "accept_errors:{}\r\n",
+        inner.accept_errors.load(Ordering::Relaxed)
+    ));
+    out.push_str(&format!(
+        "worker_panics:{}\r\n",
+        inner.worker_panics.load(Ordering::Relaxed)
+    ));
     out.push_str("# shards\r\n");
     for (i, (info, n)) in infos.iter().zip(&keys).enumerate() {
         out.push_str(&format!(
@@ -672,6 +673,7 @@ mod tests {
     use super::*;
     use crate::client::RespClient;
     use crate::engine::EngineConfig;
+    use std::io::Read;
 
     fn mem_server() -> ServerHandle {
         let engine = ShardedDash::open(&EngineConfig {
@@ -702,6 +704,11 @@ mod tests {
         let info = String::from_utf8(info).unwrap();
         assert!(info.contains("shards:2"), "{info}");
         assert!(info.contains("recovered_shards:0"), "{info}");
+        // The event core's health counters: nothing failed or panicked
+        // while this test drove the whole command surface.
+        assert!(info.contains("worker_panics:0"), "{info}");
+        assert!(info.contains("accept_errors:0"), "{info}");
+        assert!(info.contains("active_connections:1"), "{info}");
         server.shutdown();
     }
 
@@ -811,6 +818,42 @@ mod tests {
         });
         let mut c = RespClient::connect(addr).unwrap();
         assert_eq!(c.command(&[b"DBSIZE"]).unwrap(), Value::Integer(800));
+        assert_eq!(c.info_field("worker_panics").unwrap().as_deref(), Some("0"));
+        server.shutdown();
+    }
+
+    /// A panic inside one connection's command handler costs that
+    /// connection only: it is caught, counted in `worker_panics`, and
+    /// the worker keeps serving its other connections.
+    #[test]
+    fn handler_panic_is_caught_counted_and_isolated() {
+        // One worker, so the survivor provably shares its event loop
+        // with the panicking connection.
+        let engine =
+            ShardedDash::open(&EngineConfig { shards: 2, shard_bytes: 16 << 20, dir: None })
+                .unwrap();
+        let server = serve_with(
+            engine,
+            "127.0.0.1:0",
+            ServeOptions { event_workers: Some(1), ..Default::default() },
+        )
+        .unwrap();
+        let mut survivor = RespClient::connect(server.addr()).unwrap();
+        assert_eq!(survivor.command(&[b"SET", b"k", b"v"]).unwrap(), Value::Simple("OK".into()));
+
+        let mut victim = TcpStream::connect(server.addr()).unwrap();
+        let mut buf = Vec::new();
+        encode_command(&[b"PANICTEST"], &mut buf);
+        victim.write_all(&buf).unwrap();
+        // The handler panics before any reply: the connection is
+        // dropped, observed here as EOF (not a hang, not a server loss).
+        let mut got = Vec::new();
+        victim.read_to_end(&mut got).unwrap();
+        assert!(got.is_empty(), "panicked handler must not send a reply: {got:?}");
+
+        // The worker survived: its other connection is still served.
+        assert_eq!(survivor.command(&[b"GET", b"k"]).unwrap(), Value::bulk(*b"v"));
+        assert_eq!(survivor.info_field("worker_panics").unwrap().as_deref(), Some("1"));
         server.shutdown();
     }
 

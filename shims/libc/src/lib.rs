@@ -1,0 +1,142 @@
+//! Offline shim: the slice of the `libc` crate this workspace needs.
+//!
+//! The container builds with no route to a crates registry, so — like
+//! `parking_lot`, `proptest` and `criterion` under `shims/` — the raw
+//! OS bindings are vendored as a minimal API-compatible subset of the
+//! real `libc` crate. Swapping in the real crate is a one-line change in
+//! the workspace manifest; nothing here deviates from its names or
+//! types.
+//!
+//! Scope: exactly what the event-driven server core (`dash_server::net`)
+//! uses — `epoll` (readiness loop), `eventfd` (cross-thread wakeups),
+//! `read`/`write`/`close` on those descriptors, and `getrlimit`/
+//! `setrlimit` for `RLIMIT_NOFILE` (the accept path's EMFILE handling is
+//! tested by actually lowering the soft limit). Constants are the Linux
+//! ABI values; the x86-64 `epoll_event` packing matches the kernel's
+//! `__EPOLL_PACKED` (packed on x86-64, naturally aligned elsewhere).
+
+#![allow(non_camel_case_types)]
+
+use std::ffi::c_void;
+
+pub type c_int = i32;
+pub type c_uint = u32;
+pub type size_t = usize;
+pub type ssize_t = isize;
+pub type rlim_t = u64;
+
+// ---- epoll ---------------------------------------------------------------
+
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+pub const EPOLL_CTL_ADD: c_int = 1;
+pub const EPOLL_CTL_DEL: c_int = 2;
+pub const EPOLL_CTL_MOD: c_int = 3;
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// One readiness record returned by `epoll_wait`. The kernel's layout is
+/// packed on x86-64 (12 bytes) and naturally aligned (16 bytes) on other
+/// architectures; `u64` is the caller's opaque token.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct epoll_event {
+    pub events: u32,
+    pub u64: u64,
+}
+
+// ---- eventfd -------------------------------------------------------------
+
+pub const EFD_CLOEXEC: c_int = 0o2000000;
+pub const EFD_NONBLOCK: c_int = 0o4000;
+
+// ---- rlimit --------------------------------------------------------------
+
+pub const RLIMIT_NOFILE: c_int = 7;
+
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct rlimit {
+    pub rlim_cur: rlim_t,
+    pub rlim_max: rlim_t,
+}
+
+extern "C" {
+    pub fn epoll_create1(flags: c_int) -> c_int;
+    pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    pub fn epoll_wait(
+        epfd: c_int,
+        events: *mut epoll_event,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+    pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
+    pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> ssize_t;
+    pub fn close(fd: c_int) -> c_int;
+    pub fn getrlimit(resource: c_int, rlim: *mut rlimit) -> c_int;
+    pub fn setrlimit(resource: c_int, rlim: *const rlimit) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_event_layout_matches_the_kernel_abi() {
+        #[cfg(target_arch = "x86_64")]
+        assert_eq!(std::mem::size_of::<epoll_event>(), 12);
+        #[cfg(not(target_arch = "x86_64"))]
+        assert_eq!(std::mem::size_of::<epoll_event>(), 16);
+    }
+
+    #[test]
+    fn eventfd_wakes_epoll() {
+        unsafe {
+            let ep = epoll_create1(EPOLL_CLOEXEC);
+            assert!(ep >= 0, "epoll_create1: {}", std::io::Error::last_os_error());
+            let ev = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+            assert!(ev >= 0, "eventfd: {}", std::io::Error::last_os_error());
+            let mut reg = epoll_event { events: EPOLLIN, u64: 0x1234 };
+            assert_eq!(epoll_ctl(ep, EPOLL_CTL_ADD, ev, &mut reg), 0);
+
+            // Nothing pending: a zero-timeout wait returns no events.
+            let mut out = [epoll_event { events: 0, u64: 0 }; 4];
+            assert_eq!(epoll_wait(ep, out.as_mut_ptr(), 4, 0), 0);
+
+            // A counter write makes the eventfd readable with our token.
+            let one: u64 = 1;
+            assert_eq!(write(ev, (&one as *const u64).cast(), 8), 8);
+            let n = epoll_wait(ep, out.as_mut_ptr(), 4, 1000);
+            assert_eq!(n, 1);
+            let got = out[0];
+            assert_eq!({ got.u64 }, 0x1234);
+            assert_ne!({ got.events } & EPOLLIN, 0);
+
+            // Draining resets it to quiet.
+            let mut counter: u64 = 0;
+            assert_eq!(read(ev, (&mut counter as *mut u64).cast(), 8), 8);
+            assert_eq!(counter, 1);
+            assert_eq!(epoll_wait(ep, out.as_mut_ptr(), 4, 0), 0);
+
+            assert_eq!(close(ev), 0);
+            assert_eq!(close(ep), 0);
+        }
+    }
+
+    #[test]
+    fn rlimit_round_trips() {
+        unsafe {
+            let mut lim = rlimit { rlim_cur: 0, rlim_max: 0 };
+            assert_eq!(getrlimit(RLIMIT_NOFILE, &mut lim), 0);
+            assert!(lim.rlim_cur > 0);
+            // Setting the limit to itself must succeed unprivileged.
+            assert_eq!(setrlimit(RLIMIT_NOFILE, &lim), 0);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Regression: transient accept failures must not stop the server.
+//!
+//! The pre-event-loop server treated any non-retryable `accept()` error
+//! as fatal and shut the whole process down — so fd exhaustion
+//! (EMFILE), a load condition, became an outage. The event-driven
+//! accept loop instead backs off, counts the error in the
+//! `accept_errors` INFO field, keeps serving established connections,
+//! and retries the listener backlog once descriptors free up.
+//!
+//! The test drives the real syscall path by exhausting the process's
+//! own fd table (client and server share it — this is an in-process
+//! server): the soft `RLIMIT_NOFILE` is dropped to just above current
+//! usage, every remaining slot is filled with `/dev/null` opens, and
+//! exactly one slot is freed so a client `connect()` can succeed (the
+//! TCP handshake completes via the listen backlog) while the server's
+//! `accept()` has no fd left to return.
+//!
+//! This file holds a single `#[test]` on purpose: it manipulates the
+//! process-wide fd limit, which must not race another test's sockets.
+#![cfg(unix)]
+
+use std::fs::File;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use dash_repro::dash_server::net::{nofile_limit, set_nofile_limit};
+use dash_repro::dash_server::Value;
+use dash_repro::{serve, EngineConfig, RespClient, ShardedDash};
+
+/// Highest fd currently open in this process (read before the limit is
+/// lowered; the readdir itself briefly opens one more).
+fn max_open_fd() -> u64 {
+    std::fs::read_dir("/proc/self/fd")
+        .unwrap()
+        .filter_map(|e| e.unwrap().file_name().into_string().unwrap().parse::<u64>().ok())
+        .max()
+        .unwrap()
+}
+
+#[test]
+fn fd_exhaustion_backs_off_instead_of_shutting_down() {
+    let engine =
+        ShardedDash::open(&EngineConfig { shards: 2, shard_bytes: 16 << 20, dir: None }).unwrap();
+    let server = serve(engine, "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    // An established connection from before the exhaustion: the witness
+    // that the server keeps serving through it.
+    let mut witness = RespClient::connect(addr).unwrap();
+    assert_eq!(witness.command(&[b"SET", b"k", b"v"]).unwrap(), Value::Simple("OK".into()));
+
+    let (orig_soft, hard) = nofile_limit().unwrap();
+    let lowered = max_open_fd() + 16;
+    set_nofile_limit(lowered, hard).unwrap();
+
+    // Fill every remaining slot, then free exactly one: the client's
+    // socket() takes it, its handshake completes via the listen
+    // backlog, and the server's accept() finds the table full.
+    let mut hoard = Vec::new();
+    while let Ok(f) = File::open("/dev/null") {
+        hoard.push(f);
+    }
+    assert!(!hoard.is_empty(), "lowered limit left no headroom to exhaust");
+    hoard.pop();
+    let mut starved = TcpStream::connect(addr).expect("handshake must succeed via the backlog");
+
+    // accept() fails EMFILE; the counter must tick and the server must
+    // not die. (The backoff retries every 100 ms, so the counter keeps
+    // climbing until descriptors free up — >= 1 is the contract.)
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut accept_errors = 0u64;
+    while Instant::now() < deadline {
+        accept_errors = witness
+            .info_field("accept_errors")
+            .unwrap()
+            .expect("INFO must report accept_errors")
+            .parse()
+            .unwrap();
+        if accept_errors >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(accept_errors >= 1, "accept failure must be counted, not fatal");
+    assert_eq!(witness.command(&[b"PING"]).unwrap(), Value::Simple("PONG".into()));
+
+    // Free the descriptors: the backed-off listener re-arms and serves
+    // the connection that was waiting in the backlog the whole time.
+    drop(hoard);
+    set_nofile_limit(orig_soft, hard).unwrap();
+    starved.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    starved.write_all(b"*2\r\n$3\r\nGET\r\n$1\r\nk\r\n").unwrap();
+    let mut reply = [0u8; 32];
+    let n = starved.read(&mut reply).unwrap();
+    assert_eq!(&reply[..n], b"$1\r\nv\r\n", "backlogged connection must be served after recovery");
+
+    server.shutdown();
+}

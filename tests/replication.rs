@@ -111,7 +111,7 @@ fn replica_converges_under_live_load() {
         let replica = serve_with(
             ShardedDash::open(&dir_cfg(&r_dir, 2)).unwrap(),
             "127.0.0.1:0",
-            ServeOptions { replica_of: Some(primary.addr().to_string()) },
+            ServeOptions { replica_of: Some(primary.addr().to_string()), ..Default::default() },
         )
         .unwrap();
         let mut rc = RespClient::connect(replica.addr()).unwrap();
@@ -168,7 +168,7 @@ fn replica_is_read_only_until_promoted() {
     let replica = serve_with(
         ShardedDash::open(&mem_cfg(2)).unwrap(),
         "127.0.0.1:0",
-        ServeOptions { replica_of: Some(primary.addr().to_string()) },
+        ServeOptions { replica_of: Some(primary.addr().to_string()), ..Default::default() },
     )
     .unwrap();
     let mut rc = RespClient::connect(replica.addr()).unwrap();
@@ -230,7 +230,7 @@ fn promotion_after_primary_death_loses_no_acknowledged_write() {
     let replica = serve_with(
         ShardedDash::open(&dir_cfg(&r_dir, 4)).unwrap(),
         "127.0.0.1:0",
-        ServeOptions { replica_of: Some(primary.addr().to_string()) },
+        ServeOptions { replica_of: Some(primary.addr().to_string()), ..Default::default() },
     )
     .unwrap();
     let mut rc = RespClient::connect(replica.addr()).unwrap();

@@ -118,7 +118,7 @@ fn concurrent_scan_stress<T: PmHashTable<u64>>(table: Arc<T>) {
                 let mut round = 0usize;
                 while scanners_done.load(Ordering::Acquire) < SCANNERS {
                     for k in churn.iter().skip(wt).step_by(3) {
-                        if round % 2 == 0 {
+                        if round.is_multiple_of(2) {
                             let _ = table.insert(k, 2);
                         } else {
                             let _ = table.remove(k);

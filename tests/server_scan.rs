@@ -79,7 +79,7 @@ fn scan_under_concurrent_writers_keeps_stable_keys() {
                 let mut i = 0u32;
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                     let key = format!("churn:{t}:{}", i % 400);
-                    if i % 3 == 0 {
+                    if i.is_multiple_of(3) {
                         let _ = w.del(&[key.as_bytes()]).unwrap();
                     } else {
                         assert_eq!(

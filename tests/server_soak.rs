@@ -1,0 +1,131 @@
+//! Concurrency soak: 1024+ simultaneous connections on the fixed
+//! event-loop worker pool.
+//!
+//! The thread-per-connection server spent one OS thread (and one 50 ms
+//! poll timer) per client, so four-digit connection counts meant four-
+//! digit thread counts. The event-driven core serves them all from a
+//! handful of epoll loops; this test holds 1024 connections open at
+//! once, proves the server counts them (`active_connections`), drives
+//! pipelined PING/GET/SET traffic over every one of them, and asserts
+//! a (deliberately generous, debug-build) p99 round-trip bound as a
+//! did-the-loop-wedge tripwire rather than a performance claim — the
+//! release-build numbers live in the CI smoke job and the README.
+//!
+//! `#[ignore]`-gated: ~2k sockets and a deliberately long runtime.
+//! Run with: `cargo test --test server_soak -- --ignored`
+#![cfg(unix)]
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use dash_repro::dash_server::net::ensure_nofile_limit;
+use dash_repro::dash_server::Value;
+use dash_repro::{serve_with, EngineConfig, RespClient, ServeOptions, ShardedDash};
+
+const CONNS: usize = 1024;
+const DRIVERS: usize = 8;
+const ROUNDS: usize = 20;
+/// Debug build, shared CPU, 1024 connections multiplexed onto a tiny
+/// worker pool: the bound is a regression tripwire (a wedged or
+/// polling loop blows through it), not a latency claim.
+const P99_BOUND: Duration = Duration::from_millis(500);
+
+#[test]
+#[ignore = "opens 2k+ sockets and runs for a while; exercise via -- --ignored"]
+fn soak_1024_connections_pipelined() {
+    // Client and server share this process's fd table: a socket per
+    // side, plus headroom.
+    let got = ensure_nofile_limit((CONNS as u64) * 2 + 256).unwrap();
+    assert!(got >= (CONNS as u64) * 2 + 256, "fd limit too low for the soak: {got}");
+
+    let engine =
+        ShardedDash::open(&EngineConfig { shards: 4, shard_bytes: 32 << 20, dir: None }).unwrap();
+    let server = serve_with(
+        engine,
+        "127.0.0.1:0",
+        // More workers than CPUs on purpose: round-robin assignment and
+        // cross-loop shutdown must work with a genuinely multi-loop
+        // pool even on a single-core runner.
+        ServeOptions { event_workers: Some(2), ..Default::default() },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let mut monitor = RespClient::connect(addr).unwrap();
+    let mut clients: Vec<RespClient> = (0..CONNS)
+        .map(|i| {
+            RespClient::connect(addr)
+                .unwrap_or_else(|e| panic!("connection {i} failed to open: {e}"))
+        })
+        .collect();
+
+    // Every connection is open simultaneously and the server knows it.
+    // (`active_connections` ticks when a worker loop adopts the socket,
+    // an instant after connect() returns — poll briefly.)
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut active: u64 = 0;
+    while Instant::now() < deadline {
+        active = monitor.info_field("active_connections").unwrap().unwrap().parse().unwrap();
+        if active >= CONNS as u64 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(active >= CONNS as u64, "server reports {active} active connections, want >= {CONNS}");
+
+    // Drive pipelined traffic over every connection: DRIVERS threads,
+    // each owning CONNS/DRIVERS connections, ROUNDS passes each. Per
+    // pass and connection: pipelined SET + GET + PING, replies verified
+    // in order, batch round-trip recorded.
+    let rtts = Mutex::new(Vec::<Duration>::new());
+    std::thread::scope(|s| {
+        for (t, chunk) in clients.chunks_mut(CONNS / DRIVERS).enumerate() {
+            let rtts = &rtts;
+            s.spawn(move || {
+                let mut local = Vec::with_capacity(ROUNDS * chunk.len());
+                for round in 0..ROUNDS {
+                    for (i, c) in chunk.iter_mut().enumerate() {
+                        let key = format!("soak:{t}:{i}");
+                        let val = format!("v{round}");
+                        let t0 = Instant::now();
+                        c.enqueue(&[b"SET", key.as_bytes(), val.as_bytes()]);
+                        c.enqueue(&[b"GET", key.as_bytes()]);
+                        c.enqueue(&[b"PING"]);
+                        c.flush().unwrap();
+                        assert_eq!(c.read_reply().unwrap(), Value::Simple("OK".into()));
+                        assert_eq!(
+                            c.read_reply().unwrap(),
+                            Value::bulk(val.clone().into_bytes())
+                        );
+                        assert_eq!(c.read_reply().unwrap(), Value::Simple("PONG".into()));
+                        local.push(t0.elapsed());
+                    }
+                }
+                rtts.lock().unwrap().extend(local);
+            });
+        }
+    });
+
+    let mut rtts = rtts.into_inner().unwrap();
+    rtts.sort_unstable();
+    let p99 = rtts[(rtts.len() - 1) * 99 / 100];
+    println!(
+        "soak: {} pipelined batches over {CONNS} connections; p50 {:?}, p99 {:?}, max {:?}",
+        rtts.len(),
+        rtts[rtts.len() / 2],
+        p99,
+        rtts.last().unwrap()
+    );
+    assert!(p99 <= P99_BOUND, "p99 batch RTT {p99:?} exceeds the {P99_BOUND:?} tripwire");
+
+    // Nothing panicked, nothing was refused, and every key landed.
+    assert_eq!(monitor.info_field("worker_panics").unwrap().as_deref(), Some("0"));
+    assert_eq!(monitor.info_field("accept_errors").unwrap().as_deref(), Some("0"));
+    assert_eq!(
+        monitor.command(&[b"DBSIZE"]).unwrap(),
+        Value::Integer((DRIVERS * (CONNS / DRIVERS)) as i64)
+    );
+
+    drop(clients);
+    server.shutdown();
+}

@@ -49,7 +49,7 @@ fn snapshot_under_live_load_restores_after_crash() {
                     let mut i = 0u32;
                     while !stop.load(Ordering::Relaxed) {
                         let (k, v) = kv(1_000_000 + (t * 100_000) + (i % 500));
-                        if i % 10 == 0 {
+                        if i.is_multiple_of(10) {
                             store.set(&k, &v).unwrap();
                         } else {
                             let _ = store.get(&k).unwrap();
