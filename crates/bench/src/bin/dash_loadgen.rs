@@ -75,6 +75,12 @@ OPTIONS:
                       --addr before anything else and print the reply;
                       an error reply fails the run. Example:
                       --cmd 'REPLICAOF NO ONE' promotes a replica
+    --json PATH       write a machine-readable run summary to PATH:
+                      per-phase throughput and op/error counts, the
+                      per-op latency percentiles (p50/p95/p99/p999,
+                      CO-safe when --latency-rate is set), and the
+                      overall pass/fail — what CI archives as an
+                      artifact next to the human-readable log
     -h, --help        show this help";
 
 #[derive(Clone)]
@@ -99,6 +105,7 @@ struct Config {
     verify_snapshot: Option<String>,
     wait_sync: Option<String>,
     cmd: Option<String>,
+    json: Option<String>,
 }
 
 fn parse_config() -> Config {
@@ -122,6 +129,7 @@ fn parse_config() -> Config {
             "verify-snapshot",
             "wait-sync",
             "cmd",
+            "json",
         ],
         &["preload", "verify-all", "verify-scan"],
         0,
@@ -171,6 +179,7 @@ fn parse_config() -> Config {
         verify_snapshot: args.flag_opt("verify-snapshot").map(str::to_owned),
         wait_sync: args.flag_opt("wait-sync").map(str::to_owned),
         cmd: args.flag_opt("cmd").map(str::to_owned),
+        json: args.flag_opt("json").map(str::to_owned),
     };
     if cfg.conns == 0 || cfg.keys == 0 || cfg.pipeline == 0 {
         cli::exit_usage("--conns, --keys and --pipeline must be at least 1", USAGE);
@@ -508,15 +517,37 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[idx]
 }
 
+/// One timed phase's numbers, as they land in the `--json` summary.
+struct PhaseSummary {
+    label: String,
+    throughput: f64,
+    gets: u64,
+    sets: u64,
+    hits: u64,
+    op_errors: u64,
+    failed_connections: u64,
+}
+
+/// The per-op latency sample's numbers for the `--json` summary.
+struct LatencySummary {
+    co_safe: bool,
+    samples: usize,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    p999_us: u64,
+    max_us: u64,
+}
+
 /// Run one timed phase (`runner` per connection), merge the tallies and
-/// print its report. Returns `(throughput ops/s, phase failed)`.
+/// print its report. Returns `(summary, phase failed)`.
 fn timed_phase(
     cfg: &Config,
     stems: &[u64],
     label: &str,
     rtt_note: &str,
     runner: fn(&Config, &[u64], usize, usize) -> std::io::Result<Tally>,
-) -> (f64, bool) {
+) -> (PhaseSummary, bool) {
     let per = cfg.ops / cfg.conns;
     let t0 = Instant::now();
     let tallies: Vec<std::io::Result<Tally>> = std::thread::scope(|s| {
@@ -577,7 +608,16 @@ fn timed_phase(
         eprintln!("dash-loadgen: {label}: zero throughput");
         failed = true;
     }
-    (throughput, failed)
+    let summary = PhaseSummary {
+        label: label.to_string(),
+        throughput,
+        gets: total.gets,
+        sets: total.sets,
+        hits: total.hits,
+        op_errors: total.errors,
+        failed_connections: io_errors,
+    };
+    (summary, failed)
 }
 
 /// Coordinated-omission-safe latency sampling: ops depart on a FIXED
@@ -760,16 +800,19 @@ fn main() {
     }
 
     let mut failed = false;
+    let mut phases: Vec<PhaseSummary> = Vec::new();
+    let mut latency_summary: Option<LatencySummary> = None;
     if cfg.ops > 0 {
         match cfg.batch {
             None => {
-                let (_, f) = timed_phase(
+                let (summary, f) = timed_phase(
                     &cfg,
                     &stems,
                     "run",
                     &format!("(pipeline depth {})", cfg.pipeline),
                     run_connection,
                 );
+                phases.push(summary);
                 failed |= f;
             }
             Some(n) => {
@@ -778,14 +821,14 @@ fn main() {
                 // must win or it has no reason to exist.
                 let mut singles_cfg = cfg.clone();
                 singles_cfg.pipeline = n;
-                let (single_tput, f1) = timed_phase(
+                let (singles, f1) = timed_phase(
                     &singles_cfg,
                     &stems,
                     "pipelined singles",
                     &format!("(pipeline depth {n})"),
                     run_connection,
                 );
-                let (batch_tput, f2) = timed_phase(
+                let (batched, f2) = timed_phase(
                     &cfg,
                     &stems,
                     "batched",
@@ -793,12 +836,16 @@ fn main() {
                     run_connection_batched,
                 );
                 failed |= f1 | f2;
-                if single_tput > 0.0 && batch_tput > 0.0 {
+                if singles.throughput > 0.0 && batched.throughput > 0.0 {
                     println!(
-                        "batched vs pipelined singles: {:.2}x ({batch_tput:.0} vs {single_tput:.0} ops/s)",
-                        batch_tput / single_tput
+                        "batched vs pipelined singles: {:.2}x ({:.0} vs {:.0} ops/s)",
+                        batched.throughput / singles.throughput,
+                        batched.throughput,
+                        singles.throughput
                     );
                 }
+                phases.push(singles);
+                phases.push(batched);
             }
         }
     }
@@ -823,6 +870,15 @@ fn main() {
                     p99,
                     samples.last().copied().unwrap_or(0),
                 );
+                latency_summary = Some(LatencySummary {
+                    co_safe: cfg.latency_rate > 0.0,
+                    samples: samples.len(),
+                    p50_us: percentile(&samples, 0.50),
+                    p95_us: percentile(&samples, 0.95),
+                    p99_us: p99,
+                    p999_us: percentile(&samples, 0.999),
+                    max_us: samples.last().copied().unwrap_or(0),
+                });
                 if cfg.assert_p99_us > 0 && p99 > cfg.assert_p99_us {
                     eprintln!(
                         "dash-loadgen: p99 latency {p99} us exceeds --assert-p99-us {}",
@@ -902,5 +958,81 @@ fn main() {
     if let Ok(Value::Integer(n)) = probe.command(&[b"DBSIZE"]) {
         println!("server DBSIZE: {n}");
     }
+
+    if let Some(path) = &cfg.json {
+        let doc = render_json(&cfg, &phases, latency_summary.as_ref(), failed);
+        match std::fs::write(path, doc) {
+            Ok(()) => println!("wrote JSON summary to {path}"),
+            Err(e) => {
+                eprintln!("dash-loadgen: cannot write --json {path}: {e}");
+                failed = true;
+            }
+        }
+    }
     std::process::exit(if failed { 1 } else { 0 });
+}
+
+/// Minimal JSON string escaping — enough for addresses, labels and
+/// paths (quote, backslash, control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The `--json` document, handwritten (no serde in the tree): run
+/// parameters, per-phase throughput/counts, the per-op latency
+/// percentiles, and the overall verdict.
+fn render_json(
+    cfg: &Config,
+    phases: &[PhaseSummary],
+    latency: Option<&LatencySummary>,
+    failed: bool,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"addr\": \"{}\",\n", json_escape(&cfg.addr)));
+    out.push_str(&format!("  \"conns\": {},\n", cfg.conns));
+    out.push_str(&format!("  \"ops\": {},\n", cfg.ops));
+    out.push_str(&format!("  \"read_pct\": {},\n", cfg.read_pct));
+    out.push_str(&format!("  \"keys\": {},\n", cfg.keys));
+    out.push_str(&format!("  \"value_size\": {},\n", cfg.value_size));
+    out.push_str(&format!("  \"pipeline\": {},\n", cfg.pipeline));
+    out.push_str("  \"phases\": [");
+    for (i, p) in phases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"label\": \"{}\", \"throughput_ops_per_sec\": {:.1}, \
+             \"gets\": {}, \"sets\": {}, \"hits\": {}, \"op_errors\": {}, \
+             \"failed_connections\": {}}}",
+            json_escape(&p.label),
+            p.throughput,
+            p.gets,
+            p.sets,
+            p.hits,
+            p.op_errors,
+            p.failed_connections
+        ));
+    }
+    out.push_str(if phases.is_empty() { "],\n" } else { "\n  ],\n" });
+    match latency {
+        None => out.push_str("  \"latency\": null,\n"),
+        Some(l) => out.push_str(&format!(
+            "  \"latency\": {{\"co_safe\": {}, \"samples\": {}, \"p50_us\": {}, \
+             \"p95_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \"max_us\": {}}},\n",
+            l.co_safe, l.samples, l.p50_us, l.p95_us, l.p99_us, l.p999_us, l.max_us
+        )),
+    }
+    out.push_str(&format!("  \"failed\": {failed}\n"));
+    out.push_str("}\n");
+    out
 }

@@ -48,6 +48,12 @@ pub struct DashEh<K: Key = u64> {
     /// Volatile lock serializing directory doubling/halving and entry
     /// rewrites (segment-level isolation comes from bucket locks, §4.4).
     dir_lock: Mutex<()>,
+    /// Volatile SMO counters since open (the paper's instrumentation
+    /// axis): completed segment splits, directory doublings, and
+    /// completed segment merges. Not persisted — telemetry only.
+    splits: AtomicU64,
+    doublings: AtomicU64,
+    merges: AtomicU64,
     _k: PhantomData<fn(K) -> K>,
 }
 
@@ -92,7 +98,17 @@ impl<K: Key> DashEh<K> {
         pool.persist(root, std::mem::size_of::<EhRoot>());
         pool.set_root(root);
 
-        Ok(DashEh { pool, root, cfg, geom, dir_lock: Mutex::new(()), _k: PhantomData })
+        Ok(DashEh {
+            pool,
+            root,
+            cfg,
+            geom,
+            dir_lock: Mutex::new(()),
+            splits: AtomicU64::new(0),
+            doublings: AtomicU64::new(0),
+            merges: AtomicU64::new(0),
+            _k: PhantomData,
+        })
     }
 
     /// Reopen the table persisted in `pool` (instant recovery: this does
@@ -109,7 +125,17 @@ impl<K: Key> DashEh<K> {
         }
         let cfg = DashConfig::from_flags(rootref.flags.load(Ordering::Relaxed), 64, 8);
         let geom = SegGeom::from_cfg(&cfg);
-        let table = DashEh { pool, root, cfg, geom, dir_lock: Mutex::new(()), _k: PhantomData };
+        let table = DashEh {
+            pool,
+            root,
+            cfg,
+            geom,
+            dir_lock: Mutex::new(()),
+            splits: AtomicU64::new(0),
+            doublings: AtomicU64::new(0),
+            merges: AtomicU64::new(0),
+            _k: PhantomData,
+        };
         if table.pool.recovery_outcome().wrapped {
             // §4.8: on version wrap-around, reset every segment's version
             // so each recovers (trivially or not) on first access.
@@ -127,6 +153,21 @@ impl<K: Key> DashEh<K> {
 
     pub fn pool(&self) -> &Arc<PmemPool> {
         &self.pool
+    }
+
+    /// Completed segment splits since this handle opened (volatile).
+    pub fn split_count(&self) -> u64 {
+        self.splits.load(Ordering::Relaxed)
+    }
+
+    /// Directory doublings since this handle opened (volatile).
+    pub fn doubling_count(&self) -> u64 {
+        self.doublings.load(Ordering::Relaxed)
+    }
+
+    /// Completed segment merges since this handle opened (volatile).
+    pub fn merge_count(&self) -> u64 {
+        self.merges.load(Ordering::Relaxed)
     }
 
     fn rootref(&self) -> &EhRoot {
@@ -374,6 +415,7 @@ impl<K: Key> DashEh<K> {
         self.rehash_split(sview, nview)?;
         self.finish_split(sview, nview);
         sview.unlock_all(mode);
+        self.splits.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -473,6 +515,7 @@ impl<K: Key> DashEh<K> {
         self.pool.persist(new_dir, 8 + 8 * new_len);
         self.pool.commit_alloc(ticket); // root.directory := new_dir, persisted
         self.pool.defer_free(dir, 8 + 8 * old_len);
+        self.doublings.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -565,6 +608,7 @@ impl<K: Key> DashEh<K> {
         b.unlock_all(mode);
         s.unlock_all(mode);
         self.pool.defer_free(b_off, self.geom.bytes());
+        self.merges.fetch_add(1, Ordering::Relaxed);
         // Opportunistically shrink the directory (§4.7 halving).
         let _ = self.try_halve_directory();
         Ok(true)

@@ -47,6 +47,12 @@ OPTIONS:
                        requires a fresh store; promote with
                        'REPLICAOF NO ONE')
     --event-workers N  event-loop worker threads (default: one per CPU)
+    --metrics-addr HOST:PORT
+                       also serve Prometheus text metrics over HTTP at
+                       this address (GET /metrics); off when omitted
+    --slowlog-threshold-us N
+                       record commands slower than N microseconds in
+                       SLOWLOG (default 10000; 0 logs everything)
     -h, --help         show this help";
 
 fn main() {
@@ -61,6 +67,8 @@ fn main() {
             "replay-logs",
             "replica-of",
             "event-workers",
+            "metrics-addr",
+            "slowlog-threshold-us",
         ],
         &[],
         0,
@@ -77,6 +85,16 @@ fn main() {
         Some(s) => match s.parse::<usize>() {
             Ok(n) if n >= 1 => Some(n),
             _ => cli::exit_usage("--event-workers must be a positive integer", USAGE),
+        },
+    };
+    let metrics_addr = args.flag_opt("metrics-addr").map(str::to_owned);
+    let slowlog_threshold_us: Option<u64> = match args.flag_opt("slowlog-threshold-us") {
+        None => None,
+        Some(s) => match s.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                cli::exit_usage("--slowlog-threshold-us must be a non-negative integer", USAGE)
+            }
         },
     };
 
@@ -146,7 +164,12 @@ fn main() {
         Ok(limit) => println!("fd limit: {limit}"),
         Err(e) => eprintln!("dash-server: cannot raise fd limit: {e} (continuing)"),
     }
-    let opts = ServeOptions { replica_of: replica_of.clone(), event_workers };
+    let opts = ServeOptions {
+        replica_of: replica_of.clone(),
+        event_workers,
+        metrics_addr,
+        slowlog_threshold_us,
+    };
     let server = match serve_with(engine, addr.as_str(), opts) {
         Ok(s) => s,
         Err(e) => {
@@ -160,6 +183,9 @@ fn main() {
             server.addr()
         ),
         None => println!("dash-server listening on {}", server.addr()),
+    }
+    if let Some(addr) = server.metrics_addr() {
+        println!("metrics (Prometheus text) on http://{addr}/metrics");
     }
     server.join();
     println!("dash-server: shut down cleanly");

@@ -190,14 +190,14 @@ impl RespClient {
     //
     // INFO is `key:value` lines; these pull single fields out so
     // replication tooling (loadgen's --wait-sync, the CI failover
-    // drill, tests) doesn't re-implement the parsing. The replication
-    // accessors go through `INFO replication`, the cheap section —
-    // full `INFO` pays an O(total keys) `scan_len` scan, which a
-    // 10 Hz offset poll must not inflict on a live pair.
+    // drill, tests) doesn't re-implement the parsing. Every section is
+    // O(shards) except `keyspace`, whose `scan_len` ground truth walks
+    // every bucket — that one is opt-in via [`RespClient::keyspace_info`]
+    // and deliberately absent from the default payload, so a 10 Hz
+    // poll never inflicts an O(total keys) scan on a live server.
 
-    /// The raw `INFO` payload (full — includes the `scan_len` ground
-    /// truth, an O(total keys) scan; prefer the typed accessors for
-    /// polling).
+    /// The raw default `INFO` payload: server, replication, stats,
+    /// latency and per-shard lines — all O(shards), safe to poll.
     pub fn info(&mut self) -> std::io::Result<String> {
         self.info_payload(&[b"INFO"])
     }
@@ -205,6 +205,25 @@ impl RespClient {
     /// The raw `INFO replication` payload (cheap: no key counts).
     pub fn replication_info(&mut self) -> std::io::Result<String> {
         self.info_payload(&[b"INFO", b"replication"])
+    }
+
+    /// The raw `INFO stats` payload: connection/command totals, event-
+    /// core health counters, engine and replication telemetry.
+    pub fn stats_info(&mut self) -> std::io::Result<String> {
+        self.info_payload(&[b"INFO", b"stats"])
+    }
+
+    /// The raw `INFO latency` payload: per-command-family counts and
+    /// histogram-derived p50/p99/p999 in microseconds.
+    pub fn latency_info(&mut self) -> std::io::Result<String> {
+        self.info_payload(&[b"INFO", b"latency"])
+    }
+
+    /// The raw `INFO keyspace` payload. **O(total keys)**: contains the
+    /// `scan_len` full-iteration ground truth next to the O(shards)
+    /// counter — the drift check, priced accordingly.
+    pub fn keyspace_info(&mut self) -> std::io::Result<String> {
+        self.info_payload(&[b"INFO", b"keyspace"])
     }
 
     fn info_payload(&mut self, cmd: &[&[u8]]) -> std::io::Result<String> {
@@ -263,6 +282,52 @@ impl RespClient {
         Ok(find_field(&self.replication_info()?, "master_link"))
     }
 
+    /// One integer field out of `INFO stats` (e.g. `"worker_panics"`,
+    /// `"commands_served"`, `"eh_splits"`).
+    pub fn stat_u64(&mut self, field: &str) -> std::io::Result<u64> {
+        let text = self.stats_info()?;
+        let value = find_field(&text, field).ok_or_else(|| {
+            std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("INFO stats has no {field} field"),
+            )
+        })?;
+        value.parse().map_err(|_| {
+            std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("INFO stats {field} is not an integer: {value:?}"),
+            )
+        })
+    }
+
+    // ---- SLOWLOG ----------------------------------------------------------
+
+    /// `SLOWLOG LEN`: entries currently retained in the ring.
+    pub fn slowlog_len(&mut self) -> std::io::Result<i64> {
+        match self.command(&[b"SLOWLOG", b"LEN"])? {
+            Value::Integer(n) => Ok(n),
+            other => Err(bad_reply("SLOWLOG LEN", &other)),
+        }
+    }
+
+    /// `SLOWLOG RESET`: drop every retained entry (ids keep counting).
+    pub fn slowlog_reset(&mut self) -> std::io::Result<()> {
+        match self.command(&[b"SLOWLOG", b"RESET"])? {
+            Value::Simple(s) if s == "OK" => Ok(()),
+            other => Err(bad_reply("SLOWLOG RESET", &other)),
+        }
+    }
+
+    /// `SLOWLOG GET n`: the most recent `n` slow commands, newest first.
+    pub fn slowlog_get(&mut self, n: usize) -> std::io::Result<Vec<SlowlogEntry>> {
+        let arg = n.to_string().into_bytes();
+        let reply = self.command(&[b"SLOWLOG", b"GET", &arg])?;
+        let Value::Array(items) = reply else {
+            return Err(bad_reply("SLOWLOG GET", &reply));
+        };
+        items.into_iter().map(decode_slowlog_entry).collect()
+    }
+
     fn integer_command(&mut self, name: &'static [u8], keys: &[&[u8]]) -> std::io::Result<i64> {
         let mut parts: Vec<&[u8]> = Vec::with_capacity(keys.len() + 1);
         parts.push(name);
@@ -272,6 +337,45 @@ impl RespClient {
             other => Err(bad_reply(std::str::from_utf8(name).unwrap_or("?"), &other)),
         }
     }
+}
+
+/// One decoded `SLOWLOG GET` entry (the client-side mirror of the wire
+/// array: id, unix time, duration µs, `[command, key prefix]`, worker).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowlogEntry {
+    /// Monotonic id (survives wrap and `SLOWLOG RESET`).
+    pub id: i64,
+    /// Unix timestamp (seconds) when the command finished.
+    pub unix_secs: i64,
+    /// Execution time in microseconds.
+    pub duration_us: i64,
+    /// Uppercased command name.
+    pub cmd: String,
+    /// Prefix of the first argument (usually the key).
+    pub key: String,
+    /// The event-loop worker that executed it.
+    pub worker: i64,
+}
+
+fn decode_slowlog_entry(value: Value) -> std::io::Result<SlowlogEntry> {
+    let bad = || bad_reply("SLOWLOG GET", &Value::Nil);
+    let Value::Array(fields) = value else { return Err(bad()) };
+    let [Value::Integer(id), Value::Integer(unix_secs), Value::Integer(duration_us), Value::Array(cmd_parts), Value::Integer(worker)] =
+        fields.as_slice()
+    else {
+        return Err(bad());
+    };
+    let [Value::Bulk(cmd), Value::Bulk(key)] = cmd_parts.as_slice() else {
+        return Err(bad());
+    };
+    Ok(SlowlogEntry {
+        id: *id,
+        unix_secs: *unix_secs,
+        duration_us: *duration_us,
+        cmd: String::from_utf8_lossy(cmd).into_owned(),
+        key: String::from_utf8_lossy(key).into_owned(),
+        worker: *worker,
+    })
 }
 
 /// Find `field:value` in an INFO-style payload.

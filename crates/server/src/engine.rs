@@ -122,6 +122,32 @@ pub struct ShardInfo {
     pub version: u8,
 }
 
+/// One shard's point-in-time telemetry (see
+/// [`ShardedDash::shard_telemetry`]). All counters are volatile,
+/// "since this open" values.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardTelemetry {
+    /// Keys stored (the O(shards) counter, not a scan).
+    pub keys: u64,
+    /// Table slot capacity (grows with segment splits).
+    pub capacity_slots: u64,
+    /// Value-blob bytes allocated since open (headers included).
+    pub blob_bytes_written: u64,
+    /// Value-blob bytes retired since open. The net `written - released`
+    /// can go negative after recovery (pre-existing blobs retired).
+    pub blob_bytes_released: u64,
+    /// Dash-EH segment splits completed.
+    pub eh_splits: u64,
+    /// Dash-EH directory doublings.
+    pub eh_doublings: u64,
+    /// Dash-EH segment merges completed.
+    pub eh_merges: u64,
+    /// Write-lock acquisitions that found the lock held.
+    pub write_lock_waits: u64,
+    /// Epoch pins taken by engine operations.
+    pub epoch_pins: u64,
+}
+
 struct Shard {
     pool: Arc<PmemPool>,
     table: DashEh<VarKey>,
@@ -147,6 +173,17 @@ struct Shard {
     /// Redo-log append failures (the write itself already succeeded, so
     /// they must not fail the op — they are counted and surfaced).
     log_errors: AtomicU64,
+    /// Value-blob bytes allocated (header included) since open.
+    blob_written: AtomicU64,
+    /// Value-blob bytes retired since open. `written - released` is the
+    /// net live-blob footprint *of this incarnation* — negative after
+    /// recovery when more pre-existing blobs die than new ones are born.
+    blob_released: AtomicU64,
+    /// Write-lock acquisitions that found the lock held (contention).
+    lock_waits: AtomicU64,
+    /// Epoch pins taken by engine operations (one per single op, one per
+    /// shard group for batches/scans — the §4.5 amortization, visible).
+    pins: AtomicU64,
 }
 
 impl Shard {
@@ -158,6 +195,24 @@ impl Shard {
             (self.table.len_scan() as i64 - d0).max(0) as u64
         });
         (base as i64 + self.keys_delta.load(Ordering::SeqCst)).max(0) as u64
+    }
+
+    /// Take the shard write lock, counting acquisitions that had to wait
+    /// (the telemetry behind `write_lock_waits`).
+    fn lock_write(&self) -> parking_lot::MutexGuard<'_, ()> {
+        match self.write_lock.try_lock() {
+            Some(g) => g,
+            None => {
+                self.lock_waits.fetch_add(1, Ordering::Relaxed);
+                self.write_lock.lock()
+            }
+        }
+    }
+
+    /// Pin this shard's epoch, counting the pin.
+    fn pin(&self) -> pmem::EpochGuard<'_> {
+        self.pins.fetch_add(1, Ordering::Relaxed);
+        self.pool.epoch().pin()
     }
     /// Read the value blob at `off`, defensively bounds-checked (the
     /// caller holds an epoch pin, so a *live* offset cannot be recycled
@@ -182,6 +237,7 @@ impl Shard {
             std::ptr::copy_nonoverlapping(value.as_ptr(), p.add(4), value.len());
         }
         self.pool.persist(off, total);
+        self.blob_written.fetch_add(total as u64, Ordering::Relaxed);
         Ok(off.get())
     }
 
@@ -189,6 +245,7 @@ impl Shard {
     fn release_blob(&self, off: u64) {
         if let Some(len) = blob_len(&self.pool, off) {
             self.pool.defer_free(PmOffset::new(off), 4 + len);
+            self.blob_released.fetch_add(4 + len as u64, Ordering::Relaxed);
         }
     }
 
@@ -381,6 +438,10 @@ impl ShardedDash {
                         log: None,
                         hub: hub.clone(),
                         log_errors: AtomicU64::new(0),
+                        blob_written: AtomicU64::new(0),
+                        blob_released: AtomicU64::new(0),
+                        lock_waits: AtomicU64::new(0),
+                        pins: AtomicU64::new(0),
                     });
                 }
             }
@@ -424,6 +485,10 @@ impl ShardedDash {
                         log: Some(Mutex::new(log)),
                         hub: hub.clone(),
                         log_errors: AtomicU64::new(0),
+                        blob_written: AtomicU64::new(0),
+                        blob_released: AtomicU64::new(0),
+                        lock_waits: AtomicU64::new(0),
+                        pins: AtomicU64::new(0),
                     });
                 }
                 hub.set_offset(log_records);
@@ -454,7 +519,7 @@ impl ShardedDash {
     pub fn get(&self, key: &[u8]) -> EngineResult<Option<Vec<u8>>> {
         let k = Self::check_key(key)?;
         let shard = self.shard(key);
-        let _pin = shard.pool.epoch().pin();
+        let _pin = shard.pin();
         match shard.table.get(&k) {
             None => Ok(None),
             Some(off) => Ok(shard.read_blob(off)),
@@ -465,7 +530,7 @@ impl ShardedDash {
     pub fn exists(&self, key: &[u8]) -> EngineResult<bool> {
         let k = Self::check_key(key)?;
         let shard = self.shard(key);
-        let _pin = shard.pool.epoch().pin();
+        let _pin = shard.pin();
         Ok(shard.table.get(&k).is_some())
     }
 
@@ -479,7 +544,7 @@ impl ShardedDash {
             return Err(EngineError::ValueTooLong(value.len()));
         }
         let shard = self.shard(key);
-        let _w = shard.write_lock.lock();
+        let _w = shard.lock_write();
         shard.set_locked(&k, value)
     }
 
@@ -487,7 +552,7 @@ impl ShardedDash {
     pub fn del(&self, key: &[u8]) -> EngineResult<bool> {
         let k = Self::check_key(key)?;
         let shard = self.shard(key);
-        let _w = shard.write_lock.lock();
+        let _w = shard.lock_write();
         Ok(shard.del_locked(&k))
     }
 
@@ -522,7 +587,7 @@ impl ShardedDash {
             if group.is_empty() {
                 continue;
             }
-            let _pin = shard.pool.epoch().pin();
+            let _pin = shard.pin();
             for &i in group {
                 if let Some(off) = shard.table.get(&vks[i]) {
                     out[i] = shard.read_blob(off);
@@ -547,8 +612,8 @@ impl ShardedDash {
             if group.is_empty() {
                 continue;
             }
-            let _w = shard.write_lock.lock();
-            let _pin = shard.pool.epoch().pin();
+            let _w = shard.lock_write();
+            let _pin = shard.pin();
             for &i in group {
                 shard.set_locked(&vks[i], pairs[i].1)?;
             }
@@ -565,8 +630,8 @@ impl ShardedDash {
             if group.is_empty() {
                 continue;
             }
-            let _w = shard.write_lock.lock();
-            let _pin = shard.pool.epoch().pin();
+            let _w = shard.lock_write();
+            let _pin = shard.pin();
             for &i in group {
                 removed += u64::from(shard.del_locked(&vks[i]));
             }
@@ -584,7 +649,7 @@ impl ShardedDash {
             if group.is_empty() {
                 continue;
             }
-            let _pin = shard.pool.epoch().pin();
+            let _pin = shard.pin();
             for &i in group {
                 present += u64::from(shard.table.get(&vks[i]).is_some());
             }
@@ -630,7 +695,7 @@ impl ShardedDash {
         let mut keys = Vec::new();
         while shard_idx < self.shards.len() {
             let shard = &self.shards[shard_idx];
-            let _pin = shard.pool.epoch().pin();
+            let _pin = shard.pin();
             // `keys.len() < count` here: the loop breaks as soon as the
             // budget is met, so the remaining budget is always positive.
             let page = shard.table.scan(ScanCursor::resume(pos), count - keys.len());
@@ -689,7 +754,7 @@ impl ShardedDash {
     fn snapshot_each(&self, emit: &mut SnapshotEmit<'_>) -> EngineResult<()> {
         const SNAPSHOT_PAGE: usize = 1024;
         for shard in &self.shards {
-            let _pin = shard.pool.epoch().pin();
+            let _pin = shard.pin();
             let mut cursor = ScanCursor::START;
             loop {
                 let page = shard.table.scan(cursor, SNAPSHOT_PAGE);
@@ -969,6 +1034,32 @@ impl ShardedDash {
     /// from a previous incarnation.
     pub fn recovered_shards(&self) -> usize {
         self.shards.iter().filter(|s| s.info.recovered).count()
+    }
+
+    /// One [`ShardTelemetry`] per shard — everything `INFO shards` and
+    /// the metrics endpoint report. O(shards) once the key counters are
+    /// warm (the first call on a recovered store pays the same one-time
+    /// base scan `DBSIZE` does).
+    pub fn shard_telemetry(&self) -> Vec<ShardTelemetry> {
+        self.shards
+            .iter()
+            .map(|s| ShardTelemetry {
+                keys: s.key_count(),
+                capacity_slots: s.table.capacity_slots(),
+                blob_bytes_written: s.blob_written.load(Ordering::Relaxed),
+                blob_bytes_released: s.blob_released.load(Ordering::Relaxed),
+                eh_splits: s.table.split_count(),
+                eh_doublings: s.table.doubling_count(),
+                eh_merges: s.table.merge_count(),
+                write_lock_waits: s.lock_waits.load(Ordering::Relaxed),
+                epoch_pins: s.pins.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// `(sink id, lag in ops)` for every live replica sink.
+    pub fn replica_lags(&self) -> Vec<(u64, u64)> {
+        self.hub.sink_lags()
     }
 
     /// Clean shutdown: durably sync every shard pool and set its clean

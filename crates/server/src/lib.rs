@@ -48,13 +48,14 @@
 
 pub mod client;
 pub mod engine;
+pub(crate) mod metrics;
 pub mod net;
 pub mod repl;
 pub mod resp;
 pub mod server;
 pub mod snapshot;
 
-pub use client::RespClient;
+pub use client::{RespClient, SlowlogEntry};
 pub use engine::{EngineConfig, EngineError, EngineResult, ShardInfo, ShardedDash, MAX_VALUE_LEN};
 pub use repl::ReplOp;
 pub use resp::{ProtocolError, Value};

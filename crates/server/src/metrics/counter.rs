@@ -1,0 +1,118 @@
+//! Striped atomic counters and a plain gauge — the primitive cells the
+//! metrics registry is built from.
+//!
+//! A [`Counter`] spreads its increments over [`STRIPES`] cacheline-
+//! padded atomics, indexed by a thread-local stripe id (the same
+//! pattern the pmem crate's `PmStats` uses): event-loop workers bump
+//! disjoint cachelines on the hot path, and only a reader (INFO, a
+//! Prometheus scrape) pays the sum. A [`Gauge`] is one signed atomic —
+//! its users (connection counts) change it at accept/close frequency,
+//! where contention is irrelevant and signed add/sub semantics matter
+//! more than striping.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+/// Stripe count: enough that a worker pool sized to available CPUs
+/// rarely shares a stripe, small enough that reads stay trivial.
+pub(crate) const STRIPES: usize = 16;
+
+thread_local! {
+    /// This thread's stripe index, assigned round-robin at first use.
+    pub(crate) static STRIPE_ID: usize = {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        NEXT.fetch_add(1, Ordering::Relaxed) % STRIPES
+    };
+}
+
+#[repr(align(64))]
+#[derive(Default)]
+struct Cell(AtomicU64);
+
+/// A monotonic, lock-free, write-striped counter.
+pub struct Counter {
+    cells: Box<[Cell]>,
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Counter {
+    pub fn new() -> Counter {
+        let mut cells = Vec::with_capacity(STRIPES);
+        cells.resize_with(STRIPES, Cell::default);
+        Counter { cells: cells.into_boxed_slice() }
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        let id = STRIPE_ID.with(|s| *s);
+        self.cells[id].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current total (sums the stripes — a read-side cost by design).
+    pub fn get(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A signed point-in-time gauge (e.g. active connections).
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+        c.add(5);
+        assert_eq!(c.get(), 8005);
+    }
+
+    #[test]
+    fn gauge_goes_both_ways() {
+        let g = Gauge::new();
+        g.add(3);
+        g.sub(5);
+        assert_eq!(g.get(), -2);
+    }
+}

@@ -1,0 +1,180 @@
+//! The server's telemetry layer: a registry-free, lock-free set of
+//! counters, gauges, per-command-family latency histograms and the
+//! SLOWLOG ring — everything `INFO stats` / `INFO latency`, the
+//! `SLOWLOG` command and the `--metrics-addr` Prometheus endpoint read.
+//!
+//! Design constraints, in order:
+//!
+//! * **The hot path pays almost nothing.** Recording a command is one
+//!   `Instant` pair around `execute`, two relaxed `fetch_add`s into a
+//!   thread-local stripe ([`histogram`]), and one relaxed load for the
+//!   slowlog threshold. No locks, no allocation, no shared cacheline
+//!   between event workers.
+//! * **Readers pay the aggregation.** INFO and a scrape sum the
+//!   stripes; both are O(shards + buckets), never O(keys).
+//! * **Nothing is counted twice.** The event core's health counters
+//!   (`worker_panics`, `accept_errors`, ...) that used to live as ad-hoc
+//!   `pub(crate)` atomics on `Inner` live *here* now — `net/` pokes the
+//!   registry, and INFO/Prometheus render the same cells.
+
+pub mod counter;
+pub mod histogram;
+pub mod slowlog;
+pub(crate) mod prometheus;
+
+use std::time::Duration;
+
+pub use counter::{Counter, Gauge};
+pub use histogram::{HistSnapshot, Histogram};
+pub use slowlog::SlowLog;
+
+/// Default `--slowlog-threshold-us`: 10 ms.
+pub const DEFAULT_SLOWLOG_THRESHOLD_US: u64 = 10_000;
+
+/// The command families latency is recorded under. Coarse on purpose:
+/// a family is a latency *class* (point read, point write, batch read,
+/// batch write, delete, iteration, replication bootstrap), not a
+/// command name — `EXISTS` times like `GET` but is rare enough to pool
+/// under `other` with the rest of the admin surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmdFamily {
+    Get,
+    Set,
+    Mget,
+    Mset,
+    Del,
+    Scan,
+    Psync,
+    Other,
+}
+
+impl CmdFamily {
+    pub const COUNT: usize = 8;
+    pub const ALL: [CmdFamily; Self::COUNT] = [
+        CmdFamily::Get,
+        CmdFamily::Set,
+        CmdFamily::Mget,
+        CmdFamily::Mset,
+        CmdFamily::Del,
+        CmdFamily::Scan,
+        CmdFamily::Psync,
+        CmdFamily::Other,
+    ];
+
+    /// Classify a wire command name (case-insensitive).
+    pub fn classify(name: &[u8]) -> CmdFamily {
+        const TABLE: [(&[u8], CmdFamily); 7] = [
+            (b"GET", CmdFamily::Get),
+            (b"SET", CmdFamily::Set),
+            (b"MGET", CmdFamily::Mget),
+            (b"MSET", CmdFamily::Mset),
+            (b"DEL", CmdFamily::Del),
+            (b"SCAN", CmdFamily::Scan),
+            (b"PSYNC", CmdFamily::Psync),
+        ];
+        TABLE
+            .iter()
+            .find(|(n, _)| name.eq_ignore_ascii_case(n))
+            .map_or(CmdFamily::Other, |(_, f)| *f)
+    }
+
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The label value on the wire (`INFO latency` field prefixes and
+    /// the Prometheus `cmd` label).
+    pub fn name(self) -> &'static str {
+        match self {
+            CmdFamily::Get => "get",
+            CmdFamily::Set => "set",
+            CmdFamily::Mget => "mget",
+            CmdFamily::Mset => "mset",
+            CmdFamily::Del => "del",
+            CmdFamily::Scan => "scan",
+            CmdFamily::Psync => "psync",
+            CmdFamily::Other => "other",
+        }
+    }
+}
+
+/// The server-wide metrics registry, owned by `server::Inner`.
+pub struct Metrics {
+    /// Connections accepted by the listener.
+    pub connections_accepted: Counter,
+    /// Commands decoded and executed.
+    pub commands_served: Counter,
+    /// Accept-loop errors survived (EMFILE and friends).
+    pub accept_errors: Counter,
+    /// Caught connection-handler panics plus panicked worker/stream
+    /// threads found at join. Zero on a healthy server.
+    pub worker_panics: Counter,
+    /// Connections currently registered on an event loop.
+    pub active_connections: Gauge,
+    /// Replica-side reconnects to the primary (each costs a full sync).
+    pub repl_reconnects: Counter,
+    /// Per-family execute-seam latency, indexed by [`CmdFamily::index`].
+    pub cmd_hist: [Histogram; CmdFamily::COUNT],
+    /// The SLOWLOG ring.
+    pub slowlog: SlowLog,
+}
+
+impl Metrics {
+    pub fn new(slowlog_threshold_us: u64) -> Metrics {
+        Metrics {
+            connections_accepted: Counter::new(),
+            commands_served: Counter::new(),
+            accept_errors: Counter::new(),
+            worker_panics: Counter::new(),
+            active_connections: Gauge::new(),
+            repl_reconnects: Counter::new(),
+            cmd_hist: std::array::from_fn(|_| Histogram::new()),
+            slowlog: SlowLog::new(slowlog_threshold_us),
+        }
+    }
+
+    /// Record one executed command: classify, time, and slowlog it.
+    /// Called at the `conn.rs` execute seam with the decoded command.
+    #[inline]
+    pub fn observe_command(&self, parts: &[Vec<u8>], elapsed: Duration, worker: u64) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let family = CmdFamily::classify(&parts[0]);
+        self.cmd_hist[family.index()].record(ns);
+        self.slowlog.maybe_record(ns, parts, worker);
+    }
+
+    /// One family's merged latency snapshot.
+    pub fn cmd_snapshot(&self, family: CmdFamily) -> HistSnapshot {
+        self.cmd_hist[family.index()].snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_is_case_insensitive_and_total() {
+        assert_eq!(CmdFamily::classify(b"get"), CmdFamily::Get);
+        assert_eq!(CmdFamily::classify(b"GeT"), CmdFamily::Get);
+        assert_eq!(CmdFamily::classify(b"MSET"), CmdFamily::Mset);
+        assert_eq!(CmdFamily::classify(b"psync"), CmdFamily::Psync);
+        assert_eq!(CmdFamily::classify(b"EXISTS"), CmdFamily::Other);
+        assert_eq!(CmdFamily::classify(b"NOSUCH"), CmdFamily::Other);
+        for (i, fam) in CmdFamily::ALL.iter().enumerate() {
+            assert_eq!(fam.index(), i, "index must match ALL order");
+        }
+    }
+
+    #[test]
+    fn observe_routes_to_family_and_slowlog() {
+        let m = Metrics::new(0); // threshold 0: everything is "slow"
+        m.observe_command(&[b"GET".to_vec(), b"k".to_vec()], Duration::from_micros(5), 1);
+        m.observe_command(&[b"SET".to_vec(), b"k".to_vec(), b"v".to_vec()], Duration::from_micros(7), 2);
+        assert_eq!(m.cmd_snapshot(CmdFamily::Get).count(), 1);
+        assert_eq!(m.cmd_snapshot(CmdFamily::Set).count(), 1);
+        assert_eq!(m.cmd_snapshot(CmdFamily::Other).count(), 0);
+        assert_eq!(m.slowlog.len(), 2);
+        assert_eq!(m.slowlog.get(1)[0].cmd, "SET");
+    }
+}

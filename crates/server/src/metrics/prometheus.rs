@@ -1,0 +1,207 @@
+//! Prometheus text exposition (format 0.0.4) plus the tiny HTTP/1.0
+//! response builder the accept loop serves it with.
+//!
+//! Rendering is a pure read: striped counters are summed, histograms
+//! snapshotted and written as cumulative `_bucket`/`_sum`/`_count`
+//! series (bounds converted from nanoseconds to seconds for `le`), and
+//! the engine/replication gauges are sampled — no locks beyond the
+//! slowlog's (untouched here) and the repl hub's sink-list read lock.
+//! Nothing scans the keyspace: per-shard key counts come from the
+//! O(shards) counters, so a scrape is safe at any poll frequency.
+
+use std::fmt::Write;
+
+use crate::server::Inner;
+
+use super::histogram::{HistSnapshot, BOUNDS_NS, NUM_BOUNDS};
+use super::CmdFamily;
+
+/// Render the whole exposition payload.
+pub(crate) fn render(inner: &Inner) -> String {
+    let m = &inner.metrics;
+    let mut out = String::with_capacity(16 * 1024);
+
+    counter(&mut out, "dash_connections_accepted_total", "Connections accepted.", m.connections_accepted.get());
+    counter(&mut out, "dash_commands_served_total", "Commands decoded and executed.", m.commands_served.get());
+    counter(&mut out, "dash_accept_errors_total", "Accept-loop errors survived (EMFILE and friends).", m.accept_errors.get());
+    counter(&mut out, "dash_worker_panics_total", "Caught connection-handler and worker panics.", m.worker_panics.get());
+    gauge_i(&mut out, "dash_active_connections", "Connections currently registered on an event loop.", m.active_connections.get());
+    gauge_i(&mut out, "dash_event_workers", "Event-loop worker pool size.", inner.event_workers as i64);
+    gauge_i(&mut out, "dash_slowlog_len", "Entries currently retained in the SLOWLOG ring.", m.slowlog.len() as i64);
+
+    // Per-command latency histograms, one labeled series per family.
+    help_type(&mut out, "dash_cmd_latency_seconds", "Command execution latency at the execute seam.", "histogram");
+    for fam in CmdFamily::ALL {
+        let snap = m.cmd_hist[fam.index()].snapshot();
+        write_histogram(&mut out, "dash_cmd_latency_seconds", fam.name(), &snap);
+    }
+
+    // Engine: per-shard gauges and the paper's own instrumentation axis
+    // (segment splits / directory doublings), summed engine-wide too.
+    let shards = inner.engine.shard_telemetry();
+    help_type(&mut out, "dash_shard_keys", "Keys per shard (O(shards) counters, no scan).", "gauge");
+    help_type(&mut out, "dash_shard_capacity_slots", "Table slot capacity per shard.", "gauge");
+    help_type(&mut out, "dash_shard_load_factor", "keys / capacity_slots per shard.", "gauge");
+    help_type(&mut out, "dash_shard_blob_bytes", "Net value-blob bytes written minus released since open.", "gauge");
+    help_type(&mut out, "dash_eh_splits_total", "Dash-EH segment splits since open.", "counter");
+    help_type(&mut out, "dash_eh_doublings_total", "Dash-EH directory doublings since open.", "counter");
+    help_type(&mut out, "dash_eh_merges_total", "Dash-EH segment merges since open.", "counter");
+    help_type(&mut out, "dash_write_lock_waits_total", "Shard write-lock acquisitions that had to wait.", "counter");
+    help_type(&mut out, "dash_epoch_pins_total", "Epoch pins taken by engine operations.", "counter");
+    for (i, t) in shards.iter().enumerate() {
+        let lf = if t.capacity_slots == 0 { 0.0 } else { t.keys as f64 / t.capacity_slots as f64 };
+        let _ = writeln!(out, "dash_shard_keys{{shard=\"{i}\"}} {}", t.keys);
+        let _ = writeln!(out, "dash_shard_capacity_slots{{shard=\"{i}\"}} {}", t.capacity_slots);
+        let _ = writeln!(out, "dash_shard_load_factor{{shard=\"{i}\"}} {lf}");
+        let _ = writeln!(
+            out,
+            "dash_shard_blob_bytes{{shard=\"{i}\"}} {}",
+            t.blob_bytes_written as i64 - t.blob_bytes_released as i64
+        );
+        let _ = writeln!(out, "dash_eh_splits_total{{shard=\"{i}\"}} {}", t.eh_splits);
+        let _ = writeln!(out, "dash_eh_doublings_total{{shard=\"{i}\"}} {}", t.eh_doublings);
+        let _ = writeln!(out, "dash_eh_merges_total{{shard=\"{i}\"}} {}", t.eh_merges);
+        let _ = writeln!(out, "dash_write_lock_waits_total{{shard=\"{i}\"}} {}", t.write_lock_waits);
+        let _ = writeln!(out, "dash_epoch_pins_total{{shard=\"{i}\"}} {}", t.epoch_pins);
+    }
+
+    // Replication: the stream position, each live sink's position and
+    // lag, and how often this replica's link had to be rebuilt.
+    counter(&mut out, "dash_repl_offset", "Replication stream offset (ops since store creation).", inner.engine.repl_offset());
+    gauge_i(&mut out, "dash_repl_connected_replicas", "Live replica streams.", inner.engine.connected_replicas() as i64);
+    counter(&mut out, "dash_log_append_errors_total", "Redo-log append failures (ops applied, records missing).", inner.engine.log_append_errors());
+    counter(&mut out, "dash_repl_reconnects_total", "Replica-side reconnects to the primary.", m.repl_reconnects.get());
+    help_type(&mut out, "dash_repl_sink_lag_ops", "Ops queued to a replica sink, not yet drained.", "gauge");
+    help_type(&mut out, "dash_repl_sink_offset", "The sink's acknowledged stream position (offset minus lag).", "gauge");
+    let offset = inner.engine.repl_offset();
+    for (id, lag) in inner.engine.replica_lags() {
+        let _ = writeln!(out, "dash_repl_sink_lag_ops{{sink=\"{id}\"}} {lag}");
+        let _ = writeln!(out, "dash_repl_sink_offset{{sink=\"{id}\"}} {}", offset.saturating_sub(lag));
+    }
+    out
+}
+
+fn help_type(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    help_type(out, name, help, "counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn gauge_i(out: &mut String, name: &str, help: &str, value: i64) {
+    help_type(out, name, help, "gauge");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// One family's `_bucket`/`_sum`/`_count` series. Buckets are emitted
+/// cumulative with an explicit `+Inf`, per the exposition format.
+fn write_histogram(out: &mut String, name: &str, family: &str, snap: &HistSnapshot) {
+    let mut cum = 0u64;
+    for (count, bound) in snap.counts.iter().zip(BOUNDS_NS.iter()) {
+        cum += count;
+        let le = *bound as f64 / 1e9;
+        let _ = writeln!(out, "{name}_bucket{{cmd=\"{family}\",le=\"{le}\"}} {cum}");
+    }
+    cum += snap.counts[NUM_BOUNDS];
+    let _ = writeln!(out, "{name}_bucket{{cmd=\"{family}\",le=\"+Inf\"}} {cum}");
+    let _ = writeln!(out, "{name}_sum{{cmd=\"{family}\"}} {}", snap.sum_ns as f64 / 1e9);
+    let _ = writeln!(out, "{name}_count{{cmd=\"{family}\"}} {cum}");
+}
+
+// ---- minimal HTTP/1.0 responder ------------------------------------------
+//
+// Just enough HTTP for `curl` and a Prometheus scraper: the request head
+// is parsed for its path, the body is rendered lazily (404s never pay
+// for an exposition render), and the response always closes the
+// connection (HTTP/1.0, `Connection: close`).
+
+/// Is a full request head (`...\r\n\r\n`) present in `buf`?
+pub(crate) fn request_complete(buf: &[u8]) -> bool {
+    buf.windows(4).any(|w| w == b"\r\n\r\n")
+}
+
+/// Build the full response bytes for a buffered request head.
+/// `metrics_body` is only invoked for a scrape-path hit.
+pub(crate) fn respond(head: &[u8], metrics_body: impl FnOnce() -> String) -> Vec<u8> {
+    let line = head.split(|&b| b == b'\r').next().unwrap_or(b"");
+    let mut words = line.split(|&b| b == b' ').filter(|w| !w.is_empty());
+    let method = words.next().unwrap_or(b"");
+    let path = words.next().unwrap_or(b"");
+    if method != b"GET" {
+        return http_response(405, "Method Not Allowed", "text/plain", "method not allowed\n");
+    }
+    match path {
+        b"/metrics" | b"/" => http_response(
+            200,
+            "OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &metrics_body(),
+        ),
+        _ => http_response(404, "Not Found", "text/plain", "not found (try /metrics)\n"),
+    }
+}
+
+fn http_response(code: u16, reason: &str, content_type: &str, body: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.0 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_head_detection() {
+        assert!(!request_complete(b"GET /metrics HTTP/1.0\r\n"));
+        assert!(request_complete(b"GET /metrics HTTP/1.0\r\n\r\n"));
+        assert!(request_complete(b"GET / HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n"));
+    }
+
+    #[test]
+    fn routes_and_statuses() {
+        let ok = respond(b"GET /metrics HTTP/1.0\r\n\r\n", || "dash_up 1\n".into());
+        let text = String::from_utf8(ok).unwrap();
+        assert!(text.starts_with("HTTP/1.0 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 10\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\ndash_up 1\n"), "{text}");
+
+        let mut rendered = false;
+        let nf = respond(b"GET /nope HTTP/1.1\r\nHost: x\r\n\r\n", || {
+            rendered = true;
+            String::new()
+        });
+        assert!(String::from_utf8(nf).unwrap().starts_with("HTTP/1.0 404"));
+        assert!(!rendered, "a 404 must not pay for an exposition render");
+
+        let mna = respond(b"POST /metrics HTTP/1.0\r\n\r\n", String::new);
+        assert!(String::from_utf8(mna).unwrap().starts_with("HTTP/1.0 405"));
+    }
+
+    #[test]
+    fn histogram_series_are_cumulative_with_inf_and_count() {
+        let h = super::super::histogram::Histogram::new();
+        h.record(500);
+        h.record(1_500);
+        h.record(u64::MAX); // overflow bucket
+        let mut out = String::new();
+        write_histogram(&mut out, "t_seconds", "get", &h.snapshot());
+        let buckets: Vec<u64> = out
+            .lines()
+            .filter(|l| l.starts_with("t_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(buckets.len(), NUM_BOUNDS + 1);
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "buckets must be cumulative");
+        assert_eq!(*buckets.last().unwrap(), 3, "+Inf bucket equals the count");
+        assert!(out.contains("t_seconds_count{cmd=\"get\"} 3"), "{out}");
+        assert!(out.contains("le=\"0.000001\""), "1 µs bound in seconds: {out}");
+        assert!(out.contains("le=\"+Inf\""), "{out}");
+        assert!(out.contains("t_seconds_sum{cmd=\"get\"}"), "{out}");
+    }
+}

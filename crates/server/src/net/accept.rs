@@ -17,13 +17,21 @@
 //!   flag — including everything still sitting in the listener backlog
 //!   at teardown — gets `-ERR server shutting down` before the close,
 //!   so clients can tell an orderly shutdown from a network fault.
+//!
+//! The accept loop also serves the Prometheus endpoint
+//! (`--metrics-addr`): a second nonblocking listener on the same epoll
+//! whose connections run a minimal HTTP/1.0 exchange (read one request
+//! head, write one response, close). Scrapes are rare (seconds apart)
+//! and the exposition render is O(shards + buckets), so putting them on
+//! the accept loop costs no service latency and **zero extra threads**.
 
-use std::io::{ErrorKind, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
+use crate::metrics::prometheus;
 use crate::server::Inner;
 
 use super::conn::SHUTDOWN_ERR;
@@ -32,6 +40,16 @@ use super::sys::{Epoll, EventFd, Interest};
 
 const TOKEN_WAKE: u64 = 0;
 const TOKEN_LISTENER: u64 = 1;
+const TOKEN_METRICS_LISTENER: u64 = 2;
+/// Metrics-connection tokens start here (slab index + base); far above
+/// any fixed token.
+const METRICS_CONN_BASE: u64 = 1 << 32;
+/// Concurrent in-flight metrics connections (a scraper or two plus a
+/// curious operator; anything more is a misconfigured poller).
+const MAX_METRICS_CONNS: usize = 64;
+/// Request heads larger than this are dropped (a GET line plus a few
+/// headers fits in a fraction of it).
+const MAX_METRICS_HEAD: usize = 8 * 1024;
 
 /// How long the listener stays unarmed after a transient accept error
 /// (fd exhaustion, ENOMEM, ...) before the backlog is retried.
@@ -40,8 +58,22 @@ const ACCEPT_BACKOFF_MS: i32 = 100;
 /// listener re-fires immediately if more are pending.
 const ACCEPT_BURST: usize = 512;
 
+/// One in-flight HTTP exchange on the metrics endpoint: buffer the
+/// request head, then drain the rendered response, then close.
+struct MetricsConn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+}
+
 pub(crate) struct Acceptor {
     listener: TcpListener,
+    /// The Prometheus endpoint's listener (`--metrics-addr`), served by
+    /// this same loop.
+    metrics_listener: Option<TcpListener>,
+    /// In-flight metrics connections (token = slab index + base).
+    metrics_conns: Vec<Option<MetricsConn>>,
     epoll: Epoll,
     wake: Arc<EventFd>,
     workers: Vec<Worker>,
@@ -57,6 +89,7 @@ impl Acceptor {
     /// spawns) and register its wakeup with the server.
     pub(crate) fn new(
         listener: TcpListener,
+        metrics_listener: Option<TcpListener>,
         workers: Vec<Worker>,
         inner: &Inner,
     ) -> std::io::Result<Acceptor> {
@@ -67,9 +100,22 @@ impl Acceptor {
         {
             use std::os::unix::io::AsRawFd;
             epoll.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+            if let Some(ml) = &metrics_listener {
+                ml.set_nonblocking(true)?;
+                epoll.add(ml.as_raw_fd(), TOKEN_METRICS_LISTENER, Interest::READ)?;
+            }
         }
         inner.register_wake(wake.clone());
-        Ok(Acceptor { listener, epoll, wake, workers, next: 0, armed: true })
+        Ok(Acceptor {
+            listener,
+            metrics_listener,
+            metrics_conns: Vec::new(),
+            epoll,
+            wake,
+            workers,
+            next: 0,
+            armed: true,
+        })
     }
 
     /// Serve accepts until shutdown, then run the whole teardown:
@@ -90,6 +136,16 @@ impl Acceptor {
             }
             if inner.shutdown.load(Ordering::SeqCst) {
                 break;
+            }
+            // Metrics endpoint: accept and drive its HTTP exchanges.
+            for ev in &events {
+                match ev.token {
+                    TOKEN_METRICS_LISTENER => self.accept_metrics_burst(),
+                    t if t >= METRICS_CONN_BASE => {
+                        self.drive_metrics_conn((t - METRICS_CONN_BASE) as usize, &inner);
+                    }
+                    _ => {}
+                }
             }
             if !self.armed {
                 // Backoff elapsed: re-arm and fall through to accept —
@@ -134,12 +190,12 @@ impl Acceptor {
                     // Transient resource exhaustion (EMFILE/ENFILE/
                     // ENOMEM): back off and keep serving what's already
                     // connected. This used to shut the server down.
-                    let n = inner.accept_errors.fetch_add(1, Ordering::Relaxed);
-                    if n.is_multiple_of(64) {
+                    inner.metrics.accept_errors.incr();
+                    let n = inner.metrics.accept_errors.get();
+                    if (n - 1).is_multiple_of(64) {
                         eprintln!(
                             "dash-server: accept failed ({e}); backing off {ACCEPT_BACKOFF_MS} ms \
-                             (error #{})",
-                            n + 1
+                             (error #{n})"
                         );
                     }
                     use std::os::unix::io::AsRawFd;
@@ -147,6 +203,108 @@ impl Acceptor {
                     self.armed = false;
                     return;
                 }
+            }
+        }
+    }
+
+    /// Accept pending metrics connections. Beyond [`MAX_METRICS_CONNS`]
+    /// in flight, new ones are dropped (closed) rather than queued — a
+    /// scraper retries; the service listener is never affected.
+    fn accept_metrics_burst(&mut self) {
+        let Some(listener) = &self.metrics_listener else { return };
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let idx = match self.metrics_conns.iter().position(Option::is_none) {
+                        Some(i) => i,
+                        None if self.metrics_conns.len() < MAX_METRICS_CONNS => {
+                            self.metrics_conns.push(None);
+                            self.metrics_conns.len() - 1
+                        }
+                        None => continue, // at capacity: drop (close)
+                    };
+                    use std::os::unix::io::AsRawFd;
+                    let token = METRICS_CONN_BASE + idx as u64;
+                    if self.epoll.add(stream.as_raw_fd(), token, Interest::READ).is_ok() {
+                        self.metrics_conns[idx] = Some(MetricsConn {
+                            stream,
+                            rbuf: Vec::new(),
+                            wbuf: Vec::new(),
+                            wpos: 0,
+                        });
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return, // WouldBlock, or transient: retried next fire
+            }
+        }
+    }
+
+    /// Drive one metrics connection: buffer the request head, render the
+    /// response once it is complete, drain it, close. Any error just
+    /// drops the connection — the scraper retries.
+    fn drive_metrics_conn(&mut self, idx: usize, inner: &Inner) {
+        use std::os::unix::io::AsRawFd;
+        let Some(conn) = self.metrics_conns.get_mut(idx).and_then(Option::as_mut) else {
+            return;
+        };
+        let token = METRICS_CONN_BASE + idx as u64;
+        let mut close = false;
+        // Read phase: until the head is complete (response not built).
+        if conn.wbuf.is_empty() {
+            let mut chunk = [0u8; 1024];
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        close = true; // EOF before a full request head
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.rbuf.extend_from_slice(&chunk[..n]);
+                        if prometheus::request_complete(&conn.rbuf) {
+                            conn.wbuf =
+                                prometheus::respond(&conn.rbuf, || prometheus::render(inner));
+                            close = self
+                                .epoll
+                                .modify(conn.stream.as_raw_fd(), token, Interest::WRITE)
+                                .is_err();
+                            break;
+                        }
+                        if conn.rbuf.len() > MAX_METRICS_HEAD {
+                            close = true;
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        close = true;
+                        break;
+                    }
+                }
+            }
+        }
+        // Write phase: drain the response, then close (HTTP/1.0).
+        while !close && conn.wpos < conn.wbuf.len() {
+            match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => close = true,
+                Ok(n) => {
+                    conn.wpos += n;
+                    if conn.wpos == conn.wbuf.len() {
+                        close = true;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => close = true,
+            }
+        }
+        if close {
+            if let Some(conn) = self.metrics_conns[idx].take() {
+                let _ = self.epoll.del(conn.stream.as_raw_fd());
             }
         }
     }
@@ -177,7 +335,7 @@ impl Acceptor {
         for w in self.workers {
             let shared = w.shared.clone();
             if w.thread.join().is_err() {
-                inner.worker_panics.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.worker_panics.incr();
             }
             for stream in std::mem::take(&mut *shared.inbox.lock()) {
                 reply_shutdown_error(stream);

@@ -25,6 +25,7 @@
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::os::unix::io::{AsRawFd, RawFd};
+use std::time::Instant;
 
 use crate::resp::{decode_command, encode, Decode, Value};
 use crate::server::{execute, Inner, Outcome, WRITE_TIMEOUT};
@@ -72,6 +73,9 @@ enum Ran {
 
 pub(crate) struct Conn {
     stream: TcpStream,
+    /// Id of the event-loop worker driving this connection (SLOWLOG
+    /// entries carry it, so a hot worker is attributable).
+    worker: u64,
     rbuf: Vec<u8>,
     consumed: usize,
     wbuf: Vec<u8>,
@@ -88,9 +92,10 @@ pub(crate) struct Conn {
 
 impl Conn {
     /// Wrap an accepted stream (already nonblocking + nodelay).
-    pub(crate) fn new(stream: TcpStream) -> Conn {
+    pub(crate) fn new(stream: TcpStream, worker: u64) -> Conn {
         Conn {
             stream,
+            worker,
             rbuf: Vec::with_capacity(READ_CHUNK),
             consumed: 0,
             wbuf: Vec::new(),
@@ -217,7 +222,13 @@ impl Conn {
                 Ok(Decode::Complete(parts, used)) => {
                     self.consumed += used;
                     inner.count_command();
-                    match execute(&parts, inner) {
+                    // The instrumentation seam: every executed command is
+                    // timed here, and the elapsed time feeds the per-family
+                    // histogram and (if over threshold) the SLOWLOG.
+                    let started = Instant::now();
+                    let outcome = execute(&parts, inner);
+                    inner.metrics.observe_command(&parts, started.elapsed(), self.worker);
+                    match outcome {
                         Outcome::Reply(v) => encode(&v, &mut self.wbuf),
                         Outcome::Shutdown => {
                             encode(&Value::Simple("OK".into()), &mut self.wbuf);

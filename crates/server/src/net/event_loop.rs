@@ -52,7 +52,7 @@ pub(crate) fn spawn_worker(id: usize, inner: Arc<Inner>) -> std::io::Result<Work
     let loop_shared = shared.clone();
     let thread = std::thread::Builder::new()
         .name(format!("dash-evloop-{id}"))
-        .spawn(move || run(epoll, loop_shared, inner))?;
+        .spawn(move || run(id as u64, epoll, loop_shared, inner))?;
     Ok(Worker { shared, thread })
 }
 
@@ -64,7 +64,7 @@ enum After {
     Handoff,
 }
 
-fn run(epoll: Epoll, shared: Arc<WorkerShared>, inner: Arc<Inner>) {
+fn run(id: u64, epoll: Epoll, shared: Arc<WorkerShared>, inner: Arc<Inner>) {
     let mut conns: Vec<Option<Conn>> = Vec::new();
     let mut free: Vec<usize> = Vec::new();
     let mut events = Vec::with_capacity(256);
@@ -83,7 +83,7 @@ fn run(epoll: Epoll, shared: Arc<WorkerShared>, inner: Arc<Inner>) {
         // just wakeups: the check is one uncontended lock when empty.
         let incoming = std::mem::take(&mut *shared.inbox.lock());
         for stream in incoming {
-            register(&epoll, &mut conns, &mut free, stream, &inner);
+            register(&epoll, &mut conns, &mut free, stream, &inner, id);
         }
         for ev in &events {
             if ev.token == TOKEN_WAKE {
@@ -103,7 +103,7 @@ fn run(epoll: Epoll, shared: Arc<WorkerShared>, inner: Arc<Inner>) {
                     // A panic poisons only this connection. Count it:
                     // the old thread-per-connection model dropped the
                     // JoinHandle and the panic vanished silently.
-                    inner.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    inner.metrics.worker_panics.incr();
                     eprintln!(
                         "dash-server: connection handler panicked; dropping the connection"
                     );
@@ -137,7 +137,7 @@ fn run(epoll: Epoll, shared: Arc<WorkerShared>, inner: Arc<Inner>) {
                     if let Some(conn) = conns[idx].take() {
                         let _ = epoll.del(conn.fd());
                         free.push(idx);
-                        inner.active_connections.fetch_sub(1, Ordering::Relaxed);
+                        inner.metrics.active_connections.sub(1);
                         inner.spawn_stream_thread(conn.into_stream());
                     }
                 }
@@ -150,8 +150,8 @@ fn run(epoll: Epoll, shared: Arc<WorkerShared>, inner: Arc<Inner>) {
     for stream in std::mem::take(&mut *shared.inbox.lock()) {
         reply_shutdown_error(stream);
     }
-    let open = conns.iter().flatten().count() as u64;
-    inner.active_connections.fetch_sub(open, Ordering::Relaxed);
+    let open = conns.iter().flatten().count() as i64;
+    inner.metrics.active_connections.sub(open);
 }
 
 fn register(
@@ -160,18 +160,19 @@ fn register(
     free: &mut Vec<usize>,
     stream: TcpStream,
     inner: &Inner,
+    worker: u64,
 ) {
     let idx = free.pop().unwrap_or_else(|| {
         conns.push(None);
         conns.len() - 1
     });
-    let conn = Conn::new(stream);
+    let conn = Conn::new(stream, worker);
     if epoll.add(conn.fd(), idx as u64, conn.registered).is_err() {
         free.push(idx);
         return; // dropping the stream closes it
     }
     conns[idx] = Some(conn);
-    inner.active_connections.fetch_add(1, Ordering::Relaxed);
+    inner.metrics.active_connections.add(1);
 }
 
 fn remove(
@@ -184,6 +185,6 @@ fn remove(
     if let Some(conn) = conns[idx].take() {
         let _ = epoll.del(conn.fd());
         free.push(idx);
-        inner.active_connections.fetch_sub(1, Ordering::Relaxed);
+        inner.metrics.active_connections.sub(1);
     }
 }

@@ -35,6 +35,7 @@ pub struct Interest {
 
 impl Interest {
     pub const READ: Interest = Interest { readable: true, writable: false };
+    pub const WRITE: Interest = Interest { readable: false, writable: true };
 
     fn bits(self) -> u32 {
         let mut bits = libc::EPOLLRDHUP;

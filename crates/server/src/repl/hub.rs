@@ -87,6 +87,18 @@ impl ReplHub {
         self.sinks.read().iter().filter(|s| !s.overflowed.load(Ordering::Relaxed)).count()
     }
 
+    /// `(sink id, queued ops)` for every live sink — the per-replica lag
+    /// surfaced by `INFO stats` and the metrics endpoint. A sink's
+    /// acknowledged position is the hub offset minus its queued count.
+    pub fn sink_lags(&self) -> Vec<(u64, u64)> {
+        self.sinks
+            .read()
+            .iter()
+            .filter(|s| !s.overflowed.load(Ordering::Relaxed))
+            .map(|s| (s.id, s.queued.load(Ordering::Relaxed)))
+            .collect()
+    }
+
     /// Publish one op: bump the offset and fan the op out to every live
     /// sink. `make` is only invoked when a sink exists — with no
     /// replicas connected the publish is the atomic bump under an

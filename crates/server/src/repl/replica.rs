@@ -45,6 +45,9 @@ pub(crate) fn run(inner: Arc<Inner>, master: String) {
             // A session only returns Ok when stopping — fall out.
             Ok(()) => break,
             Err(e) => {
+                // Each failed session costs a fresh full sync on the
+                // next attempt — worth a counter (`repl_reconnects`).
+                inner.metrics.repl_reconnects.incr();
                 // A drop after an established link is a fresh outage:
                 // announce it even if an earlier one was announced too.
                 if inner.link_up.swap(false, Ordering::SeqCst) {

@@ -43,6 +43,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use crate::engine::ShardedDash;
+use crate::metrics::{CmdFamily, Metrics, DEFAULT_SLOWLOG_THRESHOLD_US};
 use crate::net::EventFd;
 use crate::repl::ReplOp;
 use crate::resp::{encode, encode_command, Value};
@@ -75,25 +76,28 @@ pub struct ServeOptions {
     /// Event-loop worker threads serving connections. `None` = one per
     /// available CPU (minimum 1).
     pub event_workers: Option<usize>,
+    /// Serve Prometheus text exposition over HTTP on this address
+    /// (`GET /metrics`). Served by the accept loop itself — no extra
+    /// threads. `None` disables the endpoint.
+    pub metrics_addr: Option<String>,
+    /// SLOWLOG threshold in microseconds; commands at or above it are
+    /// recorded. `None` = [`DEFAULT_SLOWLOG_THRESHOLD_US`].
+    pub slowlog_threshold_us: Option<u64>,
 }
 
 pub(crate) struct Inner {
     pub(crate) engine: ShardedDash,
     pub(crate) shutdown: AtomicBool,
     pub(crate) addr: SocketAddr,
-    connections_accepted: AtomicU64,
-    commands_served: AtomicU64,
-    /// Accept-loop errors survived (EMFILE and friends); the server
-    /// backs off and keeps serving instead of shutting down.
-    pub(crate) accept_errors: AtomicU64,
-    /// Connection handlers that panicked (caught, connection dropped)
-    /// plus panicked worker/stream threads found at join. Zero on a
-    /// healthy server — the smoke tests assert it.
-    pub(crate) worker_panics: AtomicU64,
-    /// Connections currently registered on an event loop.
-    pub(crate) active_connections: AtomicU64,
+    /// The telemetry registry: every health counter, the per-command
+    /// latency histograms and the SLOWLOG ring. The single home for
+    /// these numbers — `net/` increments here, and INFO, SLOWLOG and
+    /// the metrics endpoint all render from here.
+    pub(crate) metrics: Metrics,
+    /// Where the Prometheus endpoint is bound (`--metrics-addr`).
+    pub(crate) metrics_addr: Option<SocketAddr>,
     /// Size of the event-loop worker pool.
-    event_workers: usize,
+    pub(crate) event_workers: usize,
     /// One wakeup eventfd per event loop (accept + workers): shutdown
     /// pokes them all so every loop notices the flag immediately.
     wakes: Mutex<Vec<Arc<EventFd>>>,
@@ -122,11 +126,11 @@ impl Inner {
     }
 
     pub(crate) fn count_accept(&self) {
-        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        self.metrics.connections_accepted.incr();
     }
 
     pub(crate) fn count_command(&self) {
-        self.commands_served.fetch_add(1, Ordering::Relaxed);
+        self.metrics.commands_served.incr();
     }
 
     /// Make an event loop's wakeup reachable from [`Inner::wake_all`].
@@ -169,7 +173,7 @@ impl Inner {
         while i < threads.len() {
             if threads[i].is_finished() {
                 if threads.swap_remove(i).join().is_err() {
-                    self.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.worker_panics.incr();
                 }
             } else {
                 i += 1;
@@ -185,7 +189,7 @@ impl Inner {
         let threads = std::mem::take(&mut *self.stream_threads.lock());
         for t in threads {
             if t.join().is_err() {
-                self.worker_panics.fetch_add(1, Ordering::Relaxed);
+                self.metrics.worker_panics.incr();
             }
         }
         if let Some(t) = self.replica_thread.lock().take() {
@@ -224,6 +228,12 @@ impl ServerHandle {
     /// The bound address (useful with port 0).
     pub fn addr(&self) -> SocketAddr {
         self.inner.addr
+    }
+
+    /// Where the Prometheus endpoint is bound (useful with port 0);
+    /// `None` when the server was started without `--metrics-addr`.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.inner.metrics_addr
     }
 
     /// Block until the server stops on its own (a client issued
@@ -265,15 +275,24 @@ pub fn serve_with(
         .event_workers
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
         .max(1);
+    // Bind the metrics endpoint up front, like the service listener:
+    // a bad --metrics-addr fails serve_with instead of surfacing later.
+    let metrics_listener = match &opts.metrics_addr {
+        Some(a) => Some(TcpListener::bind(a)?),
+        None => None,
+    };
+    let metrics_addr = match &metrics_listener {
+        Some(l) => Some(l.local_addr()?),
+        None => None,
+    };
     let inner = Arc::new(Inner {
         engine,
         shutdown: AtomicBool::new(false),
         addr,
-        connections_accepted: AtomicU64::new(0),
-        commands_served: AtomicU64::new(0),
-        accept_errors: AtomicU64::new(0),
-        worker_panics: AtomicU64::new(0),
-        active_connections: AtomicU64::new(0),
+        metrics: Metrics::new(
+            opts.slowlog_threshold_us.unwrap_or(DEFAULT_SLOWLOG_THRESHOLD_US),
+        ),
+        metrics_addr,
         event_workers,
         wakes: Mutex::new(Vec::new()),
         stream_threads: Mutex::new(Vec::new()),
@@ -294,7 +313,7 @@ pub fn serve_with(
     let workers = (0..event_workers)
         .map(|id| crate::net::spawn_worker(id, inner.clone()))
         .collect::<std::io::Result<Vec<_>>>()?;
-    let acceptor = crate::net::Acceptor::new(listener, workers, &inner)?;
+    let acceptor = crate::net::Acceptor::new(listener, metrics_listener, workers, &inner)?;
     let accept_inner = inner.clone();
     let accept_thread = std::thread::spawn(move || acceptor.run(accept_inner));
     Ok(ServerHandle { inner, accept_thread: Some(accept_thread) })
@@ -463,17 +482,71 @@ pub(crate) fn execute(parts: &[Vec<u8>], inner: &Inner) -> Outcome {
             [] => Outcome::Reply(Value::Integer(engine.len() as i64)),
             _ => wrong_args("dbsize"),
         },
+        // Every INFO form is O(shards) except `INFO keyspace`, which
+        // pays an O(total keys) ground-truth scan — deliberately opt-in
+        // so monitoring polls never scale with the data they watch.
         "INFO" => match args {
             [] => Outcome::Reply(Value::Bulk(info_text(inner).into_bytes())),
-            // The cheap section for replication monitoring: no
-            // scan_len (full INFO pays an O(total keys) ground-truth
-            // scan), so offset polls don't perturb the stores they
-            // watch. What the typed client accessors use.
             [section] if section.eq_ignore_ascii_case(b"replication") => {
                 Outcome::Reply(Value::Bulk(replication_info_text(inner).into_bytes()))
             }
-            [_] => err("unknown INFO section (only 'replication' is supported)"),
+            [section] if section.eq_ignore_ascii_case(b"stats") => {
+                Outcome::Reply(Value::Bulk(stats_info_text(inner).into_bytes()))
+            }
+            [section] if section.eq_ignore_ascii_case(b"latency") => {
+                Outcome::Reply(Value::Bulk(latency_info_text(inner).into_bytes()))
+            }
+            [section] if section.eq_ignore_ascii_case(b"keyspace") => {
+                Outcome::Reply(Value::Bulk(keyspace_info_text(inner).into_bytes()))
+            }
+            [_] => err(
+                "unknown INFO section ('replication', 'stats', 'latency' and 'keyspace' are supported)",
+            ),
             _ => wrong_args("info"),
+        },
+        // The slow-command ring: `SLOWLOG GET [n]` (newest first),
+        // `SLOWLOG LEN`, `SLOWLOG RESET`. Entries are arrays shaped like
+        // Redis's: id, unix time, duration µs, [command, key prefix],
+        // plus the serving worker id.
+        "SLOWLOG" => match args {
+            [sub] if sub.eq_ignore_ascii_case(b"LEN") => {
+                Outcome::Reply(Value::Integer(inner.metrics.slowlog.len() as i64))
+            }
+            [sub] if sub.eq_ignore_ascii_case(b"RESET") => {
+                inner.metrics.slowlog.reset();
+                Outcome::Reply(Value::Simple("OK".into()))
+            }
+            [sub] | [sub, _] if sub.eq_ignore_ascii_case(b"GET") => {
+                let n = match args {
+                    [_, n] => match std::str::from_utf8(n).ok().and_then(|s| s.parse::<i64>().ok())
+                    {
+                        Some(-1) => usize::MAX,
+                        Some(n) if n >= 0 => n as usize,
+                        _ => return err("SLOWLOG GET count must be an integer >= -1"),
+                    },
+                    _ => 10,
+                };
+                let entries = inner
+                    .metrics
+                    .slowlog
+                    .get(n)
+                    .into_iter()
+                    .map(|e| {
+                        Value::Array(vec![
+                            Value::Integer(e.id as i64),
+                            Value::Integer(e.unix_secs as i64),
+                            Value::Integer(e.duration_us as i64),
+                            Value::Array(vec![
+                                Value::Bulk(e.cmd.into_bytes()),
+                                Value::Bulk(e.key.into_bytes()),
+                            ]),
+                            Value::Integer(e.worker as i64),
+                        ])
+                    })
+                    .collect();
+                Outcome::Reply(Value::Array(entries))
+            }
+            _ => err("SLOWLOG subcommand must be GET [count], LEN or RESET"),
         },
         // Replication handshake: REPLCONF carries replica metadata
         // (accepted and ignored — `listening-port` etc. are advisory);
@@ -580,9 +653,13 @@ fn encode_op(op: &ReplOp, out: &mut Vec<u8>) {
     }
 }
 
-/// The INFO payload: store-wide counters plus one line per shard with
-/// its recovery provenance (did this shard's pool file predate this
-/// process, did it come up clean, which recovery version it carries).
+/// The default INFO payload: the server section, replication, stats,
+/// latency, and one line per shard with its recovery provenance.
+///
+/// Everything here is **O(shards)**: per-shard key counts come from the
+/// engine's counters, never a scan, so monitoring can poll INFO at any
+/// frequency without the cost scaling with the data. The ground-truth
+/// `scan_len` lives in the opt-in `INFO keyspace` section.
 fn info_text(inner: &Inner) -> String {
     let engine = &inner.engine;
     let infos = engine.shard_infos();
@@ -591,34 +668,11 @@ fn info_text(inner: &Inner) -> String {
     out.push_str("# dash-server\r\n");
     out.push_str(&format!("shards:{}\r\n", engine.shard_count()));
     out.push_str(&format!("keys:{}\r\n", engine.len()));
-    // Ground-truth key count by full scan, next to the O(shards)
-    // counter above: persistent disagreement on a quiescent server
-    // means counter drift (momentary disagreement under live writers
-    // is expected). O(total keys) — INFO is a diagnostics command.
-    out.push_str(&format!("scan_len:{}\r\n", engine.scan_len()));
     out.push_str(&format!("recovered_shards:{}\r\n", engine.recovered_shards()));
-    out.push_str(&replication_info_text(inner));
-    out.push_str(&format!(
-        "connections_accepted:{}\r\n",
-        inner.connections_accepted.load(Ordering::Relaxed)
-    ));
-    out.push_str(&format!(
-        "commands_served:{}\r\n",
-        inner.commands_served.load(Ordering::Relaxed)
-    ));
     out.push_str(&format!("event_workers:{}\r\n", inner.event_workers));
-    out.push_str(&format!(
-        "active_connections:{}\r\n",
-        inner.active_connections.load(Ordering::Relaxed)
-    ));
-    out.push_str(&format!(
-        "accept_errors:{}\r\n",
-        inner.accept_errors.load(Ordering::Relaxed)
-    ));
-    out.push_str(&format!(
-        "worker_panics:{}\r\n",
-        inner.worker_panics.load(Ordering::Relaxed)
-    ));
+    out.push_str(&replication_info_text(inner));
+    out.push_str(&stats_info_text(inner));
+    out.push_str(&latency_info_text(inner));
     out.push_str("# shards\r\n");
     for (i, (info, n)) in infos.iter().zip(&keys).enumerate() {
         out.push_str(&format!(
@@ -627,6 +681,87 @@ fn info_text(inner: &Inner) -> String {
             u8::from(info.clean),
             info.version,
         ));
+    }
+    out
+}
+
+/// The stats section (`INFO stats`): the event core's health counters
+/// and the engine's aggregate instrumentation. O(shards), no scans.
+fn stats_info_text(inner: &Inner) -> String {
+    let m = &inner.metrics;
+    let shards = inner.engine.shard_telemetry();
+    let sum = |f: fn(&crate::engine::ShardTelemetry) -> u64| shards.iter().map(f).sum::<u64>();
+    let blob_net: i64 =
+        shards.iter().map(|t| t.blob_bytes_written as i64 - t.blob_bytes_released as i64).sum();
+    let mut out = String::new();
+    out.push_str("# stats\r\n");
+    out.push_str(&format!("connections_accepted:{}\r\n", m.connections_accepted.get()));
+    out.push_str(&format!("commands_served:{}\r\n", m.commands_served.get()));
+    out.push_str(&format!("active_connections:{}\r\n", m.active_connections.get()));
+    out.push_str(&format!("accept_errors:{}\r\n", m.accept_errors.get()));
+    out.push_str(&format!("worker_panics:{}\r\n", m.worker_panics.get()));
+    out.push_str(&format!("slowlog_len:{}\r\n", m.slowlog.len()));
+    out.push_str(&format!("slowlog_threshold_us:{}\r\n", m.slowlog.threshold_us()));
+    out.push_str(&format!("epoch_pins:{}\r\n", sum(|t| t.epoch_pins)));
+    out.push_str(&format!("write_lock_waits:{}\r\n", sum(|t| t.write_lock_waits)));
+    out.push_str(&format!("eh_splits:{}\r\n", sum(|t| t.eh_splits)));
+    out.push_str(&format!("eh_doublings:{}\r\n", sum(|t| t.eh_doublings)));
+    out.push_str(&format!("eh_merges:{}\r\n", sum(|t| t.eh_merges)));
+    out.push_str(&format!("blob_bytes_net:{blob_net}\r\n"));
+    out.push_str(&format!("repl_reconnects:{}\r\n", m.repl_reconnects.get()));
+    for (id, lag) in inner.engine.replica_lags() {
+        out.push_str(&format!("replica_sink{id}:lag_ops={lag}\r\n"));
+    }
+    out
+}
+
+/// The latency section (`INFO latency`): per command family, the
+/// observation count and the p50/p99/p999 quantiles in microseconds
+/// (bucket upper bounds — see the histogram docs for the ~41% bound on
+/// quantization error). Families with no observations report count 0
+/// and no quantile lines.
+fn latency_info_text(inner: &Inner) -> String {
+    let mut out = String::new();
+    out.push_str("# latency\r\n");
+    let mut all = crate::metrics::HistSnapshot::default();
+    for fam in CmdFamily::ALL {
+        let snap = inner.metrics.cmd_snapshot(fam);
+        let name = fam.name();
+        out.push_str(&format!("cmd_{name}_count:{}\r\n", snap.count()));
+        if snap.count() > 0 {
+            for (label, q) in [("p50", 0.5), ("p99", 0.99), ("p999", 0.999)] {
+                if let Some(ns) = snap.quantile_ns(q) {
+                    out.push_str(&format!("cmd_{name}_{label}_us:{}\r\n", ns.div_ceil(1_000)));
+                }
+            }
+        }
+        all.merge(&snap);
+    }
+    // The merged row: one latency profile over every executed command.
+    out.push_str(&format!("cmd_all_count:{}\r\n", all.count()));
+    if all.count() > 0 {
+        for (label, q) in [("p50", 0.5), ("p99", 0.99), ("p999", 0.999)] {
+            if let Some(ns) = all.quantile_ns(q) {
+                out.push_str(&format!("cmd_all_{label}_us:{}\r\n", ns.div_ceil(1_000)));
+            }
+        }
+    }
+    out
+}
+
+/// The keyspace section (`INFO keyspace`): the O(shards) counter next
+/// to its **ground truth by full scan** — persistent disagreement on a
+/// quiescent server means counter drift (momentary disagreement under
+/// live writers is expected). O(total keys): the one INFO section whose
+/// cost scales with the data, which is why it is opt-in.
+fn keyspace_info_text(inner: &Inner) -> String {
+    let engine = &inner.engine;
+    let mut out = String::new();
+    out.push_str("# keyspace\r\n");
+    out.push_str(&format!("keys:{}\r\n", engine.len()));
+    out.push_str(&format!("scan_len:{}\r\n", engine.scan_len()));
+    for (i, n) in engine.shard_keys().iter().enumerate() {
+        out.push_str(&format!("shard{i}_keys:{n}\r\n"));
     }
     out
 }
@@ -642,6 +777,7 @@ fn replication_info_text(inner: &Inner) -> String {
     let engine = &inner.engine;
     let role = inner.role();
     let mut out = String::new();
+    out.push_str("# replication\r\n");
     out.push_str(&format!(
         "role:{}\r\n",
         match role {

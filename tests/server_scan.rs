@@ -156,20 +156,25 @@ fn scan_argument_errors_are_replies() {
 }
 
 #[test]
-fn info_reports_scan_len_matching_dbsize_when_quiescent() {
+fn info_keyspace_reports_scan_len_matching_dbsize_when_quiescent() {
     let server = mem_server(3);
     let mut c = RespClient::connect(server.addr()).unwrap();
     for i in 0..777u32 {
         c.command(&[b"SET", format!("k{i}").as_bytes(), b"v"]).unwrap();
     }
-    let Value::Bulk(info) = c.command(&[b"INFO"]).unwrap() else {
-        panic!("INFO must return a bulk string");
-    };
-    let info = String::from_utf8(info).unwrap();
+    // The scan ground truth moved to the opt-in `INFO keyspace` section
+    // (it walks every bucket); the default INFO stays O(shards) and
+    // must NOT carry it.
+    let info = c.keyspace_info().unwrap();
     assert!(info.contains("keys:777"), "{info}");
     assert!(
         info.contains("scan_len:777"),
         "scan ground truth must agree with the counters: {info}"
+    );
+    let default_info = c.info().unwrap();
+    assert!(
+        !default_info.contains("scan_len"),
+        "default INFO must not pay the O(keys) scan: {default_info}"
     );
     server.shutdown();
 }
