@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use dash_common::{cli, mix64, uniform_keys, ZipfGenerator};
-use dash_server::{RespClient, Value};
+use dash_server::{ClusterClient, RespClient, Value};
 
 const USAGE: &str = "\
 dash-loadgen — load generator and checker for dash-server
@@ -71,6 +71,20 @@ OPTIONS:
                       ADDR reports the same repl_offset as the primary
                       at --addr (fails after 60s) — the catch-up gate
                       the failover drill needs before killing a primary
+    --cluster         cluster mode: --addr is a comma-separated seed
+                      list; every connection is a cluster client that
+                      follows MOVED (updating its slot cache), retries
+                      ASK with ASKING, and waits out TRYAGAIN. The run
+                      reports redirect counts and the p99 inside the
+                      migration window (first to last redirected op),
+                      and fails on any detected redirect loop.
+                      --preload/--verify-all route through redirects;
+                      --verify-scan enumerates EVERY node and proves
+                      each key is served exactly once
+    --wait-migration ADDR
+                      after the timed run, poll CLUSTER INFO on ADDR
+                      until its outbound migration completes (fails on
+                      a failed migration or after 120s)
     --cmd COMMAND     send one command (words split on whitespace) to
                       --addr before anything else and print the reply;
                       an error reply fails the run. Example:
@@ -104,6 +118,8 @@ struct Config {
     snapshot: Option<String>,
     verify_snapshot: Option<String>,
     wait_sync: Option<String>,
+    cluster: bool,
+    wait_migration: Option<String>,
     cmd: Option<String>,
     json: Option<String>,
 }
@@ -128,10 +144,11 @@ fn parse_config() -> Config {
             "snapshot",
             "verify-snapshot",
             "wait-sync",
+            "wait-migration",
             "cmd",
             "json",
         ],
-        &["preload", "verify-all", "verify-scan"],
+        &["preload", "verify-all", "verify-scan", "cluster"],
         0,
     );
     let cfg = Config {
@@ -178,6 +195,8 @@ fn parse_config() -> Config {
         snapshot: args.flag_opt("snapshot").map(str::to_owned),
         verify_snapshot: args.flag_opt("verify-snapshot").map(str::to_owned),
         wait_sync: args.flag_opt("wait-sync").map(str::to_owned),
+        cluster: args.switch("cluster"),
+        wait_migration: args.flag_opt("wait-migration").map(str::to_owned),
         cmd: args.flag_opt("cmd").map(str::to_owned),
         json: args.flag_opt("json").map(str::to_owned),
     };
@@ -186,6 +205,23 @@ fn parse_config() -> Config {
     }
     if cfg.read_pct > 100 {
         cli::exit_usage("--read-pct must be 0-100", USAGE);
+    }
+    if cfg.cluster {
+        if cfg.batch.is_some() {
+            cli::exit_usage("--batch is multi-key (CROSSSLOT); not supported with --cluster", USAGE);
+        }
+        if cfg.wait_sync.is_some() || cfg.snapshot.is_some() || cfg.verify_snapshot.is_some() {
+            cli::exit_usage(
+                "--wait-sync/--snapshot/--verify-snapshot are single-node checks; not supported with --cluster",
+                USAGE,
+            );
+        }
+        if cfg.latency_rate > 0.0 {
+            cli::exit_usage(
+                "--latency-rate sampling is single-node; not supported with --cluster (per-op latencies come from the timed run)",
+                USAGE,
+            );
+        }
     }
     cfg
 }
@@ -334,6 +370,393 @@ fn run_connection_batched(
         done += batch;
     }
     Ok(tally)
+}
+
+/// One connection's redirect-aware numbers from the cluster timed run.
+#[derive(Default)]
+struct ClusterTally {
+    /// `(latency_us, this op saw a MOVED/ASK redirect)` per op, in
+    /// issue order — the redirect flags bracket the migration window.
+    ops: Vec<(u64, bool)>,
+    /// Final cumulative client stats (moved/ask/tryagain/refreshes).
+    stats: dash_server::ClusterClientStats,
+    /// Ops abandoned because redirects never converged — any nonzero
+    /// count fails the run: it means the slot map chased its own tail.
+    redirect_loops: u64,
+}
+
+/// Merged cluster numbers for the report and the `--json` summary.
+struct ClusterSummary {
+    moved: u64,
+    ask: u64,
+    tryagain: u64,
+    refreshes: u64,
+    redirect_loops: u64,
+    /// p99 of ops inside the migration window — between each
+    /// connection's first and last redirected op. `None` when the run
+    /// saw no redirects at all.
+    migration_window_p99_us: Option<u64>,
+}
+
+/// One connection's share of the cluster timed run: sequential
+/// (depth-1) GET/SET through a [`ClusterClient`], timing each op and
+/// noting whether it was redirected. No pipelining — a redirect means
+/// re-sending to another node, so depth 1 is the honest measurement.
+fn run_connection_cluster(
+    cfg: &Config,
+    stems: &[u64],
+    conn_id: usize,
+    my_ops: usize,
+) -> std::io::Result<(Tally, ClusterTally)> {
+    let mut client =
+        ClusterClient::connect(cfg.addr.as_str(), std::time::Duration::from_secs(5))?;
+    let mut tally = Tally::default();
+    let mut ct = ClusterTally { ops: Vec::with_capacity(my_ops), ..Default::default() };
+    let mut zipf = cfg
+        .zipf
+        .map(|theta| ZipfGenerator::new(stems.len(), theta, mix64(cfg.seed ^ conn_id as u64) | 1));
+    let mut rng = mix64(cfg.seed ^ (conn_id as u64).wrapping_mul(0x9E37)) | 1;
+    for _ in 0..my_ops {
+        rng = mix64(rng);
+        let idx = match &mut zipf {
+            Some(z) => z.next_index(),
+            None => ((rng >> 8) % stems.len() as u64) as usize,
+        };
+        let stem = stems[idx];
+        let is_get = (rng % 100) < cfg.read_pct as u64;
+        let key = key_bytes(stem);
+        let before = client.stats();
+        let t0 = Instant::now();
+        let result: std::io::Result<bool> = if is_get {
+            tally.gets += 1;
+            client.get(&key).map(|got| match got {
+                Some(v) if v == value_bytes(stem, cfg.value_size) => {
+                    tally.hits += 1;
+                    true
+                }
+                None => !cfg.preload, // a Nil after --preload is a lost write
+                Some(_) => false,
+            })
+        } else {
+            tally.sets += 1;
+            client.set(&key, &value_bytes(stem, cfg.value_size)).map(|()| true)
+        };
+        let us = t0.elapsed().as_micros() as u64;
+        let after = client.stats();
+        ct.ops.push((us, after.moved + after.ask > before.moved + before.ask));
+        match result {
+            Ok(true) => {}
+            Ok(false) => tally.errors += 1,
+            Err(e) => {
+                tally.errors += 1;
+                if e.to_string().contains("redirect loop") {
+                    ct.redirect_loops += 1;
+                }
+            }
+        }
+    }
+    ct.stats = client.stats();
+    Ok((tally, ct))
+}
+
+/// The cluster analogue of [`timed_phase`]: runs the redirect-aware
+/// per-connection workers, merges their tallies, prints the report
+/// (including the migration-window p99), and returns the summaries plus
+/// the flat per-op latency pool (reused as the latency sample — the run
+/// is already depth 1, so every op IS a per-op round trip).
+fn timed_phase_cluster(
+    cfg: &Config,
+    stems: &[u64],
+) -> (PhaseSummary, ClusterSummary, Vec<u64>, bool) {
+    let label = "cluster run";
+    let per = cfg.ops / cfg.conns;
+    let t0 = Instant::now();
+    let results: Vec<std::io::Result<(Tally, ClusterTally)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.conns)
+            .map(|conn_id| {
+                let (cfg, stems) = (cfg, stems);
+                let my_ops =
+                    if conn_id == cfg.conns - 1 { cfg.ops - per * (cfg.conns - 1) } else { per };
+                s.spawn(move || run_connection_cluster(cfg, stems, conn_id, my_ops))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let elapsed = t0.elapsed();
+
+    let mut total = Tally::default();
+    let mut io_errors = 0u64;
+    let mut cluster = ClusterSummary {
+        moved: 0,
+        ask: 0,
+        tryagain: 0,
+        refreshes: 0,
+        redirect_loops: 0,
+        migration_window_p99_us: None,
+    };
+    let mut all_lats: Vec<u64> = Vec::new();
+    let mut window_lats: Vec<u64> = Vec::new();
+    for r in results {
+        match r {
+            Ok((t, ct)) => {
+                total.gets += t.gets;
+                total.sets += t.sets;
+                total.hits += t.hits;
+                total.errors += t.errors;
+                cluster.moved += ct.stats.moved;
+                cluster.ask += ct.stats.ask;
+                cluster.tryagain += ct.stats.tryagain;
+                cluster.refreshes += ct.stats.refreshes;
+                cluster.redirect_loops += ct.redirect_loops;
+                all_lats.extend(ct.ops.iter().map(|(us, _)| *us));
+                // This connection's migration window: everything between
+                // its first and last redirected op (inclusive).
+                let first = ct.ops.iter().position(|(_, r)| *r);
+                let last = ct.ops.iter().rposition(|(_, r)| *r);
+                if let (Some(a), Some(b)) = (first, last) {
+                    window_lats.extend(ct.ops[a..=b].iter().map(|(us, _)| *us));
+                }
+            }
+            Err(e) => {
+                eprintln!("dash-loadgen: {label}: connection failed: {e}");
+                io_errors += 1;
+            }
+        }
+    }
+    let ops_done = total.gets + total.sets;
+    let throughput = ops_done as f64 / elapsed.as_secs_f64();
+    all_lats.sort_unstable();
+    println!(
+        "{label}: ran {ops_done} ops ({} GET / {} SET, {} hits) over {} connections in {:.2?}",
+        total.gets, total.sets, total.hits, cfg.conns, elapsed
+    );
+    println!("{label}: throughput {throughput:.0} ops/s (depth 1 through redirects)");
+    println!(
+        "{label}: redirects: {} MOVED, {} ASK, {} TRYAGAIN, {} slot-map refreshes",
+        cluster.moved, cluster.ask, cluster.tryagain, cluster.refreshes
+    );
+    if !window_lats.is_empty() {
+        window_lats.sort_unstable();
+        let p99 = percentile(&window_lats, 0.99);
+        cluster.migration_window_p99_us = Some(p99);
+        println!(
+            "{label}: migration window: {} ops between first and last redirect, p99 {} us",
+            window_lats.len(),
+            p99
+        );
+    }
+    let mut failed = false;
+    if total.errors > 0 || io_errors > 0 {
+        eprintln!(
+            "dash-loadgen: {label}: {} op errors, {io_errors} failed connections",
+            total.errors
+        );
+        failed = true;
+    }
+    if cluster.redirect_loops > 0 {
+        eprintln!(
+            "dash-loadgen: {label}: {} ops hit a redirect loop (slot map never converged)",
+            cluster.redirect_loops
+        );
+        failed = true;
+    }
+    if ops_done == 0 || throughput == 0.0 {
+        eprintln!("dash-loadgen: {label}: zero throughput");
+        failed = true;
+    }
+    let summary = PhaseSummary {
+        label: label.to_string(),
+        throughput,
+        gets: total.gets,
+        sets: total.sets,
+        hits: total.hits,
+        op_errors: total.errors,
+        failed_connections: io_errors,
+    };
+    (summary, cluster, all_lats, failed)
+}
+
+/// Cluster preload: SET every key through redirect-following clients,
+/// so the keyspace lands on whichever node owns each slot.
+fn preload_cluster(cfg: &Config, stems: &[u64]) -> Result<(), String> {
+    let errors = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for (conn_id, chunk) in stems.chunks(stems.len().div_ceil(cfg.conns)).enumerate() {
+            let errors = &errors;
+            s.spawn(move || {
+                let mut client = match ClusterClient::connect(
+                    cfg.addr.as_str(),
+                    std::time::Duration::from_secs(5),
+                ) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("preload conn {conn_id}: {e}");
+                        errors.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                for stem in chunk {
+                    let key = key_bytes(*stem);
+                    if client.set(&key, &value_bytes(*stem, cfg.value_size)).is_err() {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    match errors.load(Ordering::Relaxed) {
+        0 => Ok(()),
+        n => Err(format!("{n} preload errors")),
+    }
+}
+
+/// Cluster verify-all: GET every key through redirects and require the
+/// exact expected value — if migration lost an acknowledged write, the
+/// key is Nil on every node and this catches it.
+fn verify_all_cluster(cfg: &Config, stems: &[u64]) -> Result<(), String> {
+    let missing = AtomicU64::new(0);
+    let wrong = AtomicU64::new(0);
+    let io_errors = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for chunk in stems.chunks(stems.len().div_ceil(cfg.conns)) {
+            let (missing, wrong, io_errors) = (&missing, &wrong, &io_errors);
+            s.spawn(move || {
+                let mut client = match ClusterClient::connect(
+                    cfg.addr.as_str(),
+                    std::time::Duration::from_secs(5),
+                ) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        io_errors.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                for stem in chunk {
+                    match client.get(&key_bytes(*stem)) {
+                        Ok(Some(v)) if v == value_bytes(*stem, cfg.value_size) => {}
+                        Ok(Some(_)) => {
+                            wrong.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(None) => {
+                            missing.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            io_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let (m, w, io) = (
+        missing.load(Ordering::Relaxed),
+        wrong.load(Ordering::Relaxed),
+        io_errors.load(Ordering::Relaxed),
+    );
+    if m + w + io == 0 {
+        Ok(())
+    } else {
+        Err(format!("{m} keys missing, {w} wrong values, {io} I/O errors"))
+    }
+}
+
+/// Cluster scan verification — the **exactly-once** proof. Enumerates
+/// every node the slot map knows with cursor SCAN and requires:
+/// (a) every preloaded key appears somewhere, and (b) the sum of the
+/// nodes' DBSIZEs equals the size of the deduplicated union — so no key
+/// is held (and served) by two nodes at once, which is precisely what a
+/// botched migration handoff would leave behind.
+fn verify_scan_cluster(cfg: &Config, stems: &[u64]) -> Result<(), String> {
+    let cc = ClusterClient::connect(cfg.addr.as_str(), std::time::Duration::from_secs(5))
+        .map_err(|e| format!("connect: {e}"))?;
+    let nodes = cc.known_nodes();
+    if nodes.is_empty() {
+        return Err("slot map names no nodes".into());
+    }
+    let mut union: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
+    let mut dbsize_sum = 0u64;
+    for node in &nodes {
+        let mut client =
+            RespClient::connect_timeout(node, std::time::Duration::from_secs(5))
+                .map_err(|e| format!("connect {node}: {e}"))?;
+        let mut node_keys = 0u64;
+        let mut cursor = 0u64;
+        loop {
+            let (next, keys) =
+                client.scan(cursor, 512).map_err(|e| format!("SCAN on {node}: {e}"))?;
+            node_keys += keys.len() as u64;
+            union.extend(keys);
+            if next == 0 {
+                break;
+            }
+            cursor = next;
+        }
+        let dbsize = match client.command(&[b"DBSIZE"]) {
+            Ok(Value::Integer(n)) => n as u64,
+            other => return Err(format!("DBSIZE on {node} gave {other:?}")),
+        };
+        println!("node {node}: scanned {node_keys} keys, DBSIZE {dbsize}");
+        dbsize_sum += dbsize;
+    }
+    let mut missing = 0u64;
+    for stem in stems {
+        if !union.contains(&key_bytes(*stem)) {
+            missing += 1;
+        }
+    }
+    println!(
+        "cluster scan: {} distinct keys across {} nodes, DBSIZE sum {dbsize_sum}",
+        union.len(),
+        nodes.len()
+    );
+    if missing > 0 {
+        return Err(format!("{missing} preloaded keys not served by any node"));
+    }
+    if union.len() as u64 != dbsize_sum {
+        return Err(format!(
+            "DBSIZE sum {dbsize_sum} != {} distinct keys — some key is held by more than one node",
+            union.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Poll `CLUSTER INFO` on `addr` until its outbound migration reports
+/// `done` (no migration active) — the gate CI uses between starting
+/// `CLUSTER MIGRATE` under load and verifying the result. Fails fast on
+/// a `failed` migration, or after ~120s.
+fn wait_migration(addr: &str) -> Result<(), String> {
+    let mut client = RespClient::connect_timeout(addr, std::time::Duration::from_secs(5))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let field = |text: &str, name: &str| -> Option<String> {
+        text.lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|r| r.strip_prefix(':')))
+            .map(|v| v.trim().to_string())
+    };
+    let mut last_state = String::from("unknown");
+    for _ in 0..1200 {
+        let text = match client.command(&[b"CLUSTER", b"INFO"]) {
+            Ok(Value::Bulk(b)) => String::from_utf8_lossy(&b).into_owned(),
+            Ok(other) => return Err(format!("CLUSTER INFO gave {other:?}")),
+            Err(e) => return Err(format!("CLUSTER INFO: {e}")),
+        };
+        let active = field(&text, "migration_active").unwrap_or_default();
+        let state = field(&text, "migration_state").unwrap_or_default();
+        if state == "failed" {
+            let why = field(&text, "migration_error").unwrap_or_default();
+            return Err(format!("migration failed: {why}"));
+        }
+        if active == "0" && state == "done" {
+            println!(
+                "migration on {addr} complete ({} keys moved)",
+                field(&text, "migration_keys").unwrap_or_default()
+            );
+            return Ok(());
+        }
+        last_state = if state.is_empty() { "unknown".into() } else { state };
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    Err(format!("migration on {addr} still {last_state:?} after 120s"))
 }
 
 /// SET every key in the keyspace (split across connections), so a later
@@ -759,15 +1182,19 @@ fn main() {
     }
 
     // Reachability check with a useful error before spawning anything.
-    let mut probe = match RespClient::connect(cfg.addr.as_str()) {
+    // In cluster mode --addr is a seed list; the probe (and --cmd) talk
+    // to the first seed directly.
+    let probe_addr =
+        cfg.addr.split(',').map(str::trim).find(|s| !s.is_empty()).unwrap_or(&cfg.addr).to_string();
+    let mut probe = match RespClient::connect(probe_addr.as_str()) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("dash-loadgen: cannot connect to {}: {e}", cfg.addr);
+            eprintln!("dash-loadgen: cannot connect to {probe_addr}: {e}");
             std::process::exit(1);
         }
     };
     if !matches!(probe.command(&[b"PING"]), Ok(Value::Simple(ref s)) if s == "PONG") {
-        eprintln!("dash-loadgen: {} did not answer PING", cfg.addr);
+        eprintln!("dash-loadgen: {probe_addr} did not answer PING");
         std::process::exit(1);
     }
 
@@ -792,7 +1219,9 @@ fn main() {
 
     if cfg.preload {
         let t0 = Instant::now();
-        if let Err(e) = preload(&cfg, &stems) {
+        let result =
+            if cfg.cluster { preload_cluster(&cfg, &stems) } else { preload(&cfg, &stems) };
+        if let Err(e) = result {
             eprintln!("dash-loadgen: preload failed: {e}");
             std::process::exit(1);
         }
@@ -802,7 +1231,42 @@ fn main() {
     let mut failed = false;
     let mut phases: Vec<PhaseSummary> = Vec::new();
     let mut latency_summary: Option<LatencySummary> = None;
-    if cfg.ops > 0 {
+    let mut cluster_summary: Option<ClusterSummary> = None;
+    if cfg.ops > 0 && cfg.cluster {
+        let (summary, cluster, all_lats, f) = timed_phase_cluster(&cfg, &stems);
+        phases.push(summary);
+        failed |= f;
+        // The cluster run is already depth 1, so its per-op latencies
+        // ARE the latency sample — no separate sampling pass.
+        if cfg.latency_sample > 0 && !all_lats.is_empty() {
+            let p99 = percentile(&all_lats, 0.99);
+            println!(
+                "per-op latency (cluster run, {} samples): p50 {} us, p95 {} us, p99 {} us, max {} us",
+                all_lats.len(),
+                percentile(&all_lats, 0.50),
+                percentile(&all_lats, 0.95),
+                p99,
+                all_lats.last().copied().unwrap_or(0),
+            );
+            latency_summary = Some(LatencySummary {
+                co_safe: false,
+                samples: all_lats.len(),
+                p50_us: percentile(&all_lats, 0.50),
+                p95_us: percentile(&all_lats, 0.95),
+                p99_us: p99,
+                p999_us: percentile(&all_lats, 0.999),
+                max_us: all_lats.last().copied().unwrap_or(0),
+            });
+            if cfg.assert_p99_us > 0 && p99 > cfg.assert_p99_us {
+                eprintln!(
+                    "dash-loadgen: p99 latency {p99} us exceeds --assert-p99-us {}",
+                    cfg.assert_p99_us
+                );
+                failed = true;
+            }
+        }
+        cluster_summary = Some(cluster);
+    } else if cfg.ops > 0 {
         match cfg.batch {
             None => {
                 let (summary, f) = timed_phase(
@@ -850,7 +1314,18 @@ fn main() {
         }
     }
 
-    if cfg.latency_sample > 0 && (cfg.ops > 0 || cfg.latency_rate > 0.0) {
+    if let Some(addr) = &cfg.wait_migration {
+        let t0 = Instant::now();
+        match wait_migration(addr) {
+            Ok(()) => println!("migration confirmed complete ({:?})", t0.elapsed()),
+            Err(e) => {
+                eprintln!("dash-loadgen: wait-migration failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if !cfg.cluster && cfg.latency_sample > 0 && (cfg.ops > 0 || cfg.latency_rate > 0.0) {
         let (mode, result) = if cfg.latency_rate > 0.0 {
             (
                 format!("fixed {} ops/s arrivals, CO-safe", cfg.latency_rate),
@@ -892,7 +1367,7 @@ fn main() {
                 failed = true;
             }
         }
-    } else if cfg.assert_p99_us > 0 {
+    } else if cfg.assert_p99_us > 0 && latency_summary.is_none() {
         eprintln!("dash-loadgen: --assert-p99-us set but no latency sample was taken");
         failed = true;
     }
@@ -910,7 +1385,9 @@ fn main() {
 
     if cfg.verify_all {
         let t0 = Instant::now();
-        match verify_all(&cfg, &stems) {
+        let result =
+            if cfg.cluster { verify_all_cluster(&cfg, &stems) } else { verify_all(&cfg, &stems) };
+        match result {
             Ok(()) => println!(
                 "verified all {} keys hold their expected values ({:?})",
                 cfg.keys,
@@ -925,7 +1402,9 @@ fn main() {
 
     if cfg.verify_scan {
         let t0 = Instant::now();
-        match verify_scan(&cfg, &stems) {
+        let result =
+            if cfg.cluster { verify_scan_cluster(&cfg, &stems) } else { verify_scan(&cfg, &stems) };
+        match result {
             Ok(()) => println!("scan verification passed ({:?})", t0.elapsed()),
             Err(e) => {
                 eprintln!("dash-loadgen: scan verification failed: {e}");
@@ -956,11 +1435,16 @@ fn main() {
     }
 
     if let Ok(Value::Integer(n)) = probe.command(&[b"DBSIZE"]) {
-        println!("server DBSIZE: {n}");
+        if cfg.cluster {
+            println!("first seed ({probe_addr}) DBSIZE: {n}");
+        } else {
+            println!("server DBSIZE: {n}");
+        }
     }
 
     if let Some(path) = &cfg.json {
-        let doc = render_json(&cfg, &phases, latency_summary.as_ref(), failed);
+        let doc =
+            render_json(&cfg, &phases, latency_summary.as_ref(), cluster_summary.as_ref(), failed);
         match std::fs::write(path, doc) {
             Ok(()) => println!("wrote JSON summary to {path}"),
             Err(e) => {
@@ -994,6 +1478,7 @@ fn render_json(
     cfg: &Config,
     phases: &[PhaseSummary],
     latency: Option<&LatencySummary>,
+    cluster: Option<&ClusterSummary>,
     failed: bool,
 ) -> String {
     let mut out = String::new();
@@ -1031,6 +1516,21 @@ fn render_json(
              \"p95_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \"max_us\": {}}},\n",
             l.co_safe, l.samples, l.p50_us, l.p95_us, l.p99_us, l.p999_us, l.max_us
         )),
+    }
+    match cluster {
+        None => out.push_str("  \"cluster\": null,\n"),
+        Some(c) => {
+            let window = match c.migration_window_p99_us {
+                None => "null".to_string(),
+                Some(us) => us.to_string(),
+            };
+            out.push_str(&format!(
+                "  \"cluster\": {{\"moved\": {}, \"ask\": {}, \"tryagain\": {}, \
+                 \"refreshes\": {}, \"redirect_loops\": {}, \
+                 \"migration_window_p99_us\": {window}}},\n",
+                c.moved, c.ask, c.tryagain, c.refreshes, c.redirect_loops
+            ));
+        }
     }
     out.push_str(&format!("  \"failed\": {failed}\n"));
     out.push_str("}\n");

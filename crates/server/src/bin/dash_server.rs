@@ -46,6 +46,11 @@ OPTIONS:
                        HOST:PORT (bootstraps via PSYNC snapshot+tail;
                        requires a fresh store; promote with
                        'REPLICAOF NO ONE')
+    --cluster-announce HOST:PORT
+                       enable cluster mode, announcing this address to
+                       peers and clients (slot map + MOVED/ASK
+                       redirects; 'auto' announces the bound address);
+                       not combinable with --replica-of
     --event-workers N  event-loop worker threads (default: one per CPU)
     --metrics-addr HOST:PORT
                        also serve Prometheus text metrics over HTTP at
@@ -66,6 +71,7 @@ fn main() {
             "restore",
             "replay-logs",
             "replica-of",
+            "cluster-announce",
             "event-workers",
             "metrics-addr",
             "slowlog-threshold-us",
@@ -80,6 +86,10 @@ fn main() {
     let restore = args.flag_opt("restore").map(std::path::PathBuf::from);
     let replay_logs = args.flag_opt("replay-logs").map(std::path::PathBuf::from);
     let replica_of = args.flag_opt("replica-of").map(str::to_owned);
+    let cluster_announce = args.flag_opt("cluster-announce").map(str::to_owned);
+    if cluster_announce.is_some() && replica_of.is_some() {
+        cli::exit_usage("--cluster-announce cannot be combined with --replica-of", USAGE);
+    }
     let event_workers: Option<usize> = match args.flag_opt("event-workers") {
         None => None,
         Some(s) => match s.parse::<usize>() {
@@ -169,6 +179,7 @@ fn main() {
         event_workers,
         metrics_addr,
         slowlog_threshold_us,
+        cluster_announce: cluster_announce.clone(),
     };
     let server = match serve_with(engine, addr.as_str(), opts) {
         Ok(s) => s,
@@ -177,12 +188,16 @@ fn main() {
             std::process::exit(1);
         }
     };
-    match &replica_of {
-        Some(master) => println!(
+    match (&replica_of, &cluster_announce) {
+        (Some(master), _) => println!(
             "dash-server listening on {} as a replica of {master} (promote with REPLICAOF NO ONE)",
             server.addr()
         ),
-        None => println!("dash-server listening on {}", server.addr()),
+        (None, Some(_)) => println!(
+            "dash-server listening on {} in cluster mode (assign slots with CLUSTER ASSIGN)",
+            server.addr()
+        ),
+        (None, None) => println!("dash-server listening on {}", server.addr()),
     }
     if let Some(addr) = server.metrics_addr() {
         println!("metrics (Prometheus text) on http://{addr}/metrics");

@@ -8,7 +8,9 @@
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
+use crate::cluster::slots::key_slot;
 use crate::resp::{decode_value, encode_command, Decode, Value};
 
 pub struct RespClient {
@@ -24,6 +26,28 @@ impl RespClient {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(RespClient { stream, wbuf: Vec::new(), rbuf: Vec::new(), rpos: 0 })
+    }
+
+    /// Connect with a deadline, and apply the same deadline to every
+    /// subsequent read and write: a dead or wedged node fails fast with
+    /// `TimedOut` instead of blocking forever. [`RespClient::connect`]
+    /// keeps the historical fully-blocking behavior.
+    pub fn connect_timeout(addr: &str, timeout: Duration) -> std::io::Result<Self> {
+        let mut last_err = None;
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(timeout))?;
+                    stream.set_write_timeout(Some(timeout))?;
+                    return Ok(RespClient { stream, wbuf: Vec::new(), rbuf: Vec::new(), rpos: 0 });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(ErrorKind::InvalidInput, format!("{addr:?} resolved to nothing"))
+        }))
     }
 
     /// Append one command to the outgoing pipeline (not sent yet).
@@ -56,7 +80,19 @@ impl RespClient {
                 }
                 Ok(Decode::Incomplete) => {
                     let mut chunk = [0u8; 16 * 1024];
-                    let n = self.stream.read(&mut chunk)?;
+                    let n = self.stream.read(&mut chunk).map_err(|e| {
+                        // With a read timeout set, a silent server
+                        // surfaces as WouldBlock/TimedOut depending on
+                        // the platform; normalize to one clear error.
+                        if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+                            std::io::Error::new(
+                                ErrorKind::TimedOut,
+                                "server did not reply within the read timeout",
+                            )
+                        } else {
+                            e
+                        }
+                    })?;
                     if n == 0 {
                         return Err(std::io::Error::new(
                             ErrorKind::UnexpectedEof,
@@ -376,6 +412,245 @@ fn decode_slowlog_entry(value: Value) -> std::io::Result<SlowlogEntry> {
         key: String::from_utf8_lossy(key).into_owned(),
         worker: *worker,
     })
+}
+
+// ---- cluster client -------------------------------------------------------
+
+/// Redirect/retry counters accumulated by a [`ClusterClient`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterClientStats {
+    /// `-MOVED` redirects followed (each updates the slot cache).
+    pub moved: u64,
+    /// `-ASK` redirects followed (one-shot, not cached).
+    pub ask: u64,
+    /// `-TRYAGAIN` retries (a migration flip in flight).
+    pub tryagain: u64,
+    /// Full topology refreshes via `CLUSTER SLOTS`.
+    pub refreshes: u64,
+}
+
+/// A cluster-aware client: caches the slot→node map, follows `MOVED`
+/// (updating the cache), retries `ASK` with `ASKING` at the named
+/// target, waits out `TRYAGAIN` flips, and refreshes the topology from
+/// any reachable node when a connection dies.
+///
+/// Connections use [`RespClient::connect_timeout`], so a killed node
+/// costs one timeout, not a hang.
+pub struct ClusterClient {
+    seeds: Vec<String>,
+    conns: std::collections::HashMap<String, RespClient>,
+    /// Slot → owner cache; start empty, learn via `CLUSTER SLOTS` and
+    /// `MOVED` replies.
+    slots: Vec<Option<std::sync::Arc<str>>>,
+    timeout: Duration,
+    stats: ClusterClientStats,
+}
+
+/// Redirect hops per command before declaring a loop.
+const MAX_HOPS: usize = 8;
+/// `TRYAGAIN` retry budget: 120 × 25ms ≈ 3s, comfortably above the
+/// server's 1s frozen-slot wait.
+const MAX_TRYAGAIN: usize = 120;
+
+impl ClusterClient {
+    /// `seeds` is a comma-separated `host:port` list; the initial
+    /// topology comes from the first seed that answers `CLUSTER SLOTS`.
+    pub fn connect(seeds: &str, timeout: Duration) -> std::io::Result<Self> {
+        let seeds: Vec<String> =
+            seeds.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect();
+        if seeds.is_empty() {
+            return Err(std::io::Error::new(ErrorKind::InvalidInput, "no seed addresses"));
+        }
+        let mut client = ClusterClient {
+            seeds,
+            conns: std::collections::HashMap::new(),
+            slots: vec![None; crate::cluster::slots::NUM_SLOTS as usize],
+            timeout,
+            stats: ClusterClientStats::default(),
+        };
+        client.refresh()?;
+        Ok(client)
+    }
+
+    pub fn stats(&self) -> ClusterClientStats {
+        self.stats
+    }
+
+    /// Distinct node addresses in the current slot cache (seed-order
+    /// fallback when the cache is empty).
+    pub fn known_nodes(&self) -> Vec<String> {
+        let mut nodes: Vec<String> = Vec::new();
+        for owner in self.slots.iter().flatten() {
+            if !nodes.iter().any(|n| n.as_str() == &**owner) {
+                nodes.push(owner.to_string());
+            }
+        }
+        if nodes.is_empty() {
+            nodes.extend(self.seeds.iter().cloned());
+        }
+        nodes
+    }
+
+    /// Re-learn the full slot map from the first reachable known node.
+    pub fn refresh(&mut self) -> std::io::Result<()> {
+        let mut candidates: Vec<String> = self.conns.keys().cloned().collect();
+        candidates.extend(self.seeds.iter().cloned());
+        let mut last_err: Option<std::io::Error> = None;
+        for addr in candidates {
+            let reply = match self.conn(&addr).and_then(|c| c.command(&[b"CLUSTER", b"SLOTS"])) {
+                Ok(v) => v,
+                Err(e) => {
+                    self.conns.remove(&addr);
+                    last_err = Some(e);
+                    continue;
+                }
+            };
+            let Value::Array(ranges) = reply else {
+                last_err = Some(bad_reply("CLUSTER SLOTS", &reply));
+                continue;
+            };
+            self.slots.fill(None);
+            for range in &ranges {
+                let Value::Array(parts) = range else { continue };
+                let [Value::Integer(start), Value::Integer(end), Value::Bulk(addr)] =
+                    parts.as_slice()
+                else {
+                    continue;
+                };
+                let owner: std::sync::Arc<str> =
+                    std::sync::Arc::from(String::from_utf8_lossy(addr).into_owned());
+                for slot in *start..=*end {
+                    if let Some(entry) = self.slots.get_mut(slot as usize) {
+                        *entry = Some(owner.clone());
+                    }
+                }
+            }
+            self.stats.refreshes += 1;
+            return Ok(());
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(ErrorKind::NotConnected, "no cluster node reachable")
+        }))
+    }
+
+    fn conn(&mut self, addr: &str) -> std::io::Result<&mut RespClient> {
+        if !self.conns.contains_key(addr) {
+            let client = RespClient::connect_timeout(addr, self.timeout)?;
+            self.conns.insert(addr.to_string(), client);
+        }
+        Ok(self.conns.get_mut(addr).expect("just inserted"))
+    }
+
+    /// Route one keyed command: pick the cached owner of the key's
+    /// slot, follow redirects, survive dead nodes. Non-redirect error
+    /// replies come back as `Ok(Value::Error(..))`, like
+    /// [`RespClient::command`].
+    pub fn command_keyed(&mut self, key: &[u8], parts: &[&[u8]]) -> std::io::Result<Value> {
+        let slot = key_slot(key);
+        let mut ask_target: Option<String> = None;
+        let mut tryagain_left = MAX_TRYAGAIN;
+        let mut hops = 0usize;
+        while hops < MAX_HOPS {
+            let addr = match &ask_target {
+                Some(a) => a.clone(),
+                None => match &self.slots[slot as usize] {
+                    Some(owner) => owner.to_string(),
+                    None => {
+                        // Unknown owner: learn the topology, else try a seed.
+                        let _ = self.refresh();
+                        self.slots[slot as usize]
+                            .as_ref()
+                            .map(|o| o.to_string())
+                            .unwrap_or_else(|| self.seeds[0].clone())
+                    }
+                },
+            };
+            let asking = ask_target.take().is_some();
+            let reply = match self.exchange(&addr, parts, asking) {
+                Ok(v) => v,
+                Err(_) => {
+                    // Dead node: drop the connection, re-learn the
+                    // topology (the migration may have completed or the
+                    // node restarted) and retry.
+                    self.conns.remove(&addr);
+                    let _ = self.refresh();
+                    hops += 1;
+                    continue;
+                }
+            };
+            if let Value::Error(e) = &reply {
+                if let Some(rest) = e.strip_prefix("MOVED ") {
+                    if let Some((_, owner)) = rest.split_once(' ') {
+                        self.stats.moved += 1;
+                        self.slots[slot as usize] = Some(std::sync::Arc::from(owner));
+                        hops += 1;
+                        continue;
+                    }
+                }
+                if let Some(rest) = e.strip_prefix("ASK ") {
+                    if let Some((_, target)) = rest.split_once(' ') {
+                        self.stats.ask += 1;
+                        ask_target = Some(target.to_string());
+                        hops += 1;
+                        continue;
+                    }
+                }
+                if e.starts_with("TRYAGAIN") {
+                    if tryagain_left == 0 {
+                        return Err(std::io::Error::other(format!(
+                            "slot {slot} still migrating after {MAX_TRYAGAIN} retries: {e}"
+                        )));
+                    }
+                    tryagain_left -= 1;
+                    std::thread::sleep(Duration::from_millis(25));
+                    continue; // retries don't consume redirect hops
+                }
+            }
+            return Ok(reply);
+        }
+        Err(std::io::Error::other(format!(
+            "redirect loop: slot {slot} unresolved after {MAX_HOPS} redirects"
+        )))
+    }
+
+    /// One request/reply against `addr`, optionally `ASKING`-prefixed.
+    fn exchange(&mut self, addr: &str, parts: &[&[u8]], asking: bool) -> std::io::Result<Value> {
+        let conn = self.conn(addr)?;
+        if asking {
+            conn.enqueue(&[b"ASKING"]);
+        }
+        conn.enqueue(parts);
+        conn.flush()?;
+        if asking {
+            match conn.read_reply()? {
+                Value::Simple(_) => {}
+                other => return Err(bad_reply("ASKING", &other)),
+            }
+        }
+        conn.read_reply()
+    }
+
+    pub fn set(&mut self, key: &[u8], value: &[u8]) -> std::io::Result<()> {
+        match self.command_keyed(key, &[b"SET", key, value])? {
+            Value::Simple(s) if s == "OK" => Ok(()),
+            other => Err(bad_reply("SET", &other)),
+        }
+    }
+
+    pub fn get(&mut self, key: &[u8]) -> std::io::Result<Option<Vec<u8>>> {
+        match self.command_keyed(key, &[b"GET", key])? {
+            Value::Bulk(b) => Ok(Some(b)),
+            Value::Nil => Ok(None),
+            other => Err(bad_reply("GET", &other)),
+        }
+    }
+
+    pub fn del(&mut self, key: &[u8]) -> std::io::Result<i64> {
+        match self.command_keyed(key, &[b"DEL", key])? {
+            Value::Integer(n) => Ok(n),
+            other => Err(bad_reply("DEL", &other)),
+        }
+    }
 }
 
 /// Find `field:value` in an INFO-style payload.

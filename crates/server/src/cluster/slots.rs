@@ -1,0 +1,104 @@
+//! Key → hash-slot mapping: CRC16-XMODEM over the key (or its
+//! `{hash tag}`), masked to [`NUM_SLOTS`] — byte-compatible with Redis
+//! Cluster, so the slot of a key is a pure, stable function every node
+//! and every client computes identically.
+//!
+//! The hash-tag rule (Redis semantics): if the key contains a `{`, and
+//! a `}` appears after it, and the substring between them is non-empty,
+//! only that substring is hashed. `{user1000}.following` and
+//! `{user1000}.followers` therefore land in the same slot, which is
+//! what makes multi-key commands usable under cluster mode — the
+//! CROSSSLOT check requires one slot per command.
+
+/// Total hash slots in the cluster keyspace (Redis-compatible: 2^14).
+pub const NUM_SLOTS: u16 = 16384;
+
+/// CRC16-CCITT (XMODEM) lookup table: polynomial 0x1021, init 0, no
+/// reflection — the exact variant Redis Cluster specifies.
+const fn crc16_table() -> [u16; 256] {
+    let mut table = [0u16; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = (i as u16) << 8;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 0x8000 != 0 { (crc << 1) ^ 0x1021 } else { crc << 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC16_TABLE: [u16; 256] = crc16_table();
+
+/// CRC16-XMODEM of `data`.
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc = 0u16;
+    for &byte in data {
+        crc = (crc << 8) ^ CRC16_TABLE[(((crc >> 8) as u8) ^ byte) as usize];
+    }
+    crc
+}
+
+/// The byte range actually hashed: the first `{tag}` when present and
+/// non-empty, the whole key otherwise.
+pub fn hash_tag(key: &[u8]) -> &[u8] {
+    if let Some(open) = key.iter().position(|&b| b == b'{') {
+        if let Some(close) = key[open + 1..].iter().position(|&b| b == b'}') {
+            if close > 0 {
+                return &key[open + 1..open + 1 + close];
+            }
+        }
+    }
+    key
+}
+
+/// The hash slot `key` belongs to.
+pub fn key_slot(key: &[u8]) -> u16 {
+    crc16(hash_tag(key)) & (NUM_SLOTS - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc16_matches_the_xmodem_check_value() {
+        // The CRC catalogue's check value for CRC-16/XMODEM.
+        assert_eq!(crc16(b"123456789"), 0x31C3);
+        assert_eq!(crc16(b""), 0x0000);
+    }
+
+    #[test]
+    fn key_slots_match_redis_cluster() {
+        // Well-known Redis Cluster slot assignments.
+        assert_eq!(key_slot(b"foo"), 12182);
+        assert_eq!(key_slot(b"bar"), 5061);
+        assert_eq!(key_slot(b"123456789"), 0x31C3 & 16383);
+    }
+
+    #[test]
+    fn hash_tag_rules() {
+        // Tagged keys hash only the tag — both land in user1000's slot.
+        assert_eq!(key_slot(b"{user1000}.following"), key_slot(b"user1000"));
+        assert_eq!(key_slot(b"{user1000}.followers"), key_slot(b"{user1000}.following"));
+        // Empty tag: the whole key is hashed.
+        assert_eq!(hash_tag(b"{}x"), b"{}x");
+        // No closing brace: the whole key is hashed.
+        assert_eq!(hash_tag(b"{open"), b"{open");
+        // Only the FIRST { and the first } after it count.
+        assert_eq!(hash_tag(b"a{b}{c}"), b"b");
+        assert_eq!(hash_tag(b"a{{b}}"), b"{b");
+        assert_eq!(hash_tag(b"plain"), b"plain");
+    }
+
+    #[test]
+    fn every_slot_is_in_range() {
+        for i in 0..10_000u32 {
+            let key = format!("key:{i}");
+            assert!(key_slot(key.as_bytes()) < NUM_SLOTS);
+        }
+    }
+}

@@ -26,6 +26,7 @@ use dash_core::{DashConfig, DashEh};
 use parking_lot::Mutex;
 use pmem::{PmError, PmOffset, PmemPool, PoolConfig};
 
+use crate::cluster::slots::{key_slot, NUM_SLOTS};
 use crate::repl::hub::{ReplHub, ReplSubscription};
 use crate::repl::log::LogWriter;
 use crate::repl::ReplOp;
@@ -148,6 +149,26 @@ pub struct ShardTelemetry {
     pub epoch_pins: u64,
 }
 
+/// Store-wide per-hash-slot key counters — the cluster layer's
+/// accounting (`CLUSTER COUNTKEYSINSLOT`, migration progress). Same
+/// lazy-base trick as `Shard::base_keys`: deltas are maintained from the
+/// first write, and the base (keys per slot at open) is computed by a
+/// one-time full scan on first read, corrected by the delta snapshot
+/// taken before the scan — `open` stays constant-time.
+struct SlotCounters {
+    base: OnceLock<Box<[i64]>>,
+    delta: Box<[AtomicI64]>,
+}
+
+impl SlotCounters {
+    fn new() -> Self {
+        SlotCounters {
+            base: OnceLock::new(),
+            delta: (0..NUM_SLOTS).map(|_| AtomicI64::new(0)).collect(),
+        }
+    }
+}
+
 struct Shard {
     pool: Arc<PmemPool>,
     table: DashEh<VarKey>,
@@ -184,6 +205,8 @@ struct Shard {
     /// Epoch pins taken by engine operations (one per single op, one per
     /// shard group for batches/scans — the §4.5 amortization, visible).
     pins: AtomicU64,
+    /// Store-wide per-slot key counters (shared by all shards).
+    slots: Arc<SlotCounters>,
 }
 
 impl Shard {
@@ -269,6 +292,7 @@ impl Shard {
                     return Err(e.into());
                 }
                 self.keys_delta.fetch_add(1, Ordering::Relaxed);
+                self.slots.delta[key_slot(k.as_bytes()) as usize].fetch_add(1, Ordering::SeqCst);
             }
         }
         self.record(|| ReplOp::Set { key: k.as_bytes().to_vec(), value: value.to_vec() });
@@ -286,6 +310,7 @@ impl Shard {
                 debug_assert!(removed, "key disappeared under the shard write lock");
                 self.release_blob(off);
                 self.keys_delta.fetch_sub(1, Ordering::Relaxed);
+                self.slots.delta[key_slot(k.as_bytes()) as usize].fetch_sub(1, Ordering::SeqCst);
                 self.record(|| ReplOp::Del { key: k.as_bytes().to_vec() });
                 true
             }
@@ -355,6 +380,8 @@ pub struct ShardedDash {
     shard_paths: Vec<PathBuf>,
     /// Replication offset counter + live replica sinks.
     hub: Arc<ReplHub>,
+    /// Per-hash-slot key counters (cluster accounting).
+    slots: Arc<SlotCounters>,
 }
 
 fn shard_file(dir: &Path, i: usize) -> PathBuf {
@@ -421,6 +448,7 @@ impl ShardedDash {
             return Err(EngineError::Layout("shard count must be at least 1".into()));
         }
         let hub = Arc::new(ReplHub::new());
+        let slots = Arc::new(SlotCounters::new());
         let mut shards = Vec::new();
         let mut shard_paths = Vec::new();
         match &cfg.dir {
@@ -442,6 +470,7 @@ impl ShardedDash {
                         blob_released: AtomicU64::new(0),
                         lock_waits: AtomicU64::new(0),
                         pins: AtomicU64::new(0),
+                        slots: slots.clone(),
                     });
                 }
             }
@@ -489,12 +518,18 @@ impl ShardedDash {
                         blob_released: AtomicU64::new(0),
                         lock_waits: AtomicU64::new(0),
                         pins: AtomicU64::new(0),
+                        slots: slots.clone(),
                     });
                 }
                 hub.set_offset(log_records);
             }
         }
-        Ok(ShardedDash { shards, shard_paths, hub })
+        // A store with no recovered shard is known empty: seed the slot
+        // base eagerly so the first COUNTKEYSINSLOT never pays a scan.
+        if shards.iter().all(|s| !s.info.recovered) {
+            let _ = slots.base.set(vec![0i64; NUM_SLOTS as usize].into_boxed_slice());
+        }
+        Ok(ShardedDash { shards, shard_paths, hub, slots })
     }
 
     #[inline]
@@ -730,6 +765,78 @@ impl ShardedDash {
             }
             cursor = next;
         }
+    }
+
+    // ---- cluster accounting ------------------------------------------------
+
+    /// The per-slot base counts, computed on first use by a full scan
+    /// (see [`SlotCounters`]). Exact when quiescent; momentarily
+    /// approximate while writers race the seeding scan, same contract
+    /// as [`len`](Self::len).
+    fn slot_base(&self) -> &[i64] {
+        self.slots.base.get_or_init(|| {
+            let d0: Vec<i64> =
+                self.slots.delta.iter().map(|d| d.load(Ordering::SeqCst)).collect();
+            let mut counts = vec![0i64; NUM_SLOTS as usize];
+            let mut cursor = 0u64;
+            loop {
+                let (next, keys) = self
+                    .scan_keys(cursor, 4096)
+                    .expect("engine-issued scan cursor cannot be invalid");
+                for key in &keys {
+                    counts[key_slot(key) as usize] += 1;
+                }
+                if next == 0 {
+                    break;
+                }
+                cursor = next;
+            }
+            for (count, d) in counts.iter_mut().zip(&d0) {
+                *count -= *d;
+            }
+            counts.into_boxed_slice()
+        })
+    }
+
+    /// Keys currently stored in one hash slot (`CLUSTER COUNTKEYSINSLOT`).
+    pub fn count_keys_in_slot(&self, slot: u16) -> u64 {
+        let base = self.slot_base();
+        (base[slot as usize] + self.slots.delta[slot as usize].load(Ordering::SeqCst)).max(0)
+            as u64
+    }
+
+    /// Keys currently stored in an inclusive slot range.
+    pub fn count_keys_in_slots(&self, start: u16, end: u16) -> u64 {
+        let base = self.slot_base();
+        (start..=end)
+            .map(|s| {
+                (base[s as usize] + self.slots.delta[s as usize].load(Ordering::SeqCst)).max(0)
+                    as u64
+            })
+            .sum()
+    }
+
+    /// Acquire and release every shard's write lock in turn. When this
+    /// returns, every write whose lock was held when it was called has
+    /// completed — including its `record()` publish to the replication
+    /// hub (done under the lock). The migration flip's fence: after
+    /// freezing a slot range and calling this, the hub offset bounds
+    /// every op that will ever touch the frozen range.
+    pub fn write_barrier(&self) {
+        for s in &self.shards {
+            drop(s.lock_write());
+        }
+    }
+
+    /// Total redo-log bytes across shards (0 for a volatile store).
+    pub fn repl_log_bytes(&self) -> u64 {
+        self.shards.iter().filter_map(|s| s.log.as_ref()).map(|l| l.lock().bytes()).sum()
+    }
+
+    /// The directory holding this store's files (`None` for a volatile
+    /// store) — where the cluster layer persists its slot map.
+    pub fn store_dir(&self) -> Option<PathBuf> {
+        self.shard_paths.first().and_then(|p| p.parent()).map(Path::to_path_buf)
     }
 
     /// Key count by full scan — ground truth for the O(shards) counters
@@ -1326,6 +1433,24 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn per_slot_key_accounting() {
+        let e = mem_engine(4);
+        for i in 0..500u32 {
+            e.set(format!("slot-key-{i}").as_bytes(), b"x").unwrap();
+        }
+        assert_eq!(e.count_keys_in_slots(0, NUM_SLOTS - 1), 500);
+        let slot = key_slot(b"foo");
+        let before = e.count_keys_in_slot(slot);
+        e.set(b"foo", b"v").unwrap();
+        assert_eq!(e.count_keys_in_slot(slot), before + 1);
+        e.set(b"foo", b"overwrite").unwrap();
+        assert_eq!(e.count_keys_in_slot(slot), before + 1, "overwrite must not count");
+        e.del(b"foo").unwrap();
+        assert_eq!(e.count_keys_in_slot(slot), before);
+        assert_eq!(e.count_keys_in_slots(0, NUM_SLOTS - 1), 500);
     }
 
     #[test]

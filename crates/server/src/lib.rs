@@ -26,9 +26,16 @@
 //!   and replica mode ([`serve_with`] + [`ServeOptions::replica_of`]):
 //!   reads served, writes bounced with `-READONLY`, promotion via
 //!   `REPLICAOF NO ONE`.
+//! * [`cluster`] — horizontal partitioning, Redis cluster-style: 16384
+//!   CRC16 hash slots (hash-tag aware), a persistent epoch-versioned
+//!   slot map, `MOVED`/`ASK` redirects enforced at the dispatch seam,
+//!   and live slot migration (epoch-pinned bulk copy + redo-log tail
+//!   replay + fenced ownership flip) that loses no acknowledged write.
+//!   Enabled via [`ServeOptions::cluster_announce`].
 //! * [`resp`] / [`RespClient`] ([`client`]) — the wire codec (strict,
 //!   incremental, binary-safe) and a small blocking client used by
-//!   `dash-loadgen`, the tests and the CI smoke job.
+//!   `dash-loadgen`, the tests and the CI smoke job; [`ClusterClient`]
+//!   layers slot-aware routing and redirect following on top.
 //!
 //! ```no_run
 //! use dash_server::{serve, EngineConfig, RespClient, ShardedDash, Value};
@@ -47,6 +54,7 @@
 //! ```
 
 pub mod client;
+pub mod cluster;
 pub mod engine;
 pub(crate) mod metrics;
 pub mod net;
@@ -55,7 +63,8 @@ pub mod resp;
 pub mod server;
 pub mod snapshot;
 
-pub use client::{RespClient, SlowlogEntry};
+pub use client::{ClusterClient, ClusterClientStats, RespClient, SlowlogEntry};
+pub use cluster::slots::{key_slot, NUM_SLOTS};
 pub use engine::{EngineConfig, EngineError, EngineResult, ShardInfo, ShardedDash, MAX_VALUE_LEN};
 pub use repl::ReplOp;
 pub use resp::{ProtocolError, Value};

@@ -78,6 +78,25 @@ pub(crate) fn render(inner: &Inner) -> String {
         let _ = writeln!(out, "dash_repl_sink_lag_ops{{sink=\"{id}\"}} {lag}");
         let _ = writeln!(out, "dash_repl_sink_offset{{sink=\"{id}\"}} {}", offset.saturating_sub(lag));
     }
+    gauge_i(&mut out, "dash_repl_log_bytes", "Total bytes across the per-shard redo logs.", inner.engine.repl_log_bytes() as i64);
+
+    // Cluster: slot ownership, redirect and migration counters. Only in
+    // cluster mode — a non-cluster server exports no cluster series.
+    if let Some(cl) = &inner.cluster {
+        use std::sync::atomic::Ordering;
+        gauge_i(&mut out, "dash_cluster_enabled", "1 when this server runs in cluster mode.", 1);
+        gauge_i(&mut out, "dash_cluster_epoch", "Slot-map epoch (bumps on every topology change).", cl.epoch() as i64);
+        let (assigned, owned) = cl.slot_counts();
+        gauge_i(&mut out, "dash_cluster_slots_assigned", "Slots with a known owner in this node's map.", assigned as i64);
+        gauge_i(&mut out, "dash_cluster_slots_owned", "Slots this node owns.", owned as i64);
+        counter(&mut out, "dash_cluster_moved_redirects_total", "MOVED redirects issued.", cl.moved_redirects.load(Ordering::Relaxed));
+        counter(&mut out, "dash_cluster_ask_redirects_total", "ASK redirects issued.", cl.ask_redirects.load(Ordering::Relaxed));
+        counter(&mut out, "dash_cluster_migrations_started_total", "Slot migrations started on this node (source side).", cl.migrations_started.load(Ordering::Relaxed));
+        counter(&mut out, "dash_cluster_migrations_completed_total", "Slot migrations completed (ownership flipped).", cl.migrations_completed.load(Ordering::Relaxed));
+        counter(&mut out, "dash_cluster_migrations_failed_total", "Slot migrations aborted before the flip.", cl.migrations_failed.load(Ordering::Relaxed));
+        counter(&mut out, "dash_cluster_keys_migrated_total", "Keys streamed to migration targets (bulk + tail).", cl.keys_migrated_total.load(Ordering::Relaxed));
+        gauge_i(&mut out, "dash_cluster_migration_active", "1 while an outbound slot migration is running.", i64::from(cl.migration.lock().active));
+    }
     out
 }
 

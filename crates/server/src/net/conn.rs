@@ -28,7 +28,7 @@ use std::os::unix::io::{AsRawFd, RawFd};
 use std::time::Instant;
 
 use crate::resp::{decode_command, encode, Decode, Value};
-use crate::server::{execute, Inner, Outcome, WRITE_TIMEOUT};
+use crate::server::{execute, Inner, Outcome, Session, WRITE_TIMEOUT};
 
 use super::sys::Interest;
 
@@ -88,6 +88,8 @@ pub(crate) struct Conn {
     /// Client half-closed its write side; serve what's buffered, then
     /// close once replies are flushed.
     peer_eof: bool,
+    /// Per-connection dispatch state (the cluster `ASKING` flag).
+    session: Session,
 }
 
 impl Conn {
@@ -103,6 +105,7 @@ impl Conn {
             registered: Interest::READ,
             close_after_flush: false,
             peer_eof: false,
+            session: Session::default(),
         }
     }
 
@@ -226,7 +229,7 @@ impl Conn {
                     // timed here, and the elapsed time feeds the per-family
                     // histogram and (if over threshold) the SLOWLOG.
                     let started = Instant::now();
-                    let outcome = execute(&parts, inner);
+                    let outcome = execute(&parts, inner, &mut self.session);
                     inner.metrics.observe_command(&parts, started.elapsed(), self.worker);
                     match outcome {
                         Outcome::Reply(v) => encode(&v, &mut self.wbuf),

@@ -163,6 +163,10 @@ pub fn read_log(path: &Path) -> io::Result<(Vec<ReplOp>, LogRecovery)> {
 pub struct LogWriter {
     file: File,
     records: u64,
+    /// Current file length (header + valid records + appends) — what
+    /// `INFO repl_log_bytes` and the metrics endpoint report, kept here
+    /// so observing log growth never pays a stat() per scrape.
+    bytes: u64,
 }
 
 impl LogWriter {
@@ -177,9 +181,10 @@ impl LogWriter {
         file.read_to_end(&mut buf)?;
         if buf.is_empty() {
             let header = FileHeader { magic: LOG_MAGIC, version: LOG_VERSION, meta: shard };
-            file.write_all(&header.encode())?;
+            let header = header.encode();
+            file.write_all(&header)?;
             let recovery = LogRecovery { records: 0, truncated_bytes: 0, reset: false };
-            return Ok((LogWriter { file, records: 0 }, recovery));
+            return Ok((LogWriter { file, records: 0, bytes: header.len() as u64 }, recovery));
         }
         match parse(&buf) {
             // The header's shard index is outside any record checksum;
@@ -198,7 +203,7 @@ impl LogWriter {
                     truncated_bytes: (buf.len() - valid_len) as u64,
                     reset: false,
                 };
-                Ok((LogWriter { file, records: ops.len() as u64 }, recovery))
+                Ok((LogWriter { file, records: ops.len() as u64, bytes: valid_len as u64 }, recovery))
             }
             // Unusable header: the log cannot be trusted at all. Reset
             // it rather than refuse to open the store — the pools hold
@@ -211,9 +216,10 @@ impl LogWriter {
         file.set_len(0)?;
         file.seek(SeekFrom::Start(0))?;
         let header = FileHeader { magic: LOG_MAGIC, version: LOG_VERSION, meta: shard };
-        file.write_all(&header.encode())?;
+        let header = header.encode();
+        file.write_all(&header)?;
         let recovery = LogRecovery { records: 0, truncated_bytes: old_len as u64, reset: true };
-        Ok((LogWriter { file, records: 0 }, recovery))
+        Ok((LogWriter { file, records: 0, bytes: header.len() as u64 }, recovery))
     }
 
     /// Append one record. One `write` syscall: in the page cache (and so
@@ -223,12 +229,18 @@ impl LogWriter {
         encode_record(op, &mut rec);
         self.file.write_all(&rec)?;
         self.records += 1;
+        self.bytes += rec.len() as u64;
         Ok(())
     }
 
     /// Records in the log (recovered + appended).
     pub fn records(&self) -> u64 {
         self.records
+    }
+
+    /// File bytes (header + records), recovered + appended.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
     }
 
     /// fsync — durable against power loss, not just process death.

@@ -83,6 +83,11 @@ pub struct ServeOptions {
     /// SLOWLOG threshold in microseconds; commands at or above it are
     /// recorded. `None` = [`DEFAULT_SLOWLOG_THRESHOLD_US`].
     pub slowlog_threshold_us: Option<u64>,
+    /// Enable cluster mode, announcing this `host:port` to peers and
+    /// clients (what redirects and the slot map record for this node).
+    /// The literal `"auto"` announces the actual bound address — handy
+    /// with port 0. Mutually exclusive with `replica_of`.
+    pub cluster_announce: Option<String>,
 }
 
 pub(crate) struct Inner {
@@ -118,6 +123,9 @@ pub(crate) struct Inner {
     pub(crate) sync_stop: AtomicBool,
     /// Replica: the background sync thread, joined at shutdown.
     replica_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Cluster mode (slot ownership, redirects, migration) — `Some`
+    /// when started with `--cluster-announce`.
+    pub(crate) cluster: Option<Arc<crate::cluster::ClusterState>>,
 }
 
 impl Inner {
@@ -195,6 +203,11 @@ impl Inner {
         if let Some(t) = self.replica_thread.lock().take() {
             let _ = t.join();
         }
+        if let Some(cl) = &self.cluster {
+            // The migration loops poll the shutdown flag (~100ms) and
+            // bail out; the failed migration is simply re-run later.
+            crate::cluster::join_migration_thread(cl);
+        }
         let _ = self.engine.close();
     }
 
@@ -263,14 +276,29 @@ pub fn serve(engine: ShardedDash, addr: impl ToSocketAddrs) -> std::io::Result<S
     serve_with(engine, addr, ServeOptions::default())
 }
 
-/// [`serve`] with options — currently: start as a replica.
+/// [`serve`] with options — replica mode, cluster mode, worker count,
+/// metrics endpoint.
 pub fn serve_with(
     engine: ShardedDash,
     addr: impl ToSocketAddrs,
     opts: ServeOptions,
 ) -> std::io::Result<ServerHandle> {
+    if opts.cluster_announce.is_some() && opts.replica_of.is_some() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "cluster mode and replica mode are mutually exclusive on one server",
+        ));
+    }
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
+    let cluster = match opts.cluster_announce.as_deref() {
+        Some(announce) => {
+            let announce =
+                if announce == "auto" { addr.to_string() } else { announce.to_string() };
+            Some(crate::cluster::ClusterState::open(announce, engine.store_dir())?)
+        }
+        None => None,
+    };
     let event_workers = opts
         .event_workers
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
@@ -302,7 +330,11 @@ pub fn serve_with(
         link_up: AtomicBool::new(false),
         sync_stop: AtomicBool::new(false),
         replica_thread: Mutex::new(None),
+        cluster,
     });
+    if let Some(cl) = &inner.cluster {
+        cl.bind(&inner);
+    }
     if let Some(master) = opts.replica_of {
         let sync_inner = inner.clone();
         let handle = std::thread::spawn(move || crate::repl::replica::run(sync_inner, master));
@@ -326,6 +358,14 @@ pub(crate) enum Outcome {
     Shutdown,
 }
 
+/// Per-connection command-dispatch state. Today that is exactly the
+/// cluster `ASKING` flag: it licenses the **next** command (and only
+/// it) to run against a slot this node is importing.
+#[derive(Default)]
+pub(crate) struct Session {
+    pub(crate) asking: bool,
+}
+
 /// Does this command mutate engine state? The replica write gate — keep
 /// in lockstep with the dispatch arms in [`execute`]: every command that
 /// reaches a mutating engine call MUST be listed here, or clients could
@@ -343,10 +383,12 @@ fn wrong_args(cmd: &str) -> Outcome {
 }
 
 /// Execute one decoded command against the engine.
-pub(crate) fn execute(parts: &[Vec<u8>], inner: &Inner) -> Outcome {
+pub(crate) fn execute(parts: &[Vec<u8>], inner: &Inner, session: &mut Session) -> Outcome {
     let engine = &inner.engine;
     let name = String::from_utf8_lossy(&parts[0]).to_ascii_uppercase();
     let args = &parts[1..];
+    // ASKING is one-shot: it covers exactly the next command.
+    let asking = std::mem::take(&mut session.asking);
     // A replica owns no writes: its state is the primary's stream (the
     // sync thread applies that through the engine directly, not through
     // commands). Client writes bounce with the Redis error class.
@@ -354,6 +396,31 @@ pub(crate) fn execute(parts: &[Vec<u8>], inner: &Inner) -> Outcome {
         return Outcome::Reply(Value::Error(
             "READONLY You can't write against a read only replica.".into(),
         ));
+    }
+    // The cluster slot gate: every keyed command must hash to a slot
+    // this node may serve, or the redirect (MOVED/ASK/TRYAGAIN/
+    // CROSSSLOT) is the reply. The returned guard marks the command
+    // in-flight against a migrating slot until it finishes executing —
+    // the migration flip's fence waits on those.
+    let mut _migrating_guard = None;
+    if let Some(cl) = &inner.cluster {
+        match name.as_str() {
+            "ASKING" => {
+                session.asking = true;
+                return Outcome::Reply(Value::Simple("OK".into()));
+            }
+            "CLUSTER" => {
+                return Outcome::Reply(crate::cluster::cluster_command(cl, inner, args));
+            }
+            _ => {
+                if let Some(keys) = crate::cluster::keyed_args(&name, args) {
+                    match cl.check(&keys, asking) {
+                        Ok(guard) => _migrating_guard = guard,
+                        Err(reply) => return Outcome::Reply(reply),
+                    }
+                }
+            }
+        }
     }
     match name.as_str() {
         "PING" => match args {
@@ -571,6 +638,10 @@ pub(crate) fn execute(parts: &[Vec<u8>], inner: &Inner) -> Outcome {
             [_, _] => err("attaching to a primary at runtime is not supported; start with --replica-of"),
             _ => wrong_args("replicaof"),
         },
+        // Cluster commands exist (as errors) outside cluster mode too,
+        // so misdirected clients get a clear diagnosis instead of
+        // "unknown command".
+        "CLUSTER" | "ASKING" => err("this server was not started in cluster mode"),
         "SHUTDOWN" => Outcome::Shutdown,
         // Test-only: panics inside the command handler, to prove a
         // connection panic is caught, counted, and costs only that
@@ -792,6 +863,9 @@ fn replication_info_text(inner: &Inner) -> String {
     out.push_str(&format!("repl_offset:{repl_offset}\r\n"));
     out.push_str(&format!("connected_replicas:{}\r\n", engine.connected_replicas()));
     out.push_str(&format!("log_append_errors:{}\r\n", engine.log_append_errors()));
+    // Total bytes across the per-shard redo logs — what --replay-logs
+    // would read, and the number capacity planning wants to watch.
+    out.push_str(&format!("repl_log_bytes:{}\r\n", engine.repl_log_bytes()));
     if role == Role::Replica {
         if let Some(master) = &inner.master_addr {
             out.push_str(&format!("master_addr:{master}\r\n"));
