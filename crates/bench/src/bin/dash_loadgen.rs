@@ -50,6 +50,17 @@ OPTIONS:
                       latency exceeds N microseconds — a regression
                       tripwire for CI and the soak tests (requires a
                       latency sample; 0 disables, the default)
+    --ttl-spread LO:HI
+                      attach a TTL to every SET: PX with a duration
+                      drawn uniformly from [LO, HI] milliseconds.
+                      Implies --cache (expired keys come back Nil)
+    --cache           cache-mode accounting: a Nil GET is an expired or
+                      evicted key (counted, not an error), an -OOM SET
+                      reply is an OOM rejection (counted, not an
+                      error), and --verify-all tolerates missing keys —
+                      surviving keys must still be byte-exact. Use when
+                      the server runs with --max-memory or the run sets
+                      TTLs
     --zipf THETA      Zipfian skew in (0,1); omitted = uniform
     --seed S          keyspace seed (default 42)
     --preload         SET the whole keyspace before the timed run
@@ -111,6 +122,8 @@ struct Config {
     latency_rate: f64,
     assert_p99_us: u64,
     zipf: Option<f64>,
+    ttl_spread: Option<(u64, u64)>,
+    cache: bool,
     seed: u64,
     preload: bool,
     verify_all: bool,
@@ -140,6 +153,7 @@ fn parse_config() -> Config {
             "latency-rate",
             "assert-p99-us",
             "zipf",
+            "ttl-spread",
             "seed",
             "snapshot",
             "verify-snapshot",
@@ -148,7 +162,7 @@ fn parse_config() -> Config {
             "cmd",
             "json",
         ],
-        &["preload", "verify-all", "verify-scan", "cluster"],
+        &["preload", "verify-all", "verify-scan", "cluster", "cache"],
         0,
     );
     let cfg = Config {
@@ -188,6 +202,21 @@ fn parse_config() -> Config {
                 ),
             },
         },
+        ttl_spread: match args.flag_opt("ttl-spread") {
+            None => None,
+            Some(v) => match v.split_once(':').and_then(|(lo, hi)| {
+                let lo = lo.parse::<u64>().ok()?;
+                let hi = hi.parse::<u64>().ok()?;
+                (lo >= 1 && hi >= lo).then_some((lo, hi))
+            }) {
+                Some(range) => Some(range),
+                None => cli::exit_usage(
+                    &format!("invalid value {v:?} for --ttl-spread (need LO:HI ms, 1 <= LO <= HI)"),
+                    USAGE,
+                ),
+            },
+        },
+        cache: args.switch("cache"),
         seed: args.flag_or_exit("seed", 42, USAGE),
         preload: args.switch("preload"),
         verify_all: args.switch("verify-all"),
@@ -200,6 +229,9 @@ fn parse_config() -> Config {
         cmd: args.flag_opt("cmd").map(str::to_owned),
         json: args.flag_opt("json").map(str::to_owned),
     };
+    if cfg.ttl_spread.is_some() && cfg.cluster {
+        cli::exit_usage("--ttl-spread is single-node; not supported with --cluster", USAGE);
+    }
     if cfg.conns == 0 || cfg.keys == 0 || cfg.pipeline == 0 {
         cli::exit_usage("--conns, --keys and --pipeline must be at least 1", USAGE);
     }
@@ -236,12 +268,25 @@ fn value_bytes(stem: u64, size: usize) -> Vec<u8> {
     stem.to_le_bytes().iter().copied().cycle().take(size).collect()
 }
 
+impl Config {
+    /// Cache-mode accounting: Nil GETs and -OOM SET replies are
+    /// expected outcomes (expiry/eviction at work), not errors.
+    fn cache_mode(&self) -> bool {
+        self.cache || self.ttl_spread.is_some()
+    }
+}
+
 #[derive(Default)]
 struct Tally {
     gets: u64,
     sets: u64,
     hits: u64,
     errors: u64,
+    /// Cache mode: GETs answered Nil because the key expired or was
+    /// evicted (includes keys simply never written when !--preload).
+    expired_or_evicted: u64,
+    /// Cache mode: SETs rejected with -OOM (eviction couldn't keep up).
+    oom_rejections: u64,
     /// Batch round-trip times, microseconds.
     batch_rtt_us: Vec<u64>,
 }
@@ -249,11 +294,31 @@ struct Tally {
 /// Check one reply against what the op must produce; returns false on
 /// any server error, protocol surprise, or value mismatch. When the
 /// keyspace was preloaded every key is known present, so a Nil GET is a
-/// lost acknowledged write — an error, not a miss.
-fn check_reply(reply: &Value, expected: Option<&[u8]>, preloaded: bool, tally: &mut Tally) -> bool {
+/// lost acknowledged write — an error, not a miss. Cache mode relaxes
+/// exactly two outcomes: a Nil GET is an expired/evicted key and an
+/// `-OOM` SET reply is the budget holding the line — both counted, and
+/// any value that IS returned must still be byte-exact.
+fn check_reply(
+    reply: &Value,
+    expected: Option<&[u8]>,
+    preloaded: bool,
+    cache_mode: bool,
+    tally: &mut Tally,
+) -> bool {
     match (reply, expected) {
         (Value::Simple(s), None) => s == "OK",
-        (Value::Nil, Some(_)) => !preloaded,
+        (Value::Error(e), None) if cache_mode && e.starts_with("OOM") => {
+            tally.oom_rejections += 1;
+            true
+        }
+        (Value::Nil, Some(_)) => {
+            if cache_mode {
+                tally.expired_or_evicted += 1;
+                true
+            } else {
+                !preloaded
+            }
+        }
         (Value::Bulk(got), Some(want)) => {
             let matches = got.as_slice() == want;
             if matches {
@@ -290,7 +355,13 @@ fn run_connection(cfg: &Config, stems: &[u64], conn_id: usize, my_ops: usize) ->
                 client.enqueue(&[b"GET", &key]);
             } else {
                 let value = value_bytes(stem, cfg.value_size);
-                client.enqueue(&[b"SET", &key, &value]);
+                match cfg.ttl_spread {
+                    None => client.enqueue(&[b"SET", &key, &value]),
+                    Some((lo, hi)) => {
+                        let px = lo + mix64(rng ^ 0x7711) % (hi - lo + 1);
+                        client.enqueue(&[b"SET", &key, &value, b"PX", px.to_string().as_bytes()]);
+                    }
+                }
             }
             ops.push((is_get, stem));
         }
@@ -304,7 +375,8 @@ fn run_connection(cfg: &Config, stems: &[u64], conn_id: usize, my_ops: usize) ->
             } else {
                 tally.sets += 1;
             }
-            if !check_reply(&reply, expected.as_deref(), cfg.preload, &mut tally) {
+            if !check_reply(&reply, expected.as_deref(), cfg.preload, cfg.cache_mode(), &mut tally)
+            {
                 tally.errors += 1;
             }
         }
@@ -354,6 +426,7 @@ fn run_connection_batched(
             for (stem, got) in batch_stems.iter().zip(values) {
                 match got {
                     Some(v) if v == value_bytes(*stem, cfg.value_size) => tally.hits += 1,
+                    None if cfg.cache_mode() => tally.expired_or_evicted += 1,
                     None if !cfg.preload => {} // legitimately absent
                     _ => tally.errors += 1,
                 }
@@ -572,6 +645,8 @@ fn timed_phase_cluster(
         hits: total.hits,
         op_errors: total.errors,
         failed_connections: io_errors,
+        expired_or_evicted: 0,
+        oom_rejections: 0,
     };
     (summary, cluster, all_lats, failed)
 }
@@ -851,6 +926,12 @@ fn verify_all(cfg: &Config, stems: &[u64]) -> Result<(), String> {
         wrong.load(Ordering::Relaxed),
         io_errors.load(Ordering::Relaxed),
     );
+    // Cache mode: a key the server expired or evicted is legitimately
+    // gone — the invariant is that every SURVIVING key is byte-exact.
+    if cfg.cache_mode() && m > 0 && w + io == 0 {
+        println!("verify-all: {m} keys missing (expired/evicted — tolerated in cache mode)");
+        return Ok(());
+    }
     if m + w + io == 0 {
         Ok(())
     } else {
@@ -915,7 +996,7 @@ fn verify_snapshot_file(cfg: &Config, stems: &[u64], path: &str) -> Result<(), S
     // cursor contract is at-least-once under mutation); the restore
     // applies in order, so keeping the last occurrence mirrors it.
     let map: std::collections::HashMap<&[u8], &[u8]> =
-        records.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+        records.iter().map(|(k, v, _expire)| (k.as_slice(), v.as_slice())).collect();
     let (mut missing, mut wrong) = (0u64, 0u64);
     for stem in stems {
         match map.get(key_bytes(*stem).as_slice()) {
@@ -949,6 +1030,10 @@ struct PhaseSummary {
     hits: u64,
     op_errors: u64,
     failed_connections: u64,
+    /// Cache mode: Nil GETs attributed to expiry/eviction.
+    expired_or_evicted: u64,
+    /// Cache mode: SETs the server rejected with `-OOM`.
+    oom_rejections: u64,
 }
 
 /// The per-op latency sample's numbers for the `--json` summary.
@@ -995,6 +1080,8 @@ fn timed_phase(
                 total.sets += t.sets;
                 total.hits += t.hits;
                 total.errors += t.errors;
+                total.expired_or_evicted += t.expired_or_evicted;
+                total.oom_rejections += t.oom_rejections;
                 total.batch_rtt_us.extend(t.batch_rtt_us);
             }
             Err(e) => {
@@ -1012,6 +1099,12 @@ fn timed_phase(
         total.gets, total.sets, total.hits, cfg.conns, elapsed
     );
     println!("{label}: throughput {throughput:.0} ops/s");
+    if cfg.cache_mode() {
+        println!(
+            "{label}: cache mode: {} expired/evicted Nil GETs, {} -OOM rejections",
+            total.expired_or_evicted, total.oom_rejections
+        );
+    }
     println!(
         "{label}: RTT {rtt_note}: p50 {} us, p95 {} us, p99 {} us, max {} us",
         percentile(rtt, 0.50),
@@ -1039,6 +1132,8 @@ fn timed_phase(
         hits: total.hits,
         op_errors: total.errors,
         failed_connections: io_errors,
+        expired_or_evicted: total.expired_or_evicted,
+        oom_rejections: total.oom_rejections,
     };
     (summary, failed)
 }
@@ -1498,14 +1593,17 @@ fn render_json(
         out.push_str(&format!(
             "\n    {{\"label\": \"{}\", \"throughput_ops_per_sec\": {:.1}, \
              \"gets\": {}, \"sets\": {}, \"hits\": {}, \"op_errors\": {}, \
-             \"failed_connections\": {}}}",
+             \"failed_connections\": {}, \"expired_or_evicted\": {}, \
+             \"oom_rejections\": {}}}",
             json_escape(&p.label),
             p.throughput,
             p.gets,
             p.sets,
             p.hits,
             p.op_errors,
-            p.failed_connections
+            p.failed_connections,
+            p.expired_or_evicted,
+            p.oom_rejections
         ));
     }
     out.push_str(if phases.is_empty() { "],\n" } else { "\n  ],\n" });

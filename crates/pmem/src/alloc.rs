@@ -37,6 +37,12 @@ pub(crate) fn class_size(class: usize) -> usize {
     1usize << (class as u32 + MIN_CLASS_SHIFT)
 }
 
+/// Full block bytes an allocation of `size` occupies (0 if unclassable).
+#[inline]
+pub(crate) fn block_bytes(size: usize) -> u64 {
+    size_class(size).map(|c| class_size(c) as u64).unwrap_or(0)
+}
+
 /// A pending allocate–activate sequence (PMDK's "reserve, initialize,
 /// publish" pattern, §2.3/§4.7). Holding a ticket means the block is
 /// registered in the persistent in-flight table: after a crash it is
@@ -112,7 +118,32 @@ impl PmemPool {
         let next = unsafe { (*self.at::<AtomicU64>(off)).load(Ordering::Relaxed) };
         head_field.store(next, Ordering::SeqCst);
         self.persist(self.offset_of(head_field), 8);
+        self.free_list_bytes.fetch_sub(class_size(class) as u64, Ordering::Relaxed);
         Some(off)
+    }
+
+    /// Sum the bytes currently on the per-class free lists by walking
+    /// them (open-time seeding of the volatile gauge; single-threaded).
+    pub(crate) fn walk_free_lists(&self) -> u64 {
+        let h = self.header();
+        let mut bytes = 0u64;
+        for class in 0..NUM_CLASSES {
+            let block = class_size(class) as u64;
+            // A list can hold at most pool/block blocks; bound the walk
+            // so a corrupt next pointer cannot loop forever.
+            let mut budget = self.size() as u64 / block + 1;
+            let mut head = h.free_heads[class].load(Ordering::Relaxed);
+            while head != 0 && budget > 0 {
+                if head as usize + 8 > self.size() {
+                    break; // corrupt tail; count what we saw
+                }
+                bytes += block;
+                budget -= 1;
+                // SAFETY: bounds checked above.
+                head = unsafe { (*self.at::<AtomicU64>(PmOffset::new(head))).load(Ordering::Relaxed) };
+            }
+        }
+        bytes
     }
 
     /// Return a block to its size-class free list. The caller must ensure
@@ -133,6 +164,7 @@ impl PmemPool {
         self.persist(off, 8);
         head_field.store(off.get(), Ordering::SeqCst);
         self.persist(self.offset_of(head_field), 8);
+        self.free_list_bytes.fetch_add(class_size(class) as u64, Ordering::Relaxed);
         // If a crash lands between the two persists the block is leaked
         // (not corrupted) — same bounded window PMDK's allocator closes
         // with an internal redo; acceptable for this emulation and noted

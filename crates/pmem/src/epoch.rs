@@ -42,6 +42,10 @@ pub struct EpochManager {
     global: AtomicU64,
     registry: Mutex<Vec<Arc<ThreadSlot>>>,
     garbage: Mutex<Vec<(u64, Deferred)>>,
+    /// Bytes held by pending [`Deferred::Free`] items — retired from the
+    /// application's point of view but not yet back on a free list. The
+    /// service layer reads this as its "dead bytes" fragmentation gauge.
+    pending_bytes: AtomicU64,
 }
 
 thread_local! {
@@ -56,6 +60,7 @@ impl EpochManager {
             global: AtomicU64::new(1),
             registry: Mutex::new(Vec::new()),
             garbage: Mutex::new(Vec::new()),
+            pending_bytes: AtomicU64::new(0),
         }
     }
 
@@ -105,6 +110,7 @@ impl EpochManager {
     /// all current readers have unpinned.
     pub(crate) fn defer_free(&self, off: PmOffset, size: usize) -> bool {
         let e = self.global.load(Ordering::SeqCst);
+        self.pending_bytes.fetch_add(size as u64, Ordering::Relaxed);
         let mut g = self.garbage.lock();
         g.push((e, Deferred::Free { off, size }));
         g.len() >= COLLECT_THRESHOLD
@@ -145,6 +151,9 @@ impl EpochManager {
                     None => true,
                 };
                 if safe {
+                    if let Deferred::Free { size, .. } = d {
+                        self.pending_bytes.fetch_sub(*size as u64, Ordering::Relaxed);
+                    }
                     // Replace with a no-op so we can move the deferred
                     // action out while retain iterates.
                     let taken = std::mem::replace(d, Deferred::Run(Box::new(|| {})));
@@ -167,6 +176,11 @@ impl EpochManager {
     /// Number of deferred items not yet reclaimed (for tests/diagnostics).
     pub fn pending(&self) -> usize {
         self.garbage.lock().len()
+    }
+
+    /// Bytes held by deferred frees not yet returned to the allocator.
+    pub fn pending_bytes(&self) -> u64 {
+        self.pending_bytes.load(Ordering::Relaxed)
     }
 }
 

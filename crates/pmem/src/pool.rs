@@ -198,6 +198,10 @@ pub struct PmemPool {
     flush_limit: AtomicU64,
     flushes_issued: AtomicU64,
     recovery: RecoveryOutcome,
+    /// Bytes sitting on the per-class free lists, reusable by `alloc`.
+    /// Seeded by walking the (persistent) lists at open; maintained by
+    /// `pop_free`/`free_now`. `mem_used` = bump − this.
+    pub(crate) free_list_bytes: AtomicU64,
 }
 
 impl PmemPool {
@@ -226,6 +230,7 @@ impl PmemPool {
             flush_limit: AtomicU64::new(u64::MAX),
             flushes_issued: AtomicU64::new(0),
             recovery,
+            free_list_bytes: AtomicU64::new(0),
         }))
     }
 
@@ -329,6 +334,9 @@ impl PmemPool {
         if pool.shadow.is_some() {
             pool.sync_shadow_full();
         }
+        // Ground-truth the free-list byte gauge from the persistent lists
+        // (recovery above may already have returned blocks to them).
+        pool.free_list_bytes.store(pool.walk_free_lists(), Ordering::SeqCst);
         Ok(recovery)
     }
 
@@ -651,12 +659,52 @@ impl PmemPool {
         self.epoch.collect(|off, size| self.free_now(off, size));
     }
 
+    /// Forced epoch collection that reports what it reclaimed:
+    /// `(items, bytes)` returned to the free lists (bytes are full
+    /// size-class blocks). The compaction path uses this to account
+    /// reclaimed space exactly.
+    pub fn reclaim(&self) -> (usize, u64) {
+        let mut bytes = 0u64;
+        let items = self.epoch.collect(|off, size| {
+            bytes += crate::alloc::block_bytes(size);
+            self.free_now(off, size);
+        });
+        (items, bytes)
+    }
+
     /// Defer freeing `off` until all pinned readers exit, then return it
     /// to the allocator.
     pub fn defer_free(&self, off: PmOffset, size: usize) {
         if self.epoch.defer_free(off, size) {
             self.epoch_collect();
         }
+    }
+
+    // ---- memory accounting -------------------------------------------
+
+    /// Bytes of heap handed out by the bump pointer so far (the bump
+    /// never rewinds; freed blocks go to the class free lists instead).
+    pub fn bump_used(&self) -> u64 {
+        self.header().bump.load(Ordering::Relaxed).saturating_sub(HEAP_START)
+    }
+
+    /// Bytes reusable from the per-class free lists.
+    pub fn free_list_bytes(&self) -> u64 {
+        self.free_list_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Live bytes: everything bump-allocated minus what sits reusable on
+    /// the free lists. Blocks retired via [`Self::defer_free`] but not
+    /// yet collected still count as used (see
+    /// [`Self::pending_reclaim_bytes`]).
+    pub fn mem_used(&self) -> u64 {
+        self.bump_used().saturating_sub(self.free_list_bytes())
+    }
+
+    /// Bytes retired through the epoch manager but not yet returned to a
+    /// free list — the "dead" portion of `mem_used`.
+    pub fn pending_reclaim_bytes(&self) -> u64 {
+        self.epoch.pending_bytes()
     }
 }
 

@@ -41,6 +41,20 @@ OPTIONS:
                        the redo logs (repl-N.log) found in DIR on top —
                        incremental backup: old snapshot + log replay
                        reconstructs the final state
+    --max-memory BYTES
+                       memory budget over value-log bytes, enforced per
+                       shard as BYTES/shards at the write path: pending
+                       garbage is reclaimed, then keys are evicted under
+                       --maxmemory-policy; a write that still cannot fit
+                       is rejected with -OOM (default: unlimited)
+    --maxmemory-policy NAME
+                       noeviction (default: reject writes at the budget),
+                       allkeys-lru (evict the least-recently-used of N
+                       samples) or allkeys-lfu (least-frequently-used)
+    --repl-log-max-bytes N
+                       rotate a shard's redo log once its active file
+                       crosses N bytes; a durable SNAPSHOT then deletes
+                       the sealed segments it covers (default: never)
     --replica-of HOST:PORT
                        start as a read-only replica of the primary at
                        HOST:PORT (bootstraps via PSYNC snapshot+tail;
@@ -68,6 +82,9 @@ fn main() {
             "dir",
             "shards",
             "pool-mb",
+            "max-memory",
+            "maxmemory-policy",
+            "repl-log-max-bytes",
             "restore",
             "replay-logs",
             "replica-of",
@@ -83,6 +100,30 @@ fn main() {
     let shards: usize = args.flag_or_exit("shards", 4, USAGE);
     let pool_mb: usize = args.flag_or_exit("pool-mb", 64, USAGE);
     let dir = args.flag_opt("dir").map(std::path::PathBuf::from);
+    let max_memory: Option<u64> = match args.flag_opt("max-memory") {
+        None => None,
+        Some(s) => match s.parse::<u64>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => cli::exit_usage("--max-memory must be a positive byte count", USAGE),
+        },
+    };
+    let eviction = match args.flag_opt("maxmemory-policy") {
+        None => dash_server::EvictionPolicy::NoEviction,
+        Some(s) => match dash_server::EvictionPolicy::parse(s) {
+            Some(p) => p,
+            None => cli::exit_usage(
+                "--maxmemory-policy must be noeviction, allkeys-lru or allkeys-lfu",
+                USAGE,
+            ),
+        },
+    };
+    let repl_log_max_bytes: Option<u64> = match args.flag_opt("repl-log-max-bytes") {
+        None => None,
+        Some(s) => match s.parse::<u64>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => cli::exit_usage("--repl-log-max-bytes must be a positive byte count", USAGE),
+        },
+    };
     let restore = args.flag_opt("restore").map(std::path::PathBuf::from);
     let replay_logs = args.flag_opt("replay-logs").map(std::path::PathBuf::from);
     let replica_of = args.flag_opt("replica-of").map(str::to_owned);
@@ -128,7 +169,14 @@ fn main() {
         }
     }
 
-    let cfg = EngineConfig { shards, shard_bytes: pool_mb << 20, dir };
+    let cfg = EngineConfig {
+        shards,
+        shard_bytes: pool_mb << 20,
+        dir,
+        max_memory,
+        eviction,
+        repl_log_max_bytes,
+    };
     let engine = match &restore {
         None => ShardedDash::open(&cfg),
         Some(snapshot) => ShardedDash::restore(&cfg, snapshot),
@@ -166,6 +214,13 @@ fn main() {
         } else {
             println!("shard {i}: created fresh");
         }
+    }
+    if let Some(budget) = max_memory {
+        println!(
+            "memory budget: {budget} bytes ({} per shard), policy {}",
+            budget / engine.shard_count() as u64,
+            eviction.name()
+        );
     }
     // Serving thousands of connections from a fixed worker pool is fd-
     // bound, not thread-bound: raise the soft RLIMIT_NOFILE to the hard

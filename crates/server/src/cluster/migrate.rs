@@ -240,11 +240,25 @@ fn migrate(
             }
             // A concurrent DEL may have removed it; the tail replays
             // that DEL, so skipping here is correct either way.
-            let Some(value) = engine.get(&key).map_err(|e| format!("bulk get: {e}"))? else {
+            let Some((value, expire_at_ms)) =
+                engine.get_with_expiry(&key).map_err(|e| format!("bulk get: {e}"))?
+            else {
                 continue;
             };
             conn.enqueue(&[b"ASKING"]);
-            conn.enqueue(&[b"SET", &key, &value]);
+            if expire_at_ms == 0 {
+                conn.enqueue(&[b"SET", &key, &value]);
+            } else {
+                // The source's absolute deadline travels with the key —
+                // the target never re-derives time.
+                conn.enqueue(&[
+                    b"SET",
+                    &key,
+                    &value,
+                    b"PXAT",
+                    expire_at_ms.to_string().as_bytes(),
+                ]);
+            }
             pending.push(false);
             cl.migration_keys.fetch_add(1, Ordering::Relaxed);
             cl.keys_migrated_total.fetch_add(1, Ordering::Relaxed);
@@ -427,6 +441,12 @@ fn forward(
     match op {
         ReplOp::Set { key, value } => {
             conn.enqueue(&[b"SET", key, value]);
+            pending.push(false);
+        }
+        // TTLs migrate as the absolute deadline the source's primary
+        // computed — the target never re-derives time.
+        ReplOp::SetEx { key, value, expire_at_ms } => {
+            conn.enqueue(&[b"SET", key, value, b"PXAT", expire_at_ms.to_string().as_bytes()]);
             pending.push(false);
         }
         ReplOp::Del { key } => {

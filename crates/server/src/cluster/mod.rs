@@ -424,8 +424,10 @@ impl ClusterState {
 /// stay node-local under cluster mode.
 pub(crate) fn keyed_args<'a>(name: &str, args: &'a [Vec<u8>]) -> Option<Vec<&'a [u8]>> {
     let keys: Vec<&[u8]> = match name {
-        "GET" | "SET" => vec![args.first()?.as_slice()],
-        "MGET" | "DEL" | "EXISTS" => args.iter().map(|a| a.as_slice()).collect(),
+        "GET" | "SET" | "EXPIRE" | "PEXPIRE" | "TTL" | "PTTL" | "PERSIST" => {
+            vec![args.first()?.as_slice()]
+        }
+        "MGET" | "DEL" | "UNLINK" | "EXISTS" => args.iter().map(|a| a.as_slice()).collect(),
         "MSET" => args.iter().step_by(2).map(|a| a.as_slice()).collect(),
         _ => return None,
     };

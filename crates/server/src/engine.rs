@@ -11,14 +11,30 @@
 //! persistent image of the whole store.
 //!
 //! Values are arbitrary byte strings, stored out of line in the owning
-//! shard's pool as `u32 len || bytes` (the same layout `VarKey` uses for
-//! keys); the table's 8-byte value field holds the blob's pool offset.
-//! Readers run lock-free under an epoch pin; overwrites and deletes
-//! retire the old blob through the pool's epoch manager so a concurrent
-//! reader never dereferences recycled memory.
+//! shard's pool behind a 16-byte header:
+//!
+//! ```text
+//! u32 len | u32 access | u64 expire_at_ms | payload…
+//! ```
+//!
+//! The table's 8-byte value field holds the blob's pool offset. `len`
+//! and `expire_at_ms` are immutable per blob (`EXPIRE`/`PERSIST`
+//! *rewrite* the blob, so a lock-free reader can never observe a torn
+//! deadline); `access` is the only mutable field — the advisory LRU/LFU
+//! word the sampled evictor scores by, updated with relaxed atomics and
+//! never persisted. Readers run lock-free under an epoch pin;
+//! overwrites and deletes retire the old blob through the pool's epoch
+//! manager so a concurrent reader never dereferences recycled memory.
+//!
+//! Expiry and eviction obey one rule: **the primary is the only clock**
+//! (see [`crate::expire`]). Reads *hide* an expired key everywhere, but
+//! only a primary deletes it — lazily on access, actively from the
+//! timer wheel/sweep — and every such delete is recorded as an explicit
+//! `DEL`, so replicas and log replay converge byte-exactly without ever
+//! consulting time.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use dash_common::{hash64_seed, PmHashTable, ScanCursor, TableError, VarKey, MAX_KEY_LEN};
@@ -27,6 +43,7 @@ use parking_lot::Mutex;
 use pmem::{PmError, PmOffset, PmemPool, PoolConfig};
 
 use crate::cluster::slots::{key_slot, NUM_SLOTS};
+use crate::expire::{is_expired, now_ms, policy, EvictionPolicy, TimerWheel};
 use crate::repl::hub::{ReplHub, ReplSubscription};
 use crate::repl::log::LogWriter;
 use crate::repl::ReplOp;
@@ -60,6 +77,9 @@ pub enum EngineError {
     Snapshot(String),
     /// Redo-log open/replay failed (I/O or a corrupt file).
     ReplLog(String),
+    /// The memory budget is exhausted and eviction could not make room
+    /// (the wire layer maps this onto Redis's bare `-OOM` reply).
+    Oom,
 }
 
 impl std::fmt::Display for EngineError {
@@ -72,6 +92,9 @@ impl std::fmt::Display for EngineError {
             EngineError::BadCursor(c) => write!(f, "invalid scan cursor {c}"),
             EngineError::Snapshot(s) => write!(f, "snapshot error: {s}"),
             EngineError::ReplLog(s) => write!(f, "repl log error: {s}"),
+            EngineError::Oom => {
+                write!(f, "command not allowed when used memory > 'maxmemory'")
+            }
         }
     }
 }
@@ -104,11 +127,30 @@ pub struct EngineConfig {
     /// Directory holding one `shard-N.pool` file per shard. `None` runs
     /// the store on volatile heap pools (tests, throwaway caches).
     pub dir: Option<PathBuf>,
+    /// Memory budget over live value bytes (`--max-memory`). Enforced
+    /// per shard as `max_memory / shards` at the client write path:
+    /// pending garbage is reclaimed first, then keys are evicted under
+    /// the configured policy, and a write that still cannot fit is
+    /// rejected with [`EngineError::Oom`]. `None` = unlimited.
+    pub max_memory: Option<u64>,
+    /// What to evict when the budget is hit (`--maxmemory-policy`).
+    pub eviction: EvictionPolicy,
+    /// Rotate a shard's redo log once its active file crosses this size
+    /// (`--repl-log-max-bytes`); a durable `SNAPSHOT` then deletes the
+    /// sealed segments it covers. `None` = logs grow forever.
+    pub repl_log_max_bytes: Option<u64>,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { shards: 4, shard_bytes: 64 << 20, dir: None }
+        EngineConfig {
+            shards: 4,
+            shard_bytes: 64 << 20,
+            dir: None,
+            max_memory: None,
+            eviction: EvictionPolicy::NoEviction,
+            repl_log_max_bytes: None,
+        }
     }
 }
 
@@ -147,6 +189,12 @@ pub struct ShardTelemetry {
     pub write_lock_waits: u64,
     /// Epoch pins taken by engine operations.
     pub epoch_pins: u64,
+    /// Bytes the shard's allocator considers in use (bump minus free
+    /// lists) — what the memory budget is enforced against.
+    pub mem_used_bytes: u64,
+    /// Dead bytes: retired blobs awaiting epoch reclamation. The
+    /// numerator of the shard's fragmentation ratio.
+    pub dead_bytes: u64,
 }
 
 /// Store-wide per-hash-slot key counters — the cluster layer's
@@ -207,6 +255,14 @@ struct Shard {
     pins: AtomicU64,
     /// Store-wide per-slot key counters (shared by all shards).
     slots: Arc<SlotCounters>,
+    /// Active-expiry timer wheel: every TTL write queues its deadline
+    /// here; the background tick drains due entries and re-checks them
+    /// under this shard's write lock.
+    wheel: TimerWheel,
+    /// Eviction sampling cursor: each eviction round resumes the table
+    /// scan here, so successive rounds sample fresh regions of the
+    /// keyspace instead of hammering the first segment.
+    sample_pos: AtomicU64,
 }
 
 impl Shard {
@@ -237,27 +293,34 @@ impl Shard {
         self.pins.fetch_add(1, Ordering::Relaxed);
         self.pool.epoch().pin()
     }
-    /// Read the value blob at `off`, defensively bounds-checked (the
-    /// caller holds an epoch pin, so a *live* offset cannot be recycled
-    /// under us; the checks guard against a corrupt table).
-    fn read_blob(&self, off: u64) -> Option<Vec<u8>> {
-        let pool = &self.pool;
-        let len = blob_len(pool, off)?;
-        pool.note_pm_read(4 + len);
-        // SAFETY: bounds checked by blob_len.
-        let bytes = unsafe { std::slice::from_raw_parts(pool.base().add(off as usize + 4), len) };
-        Some(bytes.to_vec())
+    /// Decode the header at `off`: payload length, access word, expiry
+    /// deadline. See the free function [`blob_meta`].
+    fn blob_meta(&self, off: u64) -> Option<BlobMeta> {
+        blob_meta(&self.pool, off)
+    }
+
+    /// Copy out the payload of the blob whose header `meta` already
+    /// decoded (the caller holds an epoch pin).
+    fn read_payload(&self, off: u64, meta: &BlobMeta) -> Vec<u8> {
+        self.pool.note_pm_read(BLOB_HDR + meta.len);
+        // SAFETY: bounds checked by blob_meta.
+        unsafe {
+            std::slice::from_raw_parts(self.pool.base().add(off as usize + BLOB_HDR), meta.len)
+                .to_vec()
+        }
     }
 
     /// Allocate, fill and persist a value blob; returns its offset.
-    fn write_blob(&self, value: &[u8]) -> EngineResult<u64> {
-        let total = 4 + value.len();
+    fn write_blob(&self, value: &[u8], expire_at_ms: u64, access: u32) -> EngineResult<u64> {
+        let total = BLOB_HDR + value.len();
         let off = self.pool.alloc(total)?;
         // SAFETY: freshly allocated block of at least `total` bytes.
         unsafe {
             let p = self.pool.base().add(off.get() as usize);
             (p as *mut u32).write(value.len() as u32);
-            std::ptr::copy_nonoverlapping(value.as_ptr(), p.add(4), value.len());
+            (p.add(4) as *mut u32).write(access);
+            (p.add(8) as *mut u64).write(expire_at_ms);
+            std::ptr::copy_nonoverlapping(value.as_ptr(), p.add(BLOB_HDR), value.len());
         }
         self.pool.persist(off, total);
         self.blob_written.fetch_add(total as u64, Ordering::Relaxed);
@@ -266,17 +329,25 @@ impl Shard {
 
     /// Retire a value blob once no epoch-pinned reader can still see it.
     fn release_blob(&self, off: u64) {
-        if let Some(len) = blob_len(&self.pool, off) {
-            self.pool.defer_free(PmOffset::new(off), 4 + len);
-            self.blob_released.fetch_add(4 + len as u64, Ordering::Relaxed);
+        if let Some(meta) = self.blob_meta(off) {
+            self.pool.defer_free(PmOffset::new(off), BLOB_HDR + meta.len);
+            self.blob_released.fetch_add((BLOB_HDR + meta.len) as u64, Ordering::Relaxed);
         }
     }
 
-    /// Insert or overwrite one key. The caller holds this shard's write
-    /// lock (and, for batches, one epoch pin for the whole group) — the
-    /// shared body of [`ShardedDash::set`] and [`ShardedDash::mset`].
-    fn set_locked(&self, k: &VarKey, value: &[u8]) -> EngineResult<()> {
-        let new_off = self.write_blob(value)?;
+    /// Insert or overwrite one key with an optional expiry deadline (0 =
+    /// none). The caller holds this shard's write lock (and, for
+    /// batches, one epoch pin for the whole group) — the shared body of
+    /// every engine write path. Records `SetEx` when a deadline is set,
+    /// plain `Set` otherwise, and queues the deadline on the wheel.
+    fn set_locked(
+        &self,
+        k: &VarKey,
+        value: &[u8],
+        expire_at_ms: u64,
+        access: u32,
+    ) -> EngineResult<()> {
+        let new_off = self.write_blob(value, expire_at_ms, access)?;
         match self.table.get(k) {
             Some(old_off) => {
                 if !self.table.update(k, new_off) {
@@ -295,7 +366,16 @@ impl Shard {
                 self.slots.delta[key_slot(k.as_bytes()) as usize].fetch_add(1, Ordering::SeqCst);
             }
         }
-        self.record(|| ReplOp::Set { key: k.as_bytes().to_vec(), value: value.to_vec() });
+        if expire_at_ms != 0 {
+            self.wheel.insert(k.as_bytes().to_vec(), expire_at_ms);
+            self.record(|| ReplOp::SetEx {
+                key: k.as_bytes().to_vec(),
+                value: value.to_vec(),
+                expire_at_ms,
+            });
+        } else {
+            self.record(|| ReplOp::Set { key: k.as_bytes().to_vec(), value: value.to_vec() });
+        }
         Ok(())
     }
 
@@ -351,23 +431,65 @@ impl Shard {
     }
 }
 
-/// What [`ShardedDash::snapshot_each`] feeds each record to.
-type SnapshotEmit<'a> = dyn FnMut(&[u8], &[u8]) -> SnapshotResult<()> + 'a;
+/// What [`ShardedDash::snapshot_each`] feeds each record to:
+/// `(key, value, expire_at_ms)`.
+type SnapshotEmit<'a> = dyn FnMut(&[u8], &[u8], u64) -> SnapshotResult<()> + 'a;
 
-/// Decode and bounds-check the `u32 len || bytes` blob header at `off`,
-/// returning the payload length. `None` means the offset cannot be a
-/// valid blob in this pool (corrupt table / stale pointer) — the single
-/// gate every read and release of a value blob goes through.
-fn blob_len(pool: &PmemPool, off: u64) -> Option<usize> {
-    if off == 0 || !off.is_multiple_of(4) || off + 4 > pool.size() as u64 {
+/// Value-blob header size: `u32 len | u32 access | u64 expire_at_ms`.
+const BLOB_HDR: usize = 16;
+
+/// Keys sampled per eviction decision (Redis's `maxmemory-samples`).
+const EVICT_SAMPLES: usize = 5;
+/// Bound on reclaim/evict rounds per write — turns a no-progress
+/// pathology (everything pinned, nothing evictable) into `-OOM`.
+const MAX_EVICT_ROUNDS: usize = 64;
+/// Floor under which a shard's dead bytes are not worth a reclamation
+/// pass, whatever the ratio.
+const RECLAIM_MIN_BYTES: u64 = 256 << 10;
+
+/// Did a write die of pool exhaustion (as opposed to a structural
+/// error)? The evict-and-retry path only retries these.
+fn is_pool_oom(e: &EngineError) -> bool {
+    matches!(e, EngineError::Table(TableError::Pm(PmError::OutOfMemory { .. })))
+}
+
+/// A decoded value-blob header.
+#[derive(Debug, Clone, Copy)]
+struct BlobMeta {
+    /// Payload length.
+    len: usize,
+    /// The advisory LRU/LFU access word (see [`crate::expire::policy`]).
+    access: u32,
+    /// Absolute expiry deadline in Unix ms; 0 = no expiry.
+    expire_at_ms: u64,
+}
+
+/// Decode and bounds-check the blob header at `off`. `None` means the
+/// offset cannot be a valid blob in this pool (corrupt table / stale
+/// pointer) — the single gate every read and release of a value blob
+/// goes through. Blob offsets are ≥ 32-aligned (the allocator's minimum
+/// size class), so the 16-alignment check is strict for any corrupt
+/// offset that isn't.
+fn blob_meta(pool: &PmemPool, off: u64) -> Option<BlobMeta> {
+    if off == 0 || !off.is_multiple_of(16) || off + BLOB_HDR as u64 > pool.size() as u64 {
         return None;
     }
-    // SAFETY: bounds checked above.
-    let len = unsafe { *pool.at::<u32>(PmOffset::new(off)) } as usize;
-    if len > MAX_VALUE_LEN || off + 4 + len as u64 > pool.size() as u64 {
+    // SAFETY: bounds checked above; off is 16-aligned so every field is
+    // naturally aligned. `expire_at_ms` is immutable per blob and the
+    // access word is read through its atomic home below, so plain reads
+    // here cannot tear.
+    let (len, access, expire_at_ms) = unsafe {
+        let p = pool.base().add(off as usize);
+        (
+            (p as *const u32).read() as usize,
+            (*(p.add(4) as *const AtomicU32)).load(Ordering::Relaxed),
+            (p.add(8) as *const u64).read(),
+        )
+    };
+    if len > MAX_VALUE_LEN || off + (BLOB_HDR + len) as u64 > pool.size() as u64 {
         return None;
     }
-    Some(len)
+    Some(BlobMeta { len, access, expire_at_ms })
 }
 
 /// The sharded, persistent KV engine. All operations are safe under full
@@ -382,6 +504,33 @@ pub struct ShardedDash {
     hub: Arc<ReplHub>,
     /// Per-hash-slot key counters (cluster accounting).
     slots: Arc<SlotCounters>,
+    /// Store-wide memory budget; enforced per shard as `budget/shards`.
+    max_memory: Option<u64>,
+    /// Per-shard slice of the budget (cached `max_memory / shards`).
+    shard_budget: Option<u64>,
+    /// Eviction policy when the budget is hit.
+    policy: EvictionPolicy,
+    /// Whether reads may *delete* expired keys (primary-only — replicas
+    /// hide them but wait for the primary's `DEL`). Flipped on promote.
+    local_expiry: AtomicBool,
+    /// Background-sweep position: `(shard index, table scan pos)`. The
+    /// sweep is what eventually expires keys whose deadlines predate
+    /// this open (the wheel is volatile, and rebuilding it on open
+    /// would break constant-time recovery).
+    sweep_cursor: Mutex<(usize, u64)>,
+    /// Whether redo-log rotation is configured (`--repl-log-max-bytes`);
+    /// gates snapshot-time segment sealing + truncation.
+    log_rotation: bool,
+    /// Keys deleted because their deadline passed (lazy + active).
+    expired_keys: AtomicU64,
+    /// Keys evicted to satisfy the memory budget.
+    evicted_keys: AtomicU64,
+    /// Writes rejected with `-OOM`.
+    oom_rejections: AtomicU64,
+    /// Value-log reclamation passes that freed anything.
+    compactions: AtomicU64,
+    /// Bytes returned to the allocators by reclamation.
+    reclaimed_bytes: AtomicU64,
 }
 
 fn shard_file(dir: &Path, i: usize) -> PathBuf {
@@ -449,6 +598,7 @@ impl ShardedDash {
         }
         let hub = Arc::new(ReplHub::new());
         let slots = Arc::new(SlotCounters::new());
+        let now = now_ms();
         let mut shards = Vec::new();
         let mut shard_paths = Vec::new();
         match &cfg.dir {
@@ -471,6 +621,8 @@ impl ShardedDash {
                         lock_waits: AtomicU64::new(0),
                         pins: AtomicU64::new(0),
                         slots: slots.clone(),
+                        wheel: TimerWheel::new(now),
+                        sample_pos: AtomicU64::new(0),
                     });
                 }
             }
@@ -496,10 +648,14 @@ impl ShardedDash {
                     // The shard's redo log opens alongside its pool:
                     // torn tails truncate here, and the recovered record
                     // count seeds the store-wide replication offset.
-                    let (log, log_rec) = LogWriter::open(&log_file(dir, i), i as u32)
-                        .map_err(|e| {
-                            EngineError::ReplLog(format!("{}: {e}", log_file(dir, i).display()))
-                        })?;
+                    let (log, log_rec) =
+                        LogWriter::open(&log_file(dir, i), i as u32, cfg.repl_log_max_bytes)
+                            .map_err(|e| {
+                                EngineError::ReplLog(format!(
+                                    "{}: {e}",
+                                    log_file(dir, i).display()
+                                ))
+                            })?;
                     log_records += log_rec.records;
                     // Recovered shards defer their base count to the
                     // first DBSIZE/INFO; fresh ones are known empty.
@@ -519,6 +675,8 @@ impl ShardedDash {
                         lock_waits: AtomicU64::new(0),
                         pins: AtomicU64::new(0),
                         slots: slots.clone(),
+                        wheel: TimerWheel::new(now),
+                        sample_pos: AtomicU64::new(0),
                     });
                 }
                 hub.set_offset(log_records);
@@ -529,7 +687,24 @@ impl ShardedDash {
         if shards.iter().all(|s| !s.info.recovered) {
             let _ = slots.base.set(vec![0i64; NUM_SLOTS as usize].into_boxed_slice());
         }
-        Ok(ShardedDash { shards, shard_paths, hub, slots })
+        let shard_budget = cfg.max_memory.map(|m| (m / shards.len() as u64).max(1));
+        Ok(ShardedDash {
+            shards,
+            shard_paths,
+            hub,
+            slots,
+            max_memory: cfg.max_memory,
+            shard_budget,
+            policy: cfg.eviction,
+            local_expiry: AtomicBool::new(true),
+            sweep_cursor: Mutex::new((0, 0)),
+            log_rotation: cfg.repl_log_max_bytes.is_some(),
+            expired_keys: AtomicU64::new(0),
+            evicted_keys: AtomicU64::new(0),
+            oom_rejections: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            reclaimed_bytes: AtomicU64::new(0),
+        })
     }
 
     #[inline]
@@ -550,37 +725,84 @@ impl ShardedDash {
         Ok(VarKey::new(key.to_vec()))
     }
 
-    /// Read a key's value (`None` when absent). Lock-free.
+    /// Read a key's value (`None` when absent — or expired: an expired
+    /// key is never served). Lock-free; on a primary an expired key
+    /// found here is lazily deleted (replicated as `DEL`).
     pub fn get(&self, key: &[u8]) -> EngineResult<Option<Vec<u8>>> {
-        let k = Self::check_key(key)?;
-        let shard = self.shard(key);
-        let _pin = shard.pin();
-        match shard.table.get(&k) {
-            None => Ok(None),
-            Some(off) => Ok(shard.read_blob(off)),
-        }
+        Ok(self.get_with_expiry(key)?.map(|(v, _)| v))
     }
 
-    /// Whether a key is present. Lock-free, does not touch the value.
+    /// Read a key's value plus its expiry deadline in Unix ms (0 = no
+    /// expiry) — how cluster migration carries TTLs across nodes.
+    pub fn get_with_expiry(&self, key: &[u8]) -> EngineResult<Option<(Vec<u8>, u64)>> {
+        let k = Self::check_key(key)?;
+        let shard = self.shard(key);
+        let now = now_ms();
+        {
+            let _pin = shard.pin();
+            let Some(off) = shard.table.get(&k) else {
+                return Ok(None);
+            };
+            let Some(meta) = shard.blob_meta(off) else {
+                return Ok(None);
+            };
+            if !is_expired(meta.expire_at_ms, now) {
+                self.touch(shard, off, &meta, now);
+                return Ok(Some((shard.read_payload(off, &meta), meta.expire_at_ms)));
+            }
+        }
+        // Deadline passed: hidden everywhere, deleted on a primary (the
+        // pin is dropped first — the delete defers the blob free, which
+        // a pin held by this thread would keep pending forever).
+        self.lazy_expire_key(shard, &k, now);
+        Ok(None)
+    }
+
+    /// Whether a key is present (expired keys are not). Lock-free, does
+    /// not copy the value.
     pub fn exists(&self, key: &[u8]) -> EngineResult<bool> {
         let k = Self::check_key(key)?;
         let shard = self.shard(key);
-        let _pin = shard.pin();
-        Ok(shard.table.get(&k).is_some())
+        let now = now_ms();
+        let live = {
+            let _pin = shard.pin();
+            match shard.table.get(&k).and_then(|off| shard.blob_meta(off)) {
+                None => return Ok(false),
+                Some(meta) => !is_expired(meta.expire_at_ms, now),
+            }
+        };
+        if !live {
+            self.lazy_expire_key(shard, &k, now);
+        }
+        Ok(live)
     }
 
     /// Insert or overwrite. Durable before return: both the value blob
     /// and the table update are persisted by the time this returns, so a
     /// reply sent after `set` is an acknowledged write that survives a
-    /// process kill.
+    /// process kill. Clears any previous TTL (plain `SET` semantics).
     pub fn set(&self, key: &[u8], value: &[u8]) -> EngineResult<()> {
+        self.set_with_expiry(key, value, 0)
+    }
+
+    /// Insert or overwrite with an absolute expiry deadline in Unix ms
+    /// (0 = none). The memory budget is enforced here: pending garbage
+    /// is reclaimed, then keys are evicted under the policy, and a
+    /// write that still cannot fit fails with [`EngineError::Oom`].
+    pub fn set_with_expiry(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        expire_at_ms: u64,
+    ) -> EngineResult<()> {
         let k = Self::check_key(key)?;
         if value.len() > MAX_VALUE_LEN {
             return Err(EngineError::ValueTooLong(value.len()));
         }
-        let shard = self.shard(key);
+        let si = self.shard_index(key);
+        let shard = &self.shards[si];
         let _w = shard.lock_write();
-        shard.set_locked(&k, value)
+        self.set_under_budget(si, &k, value, expire_at_ms, now_ms())
     }
 
     /// Delete a key; true when it existed.
@@ -589,6 +811,133 @@ impl ShardedDash {
         let shard = self.shard(key);
         let _w = shard.lock_write();
         Ok(shard.del_locked(&k))
+    }
+
+    /// Remaining TTL of `key` in milliseconds: `-2` when absent (or
+    /// expired), `-1` when present without expiry, else the remaining
+    /// time.
+    pub fn ttl_ms(&self, key: &[u8]) -> EngineResult<i64> {
+        let k = Self::check_key(key)?;
+        let shard = self.shard(key);
+        let now = now_ms();
+        let deadline = {
+            let _pin = shard.pin();
+            shard.table.get(&k).and_then(|off| shard.blob_meta(off)).map(|m| m.expire_at_ms)
+        };
+        match deadline {
+            None => Ok(-2),
+            Some(0) => Ok(-1),
+            Some(e) if is_expired(e, now) => {
+                self.lazy_expire_key(shard, &k, now);
+                Ok(-2)
+            }
+            Some(e) => Ok((e - now) as i64),
+        }
+    }
+
+    /// Set `key`'s expiry to an absolute deadline (`EXPIRE`/`PEXPIRE`);
+    /// true when the key exists. Deadlines are immutable per blob, so
+    /// the value is rewritten and the op replicates as a full `SetEx` —
+    /// the deterministic form (replicas never re-derive time). A
+    /// deadline already in the past deletes the key outright (Redis
+    /// semantics), replicated as `DEL`.
+    pub fn expire_at(&self, key: &[u8], expire_at_ms: u64) -> EngineResult<bool> {
+        let k = Self::check_key(key)?;
+        let si = self.shard_index(key);
+        let shard = &self.shards[si];
+        let now = now_ms();
+        let _w = shard.lock_write();
+        let current = {
+            let _pin = shard.pin();
+            match shard.table.get(&k).and_then(|off| shard.blob_meta(off).map(|m| (off, m))) {
+                None => return Ok(false),
+                Some((off, meta)) => (!is_expired(meta.expire_at_ms, now))
+                    .then(|| shard.read_payload(off, &meta)),
+            }
+        };
+        match current {
+            None => {
+                // It was already past its *old* deadline: it is gone.
+                if shard.del_locked(&k) {
+                    self.expired_keys.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(false)
+            }
+            Some(value) => {
+                if is_expired(expire_at_ms, now) {
+                    let _ = shard.del_locked(&k);
+                    self.expired_keys.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.set_under_budget(si, &k, &value, expire_at_ms, now)?;
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    /// Remove `key`'s expiry (`PERSIST`); true when the key existed and
+    /// had one. Replicates as a plain `Set` (full value, no deadline).
+    pub fn persist(&self, key: &[u8]) -> EngineResult<bool> {
+        let k = Self::check_key(key)?;
+        let si = self.shard_index(key);
+        let shard = &self.shards[si];
+        let now = now_ms();
+        let _w = shard.lock_write();
+        let current = {
+            let _pin = shard.pin();
+            match shard.table.get(&k).and_then(|off| shard.blob_meta(off).map(|m| (off, m))) {
+                None => return Ok(false),
+                Some((_, meta)) if meta.expire_at_ms == 0 => return Ok(false),
+                Some((off, meta)) => (!is_expired(meta.expire_at_ms, now))
+                    .then(|| shard.read_payload(off, &meta)),
+            }
+        };
+        match current {
+            None => {
+                if shard.del_locked(&k) {
+                    self.expired_keys.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(false)
+            }
+            Some(value) => {
+                self.set_under_budget(si, &k, &value, 0, now)?;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Update a blob's access word on read. Only when a budget exists —
+    /// the word is advisory, and without eviction it is dead weight.
+    fn touch(&self, shard: &Shard, off: u64, meta: &BlobMeta, now: u64) {
+        if self.max_memory.is_none() {
+            return;
+        }
+        let word = match self.policy {
+            EvictionPolicy::AllKeysLfu => policy::lfu_touch(meta.access, now, off),
+            _ => policy::lru_stamp(now),
+        };
+        // SAFETY: blob_meta bounds-checked `off`; off+4 is 4-aligned.
+        let cell = unsafe { &*(shard.pool.base().add(off as usize + 4) as *const AtomicU32) };
+        cell.store(word, Ordering::Relaxed);
+    }
+
+    /// Delete `key` if its deadline is (still) past, under the shard
+    /// write lock — the lazy half of expiry. Primary only: a replica
+    /// hides the key and waits for the primary's `DEL`.
+    fn lazy_expire_key(&self, shard: &Shard, k: &VarKey, now: u64) {
+        if !self.local_expiry.load(Ordering::Relaxed) {
+            return;
+        }
+        let _w = shard.lock_write();
+        let _pin = shard.pin();
+        let still = shard
+            .table
+            .get(k)
+            .and_then(|off| shard.blob_meta(off))
+            .is_some_and(|m| is_expired(m.expire_at_ms, now));
+        if still && shard.del_locked(k) {
+            self.expired_keys.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     // ---- batched operations ----------------------------------------------
@@ -613,44 +962,79 @@ impl ShardedDash {
         Ok((vks, groups))
     }
 
-    /// Batched read: values in key order, `None` for absent keys. Each
-    /// shard's keys resolve under one epoch pin; no locks taken.
+    /// Batched read: values in key order, `None` for absent (or
+    /// expired) keys. Each shard's keys resolve under one epoch pin; no
+    /// locks taken. Expired keys found along the way are lazily deleted
+    /// after the pins drop (primary only).
     pub fn mget(&self, keys: &[&[u8]]) -> EngineResult<Vec<Option<Vec<u8>>>> {
         let (vks, groups) = self.group_keys(keys)?;
+        let now = now_ms();
         let mut out = vec![None; keys.len()];
-        for (shard, group) in self.shards.iter().zip(&groups) {
+        let mut expired: Vec<(usize, usize)> = Vec::new(); // (shard, key index)
+        for (si, (shard, group)) in self.shards.iter().zip(&groups).enumerate() {
             if group.is_empty() {
                 continue;
             }
             let _pin = shard.pin();
             for &i in group {
-                if let Some(off) = shard.table.get(&vks[i]) {
-                    out[i] = shard.read_blob(off);
+                let Some(off) = shard.table.get(&vks[i]) else { continue };
+                let Some(meta) = shard.blob_meta(off) else { continue };
+                if is_expired(meta.expire_at_ms, now) {
+                    expired.push((si, i));
+                } else {
+                    self.touch(shard, off, &meta, now);
+                    out[i] = Some(shard.read_payload(off, &meta));
                 }
             }
+        }
+        for (si, i) in expired {
+            self.lazy_expire_key(&self.shards[si], &vks[i], now);
         }
         Ok(out)
     }
 
     /// Batched insert-or-overwrite. Durable before return, like `set`.
-    /// Each shard's pairs execute under one write-lock acquisition and
-    /// one epoch pin.
+    /// Each shard's pairs execute under one write-lock acquisition.
     pub fn mset(&self, pairs: &[(&[u8], &[u8])]) -> EngineResult<()> {
-        for (_, value) in pairs {
+        let triples: Vec<(&[u8], &[u8], u64)> =
+            pairs.iter().map(|(k, v)| (*k, *v, 0)).collect();
+        self.mset_impl(&triples, true)
+    }
+
+    /// Shared body of [`mset`](Self::mset), snapshot restore, and the
+    /// replication apply path: batched insert-or-overwrite of
+    /// `(key, value, expire_at_ms)` triples. `enforce` turns on memory
+    /// budget enforcement — client writes enforce; the apply/restore
+    /// paths do not (a replica executes the primary's decisions, it
+    /// does not make its own).
+    fn mset_impl(&self, triples: &[(&[u8], &[u8], u64)], enforce: bool) -> EngineResult<()> {
+        for (_, value, _) in triples {
             if value.len() > MAX_VALUE_LEN {
                 return Err(EngineError::ValueTooLong(value.len()));
             }
         }
-        let keys: Vec<&[u8]> = pairs.iter().map(|(k, _)| *k).collect();
+        let keys: Vec<&[u8]> = triples.iter().map(|(k, _, _)| *k).collect();
         let (vks, groups) = self.group_keys(&keys)?;
-        for (shard, group) in self.shards.iter().zip(&groups) {
+        let now = now_ms();
+        let enforce = enforce && self.shard_budget.is_some();
+        for (si, (shard, group)) in self.shards.iter().zip(&groups).enumerate() {
             if group.is_empty() {
                 continue;
             }
             let _w = shard.lock_write();
-            let _pin = shard.pin();
-            for &i in group {
-                shard.set_locked(&vks[i], pairs[i].1)?;
+            if enforce {
+                // No group pin here: making room may need to reclaim
+                // deferred frees, and a pin held by this thread would
+                // keep them pending forever.
+                for &i in group {
+                    self.set_under_budget(si, &vks[i], triples[i].1, triples[i].2, now)?;
+                }
+            } else {
+                let _pin = shard.pin();
+                let access = policy::initial_access(self.policy, now);
+                for &i in group {
+                    shard.set_locked(&vks[i], triples[i].1, triples[i].2, access)?;
+                }
             }
         }
         Ok(())
@@ -679,15 +1063,24 @@ impl ShardedDash {
     /// Lock-free: one epoch pin per shard group.
     pub fn mexists(&self, keys: &[&[u8]]) -> EngineResult<u64> {
         let (vks, groups) = self.group_keys(keys)?;
+        let now = now_ms();
         let mut present = 0u64;
-        for (shard, group) in self.shards.iter().zip(&groups) {
+        let mut expired: Vec<(usize, usize)> = Vec::new();
+        for (si, (shard, group)) in self.shards.iter().zip(&groups).enumerate() {
             if group.is_empty() {
                 continue;
             }
             let _pin = shard.pin();
             for &i in group {
-                present += u64::from(shard.table.get(&vks[i]).is_some());
+                match shard.table.get(&vks[i]).and_then(|off| shard.blob_meta(off)) {
+                    Some(meta) if is_expired(meta.expire_at_ms, now) => expired.push((si, i)),
+                    Some(_) => present += 1,
+                    None => {}
+                }
             }
+        }
+        for (si, i) in expired {
+            self.lazy_expire_key(&self.shards[si], &vks[i], now);
         }
         Ok(present)
     }
@@ -725,8 +1118,30 @@ impl ShardedDash {
     /// least once; duplicates only when a concurrent split/merge moved
     /// the record mid-scan.
     pub fn scan_keys(&self, cursor: u64, count: usize) -> EngineResult<(u64, Vec<Vec<u8>>)> {
+        self.scan_impl(cursor, count, true)
+    }
+
+    /// The physical scan: every record in the tables, expired-but-
+    /// unreclaimed keys included. Internal accounting (slot-count
+    /// seeding, full-resync clear, migration purge) must see the
+    /// physical keyspace — hiding a record there would leave it behind.
+    pub(crate) fn scan_keys_physical(
+        &self,
+        cursor: u64,
+        count: usize,
+    ) -> EngineResult<(u64, Vec<Vec<u8>>)> {
+        self.scan_impl(cursor, count, false)
+    }
+
+    fn scan_impl(
+        &self,
+        cursor: u64,
+        count: usize,
+        hide_expired: bool,
+    ) -> EngineResult<(u64, Vec<Vec<u8>>)> {
         let (mut shard_idx, mut pos) = self.decode_cursor(cursor)?;
         let count = count.max(1);
+        let now = now_ms();
         let mut keys = Vec::new();
         while shard_idx < self.shards.len() {
             let shard = &self.shards[shard_idx];
@@ -734,7 +1149,20 @@ impl ShardedDash {
             // `keys.len() < count` here: the loop breaks as soon as the
             // budget is met, so the remaining budget is always positive.
             let page = shard.table.scan(ScanCursor::resume(pos), count - keys.len());
-            keys.extend(page.items.into_iter().map(|(k, _)| k.0));
+            for (k, off) in page.items {
+                // `SCAN` never surfaces a key whose deadline has passed,
+                // even before any expiry path reclaims it. (A blob the
+                // defensive decode rejects is kept visible: deleting it
+                // is still meaningful.)
+                if hide_expired
+                    && shard
+                        .blob_meta(off)
+                        .is_some_and(|m| is_expired(m.expire_at_ms, now))
+                {
+                    continue;
+                }
+                keys.push(k.0);
+            }
             if page.cursor.is_done() {
                 shard_idx += 1;
                 pos = 0;
@@ -780,8 +1208,11 @@ impl ShardedDash {
             let mut counts = vec![0i64; NUM_SLOTS as usize];
             let mut cursor = 0u64;
             loop {
+                // Physical scan: the per-slot deltas count physical
+                // inserts/deletes, so the base must too (an expired key
+                // still decrements its slot when its DEL lands).
                 let (next, keys) = self
-                    .scan_keys(cursor, 4096)
+                    .scan_keys_physical(cursor, 4096)
                     .expect("engine-issued scan cursor cannot be invalid");
                 for key in &keys {
                     counts[key_slot(key) as usize] += 1;
@@ -848,6 +1279,314 @@ impl ShardedDash {
         self.shards.iter().map(|s| s.table.len_scan()).sum()
     }
 
+    // ---- memory budget, expiry & reclamation -------------------------------
+    //
+    // The write path enforces `--max-memory` (per shard, as
+    // budget/shards): reclaim pending garbage first, then evict sampled-
+    // worst keys under the policy, then reject with `-OOM`. The
+    // background tick drives active expiry (timer wheel + physical
+    // sweep) and threshold-based value-log reclamation. Every deletion
+    // these paths make goes through `del_locked` — logged and published
+    // as a `DEL` like any client delete, which is what keeps expiry and
+    // eviction deterministic on replicas and in log replay.
+
+    /// One budget-enforced write, under the shard's write lock: make
+    /// room (reclaim, then evict), write, and on pool exhaustion
+    /// evict-and-retry. [`EngineError::Oom`] when no room can be made.
+    fn set_under_budget(
+        &self,
+        si: usize,
+        k: &VarKey,
+        value: &[u8],
+        expire_at_ms: u64,
+        now: u64,
+    ) -> EngineResult<()> {
+        let shard = &self.shards[si];
+        let access = policy::initial_access(self.policy, now);
+        if let Some(budget) = self.shard_budget {
+            let incoming = (BLOB_HDR + value.len()) as u64;
+            let mut rounds = 0;
+            while shard.pool.mem_used().saturating_add(incoming) > budget {
+                rounds += 1;
+                if rounds > MAX_EVICT_ROUNDS || !self.make_room(si, now) {
+                    self.oom_rejections.fetch_add(1, Ordering::Relaxed);
+                    return Err(EngineError::Oom);
+                }
+            }
+        }
+        let mut attempts = 0;
+        loop {
+            match shard.set_locked(k, value, expire_at_ms, access) {
+                Err(e)
+                    if is_pool_oom(&e)
+                        && self.max_memory.is_some()
+                        && attempts < MAX_EVICT_ROUNDS =>
+                {
+                    attempts += 1;
+                    if !self.make_room(si, now) {
+                        self.oom_rejections.fetch_add(1, Ordering::Relaxed);
+                        return Err(EngineError::Oom);
+                    }
+                }
+                r => return r,
+            }
+        }
+    }
+
+    /// Try to lower shard `si`'s `mem_used`: reclaim pending garbage
+    /// first (cheap, loses nothing), then evict one sampled-worst key.
+    /// True when either made progress. Caller holds the write lock and
+    /// must NOT hold an epoch pin (it would block the reclaim).
+    fn make_room(&self, si: usize, now: u64) -> bool {
+        let shard = &self.shards[si];
+        if shard.pool.pending_reclaim_bytes() > 0 {
+            let (_, bytes) = shard.pool.reclaim();
+            if bytes > 0 {
+                self.reclaimed_bytes.fetch_add(bytes, Ordering::Relaxed);
+                return true;
+            }
+        }
+        if self.policy == EvictionPolicy::NoEviction {
+            return false;
+        }
+        self.evict_one(si, now)
+    }
+
+    /// Evict one sampled-worst key from shard `si` (caller holds its
+    /// write lock). Samples ~[`EVICT_SAMPLES`] keys from a rotating scan
+    /// cursor, scores them by policy — an already-expired key wins
+    /// outright — and deletes the worst. The delete is recorded like any
+    /// other, so replicas follow the primary's eviction decisions
+    /// exactly. True when a key was removed.
+    fn evict_one(&self, si: usize, now: u64) -> bool {
+        let shard = &self.shards[si];
+        let mut victim: Option<(VarKey, u64, bool)> = None; // (key, score, expired)
+        {
+            let _pin = shard.pin();
+            let mut pos = shard.sample_pos.load(Ordering::Relaxed);
+            let mut sampled = 0usize;
+            // A page can come back short (sparse segments); walk a few,
+            // wrapping at the end so a cursor parked at the tail still
+            // sees the head next round.
+            for _ in 0..4 {
+                let page = shard.table.scan(ScanCursor::resume(pos), EVICT_SAMPLES);
+                for (k, off) in page.items {
+                    let Some(meta) = shard.blob_meta(off) else { continue };
+                    sampled += 1;
+                    let (score, expired) = if is_expired(meta.expire_at_ms, now) {
+                        (0u64, true)
+                    } else {
+                        let s = match self.policy {
+                            EvictionPolicy::AllKeysLfu => {
+                                u64::from(policy::lfu_score(meta.access, now))
+                            }
+                            _ => u64::from(meta.access),
+                        };
+                        (s + 1, false)
+                    };
+                    if victim.as_ref().is_none_or(|(_, best, _)| score < *best) {
+                        victim = Some((k, score, expired));
+                    }
+                }
+                pos = if page.cursor.is_done() { 0 } else { page.cursor.pos() };
+                if sampled >= EVICT_SAMPLES {
+                    break;
+                }
+            }
+            shard.sample_pos.store(pos, Ordering::Relaxed);
+        }
+        match victim {
+            Some((k, _, expired)) if shard.del_locked(&k) => {
+                let counter = if expired { &self.expired_keys } else { &self.evicted_keys };
+                counter.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// One active-expiry tick: drain every shard's due timer-wheel
+    /// entries (up to `budget` per shard), re-check each deadline under
+    /// the shard write lock, and delete — recorded as `DEL`s. Returns
+    /// keys expired. On a replica the due hints are drained and
+    /// discarded (the primary's `DEL` does the deleting; stragglers
+    /// after a promotion are caught by the sweep).
+    pub fn expire_tick(&self, budget: usize) -> u64 {
+        let now = now_ms();
+        let local = self.local_expiry.load(Ordering::Relaxed);
+        let mut n = 0u64;
+        for shard in &self.shards {
+            let due = shard.wheel.drain_due(now, budget);
+            if due.is_empty() || !local {
+                continue;
+            }
+            let _w = shard.lock_write();
+            let _pin = shard.pin();
+            for entry in due {
+                let k = VarKey::new(entry.key);
+                // The entry is a hint: the key may be gone, overwritten
+                // without a TTL, or re-written with a later deadline.
+                let still = shard
+                    .table
+                    .get(&k)
+                    .and_then(|off| shard.blob_meta(off))
+                    .is_some_and(|m| is_expired(m.expire_at_ms, now));
+                if still && shard.del_locked(&k) {
+                    n += 1;
+                }
+            }
+        }
+        if n > 0 {
+            self.expired_keys.fetch_add(n, Ordering::Relaxed);
+        }
+        n
+    }
+
+    /// Drain everything currently due — the `DBSIZE` strictness hook
+    /// (an exact count must not include keys whose tick has passed).
+    pub fn expire_now(&self) -> u64 {
+        self.expire_tick(usize::MAX)
+    }
+
+    /// One incremental sweep step: scan a window of ~`budget` physical
+    /// records for deadlines the wheel never saw (they predate this
+    /// open — the wheel is volatile and open never scans) and expire
+    /// them. Returns keys expired.
+    pub fn sweep_tick(&self, budget: usize) -> u64 {
+        if !self.local_expiry.load(Ordering::Relaxed) {
+            return 0;
+        }
+        let now = now_ms();
+        let mut cur = self.sweep_cursor.lock();
+        let (si, pos) = *cur;
+        let si = if si >= self.shards.len() { 0 } else { si };
+        let shard = &self.shards[si];
+        let mut stale: Vec<VarKey> = Vec::new();
+        {
+            let _pin = shard.pin();
+            let page = shard.table.scan(ScanCursor::resume(pos), budget.max(1));
+            for (k, off) in page.items {
+                if shard.blob_meta(off).is_some_and(|m| is_expired(m.expire_at_ms, now)) {
+                    stale.push(k);
+                }
+            }
+            *cur = if page.cursor.is_done() {
+                ((si + 1) % self.shards.len(), 0)
+            } else {
+                (si, page.cursor.pos())
+            };
+        }
+        drop(cur);
+        if stale.is_empty() {
+            return 0;
+        }
+        let mut n = 0u64;
+        let _w = shard.lock_write();
+        let _pin = shard.pin();
+        for k in &stale {
+            let still = shard
+                .table
+                .get(k)
+                .and_then(|off| shard.blob_meta(off))
+                .is_some_and(|m| is_expired(m.expire_at_ms, now));
+            if still && shard.del_locked(k) {
+                n += 1;
+            }
+        }
+        self.expired_keys.fetch_add(n, Ordering::Relaxed);
+        n
+    }
+
+    /// One value-log reclamation pass: a shard whose dead bytes clear
+    /// the floor AND whose garbage ratio (dead / used) crosses one half
+    /// gets an epoch collection, returning retired blobs to the
+    /// allocator free lists — space reuse without moving live data.
+    /// Returns bytes reclaimed.
+    pub fn reclaim_tick(&self) -> u64 {
+        let mut total = 0u64;
+        for shard in &self.shards {
+            let dead = shard.pool.pending_reclaim_bytes();
+            if dead < RECLAIM_MIN_BYTES || dead * 2 < shard.pool.mem_used() {
+                continue;
+            }
+            total += self.reclaim_shard(shard);
+        }
+        total
+    }
+
+    /// Force a reclamation pass on every shard regardless of thresholds
+    /// (tests and the `DEBUG RECLAIM` command). Returns bytes reclaimed.
+    pub fn reclaim_all(&self) -> u64 {
+        self.shards.iter().map(|s| self.reclaim_shard(s)).sum()
+    }
+
+    fn reclaim_shard(&self, shard: &Shard) -> u64 {
+        let (_, bytes) = shard.pool.reclaim();
+        if bytes > 0 {
+            self.compactions.fetch_add(1, Ordering::Relaxed);
+            self.reclaimed_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+        bytes
+    }
+
+    /// Enable/disable read-side expiry *deletion* and the active-expiry
+    /// paths (primary: on; replica: off — flipped by promotion).
+    /// Expired keys are hidden from reads either way.
+    pub fn set_local_expiry(&self, enabled: bool) {
+        self.local_expiry.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Bytes the shard allocators consider in use (bump minus free
+    /// lists; retired-but-unreclaimed blobs still count).
+    pub fn mem_used(&self) -> u64 {
+        self.shards.iter().map(|s| s.pool.mem_used()).sum()
+    }
+
+    /// Dead bytes: retired value blobs awaiting epoch reclamation.
+    pub fn dead_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.pool.pending_reclaim_bytes()).sum()
+    }
+
+    /// The configured store-wide memory budget, if any.
+    pub fn max_memory(&self) -> Option<u64> {
+        self.max_memory
+    }
+
+    pub fn eviction_policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    /// Keys deleted because their deadline passed (lazy + active).
+    pub fn expired_keys_total(&self) -> u64 {
+        self.expired_keys.load(Ordering::Relaxed)
+    }
+
+    /// Keys evicted to satisfy the memory budget.
+    pub fn evicted_keys_total(&self) -> u64 {
+        self.evicted_keys.load(Ordering::Relaxed)
+    }
+
+    /// Writes rejected with `-OOM`.
+    pub fn oom_rejections_total(&self) -> u64 {
+        self.oom_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Value-log reclamation passes that freed anything.
+    pub fn compactions_total(&self) -> u64 {
+        self.compactions.load(Ordering::Relaxed)
+    }
+
+    /// Bytes returned to the allocators by reclamation.
+    pub fn reclaimed_bytes_total(&self) -> u64 {
+        self.reclaimed_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Deadlines queued on the shard timer wheels (stale hints
+    /// included) — a gauge, not a key count.
+    pub fn wheel_entries(&self) -> u64 {
+        self.shards.iter().map(|s| s.wheel.queued()).sum()
+    }
+
     // ---- snapshot / restore ------------------------------------------------
 
     /// Walk every `(key, value)` record the way a snapshot sees them:
@@ -860,6 +1599,7 @@ impl ShardedDash {
     /// [`snapshot_bytes`](Self::snapshot_bytes).
     fn snapshot_each(&self, emit: &mut SnapshotEmit<'_>) -> EngineResult<()> {
         const SNAPSHOT_PAGE: usize = 1024;
+        let now = now_ms();
         for shard in &self.shards {
             let _pin = shard.pin();
             let mut cursor = ScanCursor::START;
@@ -867,11 +1607,16 @@ impl ShardedDash {
                 let page = shard.table.scan(cursor, SNAPSHOT_PAGE);
                 for (key, off) in &page.items {
                     // A blob the defensive decode rejects is a corrupt
-                    // record; skip it rather than abort the backup.
-                    if let Some(value) = shard.read_blob(*off) {
-                        emit(key.as_bytes(), &value)
-                            .map_err(|e| EngineError::Snapshot(e.to_string()))?;
+                    // record; skip it rather than abort the backup. An
+                    // expired record is dead weight the restore target
+                    // would only have to re-expire — skipped too.
+                    let Some(meta) = shard.blob_meta(*off) else { continue };
+                    if is_expired(meta.expire_at_ms, now) {
+                        continue;
                     }
+                    let value = shard.read_payload(*off, &meta);
+                    emit(key.as_bytes(), &value, meta.expire_at_ms)
+                        .map_err(|e| EngineError::Snapshot(e.to_string()))?;
                 }
                 if page.cursor.is_done() {
                     break;
@@ -897,10 +1642,36 @@ impl ShardedDash {
                 path.display()
             )));
         }
+        // With log rotation on, seal each shard's active log under its
+        // write lock before the scan: every op sealed into a segment
+        // here updated the table before the scan starts (both happen
+        // under the same lock), so once the snapshot is durable those
+        // segments are redundant and can be deleted.
+        let mut covered: Vec<(usize, Vec<PathBuf>)> = Vec::new();
+        if self.log_rotation {
+            for (si, shard) in self.shards.iter().enumerate() {
+                if let Some(log) = &shard.log {
+                    let _w = shard.lock_write();
+                    if let Ok(segs) = log.lock().rotate_for_snapshot() {
+                        if !segs.is_empty() {
+                            covered.push((si, segs));
+                        }
+                    }
+                }
+            }
+        }
         let mut writer = SnapshotWriter::create(path, self.shards.len() as u32)
             .map_err(|e| EngineError::Snapshot(e.to_string()))?;
-        self.snapshot_each(&mut |key, value| writer.append(key, value))?;
-        writer.finish().map_err(|e| EngineError::Snapshot(e.to_string()))
+        self.snapshot_each(&mut |key, value, expire| writer.append(key, value, expire))?;
+        let n = writer.finish().map_err(|e| EngineError::Snapshot(e.to_string()))?;
+        // The snapshot is durable (tmp + rename): drop the covered
+        // segments. Best-effort — a failure only leaves extra log.
+        for (si, segs) in covered {
+            if let Some(log) = &self.shards[si].log {
+                let _ = log.lock().truncate_segments(&segs);
+            }
+        }
+        Ok(n)
     }
 
     /// Online snapshot into memory — the replica-bootstrap payload
@@ -910,7 +1681,7 @@ impl ShardedDash {
     pub fn snapshot_bytes(&self) -> EngineResult<(Vec<u8>, u64)> {
         let mut stream = SnapshotStream::new(Vec::new(), self.shards.len() as u32)
             .map_err(|e| EngineError::Snapshot(e.to_string()))?;
-        self.snapshot_each(&mut |key, value| stream.append(key, value))?;
+        self.snapshot_each(&mut |key, value, expire| stream.append(key, value, expire))?;
         stream.finish().map_err(|e| EngineError::Snapshot(e.to_string()))
     }
 
@@ -934,11 +1705,15 @@ impl ShardedDash {
         let open_and_load = || -> EngineResult<Self> {
             let store = Self::open(cfg)?;
             // Load through the batch path: one write-lock + epoch entry
-            // per shard group per chunk.
+            // per shard group per chunk. No budget enforcement — the
+            // snapshot is already-accepted state, and deadlines are
+            // restored verbatim (a restore never re-derives time).
             for chunk in records.chunks(256) {
-                let pairs: Vec<(&[u8], &[u8])> =
-                    chunk.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
-                store.mset(&pairs)?;
+                let triples: Vec<(&[u8], &[u8], u64)> = chunk
+                    .iter()
+                    .map(|(k, v, e)| (k.as_slice(), v.as_slice(), *e))
+                    .collect();
+                store.mset_impl(&triples, false)?;
             }
             Ok(store)
         };
@@ -957,7 +1732,13 @@ impl ShardedDash {
                 if let Some(dir) = &cfg.dir {
                     for i in 0..cfg.shards {
                         let _ = std::fs::remove_file(shard_file(dir, i));
-                        let _ = std::fs::remove_file(log_file(dir, i));
+                        let lf = log_file(dir, i);
+                        if let Ok(segs) = crate::repl::log::segment_files(&lf) {
+                            for (_, seg) in segs {
+                                let _ = std::fs::remove_file(seg);
+                            }
+                        }
+                        let _ = std::fs::remove_file(lf);
                     }
                 }
                 Err(e)
@@ -1007,25 +1788,26 @@ impl ShardedDash {
     /// too. Returns how many ops were applied.
     pub fn apply_ops(&self, ops: &[ReplOp]) -> EngineResult<u64> {
         const CHUNK: usize = 256;
+        let is_set = |op: &ReplOp| !matches!(op, ReplOp::Del { .. });
         let mut i = 0;
         while i < ops.len() {
-            let set_run = matches!(ops[i], ReplOp::Set { .. });
+            let set_run = is_set(&ops[i]);
             let mut j = i;
-            while j < ops.len()
-                && j - i < CHUNK
-                && matches!(ops[j], ReplOp::Set { .. }) == set_run
-            {
+            while j < ops.len() && j - i < CHUNK && is_set(&ops[j]) == set_run {
                 j += 1;
             }
             if set_run {
-                let pairs: Vec<(&[u8], &[u8])> = ops[i..j]
+                let triples: Vec<(&[u8], &[u8], u64)> = ops[i..j]
                     .iter()
                     .map(|op| match op {
-                        ReplOp::Set { key, value } => (key.as_slice(), value.as_slice()),
+                        ReplOp::Set { key, value } => (key.as_slice(), value.as_slice(), 0),
+                        ReplOp::SetEx { key, value, expire_at_ms } => {
+                            (key.as_slice(), value.as_slice(), *expire_at_ms)
+                        }
                         ReplOp::Del { .. } => unreachable!("run split by kind"),
                     })
                     .collect();
-                self.mset(&pairs)?;
+                self.mset_impl(&triples, false)?;
             } else {
                 let keys: Vec<&[u8]> = ops[i..j].iter().map(|op| op.key()).collect();
                 self.mdel(&keys)?;
@@ -1049,7 +1831,10 @@ impl ShardedDash {
             let mut cursor = 0u64;
             let mut pass_removed = 0u64;
             loop {
-                let (next, keys) = self.scan_keys(cursor, 4096)?;
+                // Physical: a clear that skipped expired-but-unreclaimed
+                // records would leave a replica diverging from the
+                // snapshot applied on top.
+                let (next, keys) = self.scan_keys_physical(cursor, 4096)?;
                 if !keys.is_empty() {
                     let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
                     pass_removed += self.mdel(&refs)?;
@@ -1099,7 +1884,9 @@ impl ShardedDash {
             if !path.exists() {
                 break;
             }
-            let (ops, _recovery) = crate::repl::log::read_log(&path)
+            // The chain reader walks rotated segments first, then the
+            // active file — the original append order.
+            let (ops, _recovery) = crate::repl::log::read_log_chain(&path)
                 .map_err(|e| EngineError::ReplLog(format!("{}: {e}", path.display())))?;
             applied += self.apply_ops(&ops)?;
         }
@@ -1160,6 +1947,8 @@ impl ShardedDash {
                 eh_merges: s.table.merge_count(),
                 write_lock_waits: s.lock_waits.load(Ordering::Relaxed),
                 epoch_pins: s.pins.load(Ordering::Relaxed),
+                mem_used_bytes: s.pool.mem_used(),
+                dead_bytes: s.pool.pending_reclaim_bytes(),
             })
             .collect()
     }
@@ -1213,6 +2002,7 @@ mod tests {
             shards,
             shard_bytes: 16 << 20,
             dir: None,
+            ..EngineConfig::default()
         })
         .unwrap()
     }

@@ -1,0 +1,157 @@
+//! The hashed timer wheel behind active expiry.
+//!
+//! Fixed ring of buckets at one-second granularity: a deadline hashes to
+//! bucket `(deadline_ms / 1000) % BUCKETS`. The background tick drains
+//! every bucket between the last drained tick and "now"; entries whose
+//! deadline is still in the future (a later revolution of the wheel)
+//! stay queued. Entries are *hints*, not truth: the engine re-reads the
+//! key's current deadline under the shard write lock before deleting, so
+//! a stale entry (key overwritten, persisted, or already gone) is
+//! harmless. Deadlines already inside the drained window are parked on
+//! the next tick so they cannot miss a whole revolution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Ring size; with 1 s ticks one revolution is ~8.5 minutes.
+const WHEEL_BUCKETS: u64 = 512;
+/// Bucket granularity.
+const WHEEL_TICK_MS: u64 = 1000;
+
+pub(crate) struct WheelEntry {
+    pub key: Vec<u8>,
+    pub expire_at_ms: u64,
+}
+
+pub(crate) struct TimerWheel {
+    buckets: Vec<Mutex<Vec<WheelEntry>>>,
+    /// Last fully drained tick (deadline_ms / tick).
+    cursor: AtomicU64,
+    /// Serializes drains (tick thread vs an on-demand `DBSIZE` drain).
+    drain_lock: Mutex<()>,
+    /// Entries queued (stale ones included, until their tick drains).
+    queued: AtomicU64,
+}
+
+impl TimerWheel {
+    pub fn new(now_ms: u64) -> Self {
+        TimerWheel {
+            buckets: (0..WHEEL_BUCKETS).map(|_| Mutex::new(Vec::new())).collect(),
+            cursor: AtomicU64::new(now_ms / WHEEL_TICK_MS),
+            drain_lock: Mutex::new(()),
+            queued: AtomicU64::new(0),
+        }
+    }
+
+    /// Queue a deadline for a key. Deadlines at or before the drain
+    /// cursor land on the next tick (never a full revolution away).
+    pub fn insert(&self, key: Vec<u8>, expire_at_ms: u64) {
+        let tick =
+            (expire_at_ms / WHEEL_TICK_MS).max(self.cursor.load(Ordering::Relaxed) + 1);
+        let idx = (tick % WHEEL_BUCKETS) as usize;
+        self.buckets[idx].lock().push(WheelEntry { key, expire_at_ms });
+        self.queued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pull up to `budget` entries whose deadline is ≤ `now_ms`,
+    /// advancing the cursor through every elapsed tick. Future-deadline
+    /// entries sharing a bucket stay queued for their revolution.
+    pub fn drain_due(&self, now_ms: u64, budget: usize) -> Vec<WheelEntry> {
+        let target = now_ms / WHEEL_TICK_MS;
+        let mut due = Vec::new();
+        let _g = self.drain_lock.lock();
+        while self.cursor.load(Ordering::Relaxed) < target && due.len() < budget {
+            let tick = self.cursor.load(Ordering::Relaxed) + 1;
+            let mut repark = Vec::new();
+            {
+                let mut bucket = self.buckets[(tick % WHEEL_BUCKETS) as usize].lock();
+                let mut i = 0;
+                while i < bucket.len() {
+                    if bucket[i].expire_at_ms <= now_ms {
+                        due.push(bucket.swap_remove(i));
+                    } else if bucket[i].expire_at_ms / WHEEL_TICK_MS <= tick {
+                        // Deadline lands mid-tick (not yet due) but the
+                        // cursor is passing its tick: park on the next
+                        // tick or it waits out a whole revolution.
+                        repark.push(bucket.swap_remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            self.cursor.store(tick, Ordering::Relaxed);
+            if !repark.is_empty() {
+                self.buckets[((tick + 1) % WHEEL_BUCKETS) as usize].lock().extend(repark);
+            }
+        }
+        self.queued.fetch_sub(due.len() as u64, Ordering::Relaxed);
+        due
+    }
+
+    /// Queued entries (stale hints included) — a gauge, not a key count.
+    pub fn queued(&self) -> u64 {
+        self.queued.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: u64 = 1_700_000_000_000;
+
+    fn keys(entries: &[WheelEntry]) -> Vec<&[u8]> {
+        entries.iter().map(|e| e.key.as_slice()).collect()
+    }
+
+    #[test]
+    fn due_entries_drain_once_their_tick_passes() {
+        let w = TimerWheel::new(T0);
+        w.insert(b"a".to_vec(), T0 + 1_500);
+        w.insert(b"b".to_vec(), T0 + 10_000);
+        assert!(w.drain_due(T0 + 1_000, usize::MAX).is_empty(), "nothing due yet");
+        let due = w.drain_due(T0 + 2_000, usize::MAX);
+        assert_eq!(keys(&due), vec![b"a".as_slice()]);
+        assert_eq!(w.queued(), 1);
+        let due = w.drain_due(T0 + 10_000, usize::MAX);
+        assert_eq!(keys(&due), vec![b"b".as_slice()]);
+        assert_eq!(w.queued(), 0);
+    }
+
+    #[test]
+    fn deadline_behind_the_cursor_is_not_lost_for_a_revolution() {
+        let w = TimerWheel::new(T0);
+        let _ = w.drain_due(T0 + 5_000, usize::MAX);
+        // Deadline inside the already-drained window: must surface on
+        // the very next tick, not 512 s later.
+        w.insert(b"late".to_vec(), T0 + 2_000);
+        let due = w.drain_due(T0 + 6_000, usize::MAX);
+        assert_eq!(keys(&due), vec![b"late".as_slice()]);
+    }
+
+    #[test]
+    fn far_deadlines_survive_sharing_a_bucket() {
+        let w = TimerWheel::new(T0);
+        // Same bucket, one revolution apart.
+        w.insert(b"near".to_vec(), T0 + 3_000);
+        w.insert(b"far".to_vec(), T0 + 3_000 + 512_000);
+        let due = w.drain_due(T0 + 4_000, usize::MAX);
+        assert_eq!(keys(&due), vec![b"near".as_slice()]);
+        let due = w.drain_due(T0 + 4_000 + 512_000, usize::MAX);
+        assert_eq!(keys(&due), vec![b"far".as_slice()]);
+    }
+
+    #[test]
+    fn budget_bounds_one_drain_and_the_rest_follows() {
+        let w = TimerWheel::new(T0);
+        for i in 0..100u32 {
+            w.insert(format!("k{i}").into_bytes(), T0 + 1_000 + u64::from(i % 7));
+        }
+        let first = w.drain_due(T0 + 60_000, 10);
+        assert!(first.len() >= 10, "budget is a floor per bucket batch");
+        let rest = w.drain_due(T0 + 60_000, usize::MAX);
+        assert_eq!(first.len() + rest.len(), 100);
+        assert_eq!(w.queued(), 0);
+    }
+}

@@ -44,6 +44,7 @@
 //!     shards: 4,
 //!     shard_bytes: 64 << 20,
 //!     dir: Some("/tmp/dash-store".into()),
+//!     ..EngineConfig::default()
 //! }).unwrap();
 //! let server = serve(engine, "127.0.0.1:6379").unwrap();
 //!
@@ -56,6 +57,7 @@
 pub mod client;
 pub mod cluster;
 pub mod engine;
+pub mod expire;
 pub(crate) mod metrics;
 pub mod net;
 pub mod repl;
@@ -66,6 +68,7 @@ pub mod snapshot;
 pub use client::{ClusterClient, ClusterClientStats, RespClient, SlowlogEntry};
 pub use cluster::slots::{key_slot, NUM_SLOTS};
 pub use engine::{EngineConfig, EngineError, EngineResult, ShardInfo, ShardedDash, MAX_VALUE_LEN};
+pub use expire::EvictionPolicy;
 pub use repl::ReplOp;
 pub use resp::{ProtocolError, Value};
 pub use server::{serve, serve_with, Role, ServeOptions, ServerHandle};

@@ -63,12 +63,15 @@ impl CmdFamily {
 
     /// Classify a wire command name (case-insensitive).
     pub fn classify(name: &[u8]) -> CmdFamily {
-        const TABLE: [(&[u8], CmdFamily); 7] = [
+        const TABLE: [(&[u8], CmdFamily); 8] = [
             (b"GET", CmdFamily::Get),
             (b"SET", CmdFamily::Set),
             (b"MGET", CmdFamily::Mget),
             (b"MSET", CmdFamily::Mset),
             (b"DEL", CmdFamily::Del),
+            // Same contract, same latency class — only the reclaim
+            // batching differs, which the hot path never sees.
+            (b"UNLINK", CmdFamily::Del),
             (b"SCAN", CmdFamily::Scan),
             (b"PSYNC", CmdFamily::Psync),
         ];

@@ -40,18 +40,27 @@ pub use log::{read_log, LogRecovery, LogWriter};
 /// command). Ops are idempotent — applying a prefix twice converges to
 /// the same state — which is what lets the snapshot+tail bootstrap
 /// overlap the two sources without coordination.
+///
+/// Time never appears as a duration here: a TTL write carries the
+/// **absolute** deadline the primary computed, and an expiry travels as
+/// a plain [`ReplOp::Del`]. Consumers of this stream (replicas, log
+/// replay, migration) apply it without consulting a clock.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ReplOp {
-    /// Insert or overwrite `key` with `value`.
+    /// Insert or overwrite `key` with `value`, clearing any expiry.
     Set { key: Vec<u8>, value: Vec<u8> },
-    /// Remove `key` (only logged when the key existed).
+    /// Insert or overwrite `key` with `value` expiring at the given
+    /// Unix-millisecond deadline (wire form `SET key value PXAT ms`).
+    SetEx { key: Vec<u8>, value: Vec<u8>, expire_at_ms: u64 },
+    /// Remove `key` (only logged when the key existed — expiries and
+    /// evictions travel as this, decided solely by the primary).
     Del { key: Vec<u8> },
 }
 
 impl ReplOp {
     pub fn key(&self) -> &[u8] {
         match self {
-            ReplOp::Set { key, .. } | ReplOp::Del { key } => key,
+            ReplOp::Set { key, .. } | ReplOp::SetEx { key, .. } | ReplOp::Del { key } => key,
         }
     }
 }

@@ -244,8 +244,18 @@ fn session(inner: &Inner, master: &str) -> io::Result<()> {
     // loss it removes keys the primary may have deleted meanwhile.
     inner.engine.clear().map_err(engine_err)?;
     let loaded = records.len();
-    let ops: Vec<ReplOp> =
-        records.into_iter().map(|(key, value)| ReplOp::Set { key, value }).collect();
+    // Deadlines load verbatim from the snapshot — a replica never
+    // derives time (the primary's clock decided them once).
+    let ops: Vec<ReplOp> = records
+        .into_iter()
+        .map(|(key, value, expire_at_ms)| {
+            if expire_at_ms == 0 {
+                ReplOp::Set { key, value }
+            } else {
+                ReplOp::SetEx { key, value, expire_at_ms }
+            }
+        })
+        .collect();
     inner.engine.apply_ops(&ops).map_err(engine_err)?;
     drop(ops);
     inner.applied_offset.store(base_offset, Ordering::SeqCst);
@@ -271,6 +281,27 @@ fn session(inner: &Inner, master: &str) -> io::Result<()> {
                             let value = parts.pop().expect("len checked");
                             let key = parts.pop().expect("len checked");
                             ops.push(ReplOp::Set { key, value });
+                        }
+                        // TTL write: `SET key value PXAT <deadline-ms>` —
+                        // the absolute-deadline form is the only one the
+                        // stream carries (determinism: the primary is the
+                        // single clock).
+                        (b"SET", 5) => {
+                            let ms = parts.pop().expect("len checked");
+                            let px = parts.pop().expect("len checked");
+                            let value = parts.pop().expect("len checked");
+                            let key = parts.pop().expect("len checked");
+                            if !px.eq_ignore_ascii_case(b"PXAT") {
+                                return Err(bad_stream(format!(
+                                    "unexpected SET modifier {:?} in replication stream",
+                                    String::from_utf8_lossy(&px)
+                                )));
+                            }
+                            let expire_at_ms = std::str::from_utf8(&ms)
+                                .ok()
+                                .and_then(|s| s.parse::<u64>().ok())
+                                .ok_or_else(|| bad_stream("bad PXAT deadline in stream"))?;
+                            ops.push(ReplOp::SetEx { key, value, expire_at_ms });
                         }
                         (b"DEL", 2) => {
                             let key = parts.pop().expect("len checked");

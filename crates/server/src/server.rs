@@ -1,7 +1,9 @@
 //! The networked service: an **event-driven** TCP server speaking the
-//! RESP2 subset `GET` / `SET` / `MGET` / `MSET` / `DEL` / `EXISTS` /
-//! `SCAN` / `KEYS` / `SNAPSHOT` / `PING` / `INFO` / `DBSIZE` (plus
-//! `SHUTDOWN` for orderly teardown) over a [`ShardedDash`] engine.
+//! RESP2 subset `GET` / `SET` (with `EX`/`PX`/`EXAT`/`PXAT`) / `MGET` /
+//! `MSET` / `DEL` / `UNLINK` / `EXISTS` / `EXPIRE` / `PEXPIRE` / `TTL`
+//! / `PTTL` / `PERSIST` / `SCAN` / `KEYS` / `SNAPSHOT` / `PING` /
+//! `INFO` / `DBSIZE` (plus `SHUTDOWN` for orderly teardown) over a
+//! [`ShardedDash`] engine.
 //!
 //! `SCAN cursor [COUNT n]` pages through the keyspace with the Redis
 //! cursor contract (every key present for the whole scan is returned at
@@ -21,9 +23,11 @@
 //! Connections are served by a fixed pool of epoll event-loop workers
 //! ([`crate::net`]) — default one per CPU, `--event-workers` to
 //! override — assigned round-robin at accept time. Connection count no
-//! longer costs thread stacks or scheduler churn, and an idle server
-//! makes zero periodic wakeups (the old model parked one thread per
-//! connection in a 50 ms read-timeout poll). Shutdown is event-driven
+//! longer costs thread stacks or scheduler churn, and the idle *event
+//! core* makes zero periodic wakeups (the old model parked one thread
+//! per connection in a 50 ms read-timeout poll); the one periodic
+//! thread in the process is the ~100 ms expiry/reclamation tick, whose
+//! cost is independent of connection count. Shutdown is event-driven
 //! too: an eventfd wakes every loop, replacing the throwaway
 //! self-connect that used to unblock `accept`. The one place a
 //! connection still owns a blocking socket and a dedicated thread is
@@ -126,6 +130,9 @@ pub(crate) struct Inner {
     /// Cluster mode (slot ownership, redirects, migration) — `Some`
     /// when started with `--cluster-announce`.
     pub(crate) cluster: Option<Arc<crate::cluster::ClusterState>>,
+    /// The expiry/reclamation tick thread (~100 ms cadence), joined at
+    /// shutdown before the engine closes.
+    tick_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl Inner {
@@ -208,6 +215,9 @@ impl Inner {
             // bail out; the failed migration is simply re-run later.
             crate::cluster::join_migration_thread(cl);
         }
+        if let Some(t) = self.tick_thread.lock().take() {
+            let _ = t.join();
+        }
         let _ = self.engine.close();
     }
 
@@ -227,6 +237,9 @@ impl Inner {
         }
         if self.role.swap(0, Ordering::SeqCst) == 1 {
             self.link_up.store(false, Ordering::SeqCst);
+            // This node is the clock now: expiry decisions are made
+            // (and published as DELs) here from this point on.
+            self.engine.set_local_expiry(true);
         }
     }
 }
@@ -331,14 +344,36 @@ pub fn serve_with(
         sync_stop: AtomicBool::new(false),
         replica_thread: Mutex::new(None),
         cluster,
+        tick_thread: Mutex::new(None),
     });
     if let Some(cl) = &inner.cluster {
         cl.bind(&inner);
     }
     if let Some(master) = opts.replica_of {
+        // A replica is never the expiry clock: due keys are hidden from
+        // its reads, but only the primary's replicated DEL deletes them.
+        inner.engine.set_local_expiry(false);
         let sync_inner = inner.clone();
         let handle = std::thread::spawn(move || crate::repl::replica::run(sync_inner, master));
         *inner.replica_thread.lock() = Some(handle);
+    }
+    // The expiry/reclamation tick: active TTL expiry from the timer
+    // wheel, one incremental sweep page (catches deadlines set before
+    // the last open, which the volatile wheel never saw), and value-log
+    // reclamation when a shard's garbage crosses the threshold. This is
+    // the one deliberate periodic wakeup in the process — the *event
+    // core* still makes none while idle.
+    {
+        let tick_inner = inner.clone();
+        let handle = std::thread::spawn(move || {
+            while !tick_inner.shutdown.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(100));
+                tick_inner.engine.expire_tick(512);
+                tick_inner.engine.sweep_tick(256);
+                tick_inner.engine.reclaim_tick();
+            }
+        });
+        *inner.tick_thread.lock() = Some(handle);
     }
     // Build the whole event core fallibly before anything serves: the
     // worker pool first, then the accept loop wired to it.
@@ -371,11 +406,25 @@ pub(crate) struct Session {
 /// reaches a mutating engine call MUST be listed here, or clients could
 /// write to a replica and silently diverge it from its primary.
 fn writes_engine_state(name: &str) -> bool {
-    matches!(name, "SET" | "MSET" | "DEL")
+    matches!(name, "SET" | "MSET" | "DEL" | "UNLINK" | "EXPIRE" | "PEXPIRE" | "PERSIST")
 }
 
 fn err(msg: impl Into<String>) -> Outcome {
     Outcome::Reply(Value::Error(format!("ERR {}", msg.into())))
+}
+
+/// Map an engine error to its reply. [`EngineError::Oom`] gets the
+/// Redis `OOM` error class (clients special-case it); everything else
+/// is generic `ERR`.
+fn engine_err(e: crate::engine::EngineError) -> Outcome {
+    match e {
+        crate::engine::EngineError::Oom => Outcome::Reply(Value::Error(format!("OOM {e}"))),
+        e => err(e.to_string()),
+    }
+}
+
+fn parse_int(b: &[u8]) -> Option<i64> {
+    std::str::from_utf8(b).ok().and_then(|s| s.parse::<i64>().ok())
 }
 
 fn wrong_args(cmd: &str) -> Outcome {
@@ -436,13 +485,43 @@ pub(crate) fn execute(parts: &[Vec<u8>], inner: &Inner, session: &mut Session) -
             },
             _ => wrong_args("get"),
         },
-        "SET" => match args {
-            [key, value] => match engine.set(key, value) {
+        // `SET key value [EX s | PX ms | EXAT s | PXAT ms]`. The
+        // relative forms resolve to an absolute Unix-ms deadline *here*,
+        // on the primary — everything downstream (redo log, replica
+        // stream, snapshots, migration) carries the absolute deadline
+        // and never re-derives time. Plain SET clears any existing TTL.
+        "SET" => {
+            let (key, value, ttl) = match args {
+                [key, value] => (key, value, None),
+                [key, value, unit, n] => (key, value, Some((unit, n))),
+                _ => return wrong_args("set"),
+            };
+            let expire_at_ms = match ttl {
+                None => 0,
+                Some((unit, n)) => {
+                    let Some(n) = parse_int(n).filter(|n| *n >= 1) else {
+                        return err("invalid expire time in 'set' command");
+                    };
+                    let n = n as u64;
+                    let now = crate::expire::now_ms();
+                    if unit.eq_ignore_ascii_case(b"EX") {
+                        now.saturating_add(n.saturating_mul(1000))
+                    } else if unit.eq_ignore_ascii_case(b"PX") {
+                        now.saturating_add(n)
+                    } else if unit.eq_ignore_ascii_case(b"EXAT") {
+                        n.saturating_mul(1000)
+                    } else if unit.eq_ignore_ascii_case(b"PXAT") {
+                        n
+                    } else {
+                        return err("syntax error");
+                    }
+                }
+            };
+            match engine.set_with_expiry(key, value, expire_at_ms) {
                 Ok(()) => Outcome::Reply(Value::Simple("OK".into())),
-                Err(e) => err(e.to_string()),
-            },
-            _ => wrong_args("set"),
-        },
+                Err(e) => engine_err(e),
+            }
+        }
         "MGET" => {
             if args.is_empty() {
                 return wrong_args("mget");
@@ -466,7 +545,7 @@ pub(crate) fn execute(parts: &[Vec<u8>], inner: &Inner, session: &mut Session) -
                 args.chunks_exact(2).map(|c| (c[0].as_slice(), c[1].as_slice())).collect();
             match engine.mset(&pairs) {
                 Ok(()) => Outcome::Reply(Value::Simple("OK".into())),
-                Err(e) => err(e.to_string()),
+                Err(e) => engine_err(e),
             }
         }
         "DEL" => match args {
@@ -484,6 +563,62 @@ pub(crate) fn execute(parts: &[Vec<u8>], inner: &Inner, session: &mut Session) -
                     Err(e) => err(e.to_string()),
                 }
             }
+        },
+        // UNLINK: DEL's contract through the batch path unconditionally
+        // — one write-lock acquisition per shard for the whole key set.
+        // (Frees are epoch-deferred here as everywhere, so the "async
+        // reclaim" half of Redis UNLINK is the engine's normal mode.)
+        "UNLINK" => match args {
+            [] => wrong_args("unlink"),
+            _ => {
+                let keys: Vec<&[u8]> = args.iter().map(|a| a.as_slice()).collect();
+                match engine.mdel(&keys) {
+                    Ok(removed) => Outcome::Reply(Value::Integer(removed as i64)),
+                    Err(e) => err(e.to_string()),
+                }
+            }
+        },
+        // `EXPIRE key s` / `PEXPIRE key ms`: resolved to an absolute
+        // deadline here on the primary (the one clock); a non-positive
+        // TTL deletes the key now, exactly like Redis.
+        "EXPIRE" | "PEXPIRE" => match args {
+            [key, n] => {
+                let Some(n) = parse_int(n) else {
+                    return err("value is not an integer or out of range");
+                };
+                let now = crate::expire::now_ms();
+                let deadline = if n <= 0 {
+                    now // already due: expire_at deletes outright
+                } else if name == "EXPIRE" {
+                    now.saturating_add((n as u64).saturating_mul(1000))
+                } else {
+                    now.saturating_add(n as u64)
+                };
+                match engine.expire_at(key, deadline) {
+                    Ok(set) => Outcome::Reply(Value::Integer(i64::from(set))),
+                    Err(e) => engine_err(e),
+                }
+            }
+            _ => wrong_args(if name == "EXPIRE" { "expire" } else { "pexpire" }),
+        },
+        "TTL" | "PTTL" => match args {
+            [key] => match engine.ttl_ms(key) {
+                // TTL rounds the remaining time *up*: a key with 1 ms
+                // left reports 1 s, never the "no expiry" -0.
+                Ok(ms) if ms >= 0 && name == "TTL" => {
+                    Outcome::Reply(Value::Integer((ms + 999) / 1000))
+                }
+                Ok(ms) => Outcome::Reply(Value::Integer(ms)),
+                Err(e) => err(e.to_string()),
+            },
+            _ => wrong_args(if name == "TTL" { "ttl" } else { "pttl" }),
+        },
+        "PERSIST" => match args {
+            [key] => match engine.persist(key) {
+                Ok(cleared) => Outcome::Reply(Value::Integer(i64::from(cleared))),
+                Err(e) => engine_err(e),
+            },
+            _ => wrong_args("persist"),
         },
         "EXISTS" => match args {
             [] => wrong_args("exists"),
@@ -546,7 +681,16 @@ pub(crate) fn execute(parts: &[Vec<u8>], inner: &Inner, session: &mut Session) -
             _ => wrong_args("snapshot"),
         },
         "DBSIZE" => match args {
-            [] => Outcome::Reply(Value::Integer(engine.len() as i64)),
+            [] => {
+                // Collapse due timers first so the count never includes
+                // an expired-but-unreclaimed key. Only a primary may do
+                // this (it publishes the DELs); a replica's count
+                // converges through the primary's stream.
+                if inner.role() == Role::Primary {
+                    engine.expire_now();
+                }
+                Outcome::Reply(Value::Integer(engine.len() as i64))
+            }
             _ => wrong_args("dbsize"),
         },
         // Every INFO form is O(shards) except `INFO keyspace`, which
@@ -566,8 +710,11 @@ pub(crate) fn execute(parts: &[Vec<u8>], inner: &Inner, session: &mut Session) -
             [section] if section.eq_ignore_ascii_case(b"keyspace") => {
                 Outcome::Reply(Value::Bulk(keyspace_info_text(inner).into_bytes()))
             }
+            [section] if section.eq_ignore_ascii_case(b"memory") => {
+                Outcome::Reply(Value::Bulk(memory_info_text(inner).into_bytes()))
+            }
             [_] => err(
-                "unknown INFO section ('replication', 'stats', 'latency' and 'keyspace' are supported)",
+                "unknown INFO section ('replication', 'stats', 'latency', 'memory' and 'keyspace' are supported)",
             ),
             _ => wrong_args("info"),
         },
@@ -720,6 +867,11 @@ pub(crate) fn serve_replica_stream(mut stream: TcpStream, inner: &Inner) -> std:
 fn encode_op(op: &ReplOp, out: &mut Vec<u8>) {
     match op {
         ReplOp::Set { key, value } => encode_command(&[b"SET", key, value], out),
+        // Always the absolute-deadline spelling: the replica applies the
+        // primary's clock, never its own.
+        ReplOp::SetEx { key, value, expire_at_ms } => {
+            encode_command(&[b"SET", key, value, b"PXAT", expire_at_ms.to_string().as_bytes()], out)
+        }
         ReplOp::Del { key } => encode_command(&[b"DEL", key], out),
     }
 }
@@ -743,6 +895,7 @@ fn info_text(inner: &Inner) -> String {
     out.push_str(&format!("event_workers:{}\r\n", inner.event_workers));
     out.push_str(&replication_info_text(inner));
     out.push_str(&stats_info_text(inner));
+    out.push_str(&memory_info_text(inner));
     out.push_str(&latency_info_text(inner));
     out.push_str("# shards\r\n");
     for (i, (info, n)) in infos.iter().zip(&keys).enumerate() {
@@ -779,6 +932,11 @@ fn stats_info_text(inner: &Inner) -> String {
     out.push_str(&format!("eh_doublings:{}\r\n", sum(|t| t.eh_doublings)));
     out.push_str(&format!("eh_merges:{}\r\n", sum(|t| t.eh_merges)));
     out.push_str(&format!("blob_bytes_net:{blob_net}\r\n"));
+    out.push_str(&format!("expired_keys:{}\r\n", inner.engine.expired_keys_total()));
+    out.push_str(&format!("evicted_keys:{}\r\n", inner.engine.evicted_keys_total()));
+    out.push_str(&format!("oom_rejections:{}\r\n", inner.engine.oom_rejections_total()));
+    out.push_str(&format!("compactions:{}\r\n", inner.engine.compactions_total()));
+    out.push_str(&format!("reclaimed_bytes:{}\r\n", inner.engine.reclaimed_bytes_total()));
     out.push_str(&format!("repl_reconnects:{}\r\n", m.repl_reconnects.get()));
     for (id, lag) in inner.engine.replica_lags() {
         out.push_str(&format!("replica_sink{id}:lag_ops={lag}\r\n"));
@@ -816,6 +974,27 @@ fn latency_info_text(inner: &Inner) -> String {
                 out.push_str(&format!("cmd_all_{label}_us:{}\r\n", ns.div_ceil(1_000)));
             }
         }
+    }
+    out
+}
+
+/// The memory section (`INFO memory`): the eviction budget and policy,
+/// live vs dead value-log bytes (the fragmentation signal reclamation
+/// acts on), and the per-shard breakdown. O(shards), no scans.
+fn memory_info_text(inner: &Inner) -> String {
+    let engine = &inner.engine;
+    let mut out = String::new();
+    out.push_str("# memory\r\n");
+    out.push_str(&format!("maxmemory:{}\r\n", engine.max_memory().unwrap_or(0)));
+    out.push_str(&format!("maxmemory_policy:{}\r\n", engine.eviction_policy().name()));
+    out.push_str(&format!("mem_used_bytes:{}\r\n", engine.mem_used()));
+    out.push_str(&format!("dead_bytes:{}\r\n", engine.dead_bytes()));
+    out.push_str(&format!("expire_wheel_entries:{}\r\n", engine.wheel_entries()));
+    for (i, t) in engine.shard_telemetry().iter().enumerate() {
+        out.push_str(&format!(
+            "shard{i}:mem_used={},dead={}\r\n",
+            t.mem_used_bytes, t.dead_bytes
+        ));
     }
     out
 }
@@ -890,6 +1069,7 @@ mod tests {
             shards: 2,
             shard_bytes: 16 << 20,
             dir: None,
+            ..EngineConfig::default()
         })
         .unwrap();
         serve(engine, "127.0.0.1:0").unwrap()
@@ -1040,7 +1220,7 @@ mod tests {
         // One worker, so the survivor provably shares its event loop
         // with the panicking connection.
         let engine =
-            ShardedDash::open(&EngineConfig { shards: 2, shard_bytes: 16 << 20, dir: None })
+            ShardedDash::open(&EngineConfig { shards: 2, shard_bytes: 16 << 20, dir: None, ..EngineConfig::default() })
                 .unwrap();
         let server = serve_with(
             engine,

@@ -9,11 +9,17 @@
 //! header    16 B  SNAP_MAGIC, SNAP_VERSION, source shard count
 //!                 (informational — a restore may target any shard
 //!                 count; records re-partition)
-//! records   *     u32 key_len, u32 value_len, key bytes, value bytes
+//! records   *     u32 key_len, u32 value_len, u64 expire_at_ms,
+//!                 key bytes, value bytes
 //! end mark  u32   key_len = 0xFFFF_FFFF
 //! count     u64   number of records
 //! checksum  u64   FNV-1a over every preceding byte of the stream
 //! ```
+//!
+//! `expire_at_ms` is the record's **absolute** expiry deadline in Unix
+//! milliseconds (0 = none) — deadlines survive snapshot/restore verbatim
+//! and are never re-derived from a clock. Version-1 streams (no expiry
+//! field) still parse; their records load with no expiry.
 //!
 //! [`SnapshotStream`] writes that layout to any `Write` sink — a `Vec`
 //! for the replication bootstrap payload, a buffered temp file for disk
@@ -43,8 +49,10 @@ use crate::repl::wire::{FileHeader, Fnv, Parser};
 
 /// `b"DASHSNP1"` as a little-endian u64.
 pub const SNAP_MAGIC: u64 = u64::from_le_bytes(*b"DASHSNP1");
-/// Current format version.
-pub const SNAP_VERSION: u32 = 1;
+/// Current format version: v2 added the per-record expiry deadline.
+pub const SNAP_VERSION: u32 = 2;
+/// Oldest version the readers still accept.
+const SNAP_VERSION_MIN: u32 = 1;
 /// `key_len` sentinel terminating the record stream.
 const END_MARK: u32 = u32::MAX;
 
@@ -79,6 +87,9 @@ fn corrupt(msg: impl Into<String>) -> SnapshotError {
 
 pub type SnapshotResult<T> = Result<T, SnapshotError>;
 
+/// One decoded record: `(key, value, expire_at_ms)` — expiry 0 means none.
+pub type SnapshotEntry = (Vec<u8>, Vec<u8>, u64);
+
 /// Streams snapshot-format records (header, records, checksummed
 /// trailer) into any `Write` sink.
 pub struct SnapshotStream<W: Write> {
@@ -103,12 +114,14 @@ impl<W: Write> SnapshotStream<W> {
         Ok(())
     }
 
-    /// Append one record.
-    pub fn append(&mut self, key: &[u8], value: &[u8]) -> SnapshotResult<()> {
-        let mut lens = [0u8; 8];
-        lens[..4].copy_from_slice(&(key.len() as u32).to_le_bytes());
-        lens[4..].copy_from_slice(&(value.len() as u32).to_le_bytes());
-        self.write_hashed(&lens)?;
+    /// Append one record. `expire_at_ms` is the absolute expiry deadline
+    /// (0 = none).
+    pub fn append(&mut self, key: &[u8], value: &[u8], expire_at_ms: u64) -> SnapshotResult<()> {
+        let mut head = [0u8; 16];
+        head[..4].copy_from_slice(&(key.len() as u32).to_le_bytes());
+        head[4..8].copy_from_slice(&(value.len() as u32).to_le_bytes());
+        head[8..].copy_from_slice(&expire_at_ms.to_le_bytes());
+        self.write_hashed(&head)?;
         self.write_hashed(key)?;
         self.write_hashed(value)?;
         self.count += 1;
@@ -160,9 +173,9 @@ impl SnapshotWriter {
         Ok(SnapshotWriter { stream: Some(stream), tmp, path: path.to_path_buf() })
     }
 
-    /// Append one record.
-    pub fn append(&mut self, key: &[u8], value: &[u8]) -> SnapshotResult<()> {
-        self.stream.as_mut().expect("append after finish").append(key, value)
+    /// Append one record (`expire_at_ms` 0 = no expiry).
+    pub fn append(&mut self, key: &[u8], value: &[u8], expire_at_ms: u64) -> SnapshotResult<()> {
+        self.stream.as_mut().expect("append after finish").append(key, value, expire_at_ms)
     }
 
     /// Write the trailer, fsync, and atomically publish the file under
@@ -189,13 +202,19 @@ impl Drop for SnapshotWriter {
 /// check — magic, version, per-record length bounds, end marker, record
 /// count, checksum, no trailing bytes — passes before any record is
 /// returned.
-pub fn parse_all(buf: &[u8]) -> SnapshotResult<Vec<(Vec<u8>, Vec<u8>)>> {
+pub fn parse_all(buf: &[u8]) -> SnapshotResult<Vec<SnapshotEntry>> {
     if buf.len() < FileHeader::LEN + 4 + 8 + 8 {
         return Err(corrupt(format!("stream of {} bytes is smaller than an empty snapshot", buf.len())));
     }
     let mut p = Parser::new(buf);
-    let _shards =
-        FileHeader::read(&mut p, SNAP_MAGIC, SNAP_VERSION, "snapshot").map_err(corrupt)?;
+    if p.u64("magic").map_err(corrupt)? != SNAP_MAGIC {
+        return Err(corrupt("bad magic: not a dash snapshot file"));
+    }
+    let version = p.u32("version").map_err(corrupt)?;
+    if !(SNAP_VERSION_MIN..=SNAP_VERSION).contains(&version) {
+        return Err(corrupt(format!("unsupported snapshot version {version}")));
+    }
+    let _shards = p.u32("meta").map_err(corrupt)?;
     let mut records = Vec::new();
     loop {
         let klen = p.u32("key length").map_err(corrupt)?;
@@ -203,6 +222,9 @@ pub fn parse_all(buf: &[u8]) -> SnapshotResult<Vec<(Vec<u8>, Vec<u8>)>> {
             break;
         }
         let vlen = p.u32("value length").map_err(corrupt)?;
+        // v1 records carried no deadline: everything loads as "no expiry".
+        let expire_at_ms =
+            if version >= 2 { p.u64("expiry deadline").map_err(corrupt)? } else { 0 };
         if klen as usize > MAX_KEY_LEN {
             return Err(corrupt(format!("key length {klen} exceeds limit")));
         }
@@ -211,7 +233,7 @@ pub fn parse_all(buf: &[u8]) -> SnapshotResult<Vec<(Vec<u8>, Vec<u8>)>> {
         }
         let key = p.take(klen as usize, "key bytes").map_err(corrupt)?.to_vec();
         let value = p.take(vlen as usize, "value bytes").map_err(corrupt)?.to_vec();
-        records.push((key, value));
+        records.push((key, value, expire_at_ms));
     }
     let count = p.u64("record count").map_err(corrupt)?;
     if count != records.len() as u64 {
@@ -237,7 +259,7 @@ pub fn parse_all(buf: &[u8]) -> SnapshotResult<Vec<(Vec<u8>, Vec<u8>)>> {
 }
 
 /// [`parse_all`] over a file on disk.
-pub fn read_all(path: &Path) -> SnapshotResult<Vec<(Vec<u8>, Vec<u8>)>> {
+pub fn read_all(path: &Path) -> SnapshotResult<Vec<SnapshotEntry>> {
     let mut buf = Vec::new();
     File::open(path)?.read_to_end(&mut buf)?;
     parse_all(&buf)
@@ -276,7 +298,11 @@ mod tests {
     fn write_sample(path: &Path, n: u32) -> u64 {
         let mut w = SnapshotWriter::create(path, 4).unwrap();
         for i in 0..n {
-            w.append(format!("key-{i}").as_bytes(), format!("value-{i}").as_bytes()).unwrap();
+            // Every third record carries a deadline, exercising both
+            // record shapes in one stream.
+            let expire = if i % 3 == 0 { 1_700_000_000_000 + u64::from(i) } else { 0 };
+            w.append(format!("key-{i}").as_bytes(), format!("value-{i}").as_bytes(), expire)
+                .unwrap();
         }
         w.finish().unwrap()
     }
@@ -287,11 +313,40 @@ mod tests {
         assert_eq!(write_sample(&p.0, 100), 100);
         let records = read_all(&p.0).unwrap();
         assert_eq!(records.len(), 100);
-        for (i, (k, v)) in records.iter().enumerate() {
+        for (i, (k, v, e)) in records.iter().enumerate() {
             assert_eq!(k, format!("key-{i}").as_bytes());
             assert_eq!(v, format!("value-{i}").as_bytes());
+            let expect = if i % 3 == 0 { 1_700_000_000_000 + i as u64 } else { 0 };
+            assert_eq!(*e, expect, "deadline must survive the roundtrip verbatim");
         }
         assert!(!tmp_debris(&p.0), "tmp must be renamed away");
+    }
+
+    #[test]
+    fn v1_streams_still_parse_with_no_expiry() {
+        // Hand-build a version-1 stream: records without the deadline
+        // field. Old backups must keep restoring.
+        let mut buf = Vec::new();
+        let mut fnv = Fnv::new();
+        let mut put = |bytes: &[u8], buf: &mut Vec<u8>| {
+            fnv.update(bytes);
+            buf.extend_from_slice(bytes);
+        };
+        put(&FileHeader { magic: SNAP_MAGIC, version: 1, meta: 4 }.encode(), &mut buf);
+        for i in 0..5u32 {
+            let (k, v) = (format!("key-{i}"), format!("value-{i}"));
+            put(&(k.len() as u32).to_le_bytes(), &mut buf);
+            put(&(v.len() as u32).to_le_bytes(), &mut buf);
+            put(k.as_bytes(), &mut buf);
+            put(v.as_bytes(), &mut buf);
+        }
+        put(&END_MARK.to_le_bytes(), &mut buf);
+        put(&5u64.to_le_bytes(), &mut buf);
+        let checksum = fnv.value();
+        buf.extend_from_slice(&checksum.to_le_bytes());
+        let records = parse_all(&buf).unwrap();
+        assert_eq!(records.len(), 5);
+        assert!(records.iter().all(|(_, _, e)| *e == 0), "v1 records load with no expiry");
     }
 
     #[test]
@@ -299,8 +354,10 @@ mod tests {
         let p = TempPath::new("memstream");
         write_sample(&p.0, 10);
         let mut s = SnapshotStream::new(Vec::new(), 4).unwrap();
-        for i in 0..10 {
-            s.append(format!("key-{i}").as_bytes(), format!("value-{i}").as_bytes()).unwrap();
+        for i in 0..10u32 {
+            let expire = if i % 3 == 0 { 1_700_000_000_000 + u64::from(i) } else { 0 };
+            s.append(format!("key-{i}").as_bytes(), format!("value-{i}").as_bytes(), expire)
+                .unwrap();
         }
         let (bytes, count) = s.finish().unwrap();
         assert_eq!(count, 10);
@@ -321,9 +378,9 @@ mod tests {
         let key: Vec<u8> = (0..=255u8).collect();
         let value = vec![0u8; 10_000];
         let mut w = SnapshotWriter::create(&p.0, 1).unwrap();
-        w.append(&key, &value).unwrap();
+        w.append(&key, &value, 0).unwrap();
         w.finish().unwrap();
-        assert_eq!(read_all(&p.0).unwrap(), vec![(key, value)]);
+        assert_eq!(read_all(&p.0).unwrap(), vec![(key, value, 0)]);
     }
 
     #[test]
@@ -358,7 +415,7 @@ mod tests {
         let p = TempPath::new("drop");
         {
             let mut w = SnapshotWriter::create(&p.0, 1).unwrap();
-            w.append(b"k", b"v").unwrap();
+            w.append(b"k", b"v", 0).unwrap();
             // Dropped without finish(): simulated crash mid-snapshot.
         }
         assert!(!p.0.exists(), "unfinished snapshot must not appear under the real name");
@@ -373,14 +430,14 @@ mod tests {
         let mut a = SnapshotWriter::create(&p.0, 1).unwrap();
         let mut b = SnapshotWriter::create(&p.0, 1).unwrap();
         for i in 0..50u32 {
-            a.append(format!("a-{i}").as_bytes(), b"va").unwrap();
-            b.append(format!("b-{i}").as_bytes(), b"vb").unwrap();
+            a.append(format!("a-{i}").as_bytes(), b"va", 0).unwrap();
+            b.append(format!("b-{i}").as_bytes(), b"vb", 0).unwrap();
         }
         a.finish().unwrap();
         b.finish().unwrap();
         let records = read_all(&p.0).unwrap();
         assert_eq!(records.len(), 50, "the survivor must be one writer's complete stream");
-        assert!(records.iter().all(|(k, _)| k.starts_with(b"b-")), "last rename wins");
+        assert!(records.iter().all(|(k, _, _)| k.starts_with(b"b-")), "last rename wins");
         assert!(!tmp_debris(&p.0));
     }
 }

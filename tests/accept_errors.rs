@@ -41,7 +41,7 @@ fn max_open_fd() -> u64 {
 #[test]
 fn fd_exhaustion_backs_off_instead_of_shutting_down() {
     let engine =
-        ShardedDash::open(&EngineConfig { shards: 2, shard_bytes: 16 << 20, dir: None }).unwrap();
+        ShardedDash::open(&EngineConfig { shards: 2, shard_bytes: 16 << 20, dir: None, ..EngineConfig::default() }).unwrap();
     let server = serve(engine, "127.0.0.1:0").unwrap();
     let addr = server.addr();
 

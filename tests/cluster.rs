@@ -21,7 +21,7 @@ use common::TempDir;
 /// An in-memory cluster-mode server announcing its own bound address.
 fn cluster_server(shards: usize) -> ServerHandle {
     let engine =
-        ShardedDash::open(&EngineConfig { shards, shard_bytes: 8 << 20, dir: None }).unwrap();
+        ShardedDash::open(&EngineConfig { shards, shard_bytes: 8 << 20, dir: None, ..EngineConfig::default() }).unwrap();
     serve_with(
         engine,
         "127.0.0.1:0",
@@ -169,7 +169,7 @@ fn clusterdown_moved_and_crossslot_gate() {
 
     // Non-cluster servers reject the cluster surface explicitly.
     let plain = serve_with(
-        ShardedDash::open(&EngineConfig { shards: 1, shard_bytes: 8 << 20, dir: None }).unwrap(),
+        ShardedDash::open(&EngineConfig { shards: 1, shard_bytes: 8 << 20, dir: None, ..EngineConfig::default() }).unwrap(),
         "127.0.0.1:0",
         ServeOptions::default(),
     )
@@ -347,6 +347,7 @@ fn half_import_invisible_and_crash_remigration_converges() {
             shards: 2,
             shard_bytes: 8 << 20,
             dir: Some(dir.path.clone()),
+            ..EngineConfig::default()
         })
         .unwrap(),
         "127.0.0.1:0",
@@ -398,6 +399,7 @@ fn half_import_invisible_and_crash_remigration_converges() {
             shards: 2,
             shard_bytes: 8 << 20,
             dir: Some(dir.path.clone()),
+            ..EngineConfig::default()
         })
         .unwrap(),
         "127.0.0.1:0",
@@ -472,6 +474,7 @@ fn repl_log_bytes_and_cluster_metrics_surface() {
         shards: 2,
         shard_bytes: 8 << 20,
         dir: Some(dir.path.clone()),
+        ..EngineConfig::default()
     })
     .unwrap();
     let server = serve_with(

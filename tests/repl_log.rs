@@ -12,7 +12,7 @@ mod common;
 use common::TempDir;
 
 fn dir_cfg(dir: &TempDir, shards: usize) -> EngineConfig {
-    EngineConfig { shards, shard_bytes: 8 << 20, dir: Some(dir.path.clone()) }
+    EngineConfig { shards, shard_bytes: 8 << 20, dir: Some(dir.path.clone()), ..EngineConfig::default() }
 }
 
 fn kv(i: u32) -> (Vec<u8>, Vec<u8>) {
@@ -222,7 +222,7 @@ fn every_byte_corruption_yields_only_a_valid_prefix() {
     let mid = 16 + (original.len() - 16) / 2;
     bad[mid] ^= 0x20;
     std::fs::write(&log_path, &bad).unwrap();
-    let (mut w, rec) = LogWriter::open(&log_path, 0).unwrap();
+    let (mut w, rec) = LogWriter::open(&log_path, 0, None).unwrap();
     assert!(rec.records < 48 && rec.truncated_bytes > 0);
     w.append(&ReplOp::Set { key: b"resume".to_vec(), value: b"ok".to_vec() }).unwrap();
     drop(w);

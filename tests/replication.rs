@@ -15,11 +15,11 @@ mod common;
 use common::TempDir;
 
 fn dir_cfg(dir: &TempDir, shards: usize) -> EngineConfig {
-    EngineConfig { shards, shard_bytes: 8 << 20, dir: Some(dir.path.clone()) }
+    EngineConfig { shards, shard_bytes: 8 << 20, dir: Some(dir.path.clone()), ..EngineConfig::default() }
 }
 
 fn mem_cfg(shards: usize) -> EngineConfig {
-    EngineConfig { shards, shard_bytes: 8 << 20, dir: None }
+    EngineConfig { shards, shard_bytes: 8 << 20, dir: None, ..EngineConfig::default() }
 }
 
 fn kv(i: u32) -> (Vec<u8>, Vec<u8>) {

@@ -16,6 +16,7 @@ fn dir_cfg(dir: &TempDir, shards: usize) -> EngineConfig {
         shards,
         shard_bytes: 16 << 20,
         dir: Some(dir.path.clone()),
+        ..EngineConfig::default()
     }
 }
 

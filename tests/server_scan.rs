@@ -15,6 +15,7 @@ fn mem_server(shards: usize) -> ServerHandle {
         shards,
         shard_bytes: 16 << 20,
         dir: None,
+        ..EngineConfig::default()
     })
     .unwrap();
     serve(engine, "127.0.0.1:0").unwrap()

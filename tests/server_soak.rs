@@ -39,7 +39,7 @@ fn soak_1024_connections_pipelined() {
     assert!(got >= (CONNS as u64) * 2 + 256, "fd limit too low for the soak: {got}");
 
     let engine =
-        ShardedDash::open(&EngineConfig { shards: 4, shard_bytes: 32 << 20, dir: None }).unwrap();
+        ShardedDash::open(&EngineConfig { shards: 4, shard_bytes: 32 << 20, dir: None, ..EngineConfig::default() }).unwrap();
     let server = serve_with(
         engine,
         "127.0.0.1:0",

@@ -13,7 +13,7 @@ mod common;
 use common::TempDir;
 
 fn dir_cfg(dir: &TempDir, shards: usize) -> EngineConfig {
-    EngineConfig { shards, shard_bytes: 16 << 20, dir: Some(dir.path.clone()) }
+    EngineConfig { shards, shard_bytes: 16 << 20, dir: Some(dir.path.clone()), ..EngineConfig::default() }
 }
 
 fn kv(i: u32) -> (Vec<u8>, Vec<u8>) {
@@ -180,7 +180,7 @@ fn failed_restore_leaves_no_half_built_store() {
     // properly-sized retry succeeds instead of being refused as an
     // existing store.
     for shard_bytes in [64 << 10, 256 << 10] {
-        let tiny = EngineConfig { shards: 1, shard_bytes, dir: Some(dst.path.clone()) };
+        let tiny = EngineConfig { shards: 1, shard_bytes, dir: Some(dst.path.clone()), ..EngineConfig::default() };
         assert!(ShardedDash::restore(&tiny, &snap_path).is_err());
         assert!(
             !dst.path.join("shard-0.pool").exists(),

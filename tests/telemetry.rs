@@ -17,6 +17,7 @@ fn telemetry_server(shards: usize, shard_mb: usize, opts: ServeOptions) -> Serve
         shards,
         shard_bytes: shard_mb << 20,
         dir: None,
+        ..EngineConfig::default()
     })
     .unwrap();
     serve_with(engine, "127.0.0.1:0", opts).unwrap()
