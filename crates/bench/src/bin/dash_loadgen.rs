@@ -96,6 +96,12 @@ OPTIONS:
                       after the timed run, poll CLUSTER INFO on ADDR
                       until its outbound migration completes (fails on
                       a failed migration or after 120s)
+    --trace-sample N  enable server-side request tracing (TRACE ON
+                      SAMPLE N: every Nth request gets per-stage
+                      latency attribution) for the run, then fetch
+                      TRACE DUMP and print a stage-latency table;
+                      --json gains a \"server_trace\" object. In
+                      cluster mode the first seed is traced
     --cmd COMMAND     send one command (words split on whitespace) to
                       --addr before anything else and print the reply;
                       an error reply fails the run. Example:
@@ -133,6 +139,7 @@ struct Config {
     wait_sync: Option<String>,
     cluster: bool,
     wait_migration: Option<String>,
+    trace_sample: u64,
     cmd: Option<String>,
     json: Option<String>,
 }
@@ -159,6 +166,7 @@ fn parse_config() -> Config {
             "verify-snapshot",
             "wait-sync",
             "wait-migration",
+            "trace-sample",
             "cmd",
             "json",
         ],
@@ -226,6 +234,7 @@ fn parse_config() -> Config {
         wait_sync: args.flag_opt("wait-sync").map(str::to_owned),
         cluster: args.switch("cluster"),
         wait_migration: args.flag_opt("wait-migration").map(str::to_owned),
+        trace_sample: args.flag_or_exit("trace-sample", 0, USAGE),
         cmd: args.flag_opt("cmd").map(str::to_owned),
         json: args.flag_opt("json").map(str::to_owned),
     };
@@ -1036,6 +1045,80 @@ struct PhaseSummary {
     oom_rejections: u64,
 }
 
+/// Server-side stage-latency numbers from `TRACE DUMP`, aggregated
+/// across the dumped records for the table and the `--json` summary.
+struct TraceSummary {
+    sample_every: u64,
+    records: usize,
+    /// `(stage, mean ns, max ns)` in server stage order.
+    stages: Vec<(String, u64, u64)>,
+    /// Mean of the records' independently measured totals.
+    total_mean_ns: u64,
+    /// mean(stage sums) / mean(totals) — the attribution coverage; the
+    /// server promises this stays within 10% of 100.
+    stage_sum_over_total_pct: f64,
+}
+
+/// Turn on tracing before the run (`TRACE ON SAMPLE n`).
+fn trace_begin(probe: &mut RespClient, n: u64) -> std::io::Result<()> {
+    probe.trace_on(Some(n))
+}
+
+/// After the run: dump the flight recorder and aggregate per stage.
+fn trace_collect(probe: &mut RespClient, sample_every: u64) -> std::io::Result<Option<TraceSummary>> {
+    let entries = probe.trace_dump(256)?;
+    if entries.is_empty() {
+        return Ok(None);
+    }
+    // Stage order comes from the wire (all records carry all stages).
+    let names: Vec<String> = entries[0].stages_ns.iter().map(|(s, _)| s.clone()).collect();
+    let mut sums = vec![0u64; names.len()];
+    let mut maxes = vec![0u64; names.len()];
+    let mut total_sum = 0u64;
+    let mut stage_sum_sum = 0u64;
+    for e in &entries {
+        total_sum += e.total_ns.max(0) as u64;
+        stage_sum_sum += e.stage_sum_ns().max(0) as u64;
+        for (i, name) in names.iter().enumerate() {
+            let ns = e.stage_ns(name).unwrap_or(0).max(0) as u64;
+            sums[i] += ns;
+            maxes[i] = maxes[i].max(ns);
+        }
+    }
+    let n = entries.len() as u64;
+    let stages = names
+        .into_iter()
+        .enumerate()
+        .map(|(i, name)| (name, sums[i] / n, maxes[i]))
+        .collect();
+    Ok(Some(TraceSummary {
+        sample_every,
+        records: entries.len(),
+        stages,
+        total_mean_ns: total_sum / n,
+        stage_sum_over_total_pct: if total_sum == 0 {
+            0.0
+        } else {
+            stage_sum_sum as f64 * 100.0 / total_sum as f64
+        },
+    }))
+}
+
+fn print_trace_summary(t: &TraceSummary) {
+    println!(
+        "server trace ({} records at 1-in-{} sampling):",
+        t.records, t.sample_every
+    );
+    println!("  {:<12} {:>10} {:>10}", "stage", "mean_ns", "max_ns");
+    for (name, mean, max) in &t.stages {
+        println!("  {name:<12} {mean:>10} {max:>10}");
+    }
+    println!(
+        "  {:<12} {:>10}   (stage sums cover {:.1}% of measured totals)",
+        "total", t.total_mean_ns, t.stage_sum_over_total_pct
+    );
+}
+
 /// The per-op latency sample's numbers for the `--json` summary.
 struct LatencySummary {
     co_safe: bool,
@@ -1312,6 +1395,14 @@ fn main() {
         }
     }
 
+    if cfg.trace_sample > 0 {
+        if let Err(e) = trace_begin(&mut probe, cfg.trace_sample) {
+            eprintln!("dash-loadgen: TRACE ON SAMPLE {} failed: {e}", cfg.trace_sample);
+            std::process::exit(1);
+        }
+        println!("server tracing on ({probe_addr}, 1-in-{} sampling)", cfg.trace_sample);
+    }
+
     if cfg.preload {
         let t0 = Instant::now();
         let result =
@@ -1537,9 +1628,33 @@ fn main() {
         }
     }
 
+    let mut trace_summary: Option<TraceSummary> = None;
+    if cfg.trace_sample > 0 {
+        match trace_collect(&mut probe, cfg.trace_sample) {
+            Ok(Some(t)) => {
+                print_trace_summary(&t);
+                trace_summary = Some(t);
+            }
+            Ok(None) => {
+                eprintln!("dash-loadgen: TRACE DUMP returned no records despite sampling");
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("dash-loadgen: TRACE DUMP failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
     if let Some(path) = &cfg.json {
-        let doc =
-            render_json(&cfg, &phases, latency_summary.as_ref(), cluster_summary.as_ref(), failed);
+        let doc = render_json(
+            &cfg,
+            &phases,
+            latency_summary.as_ref(),
+            cluster_summary.as_ref(),
+            trace_summary.as_ref(),
+            failed,
+        );
         match std::fs::write(path, doc) {
             Ok(()) => println!("wrote JSON summary to {path}"),
             Err(e) => {
@@ -1574,6 +1689,7 @@ fn render_json(
     phases: &[PhaseSummary],
     latency: Option<&LatencySummary>,
     cluster: Option<&ClusterSummary>,
+    trace: Option<&TraceSummary>,
     failed: bool,
 ) -> String {
     let mut out = String::new();
@@ -1628,6 +1744,26 @@ fn render_json(
                  \"migration_window_p99_us\": {window}}},\n",
                 c.moved, c.ask, c.tryagain, c.refreshes, c.redirect_loops
             ));
+        }
+    }
+    match trace {
+        None => out.push_str("  \"server_trace\": null,\n"),
+        Some(t) => {
+            out.push_str(&format!(
+                "  \"server_trace\": {{\"sample_every\": {}, \"records\": {}, \
+                 \"total_mean_ns\": {}, \"stage_sum_over_total_pct\": {:.1}, \"stages\": {{",
+                t.sample_every, t.records, t.total_mean_ns, t.stage_sum_over_total_pct
+            ));
+            for (i, (name, mean, max)) in t.stages.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "\"{}\": {{\"mean_ns\": {mean}, \"max_ns\": {max}}}",
+                    json_escape(name)
+                ));
+            }
+            out.push_str("}},\n");
         }
     }
     out.push_str(&format!("  \"failed\": {failed}\n"));

@@ -43,6 +43,7 @@ mod error;
 mod layout;
 #[cfg(unix)]
 mod mmap;
+pub mod persist_timer;
 mod pool;
 mod proptests;
 mod stats;

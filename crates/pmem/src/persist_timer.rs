@@ -1,0 +1,76 @@
+//! Per-thread persist-stamp accounting for request tracing.
+//!
+//! The server's trace subsystem wants to know how much of a sampled
+//! request was spent inside the PM persistence primitives (flush +
+//! fence) — the cost the paper says dominates PM hash-table latency —
+//! but this crate cannot depend on the server. So the timing lives
+//! here as a tiny thread-local accumulator: the tracing layer arms it
+//! at the start of a sampled request ([`begin`]), [`PmemPool::flush`]
+//! and [`PmemPool::fence`] add their wall time while armed, and the
+//! tracing layer reads the total back with [`take_ns`].
+//!
+//! The disarmed cost — what every non-sampled operation pays — is one
+//! thread-local boolean load per flush/fence, no `Instant`, no shared
+//! state.
+//!
+//! [`PmemPool::flush`]: crate::PmemPool::flush
+//! [`PmemPool::fence`]: crate::PmemPool::fence
+
+use std::cell::Cell;
+use std::time::Instant;
+
+thread_local! {
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+    static NS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Arm the accumulator on this thread and zero it. Nestable only in the
+/// trivial sense: a second `begin` restarts the accumulation.
+pub fn begin() {
+    ARMED.with(|a| a.set(true));
+    NS.with(|n| n.set(0));
+}
+
+/// Disarm and return the nanoseconds accumulated since [`begin`].
+/// Returns 0 if the accumulator was never armed on this thread.
+pub fn take_ns() -> u64 {
+    ARMED.with(|a| a.set(false));
+    NS.with(Cell::take)
+}
+
+/// `Instant::now()` if armed, else `None` — the prologue of a timed
+/// persistence primitive.
+#[inline]
+pub(crate) fn mark() -> Option<Instant> {
+    if ARMED.with(Cell::get) {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Add the elapsed time since `mark`'s prologue, if it was armed.
+#[inline]
+pub(crate) fn add_since(mark: Option<Instant>) {
+    if let Some(t0) = mark {
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        NS.with(|n| n.set(n.get().saturating_add(ns)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn disarmed_reads_zero_and_armed_accumulates() {
+        assert_eq!(super::take_ns(), 0, "never armed: zero");
+        super::begin();
+        let m = super::mark();
+        assert!(m.is_some(), "armed: mark must time");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        super::add_since(m);
+        let ns = super::take_ns();
+        assert!(ns >= 1_000_000, "accumulated at least the sleep: {ns}");
+        assert!(super::mark().is_none(), "take_ns must disarm");
+        assert_eq!(super::take_ns(), 0, "accumulator resets on next begin");
+    }
+}

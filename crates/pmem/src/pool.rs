@@ -494,6 +494,7 @@ impl PmemPool {
     /// flush is silently dropped (the power cut happened "before" it).
     pub fn flush(&self, off: PmOffset, len: usize) {
         debug_assert!(off.get() as usize + len <= self.size);
+        let persist_mark = crate::persist_timer::mark();
         let start = off.get() & !(CACHELINE as u64 - 1);
         let end = align_up(off.get() + len as u64, CACHELINE as u64);
         let bytes = (end - start) as usize;
@@ -507,6 +508,7 @@ impl PmemPool {
         if let Some(shadow) = &self.shadow {
             let n = self.flushes_issued.fetch_add(1, Ordering::Relaxed) + 1;
             if n > self.flush_limit.load(Ordering::Relaxed) {
+                crate::persist_timer::add_since(persist_mark);
                 return;
             }
             // SAFETY: bounds checked; volatile word copies tolerate racing
@@ -519,12 +521,15 @@ impl PmemPool {
                 }
             }
         }
+        crate::persist_timer::add_since(persist_mark);
     }
 
     /// SFENCE-equivalent; orders prior flushes.
     pub fn fence(&self) {
+        let persist_mark = crate::persist_timer::mark();
         self.stats.note_fence();
         std::sync::atomic::fence(Ordering::SeqCst);
+        crate::persist_timer::add_since(persist_mark);
     }
 
     /// `flush` + `fence`.

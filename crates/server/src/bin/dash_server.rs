@@ -72,6 +72,10 @@ OPTIONS:
     --slowlog-threshold-us N
                        record commands slower than N microseconds in
                        SLOWLOG (default 10000; 0 logs everything)
+    --log-file PATH    append structured JSON-lines logs to PATH instead
+                       of stderr (one {\"ts_ms\",\"level\",\"target\",
+                       \"msg\"} object per line)
+    --log-level LEVEL  error, warn, info (default) or debug
     -h, --help         show this help";
 
 fn main() {
@@ -92,6 +96,8 @@ fn main() {
             "event-workers",
             "metrics-addr",
             "slowlog-threshold-us",
+            "log-file",
+            "log-level",
         ],
         &[],
         0,
@@ -148,6 +154,19 @@ fn main() {
             }
         },
     };
+
+    if let Some(level) = args.flag_opt("log-level") {
+        match dash_server::LogLevel::parse(level) {
+            Some(l) => dash_server::trace::log::set_level(l),
+            None => cli::exit_usage("--log-level must be error, warn, info or debug", USAGE),
+        }
+    }
+    if let Some(path) = args.flag_opt("log-file") {
+        if let Err(e) = dash_server::trace::log::set_file(std::path::Path::new(path)) {
+            eprintln!("dash-server: cannot open log file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 
     if replica_of.is_some() && (restore.is_some() || replay_logs.is_some()) {
         cli::exit_usage(

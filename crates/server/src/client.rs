@@ -364,6 +364,57 @@ impl RespClient {
         items.into_iter().map(decode_slowlog_entry).collect()
     }
 
+    // ---- TRACE ------------------------------------------------------------
+
+    /// `TRACE ON [SAMPLE n]`: enable request tracing, optionally setting
+    /// the 1-in-`n` sampling period.
+    pub fn trace_on(&mut self, sample_every: Option<u64>) -> std::io::Result<()> {
+        let reply = match sample_every {
+            Some(n) => {
+                let arg = n.to_string().into_bytes();
+                self.command(&[b"TRACE", b"ON", b"SAMPLE", &arg])?
+            }
+            None => self.command(&[b"TRACE", b"ON"])?,
+        };
+        match reply {
+            Value::Simple(s) if s == "OK" => Ok(()),
+            other => Err(bad_reply("TRACE ON", &other)),
+        }
+    }
+
+    /// `TRACE OFF`: stop capturing (rings keep their contents).
+    pub fn trace_off(&mut self) -> std::io::Result<()> {
+        match self.command(&[b"TRACE", b"OFF"])? {
+            Value::Simple(s) if s == "OK" => Ok(()),
+            other => Err(bad_reply("TRACE OFF", &other)),
+        }
+    }
+
+    /// `TRACE DUMP n`: the most recent `n` captured spans, newest first.
+    pub fn trace_dump(&mut self, n: usize) -> std::io::Result<Vec<TraceEntry>> {
+        let arg = n.to_string().into_bytes();
+        let reply = self.command(&[b"TRACE", b"DUMP", &arg])?;
+        let Value::Array(items) = reply else {
+            return Err(bad_reply("TRACE DUMP", &reply));
+        };
+        items.into_iter().map(decode_trace_entry).collect()
+    }
+
+    /// `TRACE GET id`: one span by server id **or** cross-hop origin id
+    /// (`None` if it fell out of the flight recorder). The wire reply is
+    /// an array of zero or one records.
+    pub fn trace_get(&mut self, id: u64) -> std::io::Result<Option<TraceEntry>> {
+        let arg = id.to_string().into_bytes();
+        match self.command(&[b"TRACE", b"GET", &arg])? {
+            Value::Nil => Ok(None),
+            Value::Array(items) if items.is_empty() => Ok(None),
+            Value::Array(mut items) if items.len() == 1 => {
+                decode_trace_entry(items.pop().expect("len checked")).map(Some)
+            }
+            other => Err(bad_reply("TRACE GET", &other)),
+        }
+    }
+
     fn integer_command(&mut self, name: &'static [u8], keys: &[&[u8]]) -> std::io::Result<i64> {
         let mut parts: Vec<&[u8]> = Vec::with_capacity(keys.len() + 1);
         parts.push(name);
@@ -391,18 +442,38 @@ pub struct SlowlogEntry {
     pub key: String,
     /// The event-loop worker that executed it.
     pub worker: i64,
+    /// Per-stage nanoseconds in the server's stage order (queue_wait,
+    /// parse, dispatch, lock_wait, execute, persist, reply_flush) —
+    /// present when the slow command was also a captured trace.
+    pub stages_ns: Option<Vec<i64>>,
 }
 
 fn decode_slowlog_entry(value: Value) -> std::io::Result<SlowlogEntry> {
     let bad = || bad_reply("SLOWLOG GET", &Value::Nil);
     let Value::Array(fields) = value else { return Err(bad()) };
+    if fields.len() != 5 && fields.len() != 6 {
+        return Err(bad());
+    }
     let [Value::Integer(id), Value::Integer(unix_secs), Value::Integer(duration_us), Value::Array(cmd_parts), Value::Integer(worker)] =
-        fields.as_slice()
+        &fields[..5]
     else {
         return Err(bad());
     };
     let [Value::Bulk(cmd), Value::Bulk(key)] = cmd_parts.as_slice() else {
         return Err(bad());
+    };
+    let stages_ns = match fields.get(5) {
+        None => None,
+        Some(Value::Array(stages)) => Some(
+            stages
+                .iter()
+                .map(|v| match v {
+                    Value::Integer(ns) => Ok(*ns),
+                    _ => Err(bad()),
+                })
+                .collect::<std::io::Result<Vec<i64>>>()?,
+        ),
+        Some(_) => return Err(bad()),
     };
     Ok(SlowlogEntry {
         id: *id,
@@ -411,7 +482,83 @@ fn decode_slowlog_entry(value: Value) -> std::io::Result<SlowlogEntry> {
         cmd: String::from_utf8_lossy(cmd).into_owned(),
         key: String::from_utf8_lossy(key).into_owned(),
         worker: *worker,
+        stages_ns,
     })
+}
+
+/// One decoded `TRACE DUMP` / `TRACE GET` span: the wire record is a
+/// flat field-name/value array, parsed here into the named fields plus
+/// a `(stage name, ns)` list for the `*_ns` stage entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    pub id: i64,
+    /// Cross-hop correlation id (equals `id` for local spans).
+    pub origin: i64,
+    /// Redirect hop count the span arrived with.
+    pub hops: i64,
+    pub unix_ms: i64,
+    pub cmd: String,
+    pub key: String,
+    /// Event-loop worker id (`-1` = the replication apply thread).
+    pub worker: i64,
+    /// `sampled` / `threshold` / `forced` / `repl`.
+    pub reason: String,
+    /// Independently measured total, nanoseconds.
+    pub total_ns: i64,
+    /// `(stage, ns)` in server stage order, names without the `_ns`.
+    pub stages_ns: Vec<(String, i64)>,
+}
+
+impl TraceEntry {
+    /// One stage's nanoseconds by name (e.g. `"persist"`).
+    pub fn stage_ns(&self, stage: &str) -> Option<i64> {
+        self.stages_ns.iter().find(|(s, _)| s == stage).map(|&(_, ns)| ns)
+    }
+
+    /// Sum of all stage attributions — compare against `total_ns`.
+    pub fn stage_sum_ns(&self) -> i64 {
+        self.stages_ns.iter().map(|&(_, ns)| ns).sum()
+    }
+}
+
+fn decode_trace_entry(value: Value) -> std::io::Result<TraceEntry> {
+    let bad = || bad_reply("TRACE", &Value::Nil);
+    let Value::Array(fields) = value else { return Err(bad()) };
+    if !fields.len().is_multiple_of(2) {
+        return Err(bad());
+    }
+    let mut entry = TraceEntry {
+        id: 0,
+        origin: 0,
+        hops: 0,
+        unix_ms: 0,
+        cmd: String::new(),
+        key: String::new(),
+        worker: 0,
+        reason: String::new(),
+        total_ns: 0,
+        stages_ns: Vec::new(),
+    };
+    for pair in fields.chunks_exact(2) {
+        let Value::Bulk(name) = &pair[0] else { return Err(bad()) };
+        let name = String::from_utf8_lossy(name);
+        match (&*name, &pair[1]) {
+            ("id", Value::Integer(n)) => entry.id = *n,
+            ("origin", Value::Integer(n)) => entry.origin = *n,
+            ("hops", Value::Integer(n)) => entry.hops = *n,
+            ("unix_ms", Value::Integer(n)) => entry.unix_ms = *n,
+            ("cmd", Value::Bulk(b)) => entry.cmd = String::from_utf8_lossy(b).into_owned(),
+            ("key", Value::Bulk(b)) => entry.key = String::from_utf8_lossy(b).into_owned(),
+            ("worker", Value::Integer(n)) => entry.worker = *n,
+            ("reason", Value::Bulk(b)) => entry.reason = String::from_utf8_lossy(b).into_owned(),
+            ("total_ns", Value::Integer(n)) => entry.total_ns = *n,
+            (stage, Value::Integer(ns)) if stage.ends_with("_ns") => {
+                entry.stages_ns.push((stage.trim_end_matches("_ns").to_string(), *ns));
+            }
+            _ => return Err(bad()),
+        }
+    }
+    Ok(entry)
 }
 
 // ---- cluster client -------------------------------------------------------
@@ -444,6 +591,12 @@ pub struct ClusterClient {
     slots: Vec<Option<std::sync::Arc<str>>>,
     timeout: Duration,
     stats: ClusterClientStats,
+    /// Force-trace every Nth keyed command via `TRACEID` (0 = never).
+    trace_every: u64,
+    trace_tick: u64,
+    /// Server-assigned id of the most recent forced trace (for
+    /// `TRACE GET` on whichever node ended up serving it).
+    last_trace_id: u64,
 }
 
 /// Redirect hops per command before declaring a loop.
@@ -467,6 +620,9 @@ impl ClusterClient {
             slots: vec![None; crate::cluster::slots::NUM_SLOTS as usize],
             timeout,
             stats: ClusterClientStats::default(),
+            trace_every: 0,
+            trace_tick: 0,
+            last_trace_id: 0,
         };
         client.refresh()?;
         Ok(client)
@@ -474,6 +630,20 @@ impl ClusterClient {
 
     pub fn stats(&self) -> ClusterClientStats {
         self.stats
+    }
+
+    /// Force-trace every `n`th keyed command (0 disables). The trace id
+    /// is carried across `MOVED`/`ASK` redirects with an incremented
+    /// hop count, so the final server's record shows the whole journey.
+    pub fn set_trace_every(&mut self, n: u64) {
+        self.trace_every = n;
+        self.trace_tick = 0;
+    }
+
+    /// Server-assigned id of the most recent forced trace (0 = none
+    /// yet). Look it up with `TRACE GET` on the serving node.
+    pub fn last_trace_id(&self) -> u64 {
+        self.last_trace_id
     }
 
     /// Distinct node addresses in the current slot cache (seed-order
@@ -550,6 +720,15 @@ impl ClusterClient {
         let mut ask_target: Option<String> = None;
         let mut tryagain_left = MAX_TRYAGAIN;
         let mut hops = 0usize;
+        // One trace id per command, carried across redirects: 0 asks the
+        // first server to assign one; later hops propagate it.
+        let mut trace: Option<u64> = if self.trace_every > 0 {
+            let tick = self.trace_tick;
+            self.trace_tick += 1;
+            tick.is_multiple_of(self.trace_every).then_some(0)
+        } else {
+            None
+        };
         while hops < MAX_HOPS {
             let addr = match &ask_target {
                 Some(a) => a.clone(),
@@ -566,8 +745,15 @@ impl ClusterClient {
                 },
             };
             let asking = ask_target.take().is_some();
-            let reply = match self.exchange(&addr, parts, asking) {
-                Ok(v) => v,
+            let traced = trace.map(|id| (id, hops as u32));
+            let reply = match self.exchange(&addr, parts, asking, traced) {
+                Ok((v, assigned)) => {
+                    if let Some(tid) = trace.as_mut() {
+                        *tid = assigned;
+                        self.last_trace_id = assigned;
+                    }
+                    v
+                }
                 Err(_) => {
                     // Dead node: drop the connection, re-learn the
                     // topology (the migration may have completed or the
@@ -613,11 +799,25 @@ impl ClusterClient {
         )))
     }
 
-    /// One request/reply against `addr`, optionally `ASKING`-prefixed.
-    fn exchange(&mut self, addr: &str, parts: &[&[u8]], asking: bool) -> std::io::Result<Value> {
+    /// One request/reply against `addr`, optionally `ASKING`-prefixed
+    /// and/or `TRACEID`-prefixed (returns the server-assigned trace id,
+    /// 0 when untraced). `ASKING` goes first: `TRACEID` forces capture
+    /// of the *next* command, which must be the real one.
+    fn exchange(
+        &mut self,
+        addr: &str,
+        parts: &[&[u8]],
+        asking: bool,
+        trace: Option<(u64, u32)>,
+    ) -> std::io::Result<(Value, u64)> {
         let conn = self.conn(addr)?;
         if asking {
             conn.enqueue(&[b"ASKING"]);
+        }
+        if let Some((id, hops)) = trace {
+            let id_arg = id.to_string().into_bytes();
+            let hops_arg = hops.to_string().into_bytes();
+            conn.enqueue(&[b"TRACEID", &id_arg, &hops_arg]);
         }
         conn.enqueue(parts);
         conn.flush()?;
@@ -627,7 +827,14 @@ impl ClusterClient {
                 other => return Err(bad_reply("ASKING", &other)),
             }
         }
-        conn.read_reply()
+        let mut assigned = trace.map_or(0, |(id, _)| id);
+        if trace.is_some() {
+            match conn.read_reply()? {
+                Value::Integer(n) if n > 0 => assigned = n as u64,
+                other => return Err(bad_reply("TRACEID", &other)),
+            }
+        }
+        Ok((conn.read_reply()?, assigned))
     }
 
     pub fn set(&mut self, key: &[u8], value: &[u8]) -> std::io::Result<()> {

@@ -283,7 +283,7 @@ fn migrate(
             match sub.try_recv() {
                 Ok(op) => {
                     received += 1;
-                    forward(cl, &mut conn, &mut pending, &op, &in_range);
+                    forward(cl, &mut conn, &mut pending, &op.op, &in_range);
                     if pending.len() >= ACK_BATCH {
                         flush_acks(&mut conn, &mut pending)?;
                     }
@@ -324,7 +324,7 @@ fn migrate(
         match sub.recv_timeout(Duration::from_millis(50)) {
             Ok(op) => {
                 received += 1;
-                forward(cl, &mut conn, &mut pending, &op, &in_range);
+                forward(cl, &mut conn, &mut pending, &op.op, &in_range);
             }
             Err(RecvTimeoutError::Timeout) => {
                 if Instant::now() >= drain_deadline {

@@ -277,19 +277,30 @@ impl Shard {
     }
 
     /// Take the shard write lock, counting acquisitions that had to wait
-    /// (the telemetry behind `write_lock_waits`).
+    /// (the telemetry behind `write_lock_waits`). Every write path
+    /// enters the engine through here, so this doubles as a trace
+    /// chokepoint: the engine-entry stamp for the dispatch/execute
+    /// split, and the blocked time of a contended acquisition credited
+    /// to the active span's `lock_wait` stage. Both hooks are a
+    /// thread-local load when no span is active.
     fn lock_write(&self) -> parking_lot::MutexGuard<'_, ()> {
+        crate::trace::note_engine_entry();
         match self.write_lock.try_lock() {
             Some(g) => g,
             None => {
                 self.lock_waits.fetch_add(1, Ordering::Relaxed);
-                self.write_lock.lock()
+                let mark = crate::trace::lock_wait_mark();
+                let g = self.write_lock.lock();
+                crate::trace::note_lock_wait(mark);
+                g
             }
         }
     }
 
-    /// Pin this shard's epoch, counting the pin.
+    /// Pin this shard's epoch, counting the pin. The read paths'
+    /// engine-entry chokepoint (see [`Shard::lock_write`]).
     fn pin(&self) -> pmem::EpochGuard<'_> {
+        crate::trace::note_engine_entry();
         self.pins.fetch_add(1, Ordering::Relaxed);
         self.pool.epoch().pin()
     }

@@ -64,6 +64,7 @@ pub mod repl;
 pub mod resp;
 pub mod server;
 pub mod snapshot;
+pub mod trace;
 
 pub use client::{ClusterClient, ClusterClientStats, RespClient, SlowlogEntry};
 pub use cluster::slots::{key_slot, NUM_SLOTS};
@@ -73,3 +74,4 @@ pub use repl::ReplOp;
 pub use resp::{ProtocolError, Value};
 pub use server::{serve, serve_with, Role, ServeOptions, ServerHandle};
 pub use snapshot::{SnapshotError, SnapshotWriter};
+pub use trace::{log::Level as LogLevel, Stage, TraceRecord, Tracer};

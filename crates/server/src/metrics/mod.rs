@@ -118,6 +118,12 @@ pub struct Metrics {
     pub repl_reconnects: Counter,
     /// Per-family execute-seam latency, indexed by [`CmdFamily::index`].
     pub cmd_hist: [Histogram; CmdFamily::COUNT],
+    /// Per-stage latency by command family, `stage_hist[stage][family]`
+    /// — fed only by sampled trace completions (so the un-sampled hot
+    /// path never touches it), rendered as
+    /// `dash_stage_seconds{stage,cmd}` on the Prometheus endpoint.
+    /// Boxed: 7×8 striped histograms are a few hundred KB.
+    pub stage_hist: Box<[[Histogram; CmdFamily::COUNT]; crate::trace::Stage::COUNT]>,
     /// The SLOWLOG ring.
     pub slowlog: SlowLog,
 }
@@ -132,23 +138,47 @@ impl Metrics {
             active_connections: Gauge::new(),
             repl_reconnects: Counter::new(),
             cmd_hist: std::array::from_fn(|_| Histogram::new()),
+            stage_hist: Box::new(std::array::from_fn(|_| {
+                std::array::from_fn(|_| Histogram::new())
+            })),
             slowlog: SlowLog::new(slowlog_threshold_us),
         }
     }
 
     /// Record one executed command: classify, time, and slowlog it.
-    /// Called at the `conn.rs` execute seam with the decoded command.
+    /// Called at the `conn.rs` execute seam with the decoded command;
+    /// `stages_ns` carries the stage breakdown when this request was
+    /// trace-sampled, so SLOWLOG entries can explain themselves.
     #[inline]
-    pub fn observe_command(&self, parts: &[Vec<u8>], elapsed: Duration, worker: u64) {
+    pub fn observe_command(
+        &self,
+        parts: &[Vec<u8>],
+        elapsed: Duration,
+        worker: u64,
+        stages_ns: Option<[u64; crate::trace::Stage::COUNT]>,
+    ) {
         let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
         let family = CmdFamily::classify(&parts[0]);
         self.cmd_hist[family.index()].record(ns);
-        self.slowlog.maybe_record(ns, parts, worker);
+        self.slowlog.maybe_record(ns, parts, worker, stages_ns);
+    }
+
+    /// Feed one completed sampled span into the per-stage histograms.
+    /// Runs once per *captured* trace, never on the un-sampled path.
+    pub fn observe_stages(&self, family: CmdFamily, stages_ns: &[u64; crate::trace::Stage::COUNT]) {
+        for (stage_row, &ns) in self.stage_hist.iter().zip(stages_ns) {
+            stage_row[family.index()].record(ns);
+        }
     }
 
     /// One family's merged latency snapshot.
     pub fn cmd_snapshot(&self, family: CmdFamily) -> HistSnapshot {
         self.cmd_hist[family.index()].snapshot()
+    }
+
+    /// One (stage, family) cell's snapshot.
+    pub fn stage_snapshot(&self, stage: crate::trace::Stage, family: CmdFamily) -> HistSnapshot {
+        self.stage_hist[stage.index()][family.index()].snapshot()
     }
 }
 
@@ -172,12 +202,30 @@ mod tests {
     #[test]
     fn observe_routes_to_family_and_slowlog() {
         let m = Metrics::new(0); // threshold 0: everything is "slow"
-        m.observe_command(&[b"GET".to_vec(), b"k".to_vec()], Duration::from_micros(5), 1);
-        m.observe_command(&[b"SET".to_vec(), b"k".to_vec(), b"v".to_vec()], Duration::from_micros(7), 2);
+        m.observe_command(&[b"GET".to_vec(), b"k".to_vec()], Duration::from_micros(5), 1, None);
+        m.observe_command(
+            &[b"SET".to_vec(), b"k".to_vec(), b"v".to_vec()],
+            Duration::from_micros(7),
+            2,
+            None,
+        );
         assert_eq!(m.cmd_snapshot(CmdFamily::Get).count(), 1);
         assert_eq!(m.cmd_snapshot(CmdFamily::Set).count(), 1);
         assert_eq!(m.cmd_snapshot(CmdFamily::Other).count(), 0);
         assert_eq!(m.slowlog.len(), 2);
         assert_eq!(m.slowlog.get(1)[0].cmd, "SET");
+    }
+
+    #[test]
+    fn stage_observations_land_in_their_cells_only() {
+        use crate::trace::Stage;
+        let m = Metrics::new(1_000_000);
+        m.observe_stages(CmdFamily::Set, &[10, 20, 30, 40, 50, 60, 70]);
+        for stage in Stage::ALL {
+            assert_eq!(m.stage_snapshot(stage, CmdFamily::Set).count(), 1);
+            assert_eq!(m.stage_snapshot(stage, CmdFamily::Get).count(), 0);
+        }
+        let persist = m.stage_snapshot(Stage::Persist, CmdFamily::Set);
+        assert_eq!(persist.sum_ns, 60);
     }
 }

@@ -36,6 +36,22 @@ pub(crate) fn render(inner: &Inner) -> String {
         write_histogram(&mut out, "dash_cmd_latency_seconds", fam.name(), &snap);
     }
 
+    // Per-stage latency from sampled traces: {stage, cmd} series.
+    // Families a stage never observed are skipped — with tracing off
+    // the whole block renders nothing but HELP/TYPE.
+    help_type(&mut out, "dash_stage_seconds", "Per-stage request latency from sampled traces.", "histogram");
+    for stage in crate::trace::Stage::ALL {
+        for fam in CmdFamily::ALL {
+            let snap = m.stage_snapshot(stage, fam);
+            if snap.count() == 0 {
+                continue;
+            }
+            write_stage_histogram(&mut out, stage.name(), fam.name(), &snap);
+        }
+    }
+    counter(&mut out, "dash_traces_captured_total", "Request spans captured into the flight recorder.", inner.tracer.captured_total());
+    counter(&mut out, "dash_traces_abandoned_total", "Captured spans whose reply flush was never observed.", inner.tracer.abandoned_total());
+
     // Engine: per-shard gauges and the paper's own instrumentation axis
     // (segment splits / directory doublings), summed engine-wide too.
     let shards = inner.engine.shard_telemetry();
@@ -144,6 +160,22 @@ fn write_histogram(out: &mut String, name: &str, family: &str, snap: &HistSnapsh
     let _ = writeln!(out, "{name}_count{{cmd=\"{family}\"}} {cum}");
 }
 
+/// The two-label (`stage`, `cmd`) variant of [`write_histogram`] for
+/// `dash_stage_seconds`.
+fn write_stage_histogram(out: &mut String, stage: &str, family: &str, snap: &HistSnapshot) {
+    let labels = format!("stage=\"{stage}\",cmd=\"{family}\"");
+    let mut cum = 0u64;
+    for (count, bound) in snap.counts.iter().zip(BOUNDS_NS.iter()) {
+        cum += count;
+        let le = *bound as f64 / 1e9;
+        let _ = writeln!(out, "dash_stage_seconds_bucket{{{labels},le=\"{le}\"}} {cum}");
+    }
+    cum += snap.counts[NUM_BOUNDS];
+    let _ = writeln!(out, "dash_stage_seconds_bucket{{{labels},le=\"+Inf\"}} {cum}");
+    let _ = writeln!(out, "dash_stage_seconds_sum{{{labels}}} {}", snap.sum_ns as f64 / 1e9);
+    let _ = writeln!(out, "dash_stage_seconds_count{{{labels}}} {cum}");
+}
+
 // ---- minimal HTTP/1.0 responder ------------------------------------------
 //
 // Just enough HTTP for `curl` and a Prometheus scraper: the request head
@@ -236,5 +268,19 @@ mod tests {
         assert!(out.contains("le=\"0.000001\""), "1 µs bound in seconds: {out}");
         assert!(out.contains("le=\"+Inf\""), "{out}");
         assert!(out.contains("t_seconds_sum{cmd=\"get\"}"), "{out}");
+    }
+
+    #[test]
+    fn stage_series_carry_both_labels() {
+        let h = super::super::histogram::Histogram::new();
+        h.record(2_000);
+        let mut out = String::new();
+        write_stage_histogram(&mut out, "persist", "set", &h.snapshot());
+        assert!(
+            out.contains("dash_stage_seconds_bucket{stage=\"persist\",cmd=\"set\",le=\"+Inf\"} 1"),
+            "{out}"
+        );
+        assert!(out.contains("dash_stage_seconds_count{stage=\"persist\",cmd=\"set\"} 1"), "{out}");
+        assert!(out.contains("dash_stage_seconds_sum{stage=\"persist\",cmd=\"set\"}"), "{out}");
     }
 }

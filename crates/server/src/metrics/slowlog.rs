@@ -36,6 +36,11 @@ pub struct SlowEntry {
     pub key: String,
     /// The event-loop worker that executed it.
     pub worker: u64,
+    /// Per-stage nanoseconds from the sampled trace of this command,
+    /// indexed by [`crate::trace::Stage::index`] — present only when
+    /// the tracer captured the same request, so the slow query is
+    /// explainable, not just listed.
+    pub stages_ns: Option<[u64; crate::trace::Stage::COUNT]>,
 }
 
 /// The fixed-size ring of slow commands.
@@ -61,7 +66,15 @@ impl SlowLog {
     /// Record the command if it ran for at least the threshold.
     /// `parts` is the decoded command (`parts[0]` the name); the cheap
     /// under-threshold exit happens before anything is copied.
-    pub fn maybe_record(&self, duration_ns: u64, parts: &[Vec<u8>], worker: u64) {
+    /// `stages_ns` is the sampled trace's stage breakdown when the
+    /// tracer captured this same request.
+    pub fn maybe_record(
+        &self,
+        duration_ns: u64,
+        parts: &[Vec<u8>],
+        worker: u64,
+        stages_ns: Option<[u64; crate::trace::Stage::COUNT]>,
+    ) {
         let duration_us = duration_ns / 1_000;
         if duration_us < self.threshold_us.load(Ordering::Relaxed) {
             return;
@@ -77,7 +90,7 @@ impl SlowLog {
         if ring.len() == SLOWLOG_CAP {
             ring.pop_front();
         }
-        ring.push_back(SlowEntry { id, unix_secs, duration_us, cmd, key, worker });
+        ring.push_back(SlowEntry { id, unix_secs, duration_us, cmd, key, worker, stages_ns });
     }
 
     /// The most recent `n` entries, newest first (Redis `SLOWLOG GET`).
@@ -102,7 +115,7 @@ mod tests {
     use super::*;
 
     fn record(log: &SlowLog, us: u64, name: &str) {
-        log.maybe_record(us * 1_000, &[name.as_bytes().to_vec(), b"some-key".to_vec()], 3);
+        log.maybe_record(us * 1_000, &[name.as_bytes().to_vec(), b"some-key".to_vec()], 3, None);
     }
 
     #[test]
@@ -124,7 +137,7 @@ mod tests {
     fn ring_wraps_keeping_newest_and_reset_clears_but_ids_continue() {
         let log = SlowLog::new(0);
         for i in 0..(SLOWLOG_CAP as u64 + 40) {
-            log.maybe_record(i * 1_000, &[b"set".to_vec()], 0);
+            log.maybe_record(i * 1_000, &[b"set".to_vec()], 0, None);
         }
         assert_eq!(log.len(), SLOWLOG_CAP, "ring must cap at SLOWLOG_CAP");
         let newest = log.get(3);
@@ -136,14 +149,22 @@ mod tests {
         assert_eq!(all.last().unwrap().id, top - SLOWLOG_CAP as u64 + 1);
         log.reset();
         assert_eq!(log.len(), 0);
-        log.maybe_record(5_000, &[b"del".to_vec()], 0);
+        log.maybe_record(5_000, &[b"del".to_vec()], 0, None);
         assert_eq!(log.get(1)[0].id, top + 1, "ids keep counting across RESET");
     }
 
     #[test]
     fn long_keys_are_truncated() {
         let log = SlowLog::new(0);
-        log.maybe_record(1, &[b"get".to_vec(), vec![b'k'; 500]], 0);
+        log.maybe_record(1, &[b"get".to_vec(), vec![b'k'; 500]], 0, None);
         assert_eq!(log.get(1)[0].key.len(), 32);
+    }
+
+    #[test]
+    fn stage_breakdown_rides_along_when_present() {
+        let log = SlowLog::new(0);
+        let stages = [1, 2, 3, 4, 5, 6, 7];
+        log.maybe_record(9_000, &[b"set".to_vec(), b"k".to_vec()], 0, Some(stages));
+        assert_eq!(log.get(1)[0].stages_ns, Some(stages));
     }
 }

@@ -193,9 +193,9 @@ impl Acceptor {
                     inner.metrics.accept_errors.incr();
                     let n = inner.metrics.accept_errors.get();
                     if (n - 1).is_multiple_of(64) {
-                        eprintln!(
-                            "dash-server: accept failed ({e}); backing off {ACCEPT_BACKOFF_MS} ms \
-                             (error #{n})"
+                        crate::log_warn!(
+                            "net",
+                            "accept failed ({e}); backing off {ACCEPT_BACKOFF_MS} ms (error #{n})"
                         );
                     }
                     use std::os::unix::io::AsRawFd;

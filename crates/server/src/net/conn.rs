@@ -22,13 +22,16 @@
 //! because both are once-per-connection events whose next act (server
 //! teardown, replication streaming) is blocking anyway.
 
+use std::collections::VecDeque;
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::os::unix::io::{AsRawFd, RawFd};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use crate::metrics::CmdFamily;
 use crate::resp::{decode_command, encode, Decode, Value};
 use crate::server::{execute, Inner, Outcome, Session, WRITE_TIMEOUT};
+use crate::trace::{self, Stage};
 
 use super::sys::Interest;
 
@@ -42,6 +45,12 @@ const HIGH_WATER: usize = 1 << 20;
 /// Consumed-prefix size above which a partially written buffer is
 /// compacted instead of growing.
 const COMPACT_AT: usize = 1 << 20;
+/// Captured spans that may await their reply-flush completion on one
+/// connection. A deeply pipelined connection past this loses its oldest
+/// spans (counted as abandoned) rather than growing without bound.
+const PENDING_TRACE_CAP: usize = 128;
+/// Bytes of command name / key kept for the worker-panic log line.
+const PANIC_CTX_LEN: usize = 24;
 
 /// The error sent to a connection the shutdown path can no longer
 /// serve, so clients can tell an orderly shutdown from a network fault.
@@ -90,6 +99,40 @@ pub(crate) struct Conn {
     peer_eof: bool,
     /// Per-connection dispatch state (the cluster `ASKING` flag).
     session: Session,
+    /// Monotonic count of reply bytes written to the socket. Together
+    /// with `pending()` it orders captured spans against the byte
+    /// stream, surviving write-buffer clears and compactions.
+    wsent: u64,
+    /// When the next command's queue-wait clock started: socket
+    /// readiness for the first command of a tick, the previous
+    /// command's completion for pipelined successors.
+    cmd_mark: Option<Instant>,
+    /// Captured spans whose replies have not fully reached the kernel
+    /// yet; completed (reply-flush stage stamped, record published) as
+    /// `wsent` passes their end offset.
+    pending_traces: VecDeque<PendingTrace>,
+    /// In-flight command context for the worker-panic log line: name and
+    /// key prefixes (fixed-size copies, no per-command allocation) plus
+    /// the active trace span id (0 when untraced).
+    panic_cmd: [u8; PANIC_CTX_LEN],
+    panic_cmd_len: u8,
+    panic_key: [u8; PANIC_CTX_LEN],
+    panic_key_len: u8,
+    panic_span: u64,
+}
+
+/// A captured span waiting for its reply bytes to reach the kernel.
+struct PendingTrace {
+    rec: trace::TraceRecord,
+    family: CmdFamily,
+    /// When execution finished: the reply-flush stage runs from here.
+    exec_end: Instant,
+    /// `wsent` value at which this span's reply is fully written.
+    end_off: u64,
+}
+
+fn dur_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 impl Conn {
@@ -106,6 +149,14 @@ impl Conn {
             close_after_flush: false,
             peer_eof: false,
             session: Session::default(),
+            wsent: 0,
+            cmd_mark: None,
+            pending_traces: VecDeque::new(),
+            panic_cmd: [0; PANIC_CTX_LEN],
+            panic_cmd_len: 0,
+            panic_key: [0; PANIC_CTX_LEN],
+            panic_key_len: 0,
+            panic_span: 0,
         }
     }
 
@@ -136,9 +187,16 @@ impl Conn {
     ) -> io::Result<Drive> {
         if writable {
             self.flush_some()?;
+            self.complete_traces(inner);
         }
         if readable && !self.close_after_flush && !self.peer_eof && self.pending() < HIGH_WATER {
             self.read_burst()?;
+            // Queue-wait starts at readiness: commands now buffered have
+            // been waiting since this moment (unless a prior command's
+            // completion already started the clock).
+            if self.cmd_mark.is_none() && self.rbuf.len() > self.consumed {
+                self.cmd_mark = Some(Instant::now());
+            }
         }
         // Execute + flush until neither can progress: a tick that
         // drains the write buffer below HIGH_WATER resumes executing
@@ -162,10 +220,12 @@ impl Conn {
                 }
                 Ran::Drained => {
                     self.flush_some()?;
+                    self.complete_traces(inner);
                     break;
                 }
                 Ran::Paused => {
                     self.flush_some()?;
+                    self.complete_traces(inner);
                     if self.pending() >= HIGH_WATER {
                         break; // clogged: wait for EPOLLOUT
                     }
@@ -214,11 +274,20 @@ impl Conn {
             if self.pending() >= HIGH_WATER {
                 return Ran::Paused;
             }
+            let t_parse = Instant::now();
             match decode_command(&self.rbuf[self.consumed..]) {
                 Ok(Decode::Incomplete) => {
                     if self.consumed > 0 {
                         self.rbuf.drain(..self.consumed);
                         self.consumed = 0;
+                    }
+                    // No buffered command bytes left: the queue-wait
+                    // clock must restart at the next readiness, not
+                    // bill the idle gap between requests to the next
+                    // command. A partial command keeps the mark — its
+                    // first bytes ARE already waiting.
+                    if self.rbuf.is_empty() {
+                        self.cmd_mark = None;
                     }
                     return Ran::Drained;
                 }
@@ -227,18 +296,95 @@ impl Conn {
                     inner.count_command();
                     // The instrumentation seam: every executed command is
                     // timed here, and the elapsed time feeds the per-family
-                    // histogram and (if over threshold) the SLOWLOG.
+                    // histogram and (if over threshold) the SLOWLOG. A
+                    // command is *captured* — full per-stage attribution —
+                    // when a TRACEID forced it or the 1-in-N sampler picked
+                    // it; everything else pays only the timestamps below.
+                    let queue_start = self.cmd_mark.take();
+                    let forced = self.session.trace_force.take();
+                    let tracing = inner.tracer.enabled();
+                    let captured =
+                        forced.is_some() || (tracing && inner.tracer.sample_tick());
+                    let span_id = if captured {
+                        let id = match forced {
+                            Some((id, _)) => id,
+                            None => inner.tracer.alloc_id(),
+                        };
+                        trace::begin_span(id);
+                        id
+                    } else {
+                        0
+                    };
+                    self.note_panic_context(&parts, span_id);
                     let started = Instant::now();
                     let outcome = execute(&parts, inner, &mut self.session);
-                    inner.metrics.observe_command(&parts, started.elapsed(), self.worker);
+                    let exec_end = Instant::now();
+                    let exec_ns = dur_ns(exec_end - started);
+                    // End the span whatever the outcome, so the
+                    // thread-locals are disarmed before the next command.
+                    let detail = if captured {
+                        Some(trace::end_span(started, exec_ns))
+                    } else {
+                        None
+                    };
+                    self.panic_span = 0;
+                    let mut stages: Option<[u64; Stage::COUNT]> = None;
+                    let mut pre_total_ns = 0u64;
+                    if tracing || captured {
+                        let queue_ns =
+                            queue_start.map_or(0, |t| dur_ns(t_parse.saturating_duration_since(t)));
+                        let parse_ns = dur_ns(started.saturating_duration_since(t_parse));
+                        if let Some(d) = detail {
+                            let mut s = [0u64; Stage::COUNT];
+                            s[Stage::QueueWait.index()] = queue_ns;
+                            s[Stage::Parse.index()] = parse_ns;
+                            s[Stage::Dispatch.index()] = d.dispatch_ns;
+                            s[Stage::LockWait.index()] = d.lock_wait_ns;
+                            s[Stage::Execute.index()] = d.execute_ns;
+                            s[Stage::Persist.index()] = d.persist_ns;
+                            stages = Some(s);
+                            pre_total_ns = queue_ns + parse_ns + exec_ns;
+                        } else {
+                            // Not sampled, but slow enough to capture
+                            // anyway — coarse: the whole execute seam lands
+                            // in the execute stage.
+                            let threshold_us = inner.tracer.threshold_us();
+                            let total = queue_ns + parse_ns + exec_ns;
+                            if threshold_us > 0 && total >= threshold_us.saturating_mul(1000) {
+                                let mut s = [0u64; Stage::COUNT];
+                                s[Stage::QueueWait.index()] = queue_ns;
+                                s[Stage::Parse.index()] = parse_ns;
+                                s[Stage::Execute.index()] = exec_ns;
+                                stages = Some(s);
+                                pre_total_ns = total;
+                            }
+                        }
+                    }
+                    inner.metrics.observe_command(&parts, exec_end - started, self.worker, stages);
                     match outcome {
-                        Outcome::Reply(v) => encode(&v, &mut self.wbuf),
+                        Outcome::Reply(v) => {
+                            encode(&v, &mut self.wbuf);
+                            if let Some(s) = stages {
+                                self.push_pending_trace(
+                                    inner,
+                                    &parts,
+                                    span_id,
+                                    forced,
+                                    s,
+                                    pre_total_ns,
+                                    exec_end,
+                                );
+                            }
+                        }
                         Outcome::Shutdown => {
                             encode(&Value::Simple("OK".into()), &mut self.wbuf);
                             return Ran::Shutdown;
                         }
                         Outcome::StartReplication => return Ran::Replicate,
                     }
+                    // The next pipelined command has been queued since
+                    // this one finished.
+                    self.cmd_mark = Some(exec_end);
                 }
                 Err(e) => {
                     // Protocol errors are fatal for the connection:
@@ -261,7 +407,10 @@ impl Conn {
                 Ok(0) => {
                     return Err(io::Error::new(ErrorKind::WriteZero, "socket accepted 0 bytes"))
                 }
-                Ok(n) => self.wpos += n,
+                Ok(n) => {
+                    self.wpos += n;
+                    self.wsent += n as u64;
+                }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e),
@@ -283,8 +432,99 @@ impl Conn {
         self.stream.set_nonblocking(false)?;
         self.stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
         self.stream.write_all(&self.wbuf[self.wpos..])?;
+        self.wsent += (self.wbuf.len() - self.wpos) as u64;
         self.wbuf.clear();
         self.wpos = 0;
         Ok(())
+    }
+
+    /// Queue a captured span to complete when its reply bytes reach the
+    /// kernel. The reply-flush stage and the final record are stamped in
+    /// [`Conn::complete_traces`].
+    #[allow(clippy::too_many_arguments)]
+    fn push_pending_trace(
+        &mut self,
+        inner: &Inner,
+        parts: &[Vec<u8>],
+        span_id: u64,
+        forced: Option<(u64, u32)>,
+        stages_ns: [u64; Stage::COUNT],
+        pre_total_ns: u64,
+        exec_end: Instant,
+    ) {
+        if self.pending_traces.len() >= PENDING_TRACE_CAP {
+            self.pending_traces.pop_front();
+            inner.tracer.note_abandoned(1);
+        }
+        let (id, hops, reason) = match forced {
+            Some((fid, hops)) => (fid, hops, trace::Reason::Forced),
+            None if span_id != 0 => (span_id, 0, trace::Reason::Sampled),
+            None => (inner.tracer.alloc_id(), 0, trace::Reason::Threshold),
+        };
+        let rec =
+            trace::TraceRecord::new(id, hops, parts, self.worker, stages_ns, pre_total_ns, reason);
+        let name = parts.first().map(Vec::as_slice).unwrap_or(b"");
+        self.pending_traces.push_back(PendingTrace {
+            rec,
+            family: CmdFamily::classify(name),
+            exec_end,
+            end_off: self.wsent + self.pending() as u64,
+        });
+    }
+
+    /// Complete every pending span whose reply bytes have fully reached
+    /// the kernel: stamp the reply-flush stage, publish the record to
+    /// the flight recorder, and feed the per-stage histograms.
+    fn complete_traces(&mut self, inner: &Inner) {
+        if self.pending_traces.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        while let Some(front) = self.pending_traces.front() {
+            if self.wsent < front.end_off {
+                break;
+            }
+            let mut pt = self.pending_traces.pop_front().expect("front exists");
+            let flush_ns = dur_ns(now.saturating_duration_since(pt.exec_end));
+            pt.rec.stages_ns[Stage::ReplyFlush.index()] = flush_ns;
+            pt.rec.total_ns += flush_ns;
+            inner.metrics.observe_stages(pt.family, &pt.rec.stages_ns);
+            inner.tracer.record(pt.rec);
+        }
+    }
+
+    /// The connection is going away: spans still waiting for their
+    /// reply flush will never complete. Count them so `TRACE STATUS`
+    /// can tell silence from loss.
+    pub(crate) fn abandon_traces(&mut self, inner: &Inner) {
+        let n = self.pending_traces.len() as u64;
+        if n > 0 {
+            self.pending_traces.clear();
+            inner.tracer.note_abandoned(n);
+        }
+    }
+
+    /// Remember the in-flight command (fixed-size copies, no per-command
+    /// allocation) so a worker panic can be logged with context.
+    fn note_panic_context(&mut self, parts: &[Vec<u8>], span_id: u64) {
+        let cmd = parts.first().map(Vec::as_slice).unwrap_or(b"");
+        let n = cmd.len().min(PANIC_CTX_LEN);
+        self.panic_cmd[..n].copy_from_slice(&cmd[..n]);
+        self.panic_cmd_len = n as u8;
+        let key = parts.get(1).map(Vec::as_slice).unwrap_or(b"");
+        let k = key.len().min(PANIC_CTX_LEN);
+        self.panic_key[..k].copy_from_slice(&key[..k]);
+        self.panic_key_len = k as u8;
+        self.panic_span = span_id;
+    }
+
+    /// The last command this connection started executing (command name
+    /// prefix, key prefix, active trace id) — the worker-panic log line.
+    pub(crate) fn panic_context(&self) -> (String, String, u64) {
+        let cmd = String::from_utf8_lossy(&self.panic_cmd[..self.panic_cmd_len as usize])
+            .into_owned();
+        let key = String::from_utf8_lossy(&self.panic_key[..self.panic_key_len as usize])
+            .into_owned();
+        (cmd, key, self.panic_span)
     }
 }

@@ -102,10 +102,15 @@ fn run(id: u64, epoll: Epoll, shared: Arc<WorkerShared>, inner: Arc<Inner>) {
                 Err(_) => {
                     // A panic poisons only this connection. Count it:
                     // the old thread-per-connection model dropped the
-                    // JoinHandle and the panic vanished silently.
+                    // JoinHandle and the panic vanished silently. The
+                    // in-flight command and trace id were stashed before
+                    // execute, so the log line says what blew up.
                     inner.metrics.worker_panics.incr();
-                    eprintln!(
-                        "dash-server: connection handler panicked; dropping the connection"
+                    let (cmd, key, span) = conn.panic_context();
+                    crate::log_error!(
+                        "net",
+                        "worker {id}: connection handler panicked in {cmd:?} \
+                         (key prefix {key:?}, trace id {span}); dropping the connection"
                     );
                     After::Remove
                 }
@@ -182,7 +187,8 @@ fn remove(
     idx: usize,
     inner: &Inner,
 ) {
-    if let Some(conn) = conns[idx].take() {
+    if let Some(mut conn) = conns[idx].take() {
+        conn.abandon_traces(inner);
         let _ = epoll.del(conn.fd());
         free.push(idx);
         inner.metrics.active_connections.sub(1);

@@ -30,6 +30,18 @@ use parking_lot::RwLock;
 
 use crate::repl::ReplOp;
 
+/// What a sink actually carries: the op plus the id of the trace span
+/// that produced it (0 = untraced). The id rides *alongside* the op —
+/// the `ReplOp` itself, and therefore the redo-log record format, is
+/// unchanged; only the live fan-out learns trace identity. The stream
+/// thread turns a nonzero id into a `TRACEID` command ahead of the op
+/// so the replica records its apply under the primary's span id.
+#[derive(Debug, Clone)]
+pub struct TracedOp {
+    pub op: Arc<ReplOp>,
+    pub trace_id: u64,
+}
+
 /// Ops a sink may hold queued before it is dropped as too slow. At a
 /// ~100-byte average op this bounds a stalled replica's cost at
 /// ~100 MB — the same order as Redis's default replica output-buffer
@@ -39,7 +51,7 @@ pub const MAX_QUEUED_OPS: u64 = 1 << 20;
 
 struct Sink {
     id: u64,
-    tx: Sender<Arc<ReplOp>>,
+    tx: Sender<TracedOp>,
     /// Ops sent but not yet drained by the stream thread.
     queued: Arc<AtomicU64>,
     /// Set once the budget was blown or the receiver went away; the
@@ -112,6 +124,10 @@ impl ReplHub {
         if sinks.is_empty() {
             return;
         }
+        // Publishes run on the thread that executed the command, so the
+        // active trace span (if any) is this thread-local — the op it
+        // produced inherits the span's identity.
+        let trace_id = crate::trace::current_span_id();
         let mut make = Some(make);
         let mut op: Option<Arc<ReplOp>> = None;
         for s in sinks.iter() {
@@ -130,7 +146,7 @@ impl ReplHub {
                     a
                 }
             };
-            if s.tx.send(msg).is_err() {
+            if s.tx.send(TracedOp { op: msg, trace_id }).is_err() {
                 s.overflowed.store(true, Ordering::SeqCst);
             }
         }
@@ -164,7 +180,7 @@ pub struct ReplSubscription {
     /// started after `subscribe` returned; every later op arrives via
     /// [`recv_timeout`](Self::recv_timeout).
     pub start_offset: u64,
-    rx: Receiver<Arc<ReplOp>>,
+    rx: Receiver<TracedOp>,
     queued: Arc<AtomicU64>,
     overflowed: Arc<AtomicBool>,
 }
@@ -173,7 +189,7 @@ impl ReplSubscription {
     /// Receive the next op. Reports `Disconnected` the moment the sink
     /// overflowed — the stream has a gap, so draining the remainder
     /// would only delay the full re-sync the replica now needs.
-    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Arc<ReplOp>, RecvTimeoutError> {
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<TracedOp, RecvTimeoutError> {
         if self.overflowed.load(Ordering::SeqCst) {
             return Err(RecvTimeoutError::Disconnected);
         }
@@ -183,7 +199,7 @@ impl ReplSubscription {
     }
 
     /// Non-blocking receive, same overflow semantics.
-    pub fn try_recv(&self) -> Result<Arc<ReplOp>, TryRecvError> {
+    pub fn try_recv(&self) -> Result<TracedOp, TryRecvError> {
         if self.overflowed.load(Ordering::SeqCst) {
             return Err(TryRecvError::Disconnected);
         }
@@ -228,8 +244,8 @@ mod tests {
         assert_eq!(hub.sink_count(), 1);
         hub.publish_with(|| set(1));
         hub.publish_with(|| set(2));
-        assert_eq!(*sub.recv_timeout(Duration::from_secs(5)).unwrap(), set(1));
-        assert_eq!(*sub.recv_timeout(Duration::from_secs(5)).unwrap(), set(2));
+        assert_eq!(*sub.recv_timeout(Duration::from_secs(5)).unwrap().op, set(1));
+        assert_eq!(*sub.recv_timeout(Duration::from_secs(5)).unwrap().op, set(2));
         drop(sub);
         assert_eq!(hub.sink_count(), 0, "drop must deregister");
         hub.publish_with(|| set(3)); // no sink → lazily skipped, offset still moves
@@ -274,5 +290,20 @@ mod tests {
         ));
         // Offsets kept counting throughout.
         assert_eq!(hub.offset(), MAX_QUEUED_OPS + 10);
+    }
+
+    #[test]
+    fn ops_published_under_a_span_carry_its_trace_id() {
+        let hub = Arc::new(ReplHub::new());
+        let sub = hub.subscribe();
+        hub.publish_with(|| set(0));
+        crate::trace::begin_span(99);
+        hub.publish_with(|| set(1));
+        crate::trace::end_span(std::time::Instant::now(), 0);
+        hub.publish_with(|| set(2));
+        let ids: Vec<u64> = (0..3)
+            .map(|_| sub.recv_timeout(Duration::from_secs(5)).unwrap().trace_id)
+            .collect();
+        assert_eq!(ids, vec![0, 99, 0], "only the op under the span is tagged");
     }
 }

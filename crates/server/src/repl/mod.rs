@@ -32,7 +32,7 @@ pub mod log;
 pub(crate) mod replica;
 pub mod wire;
 
-pub use hub::{ReplHub, ReplSubscription};
+pub use hub::{ReplHub, ReplSubscription, TracedOp};
 pub use log::{read_log, LogRecovery, LogWriter};
 
 /// One replicated mutation: the unit the redo log stores, the hub fans

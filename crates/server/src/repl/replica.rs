@@ -54,7 +54,7 @@ pub(crate) fn run(inner: Arc<Inner>, master: String) {
                     announced_down = false;
                 }
                 if !announced_down {
-                    eprintln!("dash-server: replication link to {master}: {e}; retrying");
+                    crate::log_warn!("repl", "replication link to {master}: {e}; retrying");
                     announced_down = true;
                 }
                 // Brief backoff, still responsive to shutdown/promote.
@@ -260,12 +260,17 @@ fn session(inner: &Inner, master: &str) -> io::Result<()> {
     drop(ops);
     inner.applied_offset.store(base_offset, Ordering::SeqCst);
     inner.link_up.store(true, Ordering::SeqCst);
-    println!(
-        "dash-server: replica of {master}: full sync loaded {loaded} records at offset {base_offset}"
+    crate::log_info!(
+        "repl",
+        "replica of {master}: full sync loaded {loaded} records at offset {base_offset}"
     );
     // Tail: decode every complete command in the buffer, apply them as
     // one batch through the engine's batch paths, repeat.
     let mut ops: Vec<ReplOp> = Vec::new();
+    // A `TRACEID <id> 0` in the stream marks the NEXT op as traced on
+    // the primary: its apply here is timed individually under the same
+    // id so `TRACE GET <id>` works on either end.
+    let mut pending_trace: Option<u64> = None;
     loop {
         if stopping(inner) {
             return Ok(());
@@ -280,7 +285,7 @@ fn session(inner: &Inner, master: &str) -> io::Result<()> {
                         (b"SET", 3) => {
                             let value = parts.pop().expect("len checked");
                             let key = parts.pop().expect("len checked");
-                            ops.push(ReplOp::Set { key, value });
+                            queue_op(inner, &mut ops, &mut pending_trace, ReplOp::Set { key, value })?;
                         }
                         // TTL write: `SET key value PXAT <deadline-ms>` —
                         // the absolute-deadline form is the only one the
@@ -301,14 +306,37 @@ fn session(inner: &Inner, master: &str) -> io::Result<()> {
                                 .ok()
                                 .and_then(|s| s.parse::<u64>().ok())
                                 .ok_or_else(|| bad_stream("bad PXAT deadline in stream"))?;
-                            ops.push(ReplOp::SetEx { key, value, expire_at_ms });
+                            queue_op(
+                                inner,
+                                &mut ops,
+                                &mut pending_trace,
+                                ReplOp::SetEx { key, value, expire_at_ms },
+                            )?;
                         }
                         (b"DEL", 2) => {
                             let key = parts.pop().expect("len checked");
-                            ops.push(ReplOp::Del { key });
+                            queue_op(inner, &mut ops, &mut pending_trace, ReplOp::Del { key })?;
                         }
                         // Liveness only; does not advance the offset.
                         (b"PING", 1) => {}
+                        // Trace propagation: the next op was traced on
+                        // the primary. Not an op — the offset does not
+                        // advance. The pending batch is applied first so
+                        // the traced op's timing stands alone.
+                        (b"TRACEID", 3) => {
+                            let id = std::str::from_utf8(&parts[1])
+                                .ok()
+                                .and_then(|s| s.parse::<u64>().ok())
+                                .ok_or_else(|| bad_stream("bad TRACEID id in stream"))?;
+                            if !ops.is_empty() {
+                                inner.engine.apply_ops(&ops).map_err(engine_err)?;
+                                inner
+                                    .applied_offset
+                                    .fetch_add(ops.len() as u64, Ordering::SeqCst);
+                                ops.clear();
+                            }
+                            pending_trace = Some(id);
+                        }
                         _ => {
                             return Err(bad_stream(format!(
                                 "unexpected command {:?} in replication stream",
@@ -328,4 +356,60 @@ fn session(inner: &Inner, master: &str) -> io::Result<()> {
         }
         conn.fill()?;
     }
+}
+
+/// Queue an op for the batch apply — unless a `TRACEID` marked it, in
+/// which case it applies alone, timed, under the propagated span id.
+fn queue_op(
+    inner: &Inner,
+    ops: &mut Vec<ReplOp>,
+    pending_trace: &mut Option<u64>,
+    op: ReplOp,
+) -> io::Result<()> {
+    match pending_trace.take() {
+        Some(id) => apply_traced(inner, op, id),
+        None => {
+            ops.push(op);
+            Ok(())
+        }
+    }
+}
+
+/// Apply one replicated op under a trace span and record the result in
+/// the flight recorder: same id as the primary's span (so `TRACE GET`
+/// correlates the two), worker [`trace::REPL_WORKER`], reason `repl`.
+/// Queue-wait/parse/reply-flush are zero by construction — a replica
+/// apply has no client-visible ingress or egress.
+fn apply_traced(inner: &Inner, op: ReplOp, trace_id: u64) -> io::Result<()> {
+    use crate::trace::{self, Stage};
+    let (cmd, key) = match &op {
+        ReplOp::Set { key, .. } | ReplOp::SetEx { key, .. } => ("SET", key),
+        ReplOp::Del { key } => ("DEL", key),
+    };
+    let key = String::from_utf8_lossy(&key[..key.len().min(32)]).into_owned();
+    trace::begin_span(trace_id);
+    let start = std::time::Instant::now();
+    let res = inner.engine.apply_ops(std::slice::from_ref(&op));
+    let total_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let d = trace::end_span(start, total_ns);
+    let mut stages_ns = [0u64; Stage::COUNT];
+    stages_ns[Stage::Dispatch.index()] = d.dispatch_ns;
+    stages_ns[Stage::LockWait.index()] = d.lock_wait_ns;
+    stages_ns[Stage::Execute.index()] = d.execute_ns;
+    stages_ns[Stage::Persist.index()] = d.persist_ns;
+    inner.tracer.record(trace::TraceRecord {
+        id: trace_id,
+        origin: trace_id,
+        hops: 0,
+        unix_ms: trace::unix_ms(),
+        cmd: cmd.into(),
+        key,
+        worker: trace::REPL_WORKER,
+        total_ns,
+        reason: trace::Reason::Repl,
+        stages_ns,
+    });
+    res.map_err(engine_err)?;
+    inner.applied_offset.fetch_add(1, Ordering::SeqCst);
+    Ok(())
 }

@@ -103,6 +103,9 @@ pub(crate) struct Inner {
     /// these numbers — `net/` increments here, and INFO, SLOWLOG and
     /// the metrics endpoint all render from here.
     pub(crate) metrics: Metrics,
+    /// The request-tracing control plane: sampling knobs, span ids, and
+    /// the per-worker flight-recorder rings behind `TRACE DUMP`.
+    pub(crate) tracer: crate::trace::Tracer,
     /// Where the Prometheus endpoint is bound (`--metrics-addr`).
     pub(crate) metrics_addr: Option<SocketAddr>,
     /// Size of the event-loop worker pool.
@@ -333,6 +336,7 @@ pub fn serve_with(
         metrics: Metrics::new(
             opts.slowlog_threshold_us.unwrap_or(DEFAULT_SLOWLOG_THRESHOLD_US),
         ),
+        tracer: crate::trace::Tracer::new(),
         metrics_addr,
         event_workers,
         wakes: Mutex::new(Vec::new()),
@@ -393,12 +397,17 @@ pub(crate) enum Outcome {
     Shutdown,
 }
 
-/// Per-connection command-dispatch state. Today that is exactly the
-/// cluster `ASKING` flag: it licenses the **next** command (and only
-/// it) to run against a slot this node is importing.
+/// Per-connection command-dispatch state: the cluster `ASKING` flag and
+/// the `TRACEID` forced-capture token — both one-shot, licensing only
+/// the **next** command.
 #[derive(Default)]
 pub(crate) struct Session {
     pub(crate) asking: bool,
+    /// Set by `TRACEID <id> <hops>`: the next command is trace-captured
+    /// under this `(origin id, hop count)` regardless of sampling —
+    /// how a cluster client or the replication stream carries one
+    /// request's identity across servers.
+    pub(crate) trace_force: Option<(u64, u32)>,
 }
 
 /// Does this command mutate engine state? The replica write gate — keep
@@ -746,7 +755,7 @@ pub(crate) fn execute(parts: &[Vec<u8>], inner: &Inner, session: &mut Session) -
                     .get(n)
                     .into_iter()
                     .map(|e| {
-                        Value::Array(vec![
+                        let mut fields = vec![
                             Value::Integer(e.id as i64),
                             Value::Integer(e.unix_secs as i64),
                             Value::Integer(e.duration_us as i64),
@@ -755,12 +764,45 @@ pub(crate) fn execute(parts: &[Vec<u8>], inner: &Inner, session: &mut Session) -
                                 Value::Bulk(e.key.into_bytes()),
                             ]),
                             Value::Integer(e.worker as i64),
-                        ])
+                        ];
+                        // The sampled trace's stage breakdown, when the
+                        // tracer captured the same request: 7 integers
+                        // (ns) in `Stage::ALL` order.
+                        if let Some(stages) = e.stages_ns {
+                            fields.push(Value::Array(
+                                stages.iter().map(|&ns| Value::Integer(ns as i64)).collect(),
+                            ));
+                        }
+                        Value::Array(fields)
                     })
                     .collect();
                 Outcome::Reply(Value::Array(entries))
             }
             _ => err("SLOWLOG subcommand must be GET [count], LEN or RESET"),
+        },
+        // The tracing control surface. `TRACE ON [SAMPLE n]` /
+        // `TRACE OFF` gate the sampler; DUMP/GET read the flight
+        // recorder; THRESHOLD tunes always-on slow capture; STATUS
+        // reports the knobs; RESET clears the rings.
+        "TRACE" => trace_command(inner, args),
+        // One-shot trace propagation: capture the NEXT command under
+        // this identity. `TRACEID 0 0` asks the server to assign a
+        // fresh id (the reply), which is how a client starts a trace it
+        // can later look up; nonzero ids arrive from cluster clients
+        // re-sending after a redirect and from the PSYNC tail.
+        "TRACEID" => match args {
+            [id, hops] => {
+                let (Some(id), Some(hops)) = (parse_int(id), parse_int(hops)) else {
+                    return err("TRACEID arguments must be integers");
+                };
+                if id < 0 || hops < 0 {
+                    return err("TRACEID arguments must be non-negative");
+                }
+                let id = if id == 0 { inner.tracer.alloc_id() } else { id as u64 };
+                session.trace_force = Some((id, hops as u32));
+                Outcome::Reply(Value::Integer(id as i64))
+            }
+            _ => wrong_args("traceid"),
         },
         // Replication handshake: REPLCONF carries replica metadata
         // (accepted and ignored — `listening-port` etc. are advisory);
@@ -799,6 +841,107 @@ pub(crate) fn execute(parts: &[Vec<u8>], inner: &Inner, session: &mut Session) -
     }
 }
 
+/// Dispatch the `TRACE` subcommands against [`Inner::tracer`].
+fn trace_command(inner: &Inner, args: &[Vec<u8>]) -> Outcome {
+    let t = &inner.tracer;
+    match args {
+        [sub] if sub.eq_ignore_ascii_case(b"ON") => {
+            t.set_enabled(true);
+            Outcome::Reply(Value::Simple("OK".into()))
+        }
+        [sub, word, n]
+            if sub.eq_ignore_ascii_case(b"ON") && word.eq_ignore_ascii_case(b"SAMPLE") =>
+        {
+            match parse_int(n) {
+                Some(n) if n >= 0 => {
+                    t.set_sample_every(n as u64);
+                    t.set_enabled(true);
+                    Outcome::Reply(Value::Simple("OK".into()))
+                }
+                _ => err("SAMPLE must be a non-negative integer (0 disables the sampler)"),
+            }
+        }
+        [sub] if sub.eq_ignore_ascii_case(b"OFF") => {
+            t.set_enabled(false);
+            Outcome::Reply(Value::Simple("OK".into()))
+        }
+        [sub] | [sub, _] if sub.eq_ignore_ascii_case(b"DUMP") => {
+            let n = match args {
+                [_, n] => match parse_int(n) {
+                    Some(n) if n >= 1 => n as usize,
+                    _ => return err("TRACE DUMP count must be a positive integer"),
+                },
+                _ => usize::MAX,
+            };
+            Outcome::Reply(Value::Array(t.dump(n).iter().map(trace_record_value).collect()))
+        }
+        [sub, id] if sub.eq_ignore_ascii_case(b"GET") => match parse_int(id) {
+            Some(id) if id >= 1 => Outcome::Reply(Value::Array(
+                t.get(id as u64).iter().map(trace_record_value).collect(),
+            )),
+            _ => err("TRACE GET id must be a positive integer"),
+        },
+        [sub, us] if sub.eq_ignore_ascii_case(b"THRESHOLD") => match parse_int(us) {
+            Some(us) if us >= 0 => {
+                t.set_threshold_us(us as u64);
+                Outcome::Reply(Value::Simple("OK".into()))
+            }
+            _ => err("THRESHOLD must be microseconds >= 0 (0 disables threshold capture)"),
+        },
+        [sub] if sub.eq_ignore_ascii_case(b"RESET") => {
+            t.reset();
+            Outcome::Reply(Value::Simple("OK".into()))
+        }
+        [sub] if sub.eq_ignore_ascii_case(b"STATUS") => {
+            let pairs: [(&str, i64); 6] = [
+                ("enabled", i64::from(t.enabled())),
+                ("sample_every", t.sample_every() as i64),
+                ("threshold_us", t.threshold_us() as i64),
+                ("captured", t.captured_total() as i64),
+                ("abandoned", t.abandoned_total() as i64),
+                ("retained", t.len() as i64),
+            ];
+            Outcome::Reply(Value::Array(
+                pairs
+                    .iter()
+                    .flat_map(|(k, v)| [Value::bulk(k.as_bytes()), Value::Integer(*v)])
+                    .collect(),
+            ))
+        }
+        _ => err(
+            "TRACE subcommand must be ON [SAMPLE n], OFF, DUMP [n], GET <id>, THRESHOLD <us>, STATUS or RESET",
+        ),
+    }
+}
+
+/// One flight-recorder span on the wire: a flat array alternating
+/// field-name / value, so clients need no fixed-position schema.
+/// Durations are nanoseconds (sub-µs stages must survive rounding for
+/// the stage-sum ≈ total invariant to be checkable from a dump).
+fn trace_record_value(r: &crate::trace::TraceRecord) -> Value {
+    let mut fields: Vec<Value> = Vec::with_capacity(2 * (9 + crate::trace::Stage::COUNT));
+    let mut push = |name: &str, v: Value| {
+        fields.push(Value::bulk(name.as_bytes()));
+        fields.push(v);
+    };
+    push("id", Value::Integer(r.id as i64));
+    push("origin", Value::Integer(r.origin as i64));
+    push("hops", Value::Integer(i64::from(r.hops)));
+    push("unix_ms", Value::Integer(r.unix_ms as i64));
+    push("cmd", Value::bulk(r.cmd.as_bytes()));
+    push("key", Value::bulk(r.key.as_bytes()));
+    push("worker", Value::Integer(r.worker as i64));
+    push("reason", Value::bulk(r.reason.name().as_bytes()));
+    push("total_ns", Value::Integer(r.total_ns as i64));
+    for stage in crate::trace::Stage::ALL {
+        push(
+            &format!("{}_ns", stage.name()),
+            Value::Integer(r.stages_ns[stage.index()] as i64),
+        );
+    }
+    Value::Array(fields)
+}
+
 /// Serve one replica over an accepted connection (the `PSYNC` handoff):
 /// subscribe to the op stream *first* (pinning the offset cut), then
 /// stream an online snapshot as `+FULLRESYNC <offset>` plus one bulk
@@ -831,13 +974,13 @@ pub(crate) fn serve_replica_stream(mut stream: TcpStream, inner: &Inner) -> std:
         match sub.recv_timeout(Duration::from_millis(100)) {
             Ok(op) => {
                 wbuf.clear();
-                encode_op(&op, &mut wbuf);
+                encode_traced_op(&op, &mut wbuf);
                 // Drain whatever else is queued into the same write —
                 // the stream-side analogue of pipelining — but bound
                 // the burst so one write_all stays shippable.
                 while wbuf.len() < 4 << 20 {
                     match sub.try_recv() {
-                        Ok(more) => encode_op(&more, &mut wbuf),
+                        Ok(more) => encode_traced_op(&more, &mut wbuf),
                         Err(_) => break,
                     }
                 }
@@ -859,6 +1002,17 @@ pub(crate) fn serve_replica_stream(mut stream: TcpStream, inner: &Inner) -> std:
             Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return Ok(()),
         }
     }
+}
+
+/// One fan-out item on the wire. An op produced under a trace span is
+/// preceded by `TRACEID <id> 0` — the same one-shot propagation command
+/// clients use — so the replica captures its apply under the primary's
+/// span id and `TRACE GET <id>` on either server finds both halves.
+fn encode_traced_op(top: &crate::repl::hub::TracedOp, out: &mut Vec<u8>) {
+    if top.trace_id != 0 {
+        encode_command(&[b"TRACEID", top.trace_id.to_string().as_bytes(), b"0"], out);
+    }
+    encode_op(&top.op, out);
 }
 
 /// The wire form of one replicated op: exactly the client command that
@@ -926,6 +1080,10 @@ fn stats_info_text(inner: &Inner) -> String {
     out.push_str(&format!("worker_panics:{}\r\n", m.worker_panics.get()));
     out.push_str(&format!("slowlog_len:{}\r\n", m.slowlog.len()));
     out.push_str(&format!("slowlog_threshold_us:{}\r\n", m.slowlog.threshold_us()));
+    out.push_str(&format!("trace_enabled:{}\r\n", u8::from(inner.tracer.enabled())));
+    out.push_str(&format!("trace_sample_every:{}\r\n", inner.tracer.sample_every()));
+    out.push_str(&format!("traces_captured:{}\r\n", inner.tracer.captured_total()));
+    out.push_str(&format!("traces_abandoned:{}\r\n", inner.tracer.abandoned_total()));
     out.push_str(&format!("epoch_pins:{}\r\n", sum(|t| t.epoch_pins)));
     out.push_str(&format!("write_lock_waits:{}\r\n", sum(|t| t.write_lock_waits)));
     out.push_str(&format!("eh_splits:{}\r\n", sum(|t| t.eh_splits)));

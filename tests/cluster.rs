@@ -526,3 +526,52 @@ fn repl_log_bytes_and_cluster_metrics_surface() {
 
     server.shutdown();
 }
+
+/// Redirect hop counts propagate via TRACEID: a client op that chases a
+/// MOVED redirect lands its span on the final owner carrying hops ≥ 1,
+/// under the same span id the first node assigned.
+#[test]
+fn redirects_propagate_trace_hops() {
+    let a = cluster_server(2);
+    let b = cluster_server(2);
+    let (a_addr, b_addr) = (a.addr().to_string(), b.addr().to_string());
+    let mut ca = connect(&a);
+    let mut cb = connect(&b);
+    for c in [&mut ca, &mut cb] {
+        assign(c, 0, 16383, &a_addr);
+    }
+
+    let mut cc = ClusterClient::connect(&a_addr, Duration::from_secs(5)).unwrap();
+    cc.set_trace_every(1);
+
+    // Direct hit: the span lands on the owner with zero hops, and the
+    // client learns the id the server assigned.
+    let mut salt = 0u64;
+    let k0 = key_in_range(0, 16383, &mut salt);
+    cc.set(&k0, b"v0").unwrap();
+    let id0 = cc.last_trace_id();
+    assert!(id0 > 0, "a traced op must learn its server-assigned span id");
+    let rec0 = ca.trace_get(id0).unwrap().expect("span on the direct owner");
+    assert_eq!(rec0.hops, 0);
+    assert_eq!(rec0.reason, "forced");
+
+    // Move every slot to b behind the client's back: its next op gets
+    // -MOVED from a and the retry reaches b carrying hop count 1.
+    for c in [&mut ca, &mut cb] {
+        assign(c, 0, 16383, &b_addr);
+    }
+    let k1 = key_in_range(0, 16383, &mut salt);
+    cc.set(&k1, b"v1").unwrap();
+    let id1 = cc.last_trace_id();
+    assert!(id1 > 0 && id1 != id0);
+    let rec1 = cb.trace_get(id1).unwrap().expect("span on the final owner after MOVED");
+    assert!(rec1.hops >= 1, "redirected span must carry its hop count: {rec1:?}");
+    assert_eq!(rec1.reason, "forced");
+    assert_eq!(rec1.cmd, "SET");
+    // The redirecting node holds the MOVED attempt under the same id.
+    let rec_a = ca.trace_get(id1).unwrap().expect("the first attempt traced on a");
+    assert_eq!(rec_a.hops, 0);
+
+    a.shutdown();
+    b.shutdown();
+}
